@@ -1,0 +1,41 @@
+//! Criterion smoke-bench of every figure harness at reduced scale, so
+//! `cargo bench` exercises each experiment path end to end.
+
+use consensus_bench::experiments::{
+    exp_ip, fig10, fig2, fig8, fig9, slow_core_timeline, tab_latency, Proto,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use manycore_sim::Fault;
+use std::hint::black_box;
+
+fn figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures_reduced_scale");
+    g.sample_size(10);
+    g.bench_function("fig2", |b| b.iter(|| black_box(fig2(&[1, 3], 30_000_000))));
+    g.bench_function("tab_latency", |b| b.iter(|| black_box(tab_latency(100))));
+    g.bench_function("fig8_onepaxos", |b| {
+        b.iter(|| black_box(fig8(Proto::OnePaxos, &[1, 8], 30_000_000)))
+    });
+    g.bench_function("fig9_joint", |b| {
+        b.iter(|| black_box(fig9(Proto::OnePaxos, &[3, 10], 60_000_000)))
+    });
+    g.bench_function("fig10_reads", |b| b.iter(|| black_box(fig10(40_000_000))));
+    g.bench_function("fig11_slow_leader", |b| {
+        b.iter(|| {
+            black_box(slow_core_timeline(
+                Proto::OnePaxos,
+                &[Fault {
+                    at: 100_000_000,
+                    core: 0,
+                    slowdown: 400.0,
+                }],
+                400_000_000,
+            ))
+        })
+    });
+    g.bench_function("exp_ip", |b| b.iter(|| black_box(exp_ip(10, 300_000_000))));
+    g.finish();
+}
+
+criterion_group!(benches, figures);
+criterion_main!(benches);

@@ -1,0 +1,198 @@
+//! Criterion bench of the real qc-channel substrate: the §3 transmission
+//! measurement, single-slot ping cycles, and the §6.1 design ablations
+//! (slot count).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qc_channel::spsc;
+use std::hint::black_box;
+
+fn transmission(c: &mut Criterion) {
+    // §3: sender repeatedly issuing messages into an (effectively)
+    // unbounded queue — per-message cost ≈ transmission delay.
+    let mut g = c.benchmark_group("transmission_delay");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("unbounded_send", |b| {
+        b.iter_custom(|iters| {
+            let (tx, _rx) = spsc::channel::<u64>(iters as usize + 1);
+            let start = std::time::Instant::now();
+            for i in 0..iters {
+                tx.try_send(i).unwrap();
+            }
+            start.elapsed()
+        })
+    });
+    g.finish();
+}
+
+fn single_slot_cycle(c: &mut Criterion) {
+    // §3: 1-slot queue with an active consumer — cycle ≈ 2·trans+2·prop.
+    let mut g = c.benchmark_group("propagation_cycle");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("single_slot_ping", |b| {
+        b.iter_custom(|iters| {
+            let (tx, rx) = spsc::channel::<u64>(1);
+            let consumer = std::thread::spawn(move || {
+                let mut got = 0u64;
+                while got < iters {
+                    if rx.try_recv().is_some() {
+                        got += 1;
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+            });
+            let start = std::time::Instant::now();
+            for i in 0..iters {
+                tx.send_spin(i);
+            }
+            let d = start.elapsed();
+            consumer.join().unwrap();
+            d
+        })
+    });
+    g.finish();
+}
+
+fn slot_count_ablation(c: &mut Criterion) {
+    // §6.1 ablation: the paper defaults to 7 slots per queue. Streaming
+    // throughput across threads as the queue depth varies.
+    let mut g = c.benchmark_group("slot_count");
+    g.throughput(Throughput::Elements(10_000));
+    for slots in [1usize, 3, 7, 15, 63] {
+        g.bench_with_input(BenchmarkId::from_parameter(slots), &slots, |b, &slots| {
+            b.iter_custom(|iters| {
+                let n: u64 = 10_000;
+                let mut total = std::time::Duration::ZERO;
+                for _ in 0..iters {
+                    let (tx, rx) = spsc::channel::<u64>(slots);
+                    let consumer = std::thread::spawn(move || {
+                        let mut got = 0u64;
+                        while got < n {
+                            if rx.try_recv().is_some() {
+                                got += 1;
+                            } else {
+                                std::hint::spin_loop();
+                            }
+                        }
+                    });
+                    let start = std::time::Instant::now();
+                    for i in 0..n {
+                        tx.send_spin(i);
+                    }
+                    total += start.elapsed();
+                    consumer.join().unwrap();
+                }
+                total
+            })
+        });
+    }
+    g.finish();
+}
+
+fn broadcast_vs_unicast(c: &mut Criterion) {
+    // §8 ablation: ZIMP-style one-to-many broadcast vs the per-pair
+    // unicast QC-libtask chose. The unicast *sender* pays O(subscribers)
+    // per message; the broadcast writer pays O(1) but shares cache lines
+    // with every reader.
+    use qc_channel::broadcast;
+    let mut g = c.benchmark_group("fanout_3_readers");
+    g.throughput(Throughput::Elements(2_000));
+    g.bench_function("unicast_per_pair", |b| {
+        b.iter_custom(|iters| {
+            let n: u64 = 2_000;
+            let mut total = std::time::Duration::ZERO;
+            for _ in 0..iters {
+                let pairs: Vec<_> = (0..3).map(|_| spsc::channel::<u64>(64)).collect();
+                let mut txs = Vec::new();
+                let mut readers = Vec::new();
+                for (tx, rx) in pairs {
+                    txs.push(tx);
+                    readers.push(std::thread::spawn(move || {
+                        let mut got = 0u64;
+                        while got < n {
+                            if rx.try_recv().is_some() {
+                                got += 1;
+                            } else {
+                                std::thread::yield_now();
+                            }
+                        }
+                    }));
+                }
+                let start = std::time::Instant::now();
+                for i in 0..n {
+                    for tx in &txs {
+                        tx.send_spin(i);
+                    }
+                }
+                total += start.elapsed();
+                for r in readers {
+                    r.join().unwrap();
+                }
+            }
+            total
+        })
+    });
+    g.bench_function("zimp_broadcast", |b| {
+        b.iter_custom(|iters| {
+            let n: u64 = 2_000;
+            let mut total = std::time::Duration::ZERO;
+            for _ in 0..iters {
+                let (bx, subs) = broadcast::channel::<u64>(64, 3);
+                let readers: Vec<_> = subs
+                    .into_iter()
+                    .map(|mut s| {
+                        std::thread::spawn(move || {
+                            let mut got = 0u64;
+                            while got < n {
+                                if s.try_recv().is_some() {
+                                    got += 1;
+                                } else {
+                                    std::thread::yield_now();
+                                }
+                            }
+                        })
+                    })
+                    .collect();
+                let start = std::time::Instant::now();
+                for i in 0..n {
+                    bx.broadcast_spin(i);
+                }
+                total += start.elapsed();
+                for r in readers {
+                    r.join().unwrap();
+                }
+            }
+            total
+        })
+    });
+    g.finish();
+}
+
+fn mailbox_poll(c: &mut Criterion) {
+    use qc_channel::Mailbox;
+    let mut g = c.benchmark_group("mailbox");
+    g.bench_function("poll_16_peers_one_ready", |b| {
+        let mut mb: Mailbox<u16, u64> = Mailbox::new();
+        let mut txs = Vec::new();
+        for p in 0..16u16 {
+            let (tx, rx) = spsc::channel::<u64>(8);
+            mb.add_peer(p, rx);
+            txs.push(tx);
+        }
+        b.iter(|| {
+            txs[7].try_send(1).unwrap();
+            black_box(mb.poll())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    transmission,
+    single_slot_cycle,
+    slot_count_ablation,
+    broadcast_vs_unicast,
+    mailbox_poll
+);
+criterion_main!(benches);

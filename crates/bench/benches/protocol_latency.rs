@@ -1,0 +1,45 @@
+//! Criterion bench over the §7.2 commit path: wall time of a fixed-size
+//! simulated run per protocol. Since simulator work is proportional to
+//! event (= message) count, the relative cost of the three protocols here
+//! mirrors their message complexity: 1Paxos < Multi-Paxos ≈ 2PC.
+
+use consensus_bench::experiments::{run, Proto, RunCfg};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn commit_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("commit_path_100req");
+    g.sample_size(20);
+    for p in [Proto::OnePaxos, Proto::MultiPaxos, Proto::TwoPc, Proto::BasicPaxos] {
+        g.bench_function(p.name(), |b| {
+            b.iter(|| {
+                let r = run(
+                    p,
+                    &RunCfg {
+                        requests: 100,
+                        ..RunCfg::standard48()
+                    },
+                );
+                black_box(r.completed)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn saturation_run(c: &mut Criterion) {
+    let mut g = c.benchmark_group("saturated_50ms_12clients");
+    g.sample_size(10);
+    for p in Proto::PAPER_SET {
+        g.bench_function(p.name(), |b| {
+            b.iter(|| {
+                let r = run(p, &RunCfg::throughput48(12, 50_000_000));
+                black_box(r.throughput)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, commit_path, saturation_run);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Fig 1 ablation: non-uniform inter-core latency. "Cores C0 and C1 share
+//! the same last-level cache and communicate much faster than Cores C0
+//! and C3, which have to go through the interconnect network."
+//!
+//! Same protocol, same load — only the *placement* of the three replicas
+//! changes: all on one socket (sharing the LLC) vs spread over three
+//! sockets. The measured latency difference is pure propagation.
+
+use consensus_bench::table::{ops, us, Table};
+use manycore_sim::{Profile, SimBuilder};
+use onepaxos::onepaxos::OnePaxosNode;
+use onepaxos::{ClusterConfig, NodeId};
+
+fn cfg(m: &[NodeId], me: NodeId) -> ClusterConfig {
+    ClusterConfig::new(m.to_vec(), me)
+}
+
+fn run(placement: Vec<usize>) -> (f64, f64) {
+    // Latency with a single, unsaturated client: propagation is visible.
+    let lat = SimBuilder::new(Profile::opteron48(), |m, me| OnePaxosNode::new(cfg(m, me)))
+        .replicas(3)
+        .clients(1)
+        .placement(placement[..4].to_vec())
+        .requests_per_client(2_000)
+        .run()
+        .mean_latency_us();
+    // Throughput with saturating load: CPU-bound, placement-insensitive.
+    let tput = SimBuilder::new(Profile::opteron48(), |m, me| OnePaxosNode::new(cfg(m, me)))
+        .replicas(3)
+        .clients(6)
+        .placement(placement)
+        .duration(150_000_000)
+        .warmup(20_000_000)
+        .run()
+        .throughput;
+    (lat, tput)
+}
+
+fn main() {
+    println!("Fig 1 ablation — replica placement on the 48-core topology (6 cores/socket)\n");
+    // Same socket: replicas on cores 0,1,2; clients on 3,4,5 (socket 0).
+    let same = run(vec![0, 1, 2, 3, 4, 5, 6, 7, 8]);
+    // Cross socket: replicas on 0, 6, 12 (three sockets); clients across
+    // further sockets.
+    let cross = run(vec![0, 6, 12, 18, 24, 30, 36, 42, 43]);
+    let mut t = Table::new(&["placement", "latency (µs)", "throughput (op/s)"]);
+    t.row(&["replicas share one socket (LLC)".to_string(), us(same.0), ops(same.1)]);
+    t.row(&["replicas on three sockets".to_string(), us(cross.0), ops(cross.1)]);
+    print!("{}", t.render());
+    println!(
+        "\nsame-LLC placement saves {:.1} µs per commit — propagation only; the CPU-bound",
+        cross.0 - same.0
+    );
+    println!("saturation throughput barely moves, confirming §3: transmission (CPU) is the");
+    println!("scarce resource, propagation merely adds latency.");
+}

@@ -1,0 +1,35 @@
+//! Runs every experiment binary's workload in sequence — the one-shot
+//! regeneration of all paper artifacts. Output mirrors the individual
+//! `fig*`/`tab*`/`sec*`/`exp*` binaries.
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "tab_net",
+        "tab_latency",
+        "fig2",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "sec2_2",
+        "exp_ip",
+        "exp_accswitch",
+        "ablation_mencius",
+        "ablation_placement",
+    ];
+    let me = std::env::current_exe().expect("own path");
+    let dir = me.parent().expect("bin dir");
+    for bin in bins {
+        println!("==================================================================");
+        println!("== {bin}");
+        println!("==================================================================");
+        let path = dir.join(bin);
+        let status = Command::new(&path)
+            .status()
+            .unwrap_or_else(|e| panic!("running {path:?}: {e}"));
+        assert!(status.success(), "{bin} failed");
+        println!();
+    }
+}

@@ -1,0 +1,27 @@
+//! §5.2/§5.4 behaviour: acceptor switching and the double-failure
+//! trade-off, shown as throughput timelines.
+//!
+//! Expected shape: a slow *acceptor* causes a brief dip while the leader
+//! installs a backup acceptor via PaxosUtility, then full recovery; when
+//! the leader and the acceptor are slow *simultaneously*, 1Paxos blocks —
+//! by design, trading liveness for safety — and resumes as soon as the
+//! acceptor responds again.
+
+use consensus_bench::experiments::exp_accswitch;
+use consensus_bench::table::{ops, Table};
+
+fn main() {
+    println!("§5.2/§5.4 — acceptor switch and double failure (8-core profile, 5 clients)\n");
+    for (label, timeline) in exp_accswitch(900_000_000) {
+        println!("{label}:");
+        let mut t = Table::new(&["t (ms)", "op/s"]);
+        for (i, (at, rate)) in timeline.iter().enumerate() {
+            if i % 4 != 0 {
+                continue;
+            }
+            t.row(&[format!("{}", at / 1_000_000), ops(*rate)]);
+        }
+        print!("{}", t.render());
+        println!();
+    }
+}

@@ -1,0 +1,34 @@
+//! Fig 10: "Throughput of 2PC-Joint, which is run directly among the
+//! clients" — read-ratio bars at 3 and 5 clients vs 1Paxos with 0% reads.
+//!
+//! Paper shape: with 0% reads 2PC-Joint is far below 1Paxos; at 75% reads
+//! and 3 clients it catches up (local reads), but at 5 clients it falls
+//! behind again — the local-read optimisation does not scale with the
+//! number of nodes (§7.5).
+
+use consensus_bench::experiments::fig10;
+use consensus_bench::table::{ops, Table};
+
+fn main() {
+    println!("Fig 10 — read workloads in joint deployments (48-core profile)\n");
+    let rows = fig10(300_000_000);
+    let mut t = Table::new(&["series", "3 clients op/s", "5 clients op/s"]);
+    let labels: Vec<&String> = rows.iter().map(|(l, _, _)| l).collect();
+    let mut uniq: Vec<String> = Vec::new();
+    for l in labels {
+        if !uniq.contains(l) {
+            uniq.push(l.clone());
+        }
+    }
+    for label in uniq {
+        let find = |n: usize| {
+            rows.iter()
+                .find(|(l, nn, _)| *l == label && *nn == n)
+                .map(|(_, _, tp)| *tp)
+                .unwrap_or(0.0)
+        };
+        t.row(&[label.clone(), ops(find(3)), ops(find(5))]);
+    }
+    print!("{}", t.render());
+    println!("\npaper shape: 75% reads let 2PC-Joint keep up with 1Paxos at 3 clients but not at 5.");
+}

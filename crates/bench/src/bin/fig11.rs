@@ -1,0 +1,61 @@
+//! Fig 11: "The changes in throughput achieved by 1Paxos when the leader
+//! is slow" — 8-core profile, 5 clients, 3 replicas, leader (Core 0)
+//! slowed by CPU hogs mid-run; plotted against the no-failure run in
+//! 10 ms buckets.
+//!
+//! Paper shape: throughput drops to ~zero during the leader change, then
+//! recovers to the original level once another node takes over via
+//! PaxosUtility and is adopted by the active acceptor.
+
+use consensus_bench::experiments::{slow_core_timeline, Proto};
+use consensus_bench::table::{ops, Table};
+use manycore_sim::Fault;
+
+fn main() {
+    let duration = 4_000_000_000; // 4 s, 10 ms buckets
+    let fault_at = 1_500_000_000;
+    println!("Fig 11 — 1Paxos throughput with a slow leader (8-core profile, 5 clients)\n");
+    let slow = slow_core_timeline(
+        Proto::OnePaxos,
+        &[Fault {
+            at: fault_at,
+            core: 0,
+            slowdown: 5000.0,
+        }],
+        duration,
+    );
+    let healthy = slow_core_timeline(Proto::OnePaxos, &[], duration);
+    let mut t = Table::new(&["t (ms)", "slow-leader op/s", "no-failure op/s"]);
+    for (i, (at, rate)) in slow.iter().enumerate() {
+        // Print every 15th bucket to keep the table readable.
+        if i % 15 != 0 {
+            continue;
+        }
+        let h = healthy.get(i).map(|&(_, r)| r).unwrap_or(0.0);
+        t.row(&[format!("{}", at / 1_000_000), ops(*rate), ops(h)]);
+    }
+    print!("{}", t.render());
+    let before = slow
+        .iter()
+        .filter(|&&(at, _)| at < fault_at)
+        .map(|&(_, r)| r)
+        .fold(0.0f64, f64::max);
+    let dip = slow
+        .iter()
+        .filter(|&&(at, _)| at >= fault_at && at < fault_at + 300_000_000)
+        .map(|&(_, r)| r)
+        .fold(f64::INFINITY, f64::min);
+    let after = slow
+        .iter()
+        .rev()
+        .take(20)
+        .map(|&(_, r)| r)
+        .fold(0.0f64, f64::max);
+    println!(
+        "\nbefore fault: {} op/s — dip during leader change: {} op/s — recovered: {} op/s",
+        ops(before),
+        ops(if dip.is_finite() { dip } else { 0.0 }),
+        ops(after)
+    );
+    println!("paper shape: drop to ~0 during the change, then recovery to the original level.");
+}

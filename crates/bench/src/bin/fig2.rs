@@ -1,0 +1,21 @@
+//! Fig 2: "The scalability of Multi-Paxos in LAN compared to many-core
+//! systems" — throughput vs number of clients on both network profiles.
+//!
+//! Paper shape: on a LAN the throughput keeps rising up to ~100 clients;
+//! on the many-core it stops improving after about 3 clients because the
+//! cores saturate on message transmission.
+
+use consensus_bench::experiments::fig2;
+use consensus_bench::table::{ops, Table};
+
+fn main() {
+    let clients = [1usize, 2, 3, 5, 7, 10, 15, 20, 30, 45];
+    let rows = fig2(&clients, 200_000_000);
+    let mut t = Table::new(&["clients", "many-core op/s", "LAN op/s"]);
+    for (c, mc, lan) in rows {
+        t.row(&[c.to_string(), ops(mc), ops(lan)]);
+    }
+    println!("Fig 2 — Multi-Paxos throughput vs clients (3 replicas)\n");
+    print!("{}", t.render());
+    println!("\npaper shape: many-core flattens after ~3 clients; LAN keeps scaling.");
+}

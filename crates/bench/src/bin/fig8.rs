@@ -1,0 +1,52 @@
+//! Fig 8: "The latency vs throughput w.r.t the number of clients in a
+//! 48-core machine" — all three protocols, clients 1…45.
+//!
+//! Paper shape: 1Paxos throughput doubles from 1 to ~13 clients and tops
+//! out highest; Multi-Paxos saturates at ≈52% of 1Paxos, 2PC at ≈48%;
+//! past saturation latency rises steeply at flat throughput.
+
+use consensus_bench::experiments::{fig8, Proto};
+use consensus_bench::table::{ops, us, Table};
+
+fn main() {
+    let clients = [1usize, 2, 3, 5, 7, 9, 13, 17, 21, 29, 37, 45];
+    println!("Fig 8 — latency vs throughput (3 replicas, 48-core profile)\n");
+    let mut series = Vec::new();
+    for p in Proto::PAPER_SET {
+        series.push((p, fig8(p, &clients, 200_000_000)));
+    }
+    let mut t = Table::new(&[
+        "clients",
+        "1Paxos op/s",
+        "1Paxos µs",
+        "Multi-Paxos op/s",
+        "Multi-Paxos µs",
+        "2PC op/s",
+        "2PC µs",
+    ]);
+    for (i, &c) in clients.iter().enumerate() {
+        let row: Vec<String> = std::iter::once(c.to_string())
+            .chain(series.iter().flat_map(|(_, pts)| {
+                [ops(pts[i].throughput), us(pts[i].latency_us)]
+            }))
+            .collect();
+        t.row(&row);
+    }
+    print!("{}", t.render());
+    let max = |p: usize| {
+        series[p]
+            .1
+            .iter()
+            .map(|pt| pt.throughput)
+            .fold(0.0f64, f64::max)
+    };
+    let (m1, mm, m2) = (max(0), max(1), max(2));
+    println!(
+        "\nsaturated: 1Paxos {} op/s, Multi-Paxos {} ({:.0}%, paper 52%), 2PC {} ({:.0}%, paper 48%)",
+        ops(m1),
+        ops(mm),
+        100.0 * mm / m1,
+        ops(m2),
+        100.0 * m2 / m1
+    );
+}

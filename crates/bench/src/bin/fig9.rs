@@ -1,0 +1,43 @@
+//! Fig 9: "The throughput w.r.t the number of replicas in a 48-core
+//! machine" — joint deployments (every client is a replica), 2 ms think
+//! time, leader on Core 0.
+//!
+//! Paper shape: Multi-Paxos-Joint and 2PC-Joint saturate around 20 nodes
+//! and then *decline* (more messages per agreement, same per-core
+//! budget); 1Paxos-Joint grows roughly linearly up to 47 nodes. At 15
+//! nodes the paper reports 32 µs (1Paxos) vs 190 µs (Multi-Paxos) vs
+//! 125 µs (2PC) commit latency.
+
+use consensus_bench::experiments::{fig9, Proto};
+use consensus_bench::table::{ops, us, Table};
+
+fn main() {
+    let nodes = [3usize, 5, 10, 15, 20, 25, 30, 35, 40, 45, 47];
+    println!("Fig 9 — joint deployments, 2 ms think time (48-core profile)\n");
+    let mut series = Vec::new();
+    for p in Proto::PAPER_SET {
+        series.push((p, fig9(p, &nodes, 400_000_000)));
+    }
+    let mut t = Table::new(&[
+        "replicas",
+        "1Paxos-Joint op/s",
+        "Multi-Paxos-Joint op/s",
+        "2PC-Joint op/s",
+    ]);
+    for (i, &n) in nodes.iter().enumerate() {
+        t.row(&[
+            n.to_string(),
+            ops(series[0].1[i].throughput),
+            ops(series[1].1[i].throughput),
+            ops(series[2].1[i].throughput),
+        ]);
+    }
+    print!("{}", t.render());
+    let at15 = nodes.iter().position(|&n| n == 15).expect("15 in sweep");
+    println!(
+        "\nlatency at 15 nodes: 1Paxos {} µs (paper 32), Multi-Paxos {} µs (paper 190), 2PC {} µs (paper 125)",
+        us(series[0].1[at15].latency_us),
+        us(series[1].1[at15].latency_us),
+        us(series[2].1[at15].latency_us),
+    );
+}

@@ -1,0 +1,49 @@
+//! §2.2 experiment: 2PC throughput when the coordinator becomes slow —
+//! 8-core profile, 5 clients, 3 replicas, Core 0 slowed by CPU hogs.
+//!
+//! Paper shape: "after Core 0 becomes slow, only a few requests can
+//! commit and the throughput drops to zero" — and stays there, because
+//! 2PC is blocking.
+
+use consensus_bench::experiments::{slow_core_timeline, Proto};
+use consensus_bench::table::{ops, Table};
+use manycore_sim::Fault;
+
+fn main() {
+    let duration = 4_000_000_000;
+    let fault_at = 1_500_000_000;
+    println!("§2.2 — 2PC throughput with a slow coordinator (8-core profile, 5 clients)\n");
+    let slow = slow_core_timeline(
+        Proto::TwoPc,
+        &[Fault {
+            at: fault_at,
+            core: 0,
+            slowdown: 5000.0,
+        }],
+        duration,
+    );
+    let mut t = Table::new(&["t (ms)", "op/s"]);
+    for (i, (at, rate)) in slow.iter().enumerate() {
+        if i % 15 != 0 {
+            continue;
+        }
+        t.row(&[format!("{}", at / 1_000_000), ops(*rate)]);
+    }
+    print!("{}", t.render());
+    let before = slow
+        .iter()
+        .filter(|&&(at, _)| at < fault_at)
+        .map(|&(_, r)| r)
+        .fold(0.0f64, f64::max);
+    let after = slow
+        .iter()
+        .rev()
+        .take(10)
+        .map(|&(_, r)| r)
+        .fold(0.0f64, f64::max);
+    println!(
+        "\nbefore: {} op/s — after the coordinator slows: {} op/s (no recovery: blocking protocol)",
+        ops(before),
+        ops(after)
+    );
+}

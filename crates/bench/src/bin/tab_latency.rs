@@ -1,0 +1,20 @@
+//! §7.2: single-client commit latency and throughput for the three
+//! protocols on the 48-core profile.
+//!
+//! Paper values: 1Paxos 16.0 µs < Multi-Paxos 19.6 µs < 2PC 21.4 µs,
+//! with throughput ordered inversely.
+
+use consensus_bench::experiments::tab_latency;
+use consensus_bench::table::{ops, us, Table};
+
+fn main() {
+    let rows = tab_latency(2_000);
+    let paper = [16.0, 19.6, 21.4];
+    let mut t = Table::new(&["protocol", "latency (µs)", "paper (µs)", "throughput (op/s)"]);
+    for ((p, lat, tput), paper_lat) in rows.into_iter().zip(paper) {
+        t.row(&[p.name().to_string(), us(lat), us(paper_lat), ops(tput)]);
+    }
+    println!("§7.2 — single-client commit latency (3 replicas, 48-core profile)\n");
+    print!("{}", t.render());
+    println!("\npaper shape: 1Paxos < Multi-Paxos < 2PC.");
+}

@@ -1,0 +1,482 @@
+//! Shared experiment plumbing: protocol selection, run configuration and
+//! the per-figure data generators.
+
+use manycore_sim::{Fault, Profile, RunReport, SimBuilder, Workload};
+use onepaxos::basic_paxos::BasicPaxosNode;
+use onepaxos::multipaxos::MultiPaxosNode;
+use onepaxos::onepaxos::OnePaxosNode;
+use onepaxos::twopc::TwoPcNode;
+use onepaxos::{ClusterConfig, Nanos, NodeId};
+
+/// The protocols under evaluation (§7).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Proto {
+    /// The paper's contribution.
+    OnePaxos,
+    /// "Arguably the most efficient consensus protocol to date" (§7).
+    MultiPaxos,
+    /// The blocking Barrelfish-style baseline (§2.2).
+    TwoPc,
+    /// Original two-phase-per-command Paxos (§2.3), for ablations.
+    BasicPaxos,
+}
+
+impl Proto {
+    /// All three protocols the paper's figures compare.
+    pub const PAPER_SET: [Proto; 3] = [Proto::OnePaxos, Proto::MultiPaxos, Proto::TwoPc];
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Proto::OnePaxos => "1Paxos",
+            Proto::MultiPaxos => "Multi-Paxos",
+            Proto::TwoPc => "2PC",
+            Proto::BasicPaxos => "Basic-Paxos",
+        }
+    }
+}
+
+/// Declarative run configuration translated onto [`SimBuilder`].
+#[derive(Clone, Debug)]
+pub struct RunCfg {
+    /// Machine/network profile.
+    pub profile: Profile,
+    /// Replica count (ignored in joint mode).
+    pub replicas: usize,
+    /// Client count (ignored in joint mode).
+    pub clients: usize,
+    /// Joint deployment size, if any (§7.4).
+    pub joint: Option<usize>,
+    /// Operation mix.
+    pub workload: Workload,
+    /// Client think time.
+    pub think: Nanos,
+    /// Client re-targeting patience.
+    pub client_timeout: Nanos,
+    /// Requests per client (closed loop), unless a duration is given.
+    pub requests: u64,
+    /// Fixed virtual duration, overriding the request budget.
+    pub duration: Option<Nanos>,
+    /// Warm-up excluded from measurements.
+    pub warmup: Nanos,
+    /// Timeline bucket width.
+    pub bucket: Nanos,
+    /// Core slowdowns to inject.
+    pub faults: Vec<Fault>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl RunCfg {
+    /// A 3-replica deployment on the 48-core profile — the paper's
+    /// standard setup (§7.1).
+    pub fn standard48() -> Self {
+        RunCfg {
+            profile: Profile::opteron48(),
+            replicas: 3,
+            clients: 1,
+            joint: None,
+            workload: Workload::Noop,
+            think: 0,
+            client_timeout: 1_000_000,
+            requests: 100,
+            duration: None,
+            warmup: 0,
+            bucket: 10_000_000,
+            faults: Vec::new(),
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// Throughput-mode variant: fixed duration with warm-up.
+    pub fn throughput48(clients: usize, duration: Nanos) -> Self {
+        RunCfg {
+            clients,
+            duration: Some(duration),
+            warmup: duration / 8,
+            ..Self::standard48()
+        }
+    }
+}
+
+fn apply<P, F>(b: SimBuilder<P, F>, cfg: &RunCfg) -> SimBuilder<P, F>
+where
+    P: onepaxos::Protocol,
+    F: FnMut(&[NodeId], NodeId) -> P,
+{
+    let mut b = b
+        .workload(cfg.workload)
+        .think(cfg.think)
+        .client_timeout(cfg.client_timeout)
+        .requests_per_client(cfg.requests)
+        .warmup(cfg.warmup)
+        .timeline_bucket(cfg.bucket)
+        .seed(cfg.seed);
+    b = match cfg.joint {
+        Some(n) => b.joint(n),
+        None => b.replicas(cfg.replicas).clients(cfg.clients),
+    };
+    if let Some(d) = cfg.duration {
+        b = b.duration(d);
+    }
+    for f in &cfg.faults {
+        b = b.fault(*f);
+    }
+    b
+}
+
+/// Runs `proto` under `cfg` and returns the report.
+pub fn run(proto: Proto, cfg: &RunCfg) -> RunReport {
+    let mk_cfg = |m: &[NodeId], me: NodeId| ClusterConfig::new(m.to_vec(), me);
+    let profile = cfg.profile.clone();
+    match proto {
+        Proto::OnePaxos => {
+            apply(SimBuilder::new(profile, |m, me| OnePaxosNode::new(mk_cfg(m, me))), cfg).run()
+        }
+        Proto::MultiPaxos => {
+            apply(SimBuilder::new(profile, |m, me| MultiPaxosNode::new(mk_cfg(m, me))), cfg).run()
+        }
+        Proto::TwoPc => {
+            apply(SimBuilder::new(profile, |m, me| TwoPcNode::new(mk_cfg(m, me))), cfg).run()
+        }
+        Proto::BasicPaxos => {
+            apply(SimBuilder::new(profile, |m, me| BasicPaxosNode::new(mk_cfg(m, me))), cfg).run()
+        }
+    }
+}
+
+/// One point of a scalability series.
+#[derive(Clone, Copy, Debug)]
+pub struct ScalePoint {
+    /// Number of clients (or nodes, in joint mode).
+    pub n: usize,
+    /// Throughput, ops/sec.
+    pub throughput: f64,
+    /// Mean commit latency, µs.
+    pub latency_us: f64,
+}
+
+/// Fig 2: Multi-Paxos throughput vs number of clients, many-core vs LAN.
+pub fn fig2(clients: &[usize], duration: Nanos) -> Vec<(usize, f64, f64)> {
+    clients
+        .iter()
+        .map(|&c| {
+            let mc = run(
+                Proto::MultiPaxos,
+                &RunCfg {
+                    clients: c,
+                    duration: Some(duration),
+                    warmup: duration / 8,
+                    ..RunCfg::standard48()
+                },
+            )
+            .throughput;
+            let lan = run(
+                Proto::MultiPaxos,
+                &RunCfg {
+                    profile: Profile::lan(3 + c),
+                    clients: c,
+                    duration: Some(duration.max(2_000_000_000)),
+                    warmup: duration / 8,
+                    // LAN latencies are milliseconds; client patience must
+                    // scale with them or retries storm the leader.
+                    client_timeout: 100_000_000,
+                    ..RunCfg::standard48()
+                },
+            )
+            .throughput;
+            (c, mc, lan)
+        })
+        .collect()
+}
+
+/// §7.2 latency table: single-client commit latency and throughput.
+pub fn tab_latency(requests: u64) -> Vec<(Proto, f64, f64)> {
+    Proto::PAPER_SET
+        .iter()
+        .map(|&p| {
+            let r = run(
+                p,
+                &RunCfg {
+                    requests,
+                    ..RunCfg::standard48()
+                },
+            );
+            (p, r.mean_latency_us(), r.throughput)
+        })
+        .collect()
+}
+
+/// Fig 8: latency vs throughput as the client count grows (1–45).
+pub fn fig8(proto: Proto, clients: &[usize], duration: Nanos) -> Vec<ScalePoint> {
+    clients
+        .iter()
+        .map(|&c| {
+            let r = run(proto, &RunCfg::throughput48(c, duration));
+            ScalePoint {
+                n: c,
+                throughput: r.throughput,
+                latency_us: r.mean_latency_us(),
+            }
+        })
+        .collect()
+}
+
+/// Fig 9: joint deployments — throughput vs number of replicas, 2 ms
+/// think time.
+pub fn fig9(proto: Proto, nodes: &[usize], duration: Nanos) -> Vec<ScalePoint> {
+    nodes
+        .iter()
+        .map(|&n| {
+            let r = run(
+                proto,
+                &RunCfg {
+                    joint: Some(n),
+                    think: 2_000_000,
+                    duration: Some(duration),
+                    warmup: duration / 8,
+                    ..RunCfg::standard48()
+                },
+            );
+            ScalePoint {
+                n,
+                throughput: r.throughput,
+                latency_us: r.mean_latency_us(),
+            }
+        })
+        .collect()
+}
+
+/// Fig 10: read-workload bars. Returns (label, nodes, throughput).
+pub fn fig10(duration: Nanos) -> Vec<(String, usize, f64)> {
+    let mut out = Vec::new();
+    for &n in &[3usize, 5] {
+        let one = run(
+            Proto::OnePaxos,
+            &RunCfg {
+                joint: Some(n),
+                duration: Some(duration),
+                warmup: duration / 8,
+                ..RunCfg::standard48()
+            },
+        );
+        out.push(("1Paxos - 0% read".to_string(), n, one.throughput));
+        for read_pct in [0u8, 10, 75] {
+            let r = run(
+                Proto::TwoPc,
+                &RunCfg {
+                    joint: Some(n),
+                    workload: Workload::ReadMix { read_pct, keys: 128 },
+                    duration: Some(duration),
+                    warmup: duration / 8,
+                    ..RunCfg::standard48()
+                },
+            );
+            out.push((format!("2PC-Joint - {read_pct}% read"), n, r.throughput));
+        }
+    }
+    out
+}
+
+/// Fig 11 / §2.2: throughput timeline with a core going slow at
+/// `fault_at`. Returns op/s per 10 ms bucket.
+///
+/// Mirrors the paper's Fig 11 regime: the workload is *unsaturated*
+/// (clients pace themselves, ≈ hundreds of proposals per second) so the
+/// pre- and post-failure levels are equal, and failure detection operates
+/// on tens-of-milliseconds timeouts so the leader change spans visible
+/// 10 ms buckets. The slowdown factor models quantum starvation: with 8
+/// CPU-hogs on the victim core, each message waits for the victim's next
+/// scheduling quantum, so effective processing latency grows by orders of
+/// magnitude (cf. §1: context switches take 10–20 µs "and can take much
+/// longer").
+pub fn slow_core_timeline(
+    proto: Proto,
+    faults: &[Fault],
+    duration: Nanos,
+) -> Vec<(Nanos, f64)> {
+    let think: Nanos = 2_000_000;
+    let client_timeout: Nanos = 40_000_000;
+    let profile = Profile::opteron8;
+    let mk_cfg = |m: &[NodeId], me: NodeId| ClusterConfig::new(m.to_vec(), me);
+    let one_timing = onepaxos::onepaxos::Timing {
+        tick: 1_000_000,
+        io_timeout: 40_000_000,
+        suspect_after: 80_000_000,
+    };
+    let mp_timing = onepaxos::multipaxos::Timing {
+        tick: 1_000_000,
+        suspect_after: 80_000_000,
+    };
+    macro_rules! go {
+        ($factory:expr) => {{
+            let mut b = SimBuilder::new(profile(), $factory)
+                .replicas(3)
+                .clients(5)
+                .think(think)
+                .client_timeout(client_timeout)
+                .duration(duration)
+                .timeline_bucket(10_000_000);
+            for f in faults {
+                b = b.fault(*f);
+            }
+            b.run().timeline.rates().collect()
+        }};
+    }
+    match proto {
+        Proto::OnePaxos => {
+            go!(|m: &[NodeId], me| OnePaxosNode::with_timing(mk_cfg(m, me), one_timing))
+        }
+        Proto::MultiPaxos => {
+            go!(|m: &[NodeId], me| MultiPaxosNode::with_timing(mk_cfg(m, me), mp_timing))
+        }
+        Proto::TwoPc => go!(|m: &[NodeId], me| TwoPcNode::new(mk_cfg(m, me))),
+        Proto::BasicPaxos => go!(|m: &[NodeId], me| BasicPaxosNode::new(mk_cfg(m, me))),
+    }
+}
+
+/// §8 remark: 1Paxos over an IP network vs Multi-Paxos (paper: ×2.88).
+pub fn exp_ip(clients: usize, duration: Nanos) -> (f64, f64) {
+    let mk = |p: Proto| {
+        run(
+            p,
+            &RunCfg {
+                profile: Profile::lan(3 + clients),
+                clients,
+                duration: Some(duration),
+                warmup: duration / 8,
+                // LAN latencies are milliseconds; client patience must
+                // scale with them or retries storm the leader.
+                client_timeout: 100_000_000,
+                ..RunCfg::standard48()
+            },
+        )
+        .throughput
+    };
+    (mk(Proto::OnePaxos), mk(Proto::MultiPaxos))
+}
+
+/// §5.2/§5.4: acceptor switch and double-failure liveness timeline for
+/// 1Paxos. Returns (timeline, label) pairs.
+pub fn exp_accswitch(duration: Nanos) -> Vec<(&'static str, Vec<(Nanos, f64)>)> {
+    let third = duration / 3;
+    vec![
+        (
+            "slow acceptor (switch to backup)",
+            slow_core_timeline(
+                Proto::OnePaxos,
+                &[Fault {
+                    at: third,
+                    core: 1,
+                    slowdown: 5000.0,
+                }],
+                duration,
+            ),
+        ),
+        (
+            "slow leader+acceptor (blocked until the acceptor recovers)",
+            slow_core_timeline(
+                Proto::OnePaxos,
+                &[
+                    Fault {
+                        at: third,
+                        core: 0,
+                        slowdown: 5000.0,
+                    },
+                    Fault {
+                        at: third,
+                        core: 1,
+                        slowdown: 5000.0,
+                    },
+                    // The acceptor recovers later; the leader stays slow.
+                    Fault {
+                        at: 2 * third,
+                        core: 1,
+                        slowdown: 1.0,
+                    },
+                ],
+                duration,
+            ),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_dispatches_all_protocols() {
+        for p in [Proto::OnePaxos, Proto::MultiPaxos, Proto::TwoPc, Proto::BasicPaxos] {
+            let r = run(
+                p,
+                &RunCfg {
+                    requests: 20,
+                    ..RunCfg::standard48()
+                },
+            );
+            assert_eq!(r.completed, 20, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn tab_latency_orders_like_the_paper() {
+        let t = tab_latency(200);
+        assert_eq!(t[0].0, Proto::OnePaxos);
+        assert!(t[0].1 < t[1].1 && t[1].1 < t[2].1);
+    }
+
+    #[test]
+    fn fig2_lan_scales_further_than_multicore() {
+        let rows = fig2(&[1, 3, 10], 100_000_000);
+        // Many-core Multi-Paxos stops improving after ~3 clients…
+        let mc_gain = rows[2].1 / rows[1].1;
+        assert!(mc_gain < 1.3, "many-core gain 3→10 clients: {mc_gain}");
+        // …while the LAN keeps gaining.
+        let lan_gain = rows[2].2 / rows[1].2;
+        assert!(lan_gain > 1.5, "LAN gain 3→10 clients: {lan_gain}");
+    }
+
+    #[test]
+    fn fig9_joint_baselines_peak_and_decline_while_onepaxos_grows() {
+        // The paper's most distinctive figure, as a shape assertion at
+        // reduced scale: past ~20 nodes Multi-Paxos-Joint declines while
+        // 1Paxos-Joint keeps growing.
+        let nodes = [10usize, 20, 40];
+        let one = fig9(Proto::OnePaxos, &nodes, 150_000_000);
+        let multi = fig9(Proto::MultiPaxos, &nodes, 150_000_000);
+        // 1Paxos-Joint grows monotonically over the sweep.
+        assert!(one[2].throughput > one[1].throughput);
+        assert!(one[1].throughput > one[0].throughput);
+        // Multi-Paxos-Joint declines from its ~20-node peak.
+        assert!(
+            multi[2].throughput < multi[1].throughput,
+            "Multi-Paxos-Joint must decline past its peak: {} vs {}",
+            multi[2].throughput,
+            multi[1].throughput
+        );
+        // And 1Paxos ends far ahead (paper: ~4x at 45+ nodes).
+        assert!(one[2].throughput > 2.0 * multi[2].throughput);
+    }
+
+    #[test]
+    fn fig10_shape_reduced() {
+        let rows = fig10(100_000_000);
+        let find = |label: &str, n: usize| {
+            rows.iter()
+                .find(|(l, nn, _)| l == label && *nn == n)
+                .map(|(_, _, tp)| *tp)
+                .expect("series present")
+        };
+        // 75% reads close the gap at 3 clients…
+        let one3 = find("1Paxos - 0% read", 3);
+        let two3_75 = find("2PC-Joint - 75% read", 3);
+        assert!(two3_75 > 0.85 * one3, "{two3_75} vs {one3}");
+        // …but not at 5 clients.
+        let one5 = find("1Paxos - 0% read", 5);
+        let two5_75 = find("2PC-Joint - 75% read", 5);
+        assert!(two5_75 < 0.9 * one5, "{two5_75} vs {one5}");
+        // And pure writes leave 2PC-Joint far behind everywhere.
+        assert!(find("2PC-Joint - 0% read", 3) < 0.5 * one3);
+    }
+}

@@ -1,0 +1,201 @@
+//! Cluster membership and role placement.
+
+use crate::types::NodeId;
+
+/// Static membership of one agreement group plus the local node's identity.
+///
+/// In the paper's replica deployments the members are cores 0..R-1 with
+/// core 0 the initial leader; in the *joint* deployments (§7.4) every
+/// client core is also a member.
+///
+/// # Examples
+///
+/// ```
+/// use onepaxos::{ClusterConfig, NodeId};
+/// let cfg = ClusterConfig::new(vec![NodeId(0), NodeId(1), NodeId(2)], NodeId(1));
+/// assert_eq!(cfg.majority(), 2);
+/// assert_eq!(cfg.initial_leader(), NodeId(0));
+/// assert_eq!(cfg.initial_acceptor(), NodeId(1));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClusterConfig {
+    members: Vec<NodeId>,
+    me: NodeId,
+}
+
+impl ClusterConfig {
+    /// Creates a config for node `me` within `members`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty, contains duplicates, or does not
+    /// contain `me`.
+    pub fn new(members: Vec<NodeId>, me: NodeId) -> Self {
+        assert!(!members.is_empty(), "cluster must have at least one member");
+        let mut sorted = members.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), members.len(), "duplicate member ids");
+        assert!(members.contains(&me), "local node must be a member");
+        ClusterConfig { members, me }
+    }
+
+    /// All members, in configuration order.
+    pub fn members(&self) -> &[NodeId] {
+        &self.members
+    }
+
+    /// The local node.
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the group is empty (never true for a validated config).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Size of a strict majority quorum (`⌊n/2⌋ + 1`).
+    pub fn majority(&self) -> usize {
+        self.members.len() / 2 + 1
+    }
+
+    /// Members other than the local node.
+    pub fn others(&self) -> impl Iterator<Item = NodeId> + '_ {
+        let me = self.me;
+        self.members.iter().copied().filter(move |&n| n != me)
+    }
+
+    /// The initial leader: the first member (core 0 in the paper's setup).
+    pub fn initial_leader(&self) -> NodeId {
+        self.members[0]
+    }
+
+    /// The initial active acceptor for 1Paxos: the member after the initial
+    /// leader, so that leader and active acceptor start on separate nodes
+    /// (§5.4). For a single-node group it degenerates to that node.
+    pub fn initial_acceptor(&self) -> NodeId {
+        if self.members.len() > 1 {
+            self.members[1]
+        } else {
+            self.members[0]
+        }
+    }
+
+    /// Whether `node` is a member.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.members.contains(&node)
+    }
+
+    /// The member after `node` in ring order; used to pick backup acceptors
+    /// and to retarget clients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a member.
+    pub fn successor(&self, node: NodeId) -> NodeId {
+        let pos = self
+            .members
+            .iter()
+            .position(|&n| n == node)
+            .expect("node must be a member");
+        self.members[(pos + 1) % self.members.len()]
+    }
+
+    /// Picks a backup acceptor: the first member in ring order after
+    /// `after` that is neither `leader` nor in `exclude`. Implements the
+    /// pseudocode's `selectAcceptor()` with the §5.4 placement rule that
+    /// the leader and active acceptor live on separate nodes.
+    ///
+    /// Returns `None` if no such node exists (e.g. a two-node group where
+    /// the only other node is excluded).
+    pub fn select_acceptor(
+        &self,
+        leader: NodeId,
+        after: NodeId,
+        exclude: &[NodeId],
+    ) -> Option<NodeId> {
+        let mut cand = after;
+        for _ in 0..self.members.len() {
+            cand = self.successor(cand);
+            if cand != leader && !exclude.contains(&cand) {
+                return Some(cand);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three() -> ClusterConfig {
+        ClusterConfig::new(vec![NodeId(0), NodeId(1), NodeId(2)], NodeId(0))
+    }
+
+    #[test]
+    fn majority_sizes() {
+        assert_eq!(three().majority(), 2);
+        let five = ClusterConfig::new((0..5).map(NodeId).collect(), NodeId(0));
+        assert_eq!(five.majority(), 3);
+        let four = ClusterConfig::new((0..4).map(NodeId).collect(), NodeId(0));
+        assert_eq!(four.majority(), 3);
+    }
+
+    #[test]
+    fn initial_roles_are_distinct_nodes() {
+        let cfg = three();
+        assert_ne!(cfg.initial_leader(), cfg.initial_acceptor());
+    }
+
+    #[test]
+    fn others_excludes_me() {
+        let cfg = ClusterConfig::new(vec![NodeId(0), NodeId(1), NodeId(2)], NodeId(1));
+        let others: Vec<_> = cfg.others().collect();
+        assert_eq!(others, vec![NodeId(0), NodeId(2)]);
+    }
+
+    #[test]
+    fn successor_wraps() {
+        let cfg = three();
+        assert_eq!(cfg.successor(NodeId(2)), NodeId(0));
+        assert_eq!(cfg.successor(NodeId(0)), NodeId(1));
+    }
+
+    #[test]
+    fn select_acceptor_avoids_leader_and_excluded() {
+        let cfg = three();
+        // Leader n0, current acceptor n1 failed: pick n2.
+        let next = cfg.select_acceptor(NodeId(0), NodeId(1), &[NodeId(1)]);
+        assert_eq!(next, Some(NodeId(2)));
+        // Everything but the leader excluded: no candidate.
+        let none = cfg.select_acceptor(NodeId(0), NodeId(1), &[NodeId(1), NodeId(2)]);
+        assert_eq!(none, None);
+    }
+
+    #[test]
+    fn select_acceptor_ring_order_from_after() {
+        let cfg = ClusterConfig::new((0..5).map(NodeId).collect(), NodeId(0));
+        // After n2, skipping leader n3: candidates n4 (not leader) first.
+        let next = cfg.select_acceptor(NodeId(3), NodeId(2), &[]);
+        assert_eq!(next, Some(NodeId(4)));
+    }
+
+    #[test]
+    #[should_panic(expected = "local node must be a member")]
+    fn me_must_be_member() {
+        let _ = ClusterConfig::new(vec![NodeId(0)], NodeId(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate member ids")]
+    fn duplicates_rejected() {
+        let _ = ClusterConfig::new(vec![NodeId(0), NodeId(0)], NodeId(0));
+    }
+}

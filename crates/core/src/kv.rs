@@ -1,0 +1,145 @@
+//! A small key/value store used as the replicated state machine in the
+//! examples and the read-workload experiment (Fig 10).
+//!
+//! The paper motivates software-managed replication for "specific
+//! application state or configuration information \[that\] need to be shared
+//! by multiple cores" (§1); a KV map is the canonical such state.
+
+use std::collections::BTreeMap;
+
+use crate::rsm::StateMachine;
+use crate::types::Op;
+
+/// Deterministic in-memory key/value store.
+///
+/// # Examples
+///
+/// ```
+/// use onepaxos::kv::KvStore;
+/// use onepaxos::rsm::StateMachine;
+/// use onepaxos::Op;
+///
+/// let mut kv = KvStore::new();
+/// assert_eq!(kv.apply(Op::Put { key: 1, value: 10 }), None);
+/// assert_eq!(kv.apply(Op::Get { key: 1 }), Some(10));
+/// assert_eq!(kv.get(1), Some(10));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct KvStore {
+    map: BTreeMap<u64, u64>,
+    writes: u64,
+    reads: u64,
+}
+
+impl KvStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        KvStore::default()
+    }
+
+    /// Reads `key` without counting it as an applied operation (used for
+    /// local reads in 2PC-Joint, §7.5, and for assertions in tests).
+    pub fn get(&self, key: u64) -> Option<u64> {
+        self.map.get(&key).copied()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Number of applied write operations.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Number of applied read operations.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// A digest of the full contents, for cheap cross-replica equality
+    /// checks in tests (FNV-1a over the sorted entries).
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for (&k, &v) in &self.map {
+            for w in [k, v] {
+                for b in w.to_le_bytes() {
+                    h ^= b as u64;
+                    h = h.wrapping_mul(0x100_0000_01b3);
+                }
+            }
+        }
+        h
+    }
+}
+
+impl StateMachine for KvStore {
+    /// `Put` returns the previous value; `Get` returns the current value;
+    /// `Noop` returns `None`.
+    type Output = Option<u64>;
+
+    fn apply(&mut self, op: Op) -> Self::Output {
+        match op {
+            Op::Noop => None,
+            Op::Put { key, value } => {
+                self.writes += 1;
+                self.map.insert(key, value)
+            }
+            Op::Get { key } => {
+                self.reads += 1;
+                self.get(key)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_returns_previous_value() {
+        let mut kv = KvStore::new();
+        assert_eq!(kv.apply(Op::Put { key: 1, value: 1 }), None);
+        assert_eq!(kv.apply(Op::Put { key: 1, value: 2 }), Some(1));
+        assert_eq!(kv.len(), 1);
+    }
+
+    #[test]
+    fn counters_track_op_kinds() {
+        let mut kv = KvStore::new();
+        kv.apply(Op::Put { key: 1, value: 1 });
+        kv.apply(Op::Get { key: 1 });
+        kv.apply(Op::Noop);
+        assert_eq!(kv.writes(), 1);
+        assert_eq!(kv.reads(), 1);
+    }
+
+    #[test]
+    fn digest_detects_divergence() {
+        let mut a = KvStore::new();
+        let mut b = KvStore::new();
+        a.apply(Op::Put { key: 1, value: 1 });
+        b.apply(Op::Put { key: 1, value: 1 });
+        assert_eq!(a.digest(), b.digest());
+        b.apply(Op::Put { key: 2, value: 2 });
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn digest_is_order_independent_for_same_contents() {
+        let mut a = KvStore::new();
+        let mut b = KvStore::new();
+        a.apply(Op::Put { key: 1, value: 10 });
+        a.apply(Op::Put { key: 2, value: 20 });
+        b.apply(Op::Put { key: 2, value: 20 });
+        b.apply(Op::Put { key: 1, value: 10 });
+        assert_eq!(a.digest(), b.digest());
+    }
+}

@@ -1,0 +1,215 @@
+//! Replicated-state-machine layer: in-order application of decided
+//! commands with at-most-once execution per client.
+//!
+//! The agreement protocols decide a command per instance; this layer turns
+//! the decided log into state-machine transitions. It tolerates commands
+//! being decided out of instance order (buffering until the gap fills) and
+//! duplicate submissions of the same `(client, req_id)` (a client that
+//! timed out and re-sent to another replica may get its command decided
+//! twice; only the first decision is applied).
+
+use std::collections::BTreeMap;
+
+use crate::types::{Command, Instance, NodeId, Op};
+
+/// A deterministic state machine replicated by the agreement protocols.
+pub trait StateMachine {
+    /// Output of applying one operation (e.g. the value read).
+    type Output: Clone + std::fmt::Debug;
+
+    /// Applies `op` and returns its output. Must be deterministic.
+    fn apply(&mut self, op: Op) -> Self::Output;
+}
+
+/// Applies decided commands to a [`StateMachine`] in instance order,
+/// deduplicating per-client request ids.
+///
+/// # Examples
+///
+/// ```
+/// use onepaxos::rsm::{Applier, StateMachine};
+/// use onepaxos::kv::KvStore;
+/// use onepaxos::{Command, Instance, NodeId, Op};
+///
+/// let mut applier: Applier<KvStore> = Applier::new(KvStore::new());
+/// // Instance 1 arrives before instance 0: buffered.
+/// applier.on_decided(1, Command::new(NodeId(9), 2, Op::Put { key: 1, value: 20 }));
+/// assert_eq!(applier.applied_up_to(), None);
+/// applier.on_decided(0, Command::new(NodeId(9), 1, Op::Put { key: 1, value: 10 }));
+/// assert_eq!(applier.applied_up_to(), Some(1));
+/// assert_eq!(applier.state().get(1), Some(20));
+/// ```
+#[derive(Debug)]
+pub struct Applier<S: StateMachine> {
+    state: S,
+    /// Next instance to apply; everything below has been applied.
+    next: Instance,
+    /// Decided but not yet applicable (gap before them).
+    pending: BTreeMap<Instance, Command>,
+    /// Highest applied req_id per client plus its output, for dedup and
+    /// reply re-delivery.
+    sessions: BTreeMap<NodeId, (u64, S::Output)>,
+    /// Output of every applied (client, req_id), retained for reply lookup.
+    outputs: BTreeMap<(NodeId, u64), S::Output>,
+    /// Full applied log, for cross-replica consistency checking in tests.
+    applied_log: Vec<Command>,
+}
+
+impl<S: StateMachine> Applier<S> {
+    /// Wraps `state`, expecting the decided log to start at instance 0.
+    pub fn new(state: S) -> Self {
+        Applier {
+            state,
+            next: 0,
+            pending: BTreeMap::new(),
+            sessions: BTreeMap::new(),
+            outputs: BTreeMap::new(),
+            applied_log: Vec::new(),
+        }
+    }
+
+    /// Records that `cmd` was decided in `instance` and applies every
+    /// now-contiguous command. Returns the number of commands applied.
+    ///
+    /// Deciding the same instance twice with the same command is idempotent;
+    /// with a *different* command it panics, because that is precisely the
+    /// consistency violation the protocols must rule out (Appendix B).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instance` was already decided with a different command.
+    pub fn on_decided(&mut self, instance: Instance, cmd: Command) -> usize {
+        if instance < self.next {
+            let prior = &self.applied_log[instance as usize];
+            assert_eq!(
+                *prior, cmd,
+                "consistency violation: instance {instance} decided twice with different commands"
+            );
+            return 0;
+        }
+        if let Some(prior) = self.pending.get(&instance) {
+            assert_eq!(
+                *prior, cmd,
+                "consistency violation: instance {instance} decided twice with different commands"
+            );
+            return 0;
+        }
+        self.pending.insert(instance, cmd);
+        let mut applied = 0;
+        while let Some(cmd) = self.pending.remove(&self.next) {
+            self.apply_one(cmd);
+            self.next += 1;
+            applied += 1;
+        }
+        applied
+    }
+
+    fn apply_one(&mut self, cmd: Command) {
+        let dup = self
+            .sessions
+            .get(&cmd.client)
+            .is_some_and(|&(last, _)| cmd.req_id <= last);
+        if !dup {
+            let out = self.state.apply(cmd.op);
+            self.sessions.insert(cmd.client, (cmd.req_id, out.clone()));
+            self.outputs.insert(cmd.id(), out);
+        }
+        self.applied_log.push(cmd);
+    }
+
+    /// The wrapped state machine.
+    pub fn state(&self) -> &S {
+        &self.state
+    }
+
+    /// The highest applied instance, or `None` if nothing applied yet.
+    pub fn applied_up_to(&self) -> Option<Instance> {
+        self.next.checked_sub(1)
+    }
+
+    /// Output recorded for `(client, req_id)`, if that command has been
+    /// applied (first occurrence only).
+    pub fn output_of(&self, client: NodeId, req_id: u64) -> Option<&S::Output> {
+        self.outputs.get(&(client, req_id))
+    }
+
+    /// The applied command log (for cross-replica consistency checks).
+    pub fn applied_log(&self) -> &[Command] {
+        &self.applied_log
+    }
+
+    /// Number of decided-but-unappliable commands (log gaps ahead of them).
+    pub fn gap_backlog(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kv::KvStore;
+
+    fn cmd(client: u16, req: u64, op: Op) -> Command {
+        Command::new(NodeId(client), req, op)
+    }
+
+    #[test]
+    fn applies_in_order_with_gaps() {
+        let mut a = Applier::new(KvStore::new());
+        assert_eq!(a.on_decided(2, cmd(1, 3, Op::Noop)), 0);
+        assert_eq!(a.on_decided(0, cmd(1, 1, Op::Put { key: 7, value: 1 })), 1);
+        assert_eq!(a.gap_backlog(), 1);
+        assert_eq!(a.on_decided(1, cmd(1, 2, Op::Put { key: 7, value: 2 })), 2);
+        assert_eq!(a.applied_up_to(), Some(2));
+        assert_eq!(a.state().get(7), Some(2));
+    }
+
+    #[test]
+    fn duplicate_decision_same_command_is_idempotent() {
+        let mut a = Applier::new(KvStore::new());
+        let c = cmd(1, 1, Op::Put { key: 1, value: 9 });
+        a.on_decided(0, c);
+        assert_eq!(a.on_decided(0, c), 0);
+        assert_eq!(a.applied_log().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "consistency violation")]
+    fn duplicate_decision_different_command_panics() {
+        let mut a = Applier::new(KvStore::new());
+        a.on_decided(0, cmd(1, 1, Op::Noop));
+        a.on_decided(0, cmd(2, 1, Op::Noop));
+    }
+
+    #[test]
+    fn client_resubmission_applies_once() {
+        let mut a = Applier::new(KvStore::new());
+        // Client 1's request 1 committed in two instances (client retried).
+        a.on_decided(0, cmd(1, 1, Op::Put { key: 5, value: 1 }));
+        a.on_decided(1, cmd(1, 1, Op::Put { key: 5, value: 1 }));
+        a.on_decided(2, cmd(1, 2, Op::Put { key: 5, value: 2 }));
+        assert_eq!(a.state().get(5), Some(2));
+        // The duplicate is in the log but was not re-applied.
+        assert_eq!(a.applied_log().len(), 3);
+        assert_eq!(a.state().writes(), 2);
+    }
+
+    #[test]
+    fn outputs_are_recorded_per_request() {
+        let mut a = Applier::new(KvStore::new());
+        a.on_decided(0, cmd(1, 1, Op::Put { key: 3, value: 30 }));
+        a.on_decided(1, cmd(2, 1, Op::Get { key: 3 }));
+        assert_eq!(a.output_of(NodeId(2), 1), Some(&Some(30)));
+        assert_eq!(a.output_of(NodeId(1), 1), Some(&None));
+        assert_eq!(a.output_of(NodeId(3), 1), None);
+    }
+
+    #[test]
+    fn old_req_ids_are_stale() {
+        let mut a = Applier::new(KvStore::new());
+        a.on_decided(0, cmd(1, 5, Op::Put { key: 1, value: 5 }));
+        // A very old retry decided later must not clobber newer state.
+        a.on_decided(1, cmd(1, 4, Op::Put { key: 1, value: 4 }));
+        assert_eq!(a.state().get(1), Some(5));
+    }
+}

@@ -1,0 +1,456 @@
+//! A minimal, fully deterministic single-threaded harness for driving
+//! [`Protocol`] state machines in tests and documentation examples.
+//!
+//! Unlike the `manycore-sim` crate (which models CPU cost and propagation
+//! delay), `TestNet` gives *schedule-level* control: per-link FIFO queues,
+//! explicit message delivery, manual time, and the ability to block a node
+//! to model the paper's slow cores. Safety properties must hold under every
+//! schedule this harness can produce; the property tests exploit that.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::outbox::{Action, Outbox, Timer};
+use crate::protocol::Protocol;
+use crate::types::{Command, Instance, Nanos, NodeId, Op};
+
+/// A recorded client reply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReplyRecord {
+    /// The client that was answered.
+    pub client: NodeId,
+    /// The request id that committed.
+    pub req_id: u64,
+    /// The slot it committed in.
+    pub instance: Instance,
+    /// The node that produced the reply.
+    pub from: NodeId,
+}
+
+/// Deterministic in-process network of protocol nodes.
+///
+/// # Examples
+///
+/// Driving three 2PC replicas to commit one command:
+///
+/// ```
+/// use onepaxos::testnet::TestNet;
+/// use onepaxos::twopc::TwoPcNode;
+/// use onepaxos::{ClusterConfig, NodeId, Op};
+///
+/// let mut net = TestNet::new(3, |members, me| {
+///     TwoPcNode::new(ClusterConfig::new(members.to_vec(), me))
+/// });
+/// net.client_request(NodeId(0), NodeId(9), 1, Op::Noop);
+/// net.run_to_quiescence();
+/// assert_eq!(net.replies().len(), 1);
+/// ```
+pub struct TestNet<P: Protocol> {
+    nodes: Vec<P>,
+    /// Per-link FIFO queues, mirroring the paper's per-pair message queues.
+    links: BTreeMap<(NodeId, NodeId), VecDeque<P::Msg>>,
+    timers: BTreeMap<NodeId, BTreeMap<Timer, Nanos>>,
+    blocked: BTreeSet<NodeId>,
+    now: Nanos,
+    commits: BTreeMap<NodeId, BTreeMap<Instance, Command>>,
+    replies: Vec<ReplyRecord>,
+    delivered: u64,
+}
+
+impl<P: Protocol> std::fmt::Debug for TestNet<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TestNet")
+            .field("nodes", &self.nodes.len())
+            .field("now", &self.now)
+            .field("delivered", &self.delivered)
+            .field("blocked", &self.blocked)
+            .field("replies", &self.replies.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<P: Protocol> TestNet<P> {
+    /// Builds `n` nodes with ids `0..n` using `make(members, me)` and runs
+    /// each node's `on_start`.
+    pub fn new(n: u16, mut make: impl FnMut(&[NodeId], NodeId) -> P) -> Self {
+        let members: Vec<NodeId> = (0..n).map(NodeId).collect();
+        let mut net = TestNet {
+            nodes: members.iter().map(|&me| make(&members, me)).collect(),
+            links: BTreeMap::new(),
+            timers: BTreeMap::new(),
+            blocked: BTreeSet::new(),
+            now: 0,
+            commits: BTreeMap::new(),
+            replies: Vec::new(),
+            delivered: 0,
+        };
+        for i in 0..net.nodes.len() {
+            let mut out = Outbox::new();
+            let now = net.now;
+            net.nodes[i].on_start(now, &mut out);
+            net.absorb(NodeId(i as u16), out);
+        }
+        net
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// Total messages delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Immutable access to a node.
+    pub fn node(&self, id: NodeId) -> &P {
+        &self.nodes[id.index()]
+    }
+
+    /// Mutable access to a node (for white-box assertions only).
+    pub fn node_mut(&mut self, id: NodeId) -> &mut P {
+        &mut self.nodes[id.index()]
+    }
+
+    /// Replaces a node's state machine with a fresh one, losing all state:
+    /// models the paper's silently rebooted acceptor (§5, Appendix A).
+    /// In-flight messages to and from the node are preserved.
+    pub fn reset_node(&mut self, id: NodeId, fresh: P) {
+        self.nodes[id.index()] = fresh;
+        self.timers.remove(&id);
+        let mut out = Outbox::new();
+        self.nodes[id.index()].on_start(self.now, &mut out);
+        self.absorb(id, out);
+    }
+
+    /// Blocks a node: it stops processing messages and timers (a slow
+    /// core). Messages addressed to it queue up.
+    pub fn block(&mut self, id: NodeId) {
+        self.blocked.insert(id);
+    }
+
+    /// Unblocks a node; queued input becomes deliverable again.
+    pub fn unblock(&mut self, id: NodeId) {
+        self.blocked.remove(&id);
+    }
+
+    /// Whether `id` is currently blocked.
+    pub fn is_blocked(&self, id: NodeId) -> bool {
+        self.blocked.contains(&id)
+    }
+
+    /// Submits a client request to `target`.
+    pub fn client_request(&mut self, target: NodeId, client: NodeId, req_id: u64, op: Op) {
+        let mut out = Outbox::new();
+        let now = self.now;
+        self.nodes[target.index()].on_client_request(client, req_id, op, now, &mut out);
+        self.absorb(target, out);
+    }
+
+    /// Links `(from, to)` that currently hold at least one deliverable
+    /// message (destination not blocked), in deterministic order.
+    pub fn deliverable_links(&self) -> Vec<(NodeId, NodeId)> {
+        self.links
+            .iter()
+            .filter(|((_, to), q)| !q.is_empty() && !self.blocked.contains(to))
+            .map(|(&l, _)| l)
+            .collect()
+    }
+
+    /// Delivers the head-of-line message on `(from, to)`. Returns `false`
+    /// if there was none or the destination is blocked.
+    pub fn deliver_one(&mut self, from: NodeId, to: NodeId) -> bool {
+        if self.blocked.contains(&to) {
+            return false;
+        }
+        let Some(q) = self.links.get_mut(&(from, to)) else {
+            return false;
+        };
+        let Some(msg) = q.pop_front() else {
+            return false;
+        };
+        self.delivered += 1;
+        let mut out = Outbox::new();
+        let now = self.now;
+        self.nodes[to.index()].on_message(from, msg, now, &mut out);
+        self.absorb(to, out);
+        true
+    }
+
+    /// Drops the head-of-line message on `(from, to)` without delivering
+    /// it. The paper assumes reliable links, so protocol *safety* tests may
+    /// use this only to emulate a message that is still in flight forever
+    /// behind a blocked core.
+    pub fn drop_one(&mut self, from: NodeId, to: NodeId) -> bool {
+        self.links
+            .get_mut(&(from, to))
+            .and_then(|q| q.pop_front())
+            .is_some()
+    }
+
+    /// Delivers messages in deterministic (link-ordered, FIFO) rounds until
+    /// no deliverable message remains. Panics if `limit` deliveries are
+    /// exceeded (a livelock guard for tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics after `100_000` deliveries.
+    pub fn run_to_quiescence(&mut self) {
+        self.run_to_quiescence_limit(100_000);
+    }
+
+    /// Same as [`run_to_quiescence`](Self::run_to_quiescence) with an
+    /// explicit delivery budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the budget is exhausted.
+    pub fn run_to_quiescence_limit(&mut self, limit: u64) {
+        let mut budget = limit;
+        loop {
+            let links = self.deliverable_links();
+            if links.is_empty() {
+                return;
+            }
+            for (from, to) in links {
+                while self.deliver_one(from, to) {
+                    budget = budget.checked_sub(1).unwrap_or_else(|| {
+                        panic!("run_to_quiescence exceeded {limit} deliveries (livelock?)")
+                    });
+                }
+            }
+        }
+    }
+
+    /// Advances virtual time by `delta`, firing every due timer of every
+    /// unblocked node (in node order), then returns. Does not deliver
+    /// messages.
+    pub fn advance(&mut self, delta: Nanos) {
+        self.now += delta;
+        let due: Vec<(NodeId, Timer)> = self
+            .timers
+            .iter()
+            .filter(|(id, _)| !self.blocked.contains(id))
+            .flat_map(|(&id, ts)| {
+                ts.iter()
+                    .filter(|&(_, &at)| at <= self.now)
+                    .map(move |(&t, _)| (id, t))
+            })
+            .collect();
+        for (id, t) in due {
+            self.timers.get_mut(&id).unwrap().remove(&t);
+            let mut out = Outbox::new();
+            let now = self.now;
+            self.nodes[id.index()].on_timer(t, now, &mut out);
+            self.absorb(id, out);
+        }
+    }
+
+    /// Convenience: `advance` then `run_to_quiescence`, repeated `rounds`
+    /// times — lets timer-driven recovery logic make progress.
+    pub fn advance_and_settle(&mut self, delta: Nanos, rounds: usize) {
+        for _ in 0..rounds {
+            self.advance(delta);
+            self.run_to_quiescence();
+        }
+    }
+
+    /// Commits recorded at `node` (instance → command).
+    pub fn commits(&self, node: NodeId) -> &BTreeMap<Instance, Command> {
+        static EMPTY: BTreeMap<Instance, Command> = BTreeMap::new();
+        self.commits.get(&node).unwrap_or(&EMPTY)
+    }
+
+    /// All recorded client replies, in emission order.
+    pub fn replies(&self) -> &[ReplyRecord] {
+        &self.replies
+    }
+
+    /// Asserts the Appendix B *consistency* property across all nodes: no
+    /// two nodes have learned different commands for the same instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics on violation, naming the instance.
+    pub fn assert_consistent(&self) {
+        let mut chosen: BTreeMap<Instance, (NodeId, Command)> = BTreeMap::new();
+        for (&node, commits) in &self.commits {
+            for (&inst, &cmd) in commits {
+                match chosen.get(&inst) {
+                    None => {
+                        chosen.insert(inst, (node, cmd));
+                    }
+                    Some(&(other, prior)) => assert_eq!(
+                        prior, cmd,
+                        "instance {inst}: {other} learned {prior:?} but {node} learned {cmd:?}"
+                    ),
+                }
+            }
+        }
+    }
+
+    fn absorb(&mut self, me: NodeId, mut out: Outbox<P::Msg>) {
+        for action in out.take() {
+            match action {
+                Action::Send { to, msg } => {
+                    self.links.entry((me, to)).or_default().push_back(msg);
+                }
+                Action::Reply {
+                    client,
+                    req_id,
+                    instance,
+                } => self.replies.push(ReplyRecord {
+                    client,
+                    req_id,
+                    instance,
+                    from: me,
+                }),
+                Action::Commit { instance, cmd } => {
+                    let prior = self.commits.entry(me).or_default().insert(instance, cmd);
+                    if let Some(prior) = prior {
+                        assert_eq!(
+                            prior, cmd,
+                            "{me} re-learned instance {instance} with a different command"
+                        );
+                    }
+                }
+                Action::SetTimer { timer, after } => {
+                    self.timers
+                        .entry(me)
+                        .or_default()
+                        .insert(timer, self.now + after);
+                }
+                Action::CancelTimer { timer } => {
+                    if let Some(ts) = self.timers.get_mut(&me) {
+                        ts.remove(&timer);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outbox::Outbox;
+
+    /// A trivial echo protocol for exercising the harness itself.
+    struct Echo {
+        me: NodeId,
+        peers: Vec<NodeId>,
+        seen: usize,
+    }
+
+    impl Protocol for Echo {
+        type Msg = u64;
+
+        fn node_id(&self) -> NodeId {
+            self.me
+        }
+
+        fn on_start(&mut self, _now: Nanos, out: &mut Outbox<u64>) {
+            out.set_timer(Timer::Tick, 1_000);
+        }
+
+        fn on_message(&mut self, _from: NodeId, msg: u64, _now: Nanos, out: &mut Outbox<u64>) {
+            self.seen += 1;
+            if msg > 0 {
+                for &p in &self.peers {
+                    if p != self.me {
+                        out.send(p, msg - 1);
+                    }
+                }
+            }
+        }
+
+        fn on_timer(&mut self, _t: Timer, _now: Nanos, _out: &mut Outbox<u64>) {
+            self.seen += 100;
+        }
+
+        fn on_client_request(
+            &mut self,
+            _client: NodeId,
+            _req: u64,
+            _op: Op,
+            _now: Nanos,
+            out: &mut Outbox<u64>,
+        ) {
+            for &p in &self.peers {
+                if p != self.me {
+                    out.send(p, 1);
+                }
+            }
+        }
+
+        fn is_leader(&self) -> bool {
+            false
+        }
+
+        fn leader_hint(&self) -> Option<NodeId> {
+            None
+        }
+    }
+
+    fn echo_net(n: u16) -> TestNet<Echo> {
+        TestNet::new(n, |members, me| Echo {
+            me,
+            peers: members.to_vec(),
+            seen: 0,
+        })
+    }
+
+    #[test]
+    fn messages_flow_and_quiesce() {
+        let mut net = echo_net(3);
+        net.client_request(NodeId(0), NodeId(9), 1, Op::Noop);
+        net.run_to_quiescence();
+        // n0 sent 1 to n1 and n2; each echoed 0 to the two others.
+        assert_eq!(net.delivered(), 2 + 4);
+        assert_eq!(net.node(NodeId(1)).seen, 2);
+    }
+
+    #[test]
+    fn blocked_node_queues_input() {
+        let mut net = echo_net(3);
+        net.block(NodeId(1));
+        net.client_request(NodeId(0), NodeId(9), 1, Op::Noop);
+        net.run_to_quiescence();
+        assert_eq!(net.node(NodeId(1)).seen, 0);
+        net.unblock(NodeId(1));
+        net.run_to_quiescence();
+        assert!(net.node(NodeId(1)).seen > 0);
+    }
+
+    #[test]
+    fn timers_fire_on_advance() {
+        let mut net = echo_net(2);
+        net.advance(999);
+        assert_eq!(net.node(NodeId(0)).seen, 0);
+        net.advance(1);
+        assert_eq!(net.node(NodeId(0)).seen, 100);
+        // One-shot: does not refire.
+        net.advance(10_000);
+        assert_eq!(net.node(NodeId(0)).seen, 100);
+    }
+
+    #[test]
+    fn blocked_node_timers_do_not_fire() {
+        let mut net = echo_net(2);
+        net.block(NodeId(0));
+        net.advance(10_000);
+        assert_eq!(net.node(NodeId(0)).seen, 0);
+        net.unblock(NodeId(0));
+        net.advance(0);
+        assert_eq!(net.node(NodeId(0)).seen, 100);
+    }
+
+    #[test]
+    fn drop_one_discards_head() {
+        let mut net = echo_net(2);
+        net.client_request(NodeId(0), NodeId(9), 1, Op::Noop);
+        assert!(net.drop_one(NodeId(0), NodeId(1)));
+        net.run_to_quiescence();
+        assert_eq!(net.node(NodeId(1)).seen, 0);
+    }
+}

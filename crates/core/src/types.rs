@@ -1,0 +1,249 @@
+//! Fundamental identifiers and value types shared by every protocol.
+//!
+//! The paper views each core of a many-core machine as a node of a
+//! distributed system; [`NodeId`] names such a core. Clients are cores too
+//! (cores 3..47 in the paper's 48-core setup), so they are also identified
+//! by [`NodeId`].
+
+use std::fmt;
+
+/// Virtual or real time in nanoseconds.
+///
+/// The sans-IO protocol state machines never read a clock themselves; the
+/// surrounding harness (simulator or threaded runtime) passes `now` into
+/// every handler.
+pub type Nanos = u64;
+
+/// One nanosecond expressed in [`Nanos`] (for readability in cost tables).
+pub const NANOS_PER_MICRO: Nanos = 1_000;
+/// One millisecond expressed in [`Nanos`].
+pub const NANOS_PER_MILLI: Nanos = 1_000_000;
+/// One second expressed in [`Nanos`].
+pub const NANOS_PER_SEC: Nanos = 1_000_000_000;
+
+/// Identifier of a core/node participating in the system.
+///
+/// In the paper's deployments, cores 0..R-1 host replicas (core 0 is the
+/// initial leader/coordinator) and the remaining cores host clients.
+///
+/// # Examples
+///
+/// ```
+/// use onepaxos::NodeId;
+/// let n = NodeId(3);
+/// assert_eq!(n.index(), 3);
+/// assert_eq!(format!("{n}"), "n3");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// The node id as a zero-based index (useful for vector indexing).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u16> for NodeId {
+    fn from(v: u16) -> Self {
+        NodeId(v)
+    }
+}
+
+/// A Paxos instance number: the slot in the totally ordered command log.
+///
+/// "The ultimate goal of Basic-Paxos is to assign totally ordered instance
+/// numbers to client commands" (§2.3).
+pub type Instance = u64;
+
+/// A proposal number ("ballot"): totally ordered and unique per proposer.
+///
+/// Ordered first by `round` then by `node`, so two proposers can never draw
+/// the same ballot. `Ballot::ZERO` is smaller than any ballot a proposer
+/// generates and plays the role of the paper's initial `hpn = -∞`.
+///
+/// # Examples
+///
+/// ```
+/// use onepaxos::{Ballot, NodeId};
+/// let b1 = Ballot::new(1, NodeId(0));
+/// let b2 = Ballot::new(1, NodeId(1));
+/// let b3 = Ballot::new(2, NodeId(0));
+/// assert!(b1 < b2 && b2 < b3);
+/// assert!(Ballot::ZERO < b1);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Ballot {
+    /// Monotonically increasing round chosen by the proposer.
+    pub round: u32,
+    /// Tie-breaker: the proposer's node id.
+    pub node: NodeId,
+}
+
+impl Ballot {
+    /// The smallest possible ballot; models the pseudocode's `-∞`.
+    pub const ZERO: Ballot = Ballot {
+        round: 0,
+        node: NodeId(0),
+    };
+
+    /// Creates a ballot for `node` at `round`.
+    pub fn new(round: u32, node: NodeId) -> Self {
+        Ballot { round, node }
+    }
+
+    /// The next ballot for `node` that is strictly greater than `self`
+    /// (implements the pseudocode's `new_pn()`).
+    pub fn next_for(self, node: NodeId) -> Ballot {
+        Ballot {
+            round: self.round + 1,
+            node,
+        }
+    }
+
+    /// Whether this ballot is the initial `-∞` placeholder.
+    pub fn is_zero(self) -> bool {
+        self == Ballot::ZERO
+    }
+}
+
+impl fmt::Debug for Ballot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}.{}", self.round, self.node.0)
+    }
+}
+
+impl fmt::Display for Ballot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}.{}", self.round, self.node.0)
+    }
+}
+
+/// The operation a client asks the replicated state machine to perform.
+///
+/// The paper's experiments use commands with no payload ([`Op::Noop`]);
+/// the key/value operations exist for the examples and the read-workload
+/// experiment (Fig 10).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum Op {
+    /// A command with no effect, as in the paper's benchmarks.
+    #[default]
+    Noop,
+    /// Write `value` under `key`.
+    Put {
+        /// Key to write.
+        key: u64,
+        /// Value to store.
+        value: u64,
+    },
+    /// Read the value under `key`.
+    Get {
+        /// Key to read.
+        key: u64,
+    },
+}
+
+impl Op {
+    /// Whether this operation is a read (serviceable locally by 2PC-Joint,
+    /// §7.5).
+    pub fn is_read(self) -> bool {
+        matches!(self, Op::Get { .. })
+    }
+}
+
+/// A client command: the value agreed upon by the consensus protocols.
+///
+/// Identified by `(client, req_id)`, which the replicated-state-machine
+/// layer uses for at-most-once execution and reply routing.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Command {
+    /// The client that issued the command.
+    pub client: NodeId,
+    /// Client-local sequence number, unique per client.
+    pub req_id: u64,
+    /// The operation to execute.
+    pub op: Op,
+}
+
+impl Command {
+    /// Creates a new command.
+    pub fn new(client: NodeId, req_id: u64, op: Op) -> Self {
+        Command { client, req_id, op }
+    }
+
+    /// A no-op command, as used by the paper's throughput experiments.
+    pub fn noop(client: NodeId, req_id: u64) -> Self {
+        Command::new(client, req_id, Op::Noop)
+    }
+
+    /// The `(client, req_id)` pair identifying this command.
+    pub fn id(&self) -> (NodeId, u64) {
+        (self.client, self.req_id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ballot_ordering_is_round_then_node() {
+        let a = Ballot::new(1, NodeId(5));
+        let b = Ballot::new(2, NodeId(0));
+        assert!(a < b);
+        let c = Ballot::new(1, NodeId(6));
+        assert!(a < c);
+        assert_eq!(a, Ballot::new(1, NodeId(5)));
+    }
+
+    #[test]
+    fn ballot_zero_is_minimum() {
+        for round in 1..4u32 {
+            for node in 0..4u16 {
+                assert!(Ballot::ZERO < Ballot::new(round, NodeId(node)));
+            }
+        }
+        assert!(Ballot::ZERO.is_zero());
+        assert!(!Ballot::new(1, NodeId(0)).is_zero());
+    }
+
+    #[test]
+    fn next_for_is_strictly_greater_for_any_node() {
+        let b = Ballot::new(3, NodeId(7));
+        for node in 0..10u16 {
+            assert!(b.next_for(NodeId(node)) > b);
+        }
+    }
+
+    #[test]
+    fn op_read_classification() {
+        assert!(Op::Get { key: 1 }.is_read());
+        assert!(!Op::Put { key: 1, value: 2 }.is_read());
+        assert!(!Op::Noop.is_read());
+    }
+
+    #[test]
+    fn command_identity() {
+        let c = Command::noop(NodeId(9), 42);
+        assert_eq!(c.id(), (NodeId(9), 42));
+        assert_eq!(c.op, Op::Noop);
+    }
+
+    #[test]
+    fn node_id_display_and_index() {
+        assert_eq!(NodeId(12).index(), 12);
+        assert_eq!(format!("{:?}", NodeId(12)), "n12");
+    }
+}

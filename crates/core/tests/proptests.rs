@@ -1,0 +1,149 @@
+//! Property-based tests on the core data structures: the quorum learner's
+//! order-independence and the RSM applier's determinism under every
+//! decided-event ordering.
+
+use onepaxos::basic_paxos::QuorumLearner;
+use onepaxos::kv::KvStore;
+use onepaxos::rsm::Applier;
+use onepaxos::{Ballot, Command, Instance, NodeId, Op};
+use proptest::prelude::*;
+
+// --------------------------------------------------------------------
+// QuorumLearner: a legal vote multiset decides the same value at every
+// learner regardless of delivery order.
+// --------------------------------------------------------------------
+
+/// A legal single-instance vote set: one winner ballot with a majority of
+/// voters, plus lower-ballot minority votes with arbitrary values (what a
+/// real Paxos execution with competing proposers can produce).
+#[derive(Clone, Debug)]
+struct LegalVotes {
+    votes: Vec<(NodeId, Ballot, u32)>,
+    winner_value: u32,
+}
+
+fn legal_votes(n_acceptors: u16) -> impl Strategy<Value = LegalVotes> {
+    let majority = (n_acceptors as usize) / 2 + 1;
+    (
+        2u32..6,                       // winner ballot round
+        0u32..100,                     // winner value
+        prop::collection::vec((0u32..100, 0..n_acceptors), 0..4), // losers
+    )
+        .prop_map(move |(wround, wvalue, losers)| {
+            let wballot = Ballot::new(wround, NodeId(0));
+            let mut votes: Vec<(NodeId, Ballot, u32)> = (0..majority as u16)
+                .map(|a| (NodeId(a), wballot, wvalue))
+                .collect();
+            // Lower-ballot minority votes: at most majority-1 per ballot.
+            for (i, (value, acceptor)) in losers.into_iter().enumerate() {
+                let ballot = Ballot::new(1, NodeId(i as u16 + 1));
+                votes.push((NodeId(acceptor % n_acceptors), ballot, value));
+            }
+            LegalVotes {
+                votes,
+                winner_value: wvalue,
+            }
+        })
+}
+
+proptest! {
+    #[test]
+    fn learner_is_order_independent(
+        lv in legal_votes(5),
+        order in prop::collection::vec(any::<prop::sample::Index>(), 16),
+    ) {
+        let quorum = 3;
+        // Learner A: natural order. Learner B: adversarial order with
+        // duplicates.
+        let mut a: QuorumLearner<u32> = QuorumLearner::new();
+        for &(from, bal, v) in &lv.votes {
+            a.on_learn(0, from, bal, v, quorum);
+        }
+        let mut b: QuorumLearner<u32> = QuorumLearner::new();
+        for idx in order {
+            let &(from, bal, v) = idx.get(&lv.votes);
+            b.on_learn(0, from, bal, v, quorum);
+        }
+        // Feed B the rest too, so it certainly has every vote.
+        for &(from, bal, v) in &lv.votes {
+            b.on_learn(0, from, bal, v, quorum);
+        }
+        prop_assert_eq!(a.chosen(0), Some(&lv.winner_value));
+        prop_assert_eq!(b.chosen(0), Some(&lv.winner_value));
+    }
+}
+
+// --------------------------------------------------------------------
+// Applier: any delivery order of the same decided log (with duplicates)
+// produces the same state and applies each client request at most once.
+// --------------------------------------------------------------------
+
+fn decided_log(len: usize) -> impl Strategy<Value = Vec<(Instance, Command)>> {
+    prop::collection::vec(
+        (0u16..4, 1u64..6, 0u64..8, 0u64..100),
+        1..=len,
+    )
+    .prop_map(|entries| {
+        entries
+            .into_iter()
+            .enumerate()
+            .map(|(i, (client, req, key, value))| {
+                (
+                    i as Instance,
+                    Command::new(NodeId(client), req, Op::Put { key, value }),
+                )
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn applier_is_order_independent(
+        log in decided_log(12),
+        order in prop::collection::vec(any::<prop::sample::Index>(), 0..40),
+    ) {
+        // Reference: in-order application.
+        let mut reference: Applier<KvStore> = Applier::new(KvStore::new());
+        for &(inst, cmd) in &log {
+            reference.on_decided(inst, cmd);
+        }
+        // Adversary: random prefix with duplicates, then completion.
+        let mut adversary: Applier<KvStore> = Applier::new(KvStore::new());
+        for idx in order {
+            let &(inst, cmd) = idx.get(&log);
+            adversary.on_decided(inst, cmd);
+        }
+        for &(inst, cmd) in &log {
+            adversary.on_decided(inst, cmd);
+        }
+        prop_assert_eq!(
+            reference.state().digest(),
+            adversary.state().digest(),
+            "KV state diverged"
+        );
+        prop_assert_eq!(reference.applied_up_to(), adversary.applied_up_to());
+        prop_assert_eq!(reference.applied_log(), adversary.applied_log());
+    }
+
+    #[test]
+    fn applier_never_reapplies_client_requests(log in decided_log(16)) {
+        let mut a: Applier<KvStore> = Applier::new(KvStore::new());
+        for &(inst, cmd) in &log {
+            a.on_decided(inst, cmd);
+        }
+        // Writes applied == distinct (client, req_id) pairs whose first
+        // occurrence is not masked by a later req_id from the same client
+        // appearing earlier in the log.
+        let mut sessions: std::collections::BTreeMap<NodeId, u64> = Default::default();
+        let mut expected_writes = 0u64;
+        for &(_, cmd) in &log {
+            let last = sessions.get(&cmd.client).copied().unwrap_or(0);
+            if cmd.req_id > last {
+                sessions.insert(cmd.client, cmd.req_id);
+                expected_writes += 1;
+            }
+        }
+        prop_assert_eq!(a.state().writes(), expected_writes);
+    }
+}

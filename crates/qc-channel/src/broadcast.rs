@@ -1,0 +1,350 @@
+//! ZIMP-style one-to-many broadcast channel (§8).
+//!
+//! "Aublin et al. propose ZIMP, a one-to-many communication mechanism for
+//! cache-coherent many-cores, addressing situations in which messages
+//! need to be broadcast to multiple receivers. [...] In QC-libtask, we
+//! employ one-to-one communication in order to avoid scalability
+//! limitations due to cache line sharing between a large number of
+//! cores" (§8).
+//!
+//! This module implements the broadcast alternative so the trade-off can
+//! be measured (`net_microbench`'s `broadcast` group): the writer pays a
+//! *constant* number of slot writes per message regardless of the number
+//! of subscribers — but every subscriber then reads (and clones from) the
+//! same cache lines, which is exactly the sharing the paper's design
+//! avoids.
+//!
+//! Design: a ring of slots, each carrying a monotonically increasing
+//! sequence number. Every subscriber keeps a private cursor and publishes
+//! its progress; the writer may only reuse a slot once *all* subscribers
+//! have moved past it (the slowest reader gates the ring, the §8
+//! multicast-tree objection in queue form).
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crossbeam::utils::CachePadded;
+
+/// A broadcast slot: sequence tag plus payload.
+#[repr(align(128))]
+struct Slot<T> {
+    /// Sequence of the value stored, or `u64::MAX` if empty. A slot with
+    /// `seq == n` holds message `n`.
+    seq: AtomicU64,
+    val: UnsafeCell<MaybeUninit<T>>,
+}
+
+struct Shared<T> {
+    slots: Box<[Slot<T>]>,
+    /// Next sequence the writer will publish.
+    tail: CachePadded<AtomicU64>,
+    /// Per-subscriber consumed-up-to counters (next sequence to read).
+    cursors: Box<[CachePadded<AtomicU64>]>,
+    /// Number of publishes blocked on the slowest reader.
+    stalls: CachePadded<AtomicUsize>,
+}
+
+// SAFETY: values are written by the single producer and read (cloned) by
+// subscribers only after the release-store of the slot's `seq` tag, and
+// never overwritten until every subscriber's cursor has passed — the
+// writer checks all cursors with acquire loads before reuse.
+unsafe impl<T: Send + Sync> Send for Shared<T> {}
+unsafe impl<T: Send + Sync> Sync for Shared<T> {}
+
+impl<T> Drop for Shared<T> {
+    fn drop(&mut self) {
+        let cap = self.slots.len() as u64;
+        let tail = *self.tail.get_mut();
+        // Initialized slots are the last `min(tail, cap)` published ones.
+        let start = tail.saturating_sub(cap);
+        for seq in start..tail {
+            let slot = &mut self.slots[(seq % cap) as usize];
+            if *slot.seq.get_mut() == seq {
+                // SAFETY: slot holds an initialized value for `seq`.
+                unsafe { (*slot.val.get()).assume_init_drop() };
+            }
+        }
+    }
+}
+
+/// The broadcasting half.
+pub struct Broadcaster<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> std::fmt::Debug for Broadcaster<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Broadcaster")
+            .field("subscribers", &self.shared.cursors.len())
+            .field("published", &self.shared.tail.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// One subscriber's receiving half.
+pub struct Subscriber<T> {
+    shared: Arc<Shared<T>>,
+    id: usize,
+    cursor: u64,
+}
+
+impl<T> std::fmt::Debug for Subscriber<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Subscriber")
+            .field("id", &self.id)
+            .field("cursor", &self.cursor)
+            .finish()
+    }
+}
+
+/// Creates a broadcast channel with `slots` ring slots and `subscribers`
+/// receiving halves.
+///
+/// # Panics
+///
+/// Panics if `slots` or `subscribers` is zero.
+///
+/// # Examples
+///
+/// ```
+/// let (bx, mut subs) = qc_channel::broadcast::channel::<u64>(8, 3);
+/// bx.try_broadcast(7).unwrap();
+/// for s in &mut subs {
+///     assert_eq!(s.try_recv(), Some(7));
+/// }
+/// ```
+pub fn channel<T: Clone>(slots: usize, subscribers: usize) -> (Broadcaster<T>, Vec<Subscriber<T>>) {
+    assert!(slots > 0, "broadcast ring needs at least one slot");
+    assert!(subscribers > 0, "broadcast needs at least one subscriber");
+    let shared = Arc::new(Shared {
+        slots: (0..slots)
+            .map(|_| Slot {
+                seq: AtomicU64::new(u64::MAX),
+                val: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect(),
+        tail: CachePadded::new(AtomicU64::new(0)),
+        cursors: (0..subscribers)
+            .map(|_| CachePadded::new(AtomicU64::new(0)))
+            .collect(),
+        stalls: CachePadded::new(AtomicUsize::new(0)),
+    });
+    let subs = (0..subscribers)
+        .map(|id| Subscriber {
+            shared: Arc::clone(&shared),
+            id,
+            cursor: 0,
+        })
+        .collect();
+    (Broadcaster { shared }, subs)
+}
+
+/// Error returned when the ring is gated by its slowest subscriber.
+#[derive(PartialEq, Eq)]
+pub struct Lagging<T>(pub T);
+
+impl<T> std::fmt::Debug for Lagging<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Lagging(..)")
+    }
+}
+
+impl<T> std::fmt::Display for Lagging<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("slowest subscriber has not freed the slot yet")
+    }
+}
+
+impl<T> std::error::Error for Lagging<T> {}
+
+impl<T: Clone> Broadcaster<T> {
+    /// Publishes `v` to every subscriber, or returns it if the slot is
+    /// still being read by the slowest subscriber.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Lagging`] carrying the message back when the ring slot
+    /// for this sequence has not been consumed by every subscriber.
+    pub fn try_broadcast(&self, v: T) -> Result<(), Lagging<T>> {
+        let sh = &*self.shared;
+        let cap = sh.slots.len() as u64;
+        let seq = sh.tail.load(Ordering::Relaxed);
+        if seq >= cap {
+            // Reusing a slot: every cursor must have passed seq - cap.
+            let oldest = seq - cap;
+            for c in sh.cursors.iter() {
+                if c.load(Ordering::Acquire) <= oldest {
+                    sh.stalls.fetch_add(1, Ordering::Relaxed);
+                    return Err(Lagging(v));
+                }
+            }
+        }
+        let slot = &sh.slots[(seq % cap) as usize];
+        // Drop the previous occupant, if any.
+        if slot.seq.load(Ordering::Relaxed) != u64::MAX {
+            // SAFETY: all subscribers are past this slot (checked above);
+            // the single producer owns it now.
+            unsafe { (*slot.val.get()).assume_init_drop() };
+        }
+        // SAFETY: producer-owned slot, see above.
+        unsafe { (*slot.val.get()).write(v) };
+        slot.seq.store(seq, Ordering::Release);
+        sh.tail.store(seq + 1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Publishes, spinning while the slowest subscriber lags.
+    pub fn broadcast_spin(&self, v: T) {
+        let backoff = crossbeam::utils::Backoff::new();
+        let mut v = v;
+        loop {
+            match self.try_broadcast(v) {
+                Ok(()) => return,
+                Err(Lagging(back)) => {
+                    v = back;
+                    backoff.snooze();
+                }
+            }
+        }
+    }
+
+    /// Messages published so far.
+    pub fn published(&self) -> u64 {
+        self.shared.tail.load(Ordering::Relaxed)
+    }
+
+    /// Publishes blocked at least once on a lagging subscriber.
+    pub fn stalls(&self) -> usize {
+        self.shared.stalls.load(Ordering::Relaxed)
+    }
+}
+
+impl<T: Clone> Subscriber<T> {
+    /// Receives the next message, if published.
+    pub fn try_recv(&mut self) -> Option<T> {
+        let sh = &*self.shared;
+        let cap = sh.slots.len() as u64;
+        let slot = &sh.slots[(self.cursor % cap) as usize];
+        if slot.seq.load(Ordering::Acquire) != self.cursor {
+            return None;
+        }
+        // SAFETY: the slot holds an initialized value for `cursor` (seq
+        // tag matched under acquire); the producer will not overwrite it
+        // until our cursor (published below) moves past it. Subscribers
+        // share the value immutably, hence the clone.
+        let v = unsafe { (*slot.val.get()).assume_init_ref().clone() };
+        self.cursor += 1;
+        sh.cursors[self.id].store(self.cursor, Ordering::Release);
+        Some(v)
+    }
+
+    /// Receives, spinning until a message is published.
+    pub fn recv_spin(&mut self) -> T {
+        let backoff = crossbeam::utils::Backoff::new();
+        loop {
+            if let Some(v) = self.try_recv() {
+                return v;
+            }
+            backoff.snooze();
+        }
+    }
+
+    /// Messages consumed so far.
+    pub fn consumed(&self) -> u64 {
+        self.cursor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_subscriber_sees_every_message_in_order() {
+        let (bx, mut subs) = channel::<u64>(4, 3);
+        for i in 0..4 {
+            bx.try_broadcast(i).unwrap();
+        }
+        for s in &mut subs {
+            for i in 0..4 {
+                assert_eq!(s.try_recv(), Some(i));
+            }
+            assert_eq!(s.try_recv(), None);
+        }
+    }
+
+    #[test]
+    fn slowest_subscriber_gates_the_ring() {
+        let (bx, mut subs) = channel::<u64>(2, 2);
+        bx.try_broadcast(0).unwrap();
+        bx.try_broadcast(1).unwrap();
+        // Ring full; only subscriber 0 consumes.
+        assert_eq!(subs[0].try_recv(), Some(0));
+        assert!(bx.try_broadcast(2).is_err(), "subscriber 1 still lags");
+        assert!(bx.stalls() >= 1);
+        assert_eq!(subs[1].try_recv(), Some(0));
+        bx.try_broadcast(2).unwrap();
+        assert_eq!(subs[0].try_recv(), Some(1));
+        assert_eq!(subs[1].try_recv(), Some(1));
+        assert_eq!(subs[0].try_recv(), Some(2));
+        assert_eq!(subs[1].try_recv(), Some(2));
+    }
+
+    #[test]
+    fn cross_thread_fanout() {
+        // Modest N: four spinning threads heavily oversubscribe small CI
+        // machines.
+        const N: u64 = 2_000;
+        let (bx, subs) = channel::<u64>(8, 3);
+        let readers: Vec<_> = subs
+            .into_iter()
+            .map(|mut s| {
+                std::thread::spawn(move || {
+                    let mut sum = 0u64;
+                    for _ in 0..N {
+                        sum += s.recv_spin();
+                        std::thread::yield_now();
+                    }
+                    sum
+                })
+            })
+            .collect();
+        for i in 0..N {
+            bx.broadcast_spin(i);
+        }
+        let expected = N * (N - 1) / 2;
+        for r in readers {
+            assert_eq!(r.join().unwrap(), expected);
+        }
+    }
+
+    #[test]
+    fn drop_releases_pending_values() {
+        use std::sync::atomic::AtomicUsize;
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        #[derive(Clone)]
+        struct Tracked(#[allow(dead_code)] Arc<()>);
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let before = DROPS.load(Ordering::SeqCst);
+        {
+            let (bx, mut subs) = channel::<Tracked>(4, 1);
+            bx.try_broadcast(Tracked(Arc::new(()))).unwrap();
+            bx.try_broadcast(Tracked(Arc::new(()))).unwrap();
+            let _ = subs[0].try_recv(); // one cloned out and dropped
+        }
+        // 2 originals + 1 clone.
+        assert_eq!(DROPS.load(Ordering::SeqCst) - before, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_slots_rejected() {
+        let _ = channel::<u8>(0, 1);
+    }
+}

@@ -1,0 +1,129 @@
+//! Bidirectional channels: "there are two queues between each two
+//! processes pi and pj: one for writing by pi and reading by pj and the
+//! other for reading by pi and writing by pj" (§6.1, Fig 6).
+
+use crate::spsc::{self, Full, Receiver, Sender, DEFAULT_SLOTS};
+
+/// One endpoint of a bidirectional channel: a send queue towards the peer
+/// and a receive queue from it.
+#[derive(Debug)]
+pub struct Endpoint<T> {
+    tx: Sender<T>,
+    rx: Receiver<T>,
+}
+
+impl<T> Endpoint<T> {
+    /// Sends to the peer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Full`] carrying the message back when the send queue is
+    /// full.
+    pub fn try_send(&self, v: T) -> Result<(), Full<T>> {
+        self.tx.try_send(v)
+    }
+
+    /// Sends to the peer, spinning while the queue is full.
+    pub fn send_spin(&self, v: T) {
+        self.tx.send_spin(v)
+    }
+
+    /// Receives from the peer, if a message is waiting.
+    pub fn try_recv(&self) -> Option<T> {
+        self.rx.try_recv()
+    }
+
+    /// Receives from the peer, spinning until a message arrives.
+    pub fn recv_spin(&self) -> T {
+        self.rx.recv_spin()
+    }
+
+    /// Splits into raw sender/receiver halves (e.g. to place them in a
+    /// [`Mailbox`](crate::Mailbox)).
+    pub fn into_split(self) -> (Sender<T>, Receiver<T>) {
+        (self.tx, self.rx)
+    }
+
+    /// The sending half.
+    pub fn sender(&self) -> &Sender<T> {
+        &self.tx
+    }
+
+    /// The receiving half.
+    pub fn receiver(&self) -> &Receiver<T> {
+        &self.rx
+    }
+}
+
+/// Creates a connected pair of endpoints with `slots` usable slots per
+/// direction.
+///
+/// # Panics
+///
+/// Panics if `slots` is zero.
+///
+/// # Examples
+///
+/// ```
+/// let (a, b) = qc_channel::duplex::pair::<&'static str>(qc_channel::DEFAULT_SLOTS);
+/// a.try_send("ping").unwrap();
+/// assert_eq!(b.try_recv(), Some("ping"));
+/// b.try_send("pong").unwrap();
+/// assert_eq!(a.try_recv(), Some("pong"));
+/// ```
+pub fn pair<T>(slots: usize) -> (Endpoint<T>, Endpoint<T>) {
+    let (a_tx, b_rx) = spsc::channel(slots);
+    let (b_tx, a_rx) = spsc::channel(slots);
+    (
+        Endpoint { tx: a_tx, rx: a_rx },
+        Endpoint { tx: b_tx, rx: b_rx },
+    )
+}
+
+/// Creates a connected pair with the paper's default of
+/// [`DEFAULT_SLOTS`] slots per direction.
+pub fn pair_default<T>() -> (Endpoint<T>, Endpoint<T>) {
+    pair(DEFAULT_SLOTS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directions_are_independent() {
+        let (a, b) = pair::<u32>(2);
+        a.try_send(1).unwrap();
+        a.try_send(2).unwrap();
+        assert!(a.try_send(3).is_err()); // a→b full
+        b.try_send(10).unwrap(); // b→a unaffected
+        assert_eq!(a.try_recv(), Some(10));
+        assert_eq!(b.try_recv(), Some(1));
+    }
+
+    #[test]
+    fn ping_pong_across_threads() {
+        let (a, b) = pair_default::<u64>();
+        let echo = std::thread::spawn(move || {
+            for _ in 0..10_000 {
+                let v = b.recv_spin();
+                b.send_spin(v + 1);
+            }
+        });
+        for i in 0..10_000 {
+            a.send_spin(i);
+            assert_eq!(a.recv_spin(), i + 1);
+        }
+        echo.join().unwrap();
+    }
+
+    #[test]
+    fn split_halves_work() {
+        let (a, b) = pair::<u8>(1);
+        let (atx, arx) = a.into_split();
+        atx.try_send(5).unwrap();
+        assert_eq!(b.try_recv(), Some(5));
+        b.try_send(6).unwrap();
+        assert_eq!(arx.try_recv(), Some(6));
+    }
+}

@@ -1,0 +1,65 @@
+//! Lock-free shared-memory message passing for many-core machines — the
+//! QC-libtask analogue from *"Consensus Inside"* (MIDDLEWARE 2014), §6.
+//!
+//! The paper's framework has three layers, mirrored here:
+//!
+//! * **Message queuing** ([`spsc`], [`duplex`]): per-pair unidirectional
+//!   queues of 128-byte cache-aligned slots (seven per queue by default),
+//!   with the head pointer moved by the reader and the tail by the writer
+//!   — no locks, no system calls on the fast path (§6.1, Fig 6).
+//! * **Message delivery** ([`mailbox`], [`scheduler`]): a process talking
+//!   to *n* peers polls *n* read queues; a cooperative scheduler gives
+//!   handlers a blocking-read programming model over the asynchronous
+//!   back-end (§6.2, Fig 7).
+//! * **Measurement hooks**: queue counters used by the §3
+//!   transmission/propagation-delay experiments (`tab_net` in the bench
+//!   crate), plus the [`unbounded`] queue the §3 sender measurement uses.
+//! * **The road not taken** ([`broadcast`]): a ZIMP-style one-to-many
+//!   ring (§8), implemented so the unicast-vs-broadcast trade-off can be
+//!   measured rather than argued.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use qc_channel::duplex;
+//!
+//! // One duplex channel per pair of cores (Fig 6).
+//! let (core0, core1) = duplex::pair_default::<u64>();
+//! core0.try_send(42).unwrap();
+//! assert_eq!(core1.try_recv(), Some(42));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod broadcast;
+pub mod duplex;
+pub mod mailbox;
+pub mod scheduler;
+pub mod spsc;
+pub mod unbounded;
+
+pub use duplex::Endpoint;
+pub use mailbox::Mailbox;
+pub use scheduler::{Scheduler, TaskControl};
+pub use spsc::{channel, Full, Receiver, Sender, DEFAULT_SLOTS, SLOT_BYTES};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Sender<u64>>();
+        assert_send::<Receiver<u64>>();
+        assert_send::<Endpoint<u64>>();
+    }
+
+    #[test]
+    fn slot_constants_match_paper() {
+        assert_eq!(DEFAULT_SLOTS, 7);
+        assert_eq!(SLOT_BYTES, 128);
+    }
+}

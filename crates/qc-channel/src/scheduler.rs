@@ -1,0 +1,211 @@
+//! Cooperative task scheduler: the libtask analogue of §6.2 (Fig 7).
+//!
+//! "Upon reading a request from each queue, the requested thread blocks
+//! and its reading destination is added to the waiting list of the
+//! scheduler. The scheduler checks for all waiting reads and, upon
+//! receiving a message, loads the context of the corresponding reading
+//! thread. In other words, the developer takes advantage of the simple
+//! blocking read interface, while the back-end benefits from the
+//! asynchronous message-passing implementation" (§6.2).
+//!
+//! Here a "user-level thread" is a message handler plus the queue it is
+//! blocked on; "loading its context" is invoking the handler. Everything
+//! stays on one OS thread and the kernel is never involved — the design
+//! goal the paper states for QC-libtask.
+
+use crate::spsc::Receiver;
+
+/// What a handler tells the scheduler after processing a message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TaskControl {
+    /// Keep the task on the waiting list (block on the next read).
+    Continue,
+    /// Remove the task: its connection is done.
+    Finish,
+}
+
+struct WaitingRead<T> {
+    rx: Receiver<T>,
+    handler: Box<dyn FnMut(T) -> TaskControl + Send>,
+}
+
+impl<T> std::fmt::Debug for WaitingRead<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WaitingRead").finish_non_exhaustive()
+    }
+}
+
+/// A single-threaded cooperative scheduler over blocking-read tasks.
+///
+/// # Examples
+///
+/// ```
+/// use qc_channel::scheduler::{Scheduler, TaskControl};
+/// use std::sync::atomic::{AtomicU32, Ordering};
+/// use std::sync::Arc;
+///
+/// let (tx, rx) = qc_channel::spsc::channel::<u32>(4);
+/// let mut sched: Scheduler<u32> = Scheduler::new();
+/// let sum = Arc::new(AtomicU32::new(0));
+/// let s = Arc::clone(&sum);
+/// sched.spawn_reader(rx, move |v| {
+///     s.fetch_add(v, Ordering::Relaxed);
+///     TaskControl::Continue
+/// });
+/// tx.try_send(1).unwrap();
+/// tx.try_send(2).unwrap();
+/// assert_eq!(sched.run_until_idle(), 2);
+/// assert_eq!(sum.load(Ordering::Relaxed), 3);
+/// ```
+#[derive(Debug, Default)]
+pub struct Scheduler<T> {
+    waiting: Vec<WaitingRead<T>>,
+    delivered: u64,
+}
+
+impl<T> Scheduler<T> {
+    /// Creates an empty scheduler.
+    pub fn new() -> Self {
+        Scheduler {
+            waiting: Vec::new(),
+            delivered: 0,
+        }
+    }
+
+    /// Registers a task blocked reading `rx`; `handler` runs once per
+    /// message (the paper's per-connection reading thread).
+    pub fn spawn_reader(
+        &mut self,
+        rx: Receiver<T>,
+        handler: impl FnMut(T) -> TaskControl + Send + 'static,
+    ) {
+        self.waiting.push(WaitingRead {
+            rx,
+            handler: Box::new(handler),
+        });
+    }
+
+    /// Number of tasks on the waiting list.
+    pub fn tasks(&self) -> usize {
+        self.waiting.len()
+    }
+
+    /// Total messages delivered to handlers.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// One scheduling pass: checks every waiting read once, delivering at
+    /// most one message per task. Returns the number delivered.
+    pub fn poll_once(&mut self) -> usize {
+        let mut delivered = 0;
+        let mut i = 0;
+        while i < self.waiting.len() {
+            let task = &mut self.waiting[i];
+            match task.rx.try_recv() {
+                Some(v) => {
+                    delivered += 1;
+                    self.delivered += 1;
+                    match (task.handler)(v) {
+                        TaskControl::Continue => i += 1,
+                        TaskControl::Finish => {
+                            self.waiting.swap_remove(i);
+                        }
+                    }
+                }
+                None => i += 1,
+            }
+        }
+        delivered
+    }
+
+    /// Polls until every queue is momentarily empty; returns the total
+    /// number of messages delivered.
+    pub fn run_until_idle(&mut self) -> usize {
+        let mut total = 0;
+        loop {
+            let n = self.poll_once();
+            if n == 0 {
+                return total;
+            }
+            total += n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spsc;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn delivers_to_the_right_task() {
+        let (tx_a, rx_a) = spsc::channel::<u32>(4);
+        let (tx_b, rx_b) = spsc::channel::<u32>(4);
+        let sum_a = Arc::new(AtomicU32::new(0));
+        let sum_b = Arc::new(AtomicU32::new(0));
+        let mut sched = Scheduler::new();
+        let (sa, sb) = (Arc::clone(&sum_a), Arc::clone(&sum_b));
+        sched.spawn_reader(rx_a, move |v| {
+            sa.fetch_add(v, Ordering::SeqCst);
+            TaskControl::Continue
+        });
+        sched.spawn_reader(rx_b, move |v| {
+            sb.fetch_add(v, Ordering::SeqCst);
+            TaskControl::Continue
+        });
+        tx_a.try_send(1).unwrap();
+        tx_b.try_send(10).unwrap();
+        tx_a.try_send(2).unwrap();
+        assert_eq!(sched.run_until_idle(), 3);
+        assert_eq!(sum_a.load(Ordering::SeqCst), 3);
+        assert_eq!(sum_b.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn finish_removes_task() {
+        let (tx, rx) = spsc::channel::<u32>(4);
+        let mut sched = Scheduler::new();
+        sched.spawn_reader(rx, |_| TaskControl::Finish);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert_eq!(sched.run_until_idle(), 1);
+        assert_eq!(sched.tasks(), 0);
+    }
+
+    #[test]
+    fn idle_scheduler_delivers_nothing() {
+        let (_tx, rx) = spsc::channel::<u32>(1);
+        let mut sched = Scheduler::new();
+        sched.spawn_reader(rx, |_| TaskControl::Continue);
+        assert_eq!(sched.run_until_idle(), 0);
+        assert_eq!(sched.delivered(), 0);
+    }
+
+    #[test]
+    fn cross_thread_pipeline() {
+        let (tx, rx) = spsc::channel::<u32>(7);
+        let (done_tx, done_rx) = spsc::channel::<u32>(1024);
+        let mut sched = Scheduler::new();
+        sched.spawn_reader(rx, move |v| {
+            done_tx.send_spin(v * 2);
+            TaskControl::Continue
+        });
+        let producer = std::thread::spawn(move || {
+            for i in 0..500u32 {
+                tx.send_spin(i);
+            }
+        });
+        let mut got = 0;
+        while got < 500 {
+            sched.poll_once();
+            while done_rx.try_recv().is_some() {
+                got += 1;
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(got, 500);
+    }
+}

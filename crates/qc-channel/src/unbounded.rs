@@ -1,0 +1,151 @@
+//! Unbounded SPSC queue — the §3 transmission-delay experiment uses "a
+//! sender process ... repeatedly issuing messages to an unbounded queue".
+//!
+//! Backed by `crossbeam`'s lock-free segment queue (no point re-deriving
+//! a Michael-Scott variant here); the value added is the non-clonable
+//! sender/receiver discipline matching the rest of the crate and the
+//! traffic counters the measurements use.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crossbeam::queue::SegQueue;
+
+struct Inner<T> {
+    q: SegQueue<T>,
+    sends: AtomicUsize,
+    recvs: AtomicUsize,
+}
+
+/// Producing half of an unbounded queue. Not cloneable.
+pub struct Sender<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> std::fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("unbounded::Sender")
+            .field("sends", &self.inner.sends.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// Consuming half of an unbounded queue. Not cloneable.
+pub struct Receiver<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> std::fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("unbounded::Receiver")
+            .field("recvs", &self.inner.recvs.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// Creates an unbounded queue.
+///
+/// # Examples
+///
+/// ```
+/// let (tx, rx) = qc_channel::unbounded::channel::<u32>();
+/// for i in 0..1_000 {
+///     tx.send(i); // never blocks, never fails
+/// }
+/// assert_eq!(rx.try_recv(), Some(0));
+/// ```
+pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+    let inner = Arc::new(Inner {
+        q: SegQueue::new(),
+        sends: AtomicUsize::new(0),
+        recvs: AtomicUsize::new(0),
+    });
+    (
+        Sender {
+            inner: Arc::clone(&inner),
+        },
+        Receiver { inner },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Enqueues `v`; never blocks.
+    pub fn send(&self, v: T) {
+        self.inner.q.push(v);
+        self.inner.sends.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Messages enqueued so far.
+    pub fn sends(&self) -> usize {
+        self.inner.sends.load(Ordering::Relaxed)
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Dequeues the oldest message, if any.
+    pub fn try_recv(&self) -> Option<T> {
+        let v = self.inner.q.pop();
+        if v.is_some() {
+            self.inner.recvs.fetch_add(1, Ordering::Relaxed);
+        }
+        v
+    }
+
+    /// Messages currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.q.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.q.is_empty()
+    }
+
+    /// Messages dequeued so far.
+    pub fn recvs(&self) -> usize {
+        self.inner.recvs.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_and_counters() {
+        let (tx, rx) = channel::<u32>();
+        for i in 0..100 {
+            tx.send(i);
+        }
+        assert_eq!(tx.sends(), 100);
+        assert_eq!(rx.len(), 100);
+        for i in 0..100 {
+            assert_eq!(rx.try_recv(), Some(i));
+        }
+        assert_eq!(rx.recvs(), 100);
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn cross_thread_stream() {
+        const N: u64 = 100_000;
+        let (tx, rx) = channel::<u64>();
+        let producer = std::thread::spawn(move || {
+            for i in 0..N {
+                tx.send(i);
+            }
+        });
+        let mut sum = 0u64;
+        let mut got = 0u64;
+        while got < N {
+            if let Some(v) = rx.try_recv() {
+                sum += v;
+                got += 1;
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(sum, N * (N - 1) / 2);
+    }
+}

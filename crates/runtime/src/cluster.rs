@@ -1,0 +1,548 @@
+//! Threaded deployment: one OS thread per replica, qc-channel queues
+//! between every pair of processes, optional core pinning — the runtime
+//! equivalent of the paper's testbed (§6, §7.1), where replicas were
+//! assigned to cores with `taskset`.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use onepaxos::kv::KvStore;
+use onepaxos::rsm::Applier;
+use onepaxos::{Action, Instance, Nanos, NodeId, Op, Outbox, Protocol, Timer};
+use qc_channel::{spsc, Mailbox, Receiver, Sender};
+
+use crate::wire::Wire;
+
+/// Queue slots per direction between each pair of processes; the paper's
+/// default of seven (§6.1). Overflow is buffered at the sender, so small
+/// queues cannot deadlock the node loops.
+pub const QUEUE_SLOTS: usize = qc_channel::DEFAULT_SLOTS;
+
+/// The receive sides a process polls: one queue per peer.
+type PeerReceivers<M> = Vec<(NodeId, Receiver<Wire<M>>)>;
+
+/// Shared per-replica counters.
+#[derive(Debug, Default)]
+pub struct NodeMetrics {
+    /// Messages received from peers and clients.
+    pub received: AtomicU64,
+    /// Messages sent to peers and clients.
+    pub sent: AtomicU64,
+    /// Commands committed (applied or queued for application).
+    pub committed: AtomicU64,
+}
+
+/// Outbound side of one process: senders to every peer plus overflow
+/// backlogs so a full 7-slot queue never blocks the event loop.
+struct NodeIo<M> {
+    senders: BTreeMap<NodeId, Sender<Wire<M>>>,
+    backlog: BTreeMap<NodeId, VecDeque<Wire<M>>>,
+    sent: u64,
+}
+
+impl<M> NodeIo<M> {
+    fn new(senders: BTreeMap<NodeId, Sender<Wire<M>>>) -> Self {
+        NodeIo {
+            senders,
+            backlog: BTreeMap::new(),
+            sent: 0,
+        }
+    }
+
+    fn send(&mut self, to: NodeId, msg: Wire<M>) {
+        self.sent += 1;
+        let Some(tx) = self.senders.get(&to) else {
+            return; // unknown peer: drop (e.g. client already gone)
+        };
+        let back = self.backlog.entry(to).or_default();
+        if back.is_empty() {
+            if let Err(qc_channel::Full(m)) = tx.try_send(msg) {
+                back.push_back(m);
+            }
+        } else {
+            back.push_back(msg);
+        }
+    }
+
+    /// Retries backlogged sends; returns whether any backlog remains.
+    fn flush(&mut self) -> bool {
+        let mut pending = false;
+        for (to, q) in self.backlog.iter_mut() {
+            let Some(tx) = self.senders.get(to) else {
+                q.clear();
+                continue;
+            };
+            while let Some(m) = q.pop_front() {
+                if let Err(qc_channel::Full(m)) = tx.try_send(m) {
+                    q.push_front(m);
+                    pending = true;
+                    break;
+                }
+            }
+        }
+        pending
+    }
+}
+
+/// Builder for a threaded cluster.
+pub struct ClusterBuilder<P, F> {
+    replicas: usize,
+    clients: usize,
+    factory: F,
+    pin_cores: bool,
+    _marker: std::marker::PhantomData<fn() -> P>,
+}
+
+impl<P, F> std::fmt::Debug for ClusterBuilder<P, F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterBuilder")
+            .field("replicas", &self.replicas)
+            .field("clients", &self.clients)
+            .field("pin_cores", &self.pin_cores)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<P, F> ClusterBuilder<P, F>
+where
+    P: Protocol + Send + 'static,
+    F: FnMut(&[NodeId], NodeId) -> P,
+{
+    /// Starts a builder for `replicas` replica processes whose protocol
+    /// instances come from `factory(members, me)`.
+    pub fn new(replicas: usize, factory: F) -> Self {
+        ClusterBuilder {
+            replicas,
+            clients: 1,
+            factory,
+            pin_cores: false,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Number of client handles to create (each may be used from its own
+    /// thread). Default 1.
+    pub fn clients(mut self, c: usize) -> Self {
+        self.clients = c;
+        self
+    }
+
+    /// Pin replica threads to distinct cores (the paper's `taskset`),
+    /// when the machine has enough cores. Default off.
+    pub fn pin_cores(mut self, pin: bool) -> Self {
+        self.pin_cores = pin;
+        self
+    }
+
+    /// Spawns the replica threads and returns the cluster handle plus one
+    /// [`ClientHandle`] per requested client.
+    pub fn spawn(mut self) -> (Cluster, Vec<ClientHandle<P::Msg>>) {
+        let r = self.replicas;
+        let c = self.clients;
+        let total = r + c;
+        let members: Vec<NodeId> = (0..r as u16).map(NodeId).collect();
+
+        // Full mesh of SPSC queues: senders[i][j] sends i → j.
+        let mut senders: Vec<BTreeMap<NodeId, Sender<Wire<P::Msg>>>> =
+            (0..total).map(|_| BTreeMap::new()).collect();
+        let mut receivers: Vec<PeerReceivers<P::Msg>> = (0..total).map(|_| Vec::new()).collect();
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..total {
+            for j in 0..total {
+                if i == j {
+                    continue;
+                }
+                // Client↔client links are never used; skip them.
+                if i >= r && j >= r {
+                    continue;
+                }
+                let (tx, rx) = spsc::channel(QUEUE_SLOTS);
+                senders[i].insert(NodeId(j as u16), tx);
+                receivers[j].push((NodeId(i as u16), rx));
+            }
+        }
+
+        let metrics: Vec<Arc<NodeMetrics>> =
+            (0..r).map(|_| Arc::new(NodeMetrics::default())).collect();
+        let core_ids = if self.pin_cores {
+            core_affinity::get_core_ids().unwrap_or_default()
+        } else {
+            Vec::new()
+        };
+
+        let mut threads = Vec::new();
+        let mut receivers_iter = receivers.into_iter();
+        let mut node_receivers: Vec<PeerReceivers<P::Msg>> = Vec::new();
+        for _ in 0..r {
+            node_receivers.push(receivers_iter.next().expect("replica slot"));
+        }
+        let client_receivers: Vec<PeerReceivers<P::Msg>> = receivers_iter.collect();
+
+        for (i, rxs) in node_receivers.into_iter().enumerate() {
+            let me = members[i];
+            let node = (self.factory)(&members, me);
+            let io = NodeIo::new(std::mem::take(&mut senders[i]));
+            let m = Arc::clone(&metrics[i]);
+            let core = core_ids.get(i % core_ids.len().max(1)).copied();
+            let handle = std::thread::Builder::new()
+                .name(format!("replica-{}", me))
+                .spawn(move || {
+                    if let Some(core) = core {
+                        let _ = core_affinity::set_for_current(core);
+                    }
+                    replica_loop(node, rxs, io, m);
+                })
+                .expect("spawn replica thread");
+            threads.push(handle);
+        }
+
+        let clients = client_receivers
+            .into_iter()
+            .enumerate()
+            .map(|(j, rxs)| {
+                let me = NodeId((r + j) as u16);
+                let mut mailbox = Mailbox::new();
+                for (peer, rx) in rxs {
+                    mailbox.add_peer(peer, rx);
+                }
+                ClientHandle {
+                    me,
+                    replicas: members.clone(),
+                    io: NodeIo::new(std::mem::take(&mut senders[r + j])),
+                    mailbox,
+                    next_req: 1,
+                    target: 0,
+                    timeout: Duration::from_millis(100),
+                }
+            })
+            .collect();
+
+        (
+            Cluster {
+                threads,
+                metrics,
+                shutdown: ShutdownFan {
+                    members: members.clone(),
+                },
+            },
+            clients,
+        )
+    }
+}
+
+struct ShutdownFan {
+    members: Vec<NodeId>,
+}
+
+/// A running cluster of replica threads.
+#[derive(Debug)]
+pub struct Cluster {
+    threads: Vec<JoinHandle<()>>,
+    metrics: Vec<Arc<NodeMetrics>>,
+    #[allow(dead_code)]
+    shutdown: ShutdownFan,
+}
+
+impl std::fmt::Debug for ShutdownFan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShutdownFan")
+            .field("members", &self.members)
+            .finish()
+    }
+}
+
+impl Cluster {
+    /// Per-replica counters.
+    pub fn metrics(&self) -> &[Arc<NodeMetrics>] {
+        &self.metrics
+    }
+
+    /// Number of replica threads.
+    pub fn len(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Whether the cluster has no replicas (never true after `spawn`).
+    pub fn is_empty(&self) -> bool {
+        self.threads.is_empty()
+    }
+
+    /// Requests shutdown via a client handle and joins all replica
+    /// threads.
+    pub fn shutdown<M: Clone + std::fmt::Debug + Send + 'static>(
+        self,
+        client: &mut ClientHandle<M>,
+    ) {
+        for &m in client.replicas.clone().iter() {
+            client.io.send(m, Wire::Shutdown);
+        }
+        while client.io.flush() {
+            std::thread::yield_now();
+        }
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+}
+
+fn replica_loop<P: Protocol>(
+    mut node: P,
+    rxs: PeerReceivers<P::Msg>,
+    mut io: NodeIo<P::Msg>,
+    metrics: Arc<NodeMetrics>,
+) {
+    let start = Instant::now();
+    let now_ns = || start.elapsed().as_nanos() as Nanos;
+    let mut mailbox = Mailbox::new();
+    for (peer, rx) in rxs {
+        mailbox.add_peer(peer, rx);
+    }
+    let mut applier: Applier<KvStore> = Applier::new(KvStore::new());
+    let mut timers: BTreeMap<Timer, Nanos> = BTreeMap::new();
+    // Replies whose state-machine output is not yet applied (log gap).
+    let mut deferred_replies: Vec<(NodeId, u64, Instance)> = Vec::new();
+    let mut out = Outbox::new();
+
+    node.on_start(now_ns(), &mut out);
+    process_actions(
+        &mut out,
+        &mut io,
+        &mut applier,
+        &mut timers,
+        &mut deferred_replies,
+        &metrics,
+        now_ns(),
+    );
+
+    loop {
+        let mut progressed = io.flush();
+        // Fire due timers.
+        let now = now_ns();
+        let due: Vec<Timer> = timers
+            .iter()
+            .filter(|&(_, &at)| at <= now)
+            .map(|(&t, _)| t)
+            .collect();
+        for t in due {
+            timers.remove(&t);
+            node.on_timer(t, now, &mut out);
+            process_actions(
+                &mut out,
+                &mut io,
+                &mut applier,
+                &mut timers,
+                &mut deferred_replies,
+                &metrics,
+                now,
+            );
+            progressed = true;
+        }
+        // Drain a bounded batch of inbound messages.
+        for _ in 0..64 {
+            let Some((from, wire)) = mailbox.poll() else {
+                break;
+            };
+            metrics.received.fetch_add(1, Ordering::Relaxed);
+            progressed = true;
+            let now = now_ns();
+            match wire {
+                Wire::Peer(m) => node.on_message(from, m, now, &mut out),
+                Wire::Request { client, req_id, op } => {
+                    node.on_client_request(client, req_id, op, now, &mut out)
+                }
+                Wire::Reply { .. } => {} // replicas do not receive replies
+                Wire::Shutdown => return,
+            }
+            process_actions(
+                &mut out,
+                &mut io,
+                &mut applier,
+                &mut timers,
+                &mut deferred_replies,
+                &metrics,
+                now,
+            );
+        }
+        // Retry replies that waited for the state machine to catch up.
+        if !deferred_replies.is_empty() {
+            let mut still = Vec::new();
+            for (client, req_id, instance) in deferred_replies.drain(..) {
+                match applier.output_of(client, req_id) {
+                    Some(v) => {
+                        let value = *v;
+                        io.send(client, Wire::Reply { req_id, instance, value });
+                        metrics.sent.fetch_add(1, Ordering::Relaxed);
+                    }
+                    None => still.push((client, req_id, instance)),
+                }
+            }
+            deferred_replies = still;
+        }
+        if !progressed {
+            // Idle: be polite on shared machines (the dev box has far
+            // fewer cores than the paper's testbed).
+            std::thread::yield_now();
+        }
+    }
+}
+
+fn process_actions<M>(
+    out: &mut Outbox<M>,
+    io: &mut NodeIo<M>,
+    applier: &mut Applier<KvStore>,
+    timers: &mut BTreeMap<Timer, Nanos>,
+    deferred_replies: &mut Vec<(NodeId, u64, Instance)>,
+    metrics: &NodeMetrics,
+    now: Nanos,
+) {
+    for action in out.take() {
+        match action {
+            Action::Send { to, msg } => {
+                io.send(to, Wire::Peer(msg));
+                metrics.sent.fetch_add(1, Ordering::Relaxed);
+            }
+            Action::Reply {
+                client,
+                req_id,
+                instance,
+            } => match applier.output_of(client, req_id) {
+                Some(v) => {
+                    let value = *v;
+                    io.send(client, Wire::Reply { req_id, instance, value });
+                    metrics.sent.fetch_add(1, Ordering::Relaxed);
+                }
+                None => deferred_replies.push((client, req_id, instance)),
+            },
+            Action::Commit { instance, cmd } => {
+                applier.on_decided(instance, cmd);
+                metrics.committed.fetch_add(1, Ordering::Relaxed);
+            }
+            Action::SetTimer { timer, after } => {
+                timers.insert(timer, now + after);
+            }
+            Action::CancelTimer { timer } => {
+                timers.remove(&timer);
+            }
+        }
+    }
+}
+
+/// Error returned when a command cannot be committed in time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubmitTimeout;
+
+impl std::fmt::Display for SubmitTimeout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("request timed out before the cluster replied")
+    }
+}
+
+impl std::error::Error for SubmitTimeout {}
+
+/// A synchronous client: submits one command at a time and waits for its
+/// commit acknowledgement, re-targeting replicas on timeout — exactly the
+/// closed loop the paper's load generators run (§7.1, §7.6).
+#[derive(Debug)]
+pub struct ClientHandle<M> {
+    me: NodeId,
+    replicas: Vec<NodeId>,
+    io: NodeIo<M>,
+    mailbox: Mailbox<NodeId, Wire<M>>,
+    next_req: u64,
+    target: usize,
+    timeout: Duration,
+}
+
+impl<M> std::fmt::Debug for NodeIo<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeIo")
+            .field("peers", &self.senders.len())
+            .field("sent", &self.sent)
+            .finish()
+    }
+}
+
+impl<M: Clone + std::fmt::Debug + Send + 'static> ClientHandle<M> {
+    /// This client's node id.
+    pub fn id(&self) -> NodeId {
+        self.me
+    }
+
+    /// Sets the per-attempt patience before re-sending to the next
+    /// replica (default 100 ms — generous because the dev machine may
+    /// heavily oversubscribe its cores).
+    pub fn set_timeout(&mut self, t: Duration) {
+        self.timeout = t;
+    }
+
+    /// Submits `op` and blocks until it commits, retrying other replicas
+    /// on timeout. Returns the state-machine output (previous value for
+    /// `Put`, current value for `Get`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SubmitTimeout`] after trying every replica twice without
+    /// an acknowledgement.
+    pub fn submit(&mut self, op: Op) -> Result<Option<u64>, SubmitTimeout> {
+        let req_id = self.next_req;
+        self.next_req += 1;
+        let attempts = self.replicas.len() * 2;
+        for _ in 0..attempts {
+            let target = self.replicas[self.target % self.replicas.len()];
+            self.io.send(
+                target,
+                Wire::Request {
+                    client: self.me,
+                    req_id,
+                    op,
+                },
+            );
+            let deadline = Instant::now() + self.timeout;
+            while Instant::now() < deadline {
+                self.io.flush();
+                match self.mailbox.poll() {
+                    Some((_, Wire::Reply { req_id: r, value, .. })) if r == req_id => {
+                        return Ok(value);
+                    }
+                    Some(_) => {} // stale reply for an older request
+                    None => std::thread::yield_now(),
+                }
+            }
+            // "Once the clients detect the slow leader, they send their
+            // requests to other nodes" (§7.6).
+            self.target += 1;
+        }
+        Err(SubmitTimeout)
+    }
+
+    /// Convenience: replicated write.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SubmitTimeout`].
+    pub fn put(&mut self, key: u64, value: u64) -> Result<Option<u64>, SubmitTimeout> {
+        self.submit(Op::Put { key, value })
+    }
+
+    /// Convenience: linearized read (ordered through consensus, §7.5).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SubmitTimeout`].
+    pub fn get(&mut self, key: u64) -> Result<Option<u64>, SubmitTimeout> {
+        self.submit(Op::Get { key })
+    }
+
+    /// Asks one replica to shut down — fault injection for tests and
+    /// demos ("crashes" in the paper's model are slow cores; a stopped
+    /// thread is the limit case).
+    pub fn stop_replica(&mut self, node: NodeId) {
+        self.io.send(node, Wire::Shutdown);
+        while self.io.flush() {
+            std::thread::yield_now();
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Wire format between processes: protocol messages plus the client
+//! request/reply traffic that the paper treats as ordinary messages.
+
+use onepaxos::{Instance, NodeId, Op};
+
+/// A message travelling over a qc-channel queue between two processes.
+#[derive(Clone, Debug)]
+pub enum Wire<M> {
+    /// A protocol message between replicas.
+    Peer(M),
+    /// A client command submitted to a replica.
+    Request {
+        /// Originating client.
+        client: NodeId,
+        /// Client-local request id.
+        req_id: u64,
+        /// Operation to replicate.
+        op: Op,
+    },
+    /// A commit acknowledgement back to a client, carrying the
+    /// state-machine output (the read value for `Get`s).
+    Reply {
+        /// The request being acknowledged.
+        req_id: u64,
+        /// The slot the command committed in.
+        instance: Instance,
+        /// State-machine output (previous/read value).
+        value: Option<u64>,
+    },
+    /// Orderly shutdown of the receiving process.
+    Shutdown,
+}

@@ -1,0 +1,168 @@
+//! Measurement plumbing: latency distributions, throughput timelines,
+//! per-core utilization.
+
+use onepaxos::{Nanos, NANOS_PER_SEC};
+
+/// A latency sample collection with percentile queries.
+#[derive(Clone, Debug, Default)]
+pub struct LatencyStats {
+    samples: Vec<Nanos>,
+    sorted: bool,
+}
+
+impl LatencyStats {
+    /// Creates an empty collection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, v: Nanos) {
+        self.samples.push(v);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean, or 0 if empty.
+    pub fn mean(&self) -> Nanos {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        let sum: u128 = self.samples.iter().map(|&v| v as u128).sum();
+        (sum / self.samples.len() as u128) as Nanos
+    }
+
+    fn sorted_samples(&mut self) -> &[Nanos] {
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+        &self.samples
+    }
+
+    /// The `q`-quantile (0.0 ≤ q ≤ 1.0), or 0 if empty.
+    pub fn quantile(&mut self, q: f64) -> Nanos {
+        let s = self.sorted_samples();
+        if s.is_empty() {
+            return 0;
+        }
+        let idx = ((s.len() - 1) as f64 * q).round() as usize;
+        s[idx]
+    }
+
+    /// Median latency.
+    pub fn p50(&mut self) -> Nanos {
+        self.quantile(0.50)
+    }
+
+    /// 99th percentile latency.
+    pub fn p99(&mut self) -> Nanos {
+        self.quantile(0.99)
+    }
+}
+
+/// Commit counts per fixed-width time bucket (Fig 11 plots throughput in
+/// 10 ms buckets).
+#[derive(Clone, Debug)]
+pub struct Timeline {
+    bucket_width: Nanos,
+    buckets: Vec<u64>,
+}
+
+impl Timeline {
+    /// Creates a timeline with the given bucket width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_width` is zero.
+    pub fn new(bucket_width: Nanos) -> Self {
+        assert!(bucket_width > 0, "bucket width must be positive");
+        Timeline {
+            bucket_width,
+            buckets: Vec::new(),
+        }
+    }
+
+    /// Records one completion at time `t`.
+    pub fn record(&mut self, t: Nanos) {
+        let idx = (t / self.bucket_width) as usize;
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+    }
+
+    /// The bucket width.
+    pub fn bucket_width(&self) -> Nanos {
+        self.bucket_width
+    }
+
+    /// Counts per bucket, from time zero.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Iterator of (bucket start time, ops/sec within the bucket).
+    pub fn rates(&self) -> impl Iterator<Item = (Nanos, f64)> + '_ {
+        let w = self.bucket_width;
+        self.buckets.iter().enumerate().map(move |(i, &c)| {
+            (
+                i as Nanos * w,
+                c as f64 * (NANOS_PER_SEC as f64 / w as f64),
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_stats_basics() {
+        let mut s = LatencyStats::new();
+        for v in [10, 20, 30, 40, 50] {
+            s.record(v);
+        }
+        assert_eq!(s.mean(), 30);
+        assert_eq!(s.p50(), 30);
+        assert_eq!(s.quantile(1.0), 50);
+        assert_eq!(s.quantile(0.0), 10);
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let mut s = LatencyStats::new();
+        assert_eq!(s.mean(), 0);
+        assert_eq!(s.p99(), 0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn timeline_buckets_and_rates() {
+        let mut t = Timeline::new(10_000_000); // 10 ms, as in Fig 11
+        t.record(5_000_000);
+        t.record(9_999_999);
+        t.record(25_000_000);
+        assert_eq!(t.buckets(), &[2, 0, 1]);
+        let rates: Vec<(Nanos, f64)> = t.rates().collect();
+        assert_eq!(rates[0], (0, 200.0)); // 2 ops / 10 ms = 200 op/s
+        assert_eq!(rates[2].1, 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width")]
+    fn zero_bucket_width_rejected() {
+        let _ = Timeline::new(0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Network profiles: the many-core machines of §7.1 and the LAN of §3.
+//!
+//! The paper's central measurement (§3): inside a many-core the
+//! *transmission* delay (0.5 µs — CPU time to place a message on the
+//! medium) and the *propagation* delay (0.55 µs) are of the same order
+//! (ratio ≈ 1), whereas on a LAN they are 2 µs vs 135 µs (ratio ≈ 0.015).
+//! Message transmission therefore consumes the scarce resource (core
+//! cycles), which is what the simulator charges to the sending and
+//! receiving cores.
+
+use onepaxos::Nanos;
+
+/// Cost model and topology of one simulated machine/network.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Profile {
+    /// Human-readable name (used in reports).
+    pub name: &'static str,
+    /// Total number of cores (= maximum number of processes).
+    pub cores: usize,
+    /// Cores per socket; cores on the same socket share the LLC and get
+    /// [`prop_local`](Self::prop_local) latency (Fig 1).
+    pub cores_per_socket: usize,
+    /// CPU time to transmit one message (charged to the sender core).
+    pub tx: Nanos,
+    /// CPU time to marshal one outbound message before transmitting it
+    /// (the paper's "message copy operations", §7.2); also charged to the
+    /// sender core.
+    pub marshal: Nanos,
+    /// CPU time to receive one message (charged to the receiver core).
+    pub rx: Nanos,
+    /// CPU time of protocol processing per handled event.
+    pub handle: Nanos,
+    /// Propagation delay between cores on the same socket.
+    pub prop_local: Nanos,
+    /// Propagation delay between cores on different sockets.
+    pub prop_remote: Nanos,
+    /// CPU time to service a timer event.
+    pub timer_cost: Nanos,
+    /// Maximum uniform jitter added to propagation delays.
+    pub jitter: Nanos,
+}
+
+impl Profile {
+    /// The paper's main testbed: eight 6-core AMD Opteron processors,
+    /// 48 cores total (§7.1). Costs calibrated from the §3 measurements:
+    /// 0.5 µs transmission, ~0.55 µs propagation, with ~1.4 µs of protocol
+    /// handling per message event.
+    pub fn opteron48() -> Self {
+        Profile {
+            name: "opteron-48",
+            cores: 48,
+            cores_per_socket: 6,
+            tx: 500,
+            marshal: 500,
+            rx: 500,
+            handle: 1_400,
+            prop_local: 400,
+            prop_remote: 650,
+            timer_cost: 100,
+            jitter: 60,
+        }
+    }
+
+    /// The §2.2/§7.6 slow-core testbed: four 2-core AMD Opteron
+    /// processors, 8 cores total.
+    pub fn opteron8() -> Self {
+        Profile {
+            cores: 8,
+            cores_per_socket: 2,
+            name: "opteron-8",
+            ..Self::opteron48()
+        }
+    }
+
+    /// The §3 LAN: 2 µs transmission, 135 µs propagation (ratio 0.015).
+    /// `nodes` machines, each its own "socket".
+    pub fn lan(nodes: usize) -> Self {
+        Profile {
+            name: "lan",
+            cores: nodes,
+            cores_per_socket: 1,
+            tx: 2_000,
+            marshal: 500,
+            rx: 2_000,
+            handle: 1_400,
+            prop_local: 135_000,
+            prop_remote: 135_000,
+            timer_cost: 100,
+            jitter: 4_000,
+        }
+    }
+
+    /// The socket a core lives on.
+    pub fn socket_of(&self, core: usize) -> usize {
+        core / self.cores_per_socket
+    }
+
+    /// Propagation delay between two cores, before jitter: local within a
+    /// socket, remote across the interconnect (Fig 1); zero to self.
+    pub fn prop(&self, from: usize, to: usize) -> Nanos {
+        if from == to {
+            0
+        } else if self.socket_of(from) == self.socket_of(to) {
+            self.prop_local
+        } else {
+            self.prop_remote
+        }
+    }
+
+    /// The transmission/propagation ratio of this profile — ≈ 1 on a
+    /// many-core, ≈ 0.015 on a LAN (§3).
+    pub fn trans_prop_ratio(&self) -> f64 {
+        self.tx as f64 / self.prop_remote as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn socket_layout_matches_paper() {
+        let p = Profile::opteron48();
+        assert_eq!(p.cores, 48);
+        assert_eq!(p.socket_of(0), 0);
+        assert_eq!(p.socket_of(5), 0);
+        assert_eq!(p.socket_of(6), 1);
+        assert_eq!(p.socket_of(47), 7);
+    }
+
+    #[test]
+    fn propagation_is_nonuniform() {
+        let p = Profile::opteron48();
+        assert_eq!(p.prop(0, 0), 0);
+        assert!(p.prop(0, 1) < p.prop(0, 6)); // same socket vs cross socket
+    }
+
+    #[test]
+    fn ratio_separates_manycore_from_lan() {
+        // §3: "the ratio between the transmission delay and the
+        // propagation delay is much larger in the case of a many-core".
+        let mc = Profile::opteron48().trans_prop_ratio();
+        let lan = Profile::lan(3).trans_prop_ratio();
+        assert!(mc > 0.5, "many-core ratio ≈ 1, got {mc}");
+        assert!(lan < 0.05, "LAN ratio ≈ 0.015, got {lan}");
+        assert!(mc / lan > 40.0, "at least two orders of magnitude apart");
+    }
+
+    #[test]
+    fn lan_profile_has_uniform_latency() {
+        let p = Profile::lan(5);
+        assert_eq!(p.prop(0, 1), p.prop(0, 4));
+    }
+}

@@ -1,0 +1,140 @@
+//! Tests for the deployment options: client spreading (multi-leader
+//! protocols) and physical core placement (Fig 1 non-uniform latency).
+
+use manycore_sim::{Profile, SimBuilder};
+use onepaxos::mencius::MenciusNode;
+use onepaxos::onepaxos::OnePaxosNode;
+use onepaxos::{ClusterConfig, NodeId};
+
+fn cfg(m: &[NodeId], me: NodeId) -> ClusterConfig {
+    ClusterConfig::new(m.to_vec(), me)
+}
+
+#[test]
+fn spread_clients_unlocks_mencius_scaling() {
+    let skewed = SimBuilder::new(Profile::opteron48(), |m, me| MenciusNode::new(cfg(m, me)))
+        .clients(9)
+        .duration(100_000_000)
+        .warmup(15_000_000)
+        .run()
+        .throughput;
+    let spread = SimBuilder::new(Profile::opteron48(), |m, me| MenciusNode::new(cfg(m, me)))
+        .clients(9)
+        .spread_clients(true)
+        .duration(100_000_000)
+        .warmup(15_000_000)
+        .run()
+        .throughput;
+    assert!(
+        spread > 2.0 * skewed,
+        "balanced Mencius must far outpace skewed: {spread:.0} vs {skewed:.0}"
+    );
+}
+
+#[test]
+fn placement_changes_latency_not_saturation() {
+    // Fig 1: same-LLC communication is faster; §3: throughput is bound by
+    // transmission CPU, which placement does not change.
+    let lat = |placement: Vec<usize>| {
+        SimBuilder::new(Profile::opteron48(), |m, me| OnePaxosNode::new(cfg(m, me)))
+            .replicas(3)
+            .clients(1)
+            .placement(placement)
+            .requests_per_client(500)
+            .run()
+            .mean_latency_us()
+    };
+    let same_socket = lat(vec![0, 1, 2, 3]);
+    let cross_socket = lat(vec![0, 6, 12, 18]);
+    assert!(
+        cross_socket > same_socket + 0.5,
+        "cross-socket propagation must show: {cross_socket} vs {same_socket}"
+    );
+}
+
+#[test]
+#[should_panic(expected = "placement must cover every process")]
+fn placement_must_cover_all_processes() {
+    let _ = SimBuilder::new(Profile::opteron48(), |m, me| OnePaxosNode::new(cfg(m, me)))
+        .replicas(3)
+        .clients(2)
+        .placement(vec![0, 1, 2]) // 5 processes, 3 entries
+        .run();
+}
+
+#[test]
+#[should_panic(expected = "placement cores must be distinct")]
+fn placement_cores_must_be_distinct() {
+    let _ = SimBuilder::new(Profile::opteron48(), |m, me| OnePaxosNode::new(cfg(m, me)))
+        .replicas(3)
+        .clients(1)
+        .placement(vec![0, 1, 1, 2])
+        .run();
+}
+
+#[test]
+fn relaxed_reads_outscale_linearized_reads() {
+    use manycore_sim::Workload;
+    let run = |relaxed: bool| {
+        SimBuilder::new(Profile::opteron48(), move |m: &[NodeId], me| {
+            let n = OnePaxosNode::new(cfg(m, me));
+            if relaxed {
+                n.with_relaxed_reads()
+            } else {
+                n
+            }
+        })
+        .joint(5)
+        .workload(Workload::ReadMix { read_pct: 90, keys: 64 })
+        .duration(100_000_000)
+        .warmup(15_000_000)
+        .run()
+        .throughput
+    };
+    let (lin, rel) = (run(false), run(true));
+    assert!(
+        rel > 3.0 * lin,
+        "90% relaxed reads must dominate: {rel:.0} vs {lin:.0}"
+    );
+}
+
+#[test]
+fn leader_core_saturates_first() {
+    // §7.3: "the processing power of the replicas is the bottleneck for
+    // scalability" — at saturation the leader core is the busiest and
+    // close to fully utilized.
+    let r = SimBuilder::new(Profile::opteron48(), |m, me| OnePaxosNode::new(cfg(m, me)))
+        .replicas(3)
+        .clients(20)
+        .duration(100_000_000)
+        .warmup(10_000_000)
+        .run();
+    let leader = r.utilization[0];
+    assert!(leader > 0.9, "saturated leader utilization: {leader}");
+    // The acceptor works less than the leader; the backup only plays the
+    // learner role (one inbound learn per commit), well below both.
+    assert!(r.utilization[1] < leader);
+    assert!(
+        r.utilization[2] < r.utilization[1],
+        "backup {} vs acceptor {}",
+        r.utilization[2],
+        r.utilization[1]
+    );
+    assert!(r.utilization[2] < 0.5, "backup acceptor: {}", r.utilization[2]);
+}
+
+#[test]
+fn unsaturated_clients_are_latency_bound() {
+    // One client: throughput == 1/latency (closed loop identity).
+    let r = SimBuilder::new(Profile::opteron48(), |m, me| OnePaxosNode::new(cfg(m, me)))
+        .replicas(3)
+        .clients(1)
+        .requests_per_client(1_000)
+        .run();
+    let implied = 1e9 / (r.latency.mean() as f64);
+    let ratio = r.throughput / implied;
+    assert!(
+        (0.9..1.1).contains(&ratio),
+        "closed-loop identity violated: {ratio}"
+    );
+}

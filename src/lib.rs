@@ -1,0 +1,19 @@
+//! Facade crate for the *Consensus Inside* reproduction: re-exports the
+//! protocol library, the many-core simulator substrate, the shared-memory
+//! message-passing framework and the threaded runtime.
+//!
+//! See the individual crates for details:
+//!
+//! * [`onepaxos`] — 1Paxos, Multi-Paxos, Basic-Paxos, 2PC as sans-IO state
+//!   machines (the paper's contribution and baselines).
+//! * [`manycore_sim`] — deterministic discrete-event simulator of a
+//!   many-core machine viewed as a network (reproduces the 48-core
+//!   experiments).
+//! * [`qc_channel`] — lock-free shared-memory message passing
+//!   (the QC-libtask analogue of §6).
+//! * [`onepaxos_runtime`] — real-thread deployment over `qc_channel`.
+
+pub use manycore_sim;
+pub use onepaxos;
+pub use onepaxos_runtime;
+pub use qc_channel;

@@ -1,0 +1,164 @@
+//! Fault-injection integration tests: the paper's resilience story end to
+//! end on the simulator (Fig 11, §2.2, §5.2–§5.4).
+
+use consensus_inside::manycore_sim::{Fault, Profile, SimBuilder};
+use consensus_inside::onepaxos::multipaxos::{self, MultiPaxosNode};
+use consensus_inside::onepaxos::onepaxos::{OnePaxosNode, Timing};
+use consensus_inside::onepaxos::twopc::TwoPcNode;
+use consensus_inside::onepaxos::{ClusterConfig, NodeId};
+
+fn cfg(m: &[NodeId], me: NodeId) -> ClusterConfig {
+    ClusterConfig::new(m.to_vec(), me)
+}
+
+const DUR: u64 = 2_000_000_000;
+const FAULT_AT: u64 = 700_000_000;
+
+fn paced_onepaxos(faults: &[Fault]) -> Vec<f64> {
+    let timing = Timing {
+        tick: 1_000_000,
+        io_timeout: 40_000_000,
+        suspect_after: 80_000_000,
+    };
+    let mut b = SimBuilder::new(Profile::opteron8(), move |m: &[NodeId], me| {
+        OnePaxosNode::with_timing(cfg(m, me), timing)
+    })
+    .replicas(3)
+    .clients(5)
+    .think(2_000_000)
+    .client_timeout(40_000_000)
+    .duration(DUR);
+    for f in faults {
+        b = b.fault(*f);
+    }
+    b.run().timeline.rates().map(|(_, v)| v).collect()
+}
+
+fn tail_max(rates: &[f64]) -> f64 {
+    rates.iter().rev().take(15).copied().fold(0.0, f64::max)
+}
+
+fn head_max(rates: &[f64]) -> f64 {
+    rates.iter().take(50).copied().fold(0.0, f64::max)
+}
+
+#[test]
+fn onepaxos_recovers_from_slow_leader() {
+    let rates = paced_onepaxos(&[Fault {
+        at: FAULT_AT,
+        core: 0,
+        slowdown: 5000.0,
+    }]);
+    let before = head_max(&rates);
+    let after = tail_max(&rates);
+    assert!(before > 2_000.0, "steady state before fault: {before}");
+    assert!(
+        after > before * 0.9,
+        "1Paxos must recover to the same level: {after} vs {before}"
+    );
+    // And there is a visible gap during the change.
+    let dip = rates[70..90].iter().copied().fold(f64::INFINITY, f64::min);
+    assert!(dip < before * 0.2, "leader change dip: {dip}");
+}
+
+#[test]
+fn onepaxos_survives_slow_acceptor_via_backup() {
+    let rates = paced_onepaxos(&[Fault {
+        at: FAULT_AT,
+        core: 1, // the active acceptor
+        slowdown: 5000.0,
+    }]);
+    let after = tail_max(&rates);
+    assert!(
+        after > 2_000.0,
+        "backup acceptor must restore throughput: {after}"
+    );
+}
+
+#[test]
+fn onepaxos_blocks_on_double_failure_until_one_recovers() {
+    // §5.4: leader + active acceptor slow simultaneously → liveness (not
+    // safety) suffers until either responds again.
+    let recover_at = FAULT_AT + 600_000_000;
+    let rates = paced_onepaxos(&[
+        Fault { at: FAULT_AT, core: 0, slowdown: 5000.0 },
+        Fault { at: FAULT_AT, core: 1, slowdown: 5000.0 },
+        Fault { at: recover_at, core: 1, slowdown: 1.0 },
+    ]);
+    // Blocked window: (fault, recover) — allow slack for detection.
+    let blocked = &rates[(FAULT_AT / 10_000_000 + 15) as usize..(recover_at / 10_000_000) as usize];
+    let max_blocked = blocked.iter().copied().fold(0.0f64, f64::max);
+    assert!(
+        max_blocked < 500.0,
+        "no progress while both are slow: {max_blocked}"
+    );
+    let after = tail_max(&rates);
+    assert!(
+        after > 2_000.0,
+        "progress resumes once the acceptor responds: {after}"
+    );
+}
+
+#[test]
+fn multipaxos_recovers_but_twopc_does_not() {
+    let mp_timing = multipaxos::Timing {
+        tick: 1_000_000,
+        suspect_after: 80_000_000,
+    };
+    let fault = Fault {
+        at: FAULT_AT,
+        core: 0,
+        slowdown: 5000.0,
+    };
+    let mp = SimBuilder::new(Profile::opteron8(), move |m: &[NodeId], me| {
+        MultiPaxosNode::with_timing(cfg(m, me), mp_timing)
+    })
+    .replicas(3)
+    .clients(5)
+    .think(2_000_000)
+    .client_timeout(40_000_000)
+    .duration(DUR)
+    .fault(fault)
+    .run();
+    let mp_rates: Vec<f64> = mp.timeline.rates().map(|(_, v)| v).collect();
+    assert!(
+        tail_max(&mp_rates) > head_max(&mp_rates) * 0.9,
+        "Multi-Paxos (non-blocking) must also recover"
+    );
+
+    let two = SimBuilder::new(Profile::opteron8(), |m: &[NodeId], me| {
+        TwoPcNode::new(cfg(m, me))
+    })
+    .replicas(3)
+    .clients(5)
+    .think(2_000_000)
+    .client_timeout(40_000_000)
+    .duration(DUR)
+    .fault(fault)
+    .run();
+    let two_rates: Vec<f64> = two.timeline.rates().map(|(_, v)| v).collect();
+    assert!(
+        tail_max(&two_rates) < head_max(&two_rates) * 0.2,
+        "2PC (blocking) must stay down: {} vs {}",
+        tail_max(&two_rates),
+        head_max(&two_rates)
+    );
+}
+
+#[test]
+fn slow_backup_acceptor_does_not_affect_onepaxos() {
+    // The defining 1Paxos property: backups are outside the fast path.
+    let rates = paced_onepaxos(&[Fault {
+        at: FAULT_AT,
+        core: 2, // a backup acceptor
+        slowdown: 5000.0,
+    }]);
+    let before = head_max(&rates);
+    // No dip at all around the fault.
+    let around = &rates[(FAULT_AT / 10_000_000) as usize..(FAULT_AT / 10_000_000 + 20) as usize];
+    let min_around = around.iter().copied().fold(f64::INFINITY, f64::min);
+    assert!(
+        min_around > before * 0.7,
+        "slow backup must not dent throughput: {min_around} vs {before}"
+    );
+}

@@ -1,0 +1,119 @@
+//! Cross-crate integration: every protocol deployed on the many-core
+//! simulator commits client commands consistently.
+
+use consensus_inside::manycore_sim::{Profile, SimBuilder, Workload};
+use consensus_inside::onepaxos::basic_paxos::BasicPaxosNode;
+use consensus_inside::onepaxos::multipaxos::MultiPaxosNode;
+use consensus_inside::onepaxos::onepaxos::OnePaxosNode;
+use consensus_inside::onepaxos::twopc::TwoPcNode;
+use consensus_inside::onepaxos::{ClusterConfig, NodeId};
+
+fn cfg(m: &[NodeId], me: NodeId) -> ClusterConfig {
+    ClusterConfig::new(m.to_vec(), me)
+}
+
+#[test]
+fn all_protocols_complete_the_budget() {
+    macro_rules! check {
+        ($name:literal, $factory:expr) => {{
+            let r = SimBuilder::new(Profile::opteron48(), $factory)
+                .replicas(3)
+                .clients(4)
+                .requests_per_client(100)
+                .run();
+            assert_eq!(r.completed, 400, "{} completed", $name);
+            assert!(r.throughput > 0.0);
+        }};
+    }
+    check!("1Paxos", |m: &[NodeId], me| OnePaxosNode::new(cfg(m, me)));
+    check!("Multi-Paxos", |m: &[NodeId], me| MultiPaxosNode::new(cfg(m, me)));
+    check!("2PC", |m: &[NodeId], me| TwoPcNode::new(cfg(m, me)));
+    check!("Basic-Paxos", |m: &[NodeId], me| BasicPaxosNode::new(cfg(m, me)));
+}
+
+#[test]
+fn replica_state_machines_converge() {
+    // A write-heavy KV workload across many clients: after the run, the
+    // replicas' KV digests must agree (the commit oracle inside the sim
+    // already asserts per-instance agreement; this checks end state).
+    let r = SimBuilder::new(Profile::opteron48(), |m: &[NodeId], me| {
+        OnePaxosNode::new(cfg(m, me))
+    })
+    .replicas(3)
+    .clients(8)
+    .workload(Workload::ReadMix { read_pct: 25, keys: 64 })
+    .requests_per_client(200)
+    .run();
+    assert_eq!(r.completed, 1_600);
+    let d = &r.replica_digests;
+    assert_eq!(d[0], d[1], "replica 0 vs 1 diverged");
+    assert_eq!(d[1], d[2], "replica 1 vs 2 diverged");
+}
+
+#[test]
+fn five_replicas_work_for_all_quorum_protocols() {
+    macro_rules! check {
+        ($name:literal, $factory:expr) => {{
+            let r = SimBuilder::new(Profile::opteron48(), $factory)
+                .replicas(5)
+                .clients(4)
+                .requests_per_client(50)
+                .run();
+            assert_eq!(r.completed, 200, "{}", $name);
+        }};
+    }
+    check!("1Paxos", |m: &[NodeId], me| OnePaxosNode::new(cfg(m, me)));
+    check!("Multi-Paxos", |m: &[NodeId], me| MultiPaxosNode::new(cfg(m, me)));
+    check!("2PC", |m: &[NodeId], me| TwoPcNode::new(cfg(m, me)));
+}
+
+#[test]
+fn onepaxos_message_budget_is_half_of_multipaxos() {
+    // §4.3/Fig 3: 1Paxos halves the per-commit message count (with client
+    // traffic: 5 vs 10 per commit on three nodes).
+    let one = SimBuilder::new(Profile::opteron48(), |m: &[NodeId], me| {
+        OnePaxosNode::new(cfg(m, me))
+    })
+    .requests_per_client(500)
+    .run();
+    let multi = SimBuilder::new(Profile::opteron48(), |m: &[NodeId], me| {
+        MultiPaxosNode::new(cfg(m, me))
+    })
+    .requests_per_client(500)
+    .run();
+    let per_commit_one = one.total_messages as f64 / one.completed as f64;
+    let per_commit_multi = multi.total_messages as f64 / multi.completed as f64;
+    // 1Paxos: request + accept + 2 learns + reply = 5.
+    assert!(
+        (4.8..5.4).contains(&per_commit_one),
+        "1Paxos messages/commit = {per_commit_one}"
+    );
+    // Multi-Paxos: request + 2 accepts + 6 learns + reply = 10 (+ a few
+    // heartbeats).
+    assert!(
+        (9.5..11.5).contains(&per_commit_multi),
+        "Multi-Paxos messages/commit = {per_commit_multi}"
+    );
+    assert!(per_commit_multi / per_commit_one > 1.8, "the factor-of-two claim");
+}
+
+#[test]
+fn deterministic_runs_are_bit_identical() {
+    let go = |seed: u64| {
+        let r = SimBuilder::new(Profile::opteron48(), |m: &[NodeId], me| {
+            OnePaxosNode::new(cfg(m, me))
+        })
+        .clients(6)
+        .workload(Workload::ReadMix { read_pct: 50, keys: 16 })
+        .requests_per_client(100)
+        .seed(seed)
+        .run();
+        (r.completed, r.ended_at, r.total_messages, r.replica_digests)
+    };
+    assert_eq!(go(7), go(7));
+    // And a different seed gives a different (but still correct) schedule.
+    let (c_a, end_a, _, _) = go(7);
+    let (c_b, end_b, _, _) = go(8);
+    assert_eq!(c_a, c_b);
+    assert_ne!(end_a, end_b);
+}
