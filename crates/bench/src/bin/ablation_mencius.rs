@@ -29,18 +29,23 @@ fn cfg(m: &[NodeId], me: NodeId) -> ClusterConfig {
 
 fn main() {
     println!("§8 ablation — multi-leader (Mencius) vs single-leader, 3 replicas\n");
-    let mut t = Table::new(&["clients", "load", "Mencius op/s", "Multi-Paxos op/s", "1Paxos op/s"]);
+    let mut t = Table::new(&[
+        "clients",
+        "load",
+        "Mencius op/s",
+        "Multi-Paxos op/s",
+        "1Paxos op/s",
+    ]);
     for clients in [3usize, 9, 18, 30] {
         for spread in [true, false] {
-            let mencius = SimBuilder::new(Profile::opteron48(), |m, me| {
-                MenciusNode::new(cfg(m, me))
-            })
-            .clients(clients)
-            .spread_clients(spread)
-            .duration(DUR)
-            .warmup(WARM)
-            .run()
-            .throughput;
+            let mencius =
+                SimBuilder::new(Profile::opteron48(), |m, me| MenciusNode::new(cfg(m, me)))
+                    .clients(clients)
+                    .spread_clients(spread)
+                    .duration(DUR)
+                    .warmup(WARM)
+                    .run()
+                    .throughput;
             let multi = SimBuilder::new(Profile::opteron48(), |m, me| {
                 MultiPaxosNode::new(cfg(m, me))
             })
@@ -50,15 +55,13 @@ fn main() {
             .warmup(WARM)
             .run()
             .throughput;
-            let one = SimBuilder::new(Profile::opteron48(), |m, me| {
-                OnePaxosNode::new(cfg(m, me))
-            })
-            .clients(clients)
-            .spread_clients(spread)
-            .duration(DUR)
-            .warmup(WARM)
-            .run()
-            .throughput;
+            let one = SimBuilder::new(Profile::opteron48(), |m, me| OnePaxosNode::new(cfg(m, me)))
+                .clients(clients)
+                .spread_clients(spread)
+                .duration(DUR)
+                .warmup(WARM)
+                .run()
+                .throughput;
             t.row(&[
                 clients.to_string(),
                 if spread { "balanced" } else { "skewed" }.to_string(),

@@ -44,8 +44,16 @@ fn main() {
     // further sockets.
     let cross = run(vec![0, 6, 12, 18, 24, 30, 36, 42, 43]);
     let mut t = Table::new(&["placement", "latency (µs)", "throughput (op/s)"]);
-    t.row(&["replicas share one socket (LLC)".to_string(), us(same.0), ops(same.1)]);
-    t.row(&["replicas on three sockets".to_string(), us(cross.0), ops(cross.1)]);
+    t.row(&[
+        "replicas share one socket (LLC)".to_string(),
+        us(same.0),
+        ops(same.1),
+    ]);
+    t.row(&[
+        "replicas on three sockets".to_string(),
+        us(cross.0),
+        ops(cross.1),
+    ]);
     print!("{}", t.render());
     println!(
         "\nsame-LLC placement saves {:.1} µs per commit — propagation only; the CPU-bound",

@@ -8,7 +8,13 @@ use consensus_bench::table::{ops, Table};
 
 fn main() {
     println!("§8 — 1Paxos vs Multi-Paxos over an IP network (LAN profile)\n");
-    let mut t = Table::new(&["clients", "1Paxos op/s", "Multi-Paxos op/s", "ratio", "paper"]);
+    let mut t = Table::new(&[
+        "clients",
+        "1Paxos op/s",
+        "Multi-Paxos op/s",
+        "ratio",
+        "paper",
+    ]);
     for clients in [20usize, 50, 100] {
         let (one, multi) = exp_ip(clients, 3_000_000_000);
         t.row(&[

@@ -23,7 +23,10 @@ fn run(n: usize, read_pct: u8, relaxed: bool) -> f64 {
         }
     })
     .joint(n)
-    .workload(Workload::ReadMix { read_pct, keys: 128 })
+    .workload(Workload::ReadMix {
+        read_pct,
+        keys: 128,
+    })
     .duration(DUR)
     .warmup(DUR / 8)
     .run()

@@ -30,5 +30,7 @@ fn main() {
         t.row(&[label.clone(), ops(find(3)), ops(find(5))]);
     }
     print!("{}", t.render());
-    println!("\npaper shape: 75% reads let 2PC-Joint keep up with 1Paxos at 3 clients but not at 5.");
+    println!(
+        "\npaper shape: 75% reads let 2PC-Joint keep up with 1Paxos at 3 clients but not at 5."
+    );
 }

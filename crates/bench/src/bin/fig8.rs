@@ -26,9 +26,11 @@ fn main() {
     ]);
     for (i, &c) in clients.iter().enumerate() {
         let row: Vec<String> = std::iter::once(c.to_string())
-            .chain(series.iter().flat_map(|(_, pts)| {
-                [ops(pts[i].throughput), us(pts[i].latency_us)]
-            }))
+            .chain(
+                series
+                    .iter()
+                    .flat_map(|(_, pts)| [ops(pts[i].throughput), us(pts[i].latency_us)]),
+            )
             .collect();
         t.row(&row);
     }

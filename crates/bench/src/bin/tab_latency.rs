@@ -10,7 +10,12 @@ use consensus_bench::table::{ops, us, Table};
 fn main() {
     let rows = tab_latency(2_000);
     let paper = [16.0, 19.6, 21.4];
-    let mut t = Table::new(&["protocol", "latency (µs)", "paper (µs)", "throughput (op/s)"]);
+    let mut t = Table::new(&[
+        "protocol",
+        "latency (µs)",
+        "paper (µs)",
+        "throughput (op/s)",
+    ]);
     for ((p, lat, tput), paper_lat) in rows.into_iter().zip(paper) {
         t.row(&[p.name().to_string(), us(lat), us(paper_lat), ops(tput)]);
     }

@@ -37,7 +37,10 @@ fn main() {
         "135000".to_string(),
         "0.015".to_string(),
     ]);
-    println!("§3 — network characteristics (single-slot cycle measured: {:.0} ns)\n", m.single_slot_cycle_ns);
+    println!(
+        "§3 — network characteristics (single-slot cycle measured: {:.0} ns)\n",
+        m.single_slot_cycle_ns
+    );
     print!("{}", t.render());
     println!("\npaper shape: the many-core ratio is ~2 orders of magnitude larger than the LAN's.");
 }

@@ -130,18 +130,26 @@ pub fn run(proto: Proto, cfg: &RunCfg) -> RunReport {
     let mk_cfg = |m: &[NodeId], me: NodeId| ClusterConfig::new(m.to_vec(), me);
     let profile = cfg.profile.clone();
     match proto {
-        Proto::OnePaxos => {
-            apply(SimBuilder::new(profile, |m, me| OnePaxosNode::new(mk_cfg(m, me))), cfg).run()
-        }
-        Proto::MultiPaxos => {
-            apply(SimBuilder::new(profile, |m, me| MultiPaxosNode::new(mk_cfg(m, me))), cfg).run()
-        }
-        Proto::TwoPc => {
-            apply(SimBuilder::new(profile, |m, me| TwoPcNode::new(mk_cfg(m, me))), cfg).run()
-        }
-        Proto::BasicPaxos => {
-            apply(SimBuilder::new(profile, |m, me| BasicPaxosNode::new(mk_cfg(m, me))), cfg).run()
-        }
+        Proto::OnePaxos => apply(
+            SimBuilder::new(profile, |m, me| OnePaxosNode::new(mk_cfg(m, me))),
+            cfg,
+        )
+        .run(),
+        Proto::MultiPaxos => apply(
+            SimBuilder::new(profile, |m, me| MultiPaxosNode::new(mk_cfg(m, me))),
+            cfg,
+        )
+        .run(),
+        Proto::TwoPc => apply(
+            SimBuilder::new(profile, |m, me| TwoPcNode::new(mk_cfg(m, me))),
+            cfg,
+        )
+        .run(),
+        Proto::BasicPaxos => apply(
+            SimBuilder::new(profile, |m, me| BasicPaxosNode::new(mk_cfg(m, me))),
+            cfg,
+        )
+        .run(),
     }
 }
 
@@ -266,7 +274,10 @@ pub fn fig10(duration: Nanos) -> Vec<(String, usize, f64)> {
                 Proto::TwoPc,
                 &RunCfg {
                     joint: Some(n),
-                    workload: Workload::ReadMix { read_pct, keys: 128 },
+                    workload: Workload::ReadMix {
+                        read_pct,
+                        keys: 128,
+                    },
                     duration: Some(duration),
                     warmup: duration / 8,
                     ..RunCfg::standard48()
@@ -290,11 +301,7 @@ pub fn fig10(duration: Nanos) -> Vec<(String, usize, f64)> {
 /// scheduling quantum, so effective processing latency grows by orders of
 /// magnitude (cf. §1: context switches take 10–20 µs "and can take much
 /// longer").
-pub fn slow_core_timeline(
-    proto: Proto,
-    faults: &[Fault],
-    duration: Nanos,
-) -> Vec<(Nanos, f64)> {
+pub fn slow_core_timeline(proto: Proto, faults: &[Fault], duration: Nanos) -> Vec<(Nanos, f64)> {
     let think: Nanos = 2_000_000;
     let client_timeout: Nanos = 40_000_000;
     let profile = Profile::opteron8;
@@ -407,7 +414,12 @@ mod tests {
 
     #[test]
     fn run_dispatches_all_protocols() {
-        for p in [Proto::OnePaxos, Proto::MultiPaxos, Proto::TwoPc, Proto::BasicPaxos] {
+        for p in [
+            Proto::OnePaxos,
+            Proto::MultiPaxos,
+            Proto::TwoPc,
+            Proto::BasicPaxos,
+        ] {
             let r = run(
                 p,
                 &RunCfg {

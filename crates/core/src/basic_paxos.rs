@@ -122,7 +122,9 @@ impl<V: Clone + PartialEq + std::fmt::Debug> QuorumLearner<V> {
             return None;
         }
         let slot = self.votes.entry(inst).or_default();
-        let (value, voters) = slot.entry(bal).or_insert_with(|| (v.clone(), BTreeSet::new()));
+        let (value, voters) = slot
+            .entry(bal)
+            .or_insert_with(|| (v.clone(), BTreeSet::new()));
         assert_eq!(
             *value, v,
             "two different values under ballot {bal} for instance {inst}"
@@ -316,7 +318,10 @@ impl BasicPaxosNode {
     }
 
     fn local_prepare(&mut self, inst: Instance, bal: Ballot, out: &mut Outbox<Msg>) {
-        let acc = self.acceptors.entry(inst).or_insert_with(InstanceAcceptor::new);
+        let acc = self
+            .acceptors
+            .entry(inst)
+            .or_insert_with(InstanceAcceptor::new);
         if let Ok(accepted) = acc.on_prepare(bal) {
             let me = self.me();
             self.on_promise(me, inst, bal, accepted, out);
@@ -358,7 +363,10 @@ impl BasicPaxosNode {
     }
 
     fn local_accept(&mut self, inst: Instance, bal: Ballot, cmd: Command, out: &mut Outbox<Msg>) {
-        let acc = self.acceptors.entry(inst).or_insert_with(InstanceAcceptor::new);
+        let acc = self
+            .acceptors
+            .entry(inst)
+            .or_insert_with(InstanceAcceptor::new);
         if acc.on_accept(bal, cmd).is_ok() {
             for peer in self.cfg.others() {
                 out.send(peer, Msg::Learn { inst, bal, cmd });
@@ -430,13 +438,27 @@ impl Protocol for BasicPaxosNode {
                 }
             }
             Msg::Prepare { inst, bal } => {
-                let acc = self.acceptors.entry(inst).or_insert_with(InstanceAcceptor::new);
+                let acc = self
+                    .acceptors
+                    .entry(inst)
+                    .or_insert_with(InstanceAcceptor::new);
                 match acc.on_prepare(bal) {
-                    Ok(accepted) => out.send(from, Msg::Promise { inst, bal, accepted }),
+                    Ok(accepted) => out.send(
+                        from,
+                        Msg::Promise {
+                            inst,
+                            bal,
+                            accepted,
+                        },
+                    ),
                     Err(promised) => out.send(from, Msg::PrepareNack { inst, promised }),
                 }
             }
-            Msg::Promise { inst, bal, accepted } => {
+            Msg::Promise {
+                inst,
+                bal,
+                accepted,
+            } => {
                 self.on_promise(from, inst, bal, accepted, out);
             }
             Msg::PrepareNack { inst, promised } => {
@@ -449,7 +471,10 @@ impl Protocol for BasicPaxosNode {
                 }
             }
             Msg::Accept { inst, bal, cmd } => {
-                let acc = self.acceptors.entry(inst).or_insert_with(InstanceAcceptor::new);
+                let acc = self
+                    .acceptors
+                    .entry(inst)
+                    .or_insert_with(InstanceAcceptor::new);
                 match acc.on_accept(bal, cmd) {
                     Ok(()) => {
                         for peer in self.cfg.others() {

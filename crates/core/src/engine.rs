@@ -1,0 +1,1098 @@
+//! The shared replica-engine layer: everything a deployment needs around a
+//! sans-IO [`Protocol`] node, in exactly one place.
+//!
+//! Before this module existed, each harness — [`TestNet`](crate::testnet),
+//! the `manycore-sim` cluster and the `onepaxos-runtime` node loop —
+//! hand-rolled its own copy of [`Action`] dispatch, timer bookkeeping,
+//! commit tracking and reply recording. The paper's portability claim
+//! (protocol state machines "can be easily ported to a network system with
+//! no change", §6.2) holds for the *protocols*; the engine extends it to
+//! the *plumbing*, so a harness is only a transport.
+//!
+//! # The Event/Effect contract
+//!
+//! A [`ReplicaEngine`] owns one protocol node plus its timer table, its
+//! commit log, the replicated-state-machine [`Applier`] and the per-client
+//! reply records. The harness feeds it [`EngineEvent`]s:
+//!
+//! * [`EngineEvent::Start`] — bootstrap; run once before anything else.
+//! * [`EngineEvent::Message`] — a peer message was delivered.
+//! * [`EngineEvent::ClientRequest`] — a client submitted a command.
+//! * [`EngineEvent::TimerDue`] — a *specific* timer's deadline passed.
+//! * [`EngineEvent::Tick`] — fire every timer whose deadline passed.
+//!
+//! and receives [`EngineEffect`]s back:
+//!
+//! * [`EngineEffect::SendTo`] — transport this message to that node.
+//! * [`EngineEffect::ReplyTo`] — notify this client of its commit (with
+//!   the state-machine output when it is already applied).
+//! * [`EngineEffect::Committed`] — a slot was decided locally (already
+//!   recorded and applied by the engine; emitted for oracles and metrics).
+//!
+//! Everything stateful in between — arm/cancel/fire ordering of timers,
+//! in-order application with at-most-once execution, commit-log
+//! consistency checking, deferred replies waiting for a log gap to fill,
+//! and the §7.5 local-read fast path — happens inside the engine, behind
+//! the single `Action` dispatch in the workspace.
+//!
+//! # Timers
+//!
+//! The engine keeps absolute deadlines per [`Timer`]. Re-arming a timer
+//! replaces its deadline; cancelling removes it; [`Self::next_deadline`]
+//! lets schedulers (the simulator) plan wake-ups. A timer fires at most
+//! once per arm: firing disarms it before the handler runs, so a handler
+//! re-arming the same timer starts a fresh deadline.
+//!
+//! # Replies
+//!
+//! [`ReplyMode::Immediate`] emits [`EngineEffect::ReplyTo`] the moment the
+//! protocol requests it (the output is attached when already applied) —
+//! the semantics tests and the simulator want. [`ReplyMode::AfterApply`]
+//! holds the reply until the command's state-machine output exists, so a
+//! real client never observes a commit acknowledgement without its read
+//! value — the threaded runtime's contract.
+//!
+//! # Fault injection
+//!
+//! [`Self::set_blocked`] is the uniform slow-core hook: a blocked engine
+//! refuses to fire timers and tells the harness (via [`Self::is_blocked`])
+//! to keep inbound messages queued.
+//!
+//! # Example
+//!
+//! ```
+//! use onepaxos::engine::{EngineEffect, EngineEvent, ReplicaEngine};
+//! use onepaxos::kv::KvStore;
+//! use onepaxos::twopc::TwoPcNode;
+//! use onepaxos::{ClusterConfig, NodeId, Op};
+//!
+//! // A single-node 2PC group decides immediately: drive one request
+//! // through the engine and observe the effect stream.
+//! let cfg = ClusterConfig::new(vec![NodeId(0)], NodeId(0));
+//! let mut engine = ReplicaEngine::new(TwoPcNode::new(cfg), KvStore::new());
+//! let mut effects = Vec::new();
+//! engine.handle(EngineEvent::Start, 0, &mut effects);
+//! engine.handle(
+//!     EngineEvent::ClientRequest { client: NodeId(9), req_id: 1, op: Op::Put { key: 1, value: 7 } },
+//!     0,
+//!     &mut effects,
+//! );
+//! assert!(effects.iter().any(|e| matches!(e, EngineEffect::Committed { .. })));
+//! assert_eq!(engine.state().get(1), Some(7));
+//! ```
+
+use std::collections::BTreeMap;
+
+use crate::outbox::{Action, Outbox, Timer};
+use crate::protocol::Protocol;
+use crate::rsm::{Applier, StateMachine};
+use crate::types::{Command, Instance, Nanos, NodeId, Op};
+
+/// One input to a [`ReplicaEngine`]: something the outside world did.
+#[derive(Clone, Debug)]
+pub enum EngineEvent<M> {
+    /// Bootstrap the node (runs the protocol's `on_start`).
+    Start,
+    /// A message from peer `from` was delivered.
+    Message {
+        /// Sending node.
+        from: NodeId,
+        /// The protocol message.
+        msg: M,
+    },
+    /// A client submitted operation `op` as `(client, req_id)`.
+    ClientRequest {
+        /// Originating client.
+        client: NodeId,
+        /// Client-local request id.
+        req_id: u64,
+        /// Operation to replicate.
+        op: Op,
+    },
+    /// The deadline of `timer` passed; fire it if it is still armed.
+    TimerDue {
+        /// Which timer.
+        timer: Timer,
+    },
+    /// Fire every armed timer whose deadline is at or before `now`.
+    Tick,
+}
+
+/// One output of a [`ReplicaEngine`]: something the harness must transport.
+///
+/// `M` is the protocol's wire message type, `O` the state machine's output
+/// type ([`StateMachine::Output`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineEffect<M, O> {
+    /// Deliver `msg` to node `to` (self-sends included; harnesses deliver
+    /// them without transmission cost, §2.3 footnote 5).
+    SendTo {
+        /// Destination node.
+        to: NodeId,
+        /// Protocol message.
+        msg: M,
+    },
+    /// Acknowledge to `client` that `(client, req_id)` committed in
+    /// `instance`. `value` carries the state-machine output when the
+    /// command has already been applied locally (always, under
+    /// [`ReplyMode::AfterApply`]).
+    ReplyTo {
+        /// Client to notify.
+        client: NodeId,
+        /// The client's request id.
+        req_id: u64,
+        /// Slot in which the command committed.
+        instance: Instance,
+        /// State-machine output, when already applied.
+        value: Option<O>,
+    },
+    /// Slot `instance` was decided locally with `cmd`. The engine has
+    /// already recorded and applied it; harnesses use this for global
+    /// consistency oracles and commit metrics.
+    Committed {
+        /// Decided slot.
+        instance: Instance,
+        /// Decided command.
+        cmd: Command,
+    },
+}
+
+/// When [`EngineEffect::ReplyTo`] is emitted relative to application.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ReplyMode {
+    /// Emit the reply the moment the protocol requests it; `value` is
+    /// attached opportunistically. The deterministic harnesses use this.
+    #[default]
+    Immediate,
+    /// Hold the reply until the command's output has been applied, so the
+    /// acknowledgement always carries the value. The threaded runtime
+    /// uses this (a log gap must not produce a value-less reply).
+    AfterApply,
+}
+
+/// A recorded client reply (who was answered, for what, from where).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReplyRecord {
+    /// The client that was answered.
+    pub client: NodeId,
+    /// The request id that committed.
+    pub req_id: u64,
+    /// The slot it committed in.
+    pub instance: Instance,
+    /// The node that produced the reply.
+    pub from: NodeId,
+}
+
+/// A state machine whose current value for a key can be read without
+/// going through the replicated log — the engine-side half of the §7.5
+/// relaxed-read fast path (the protocol-side half is
+/// [`Protocol::can_read_locally`]).
+pub trait LocalRead: StateMachine {
+    /// Reads `key` from the local replica without recording an applied
+    /// operation.
+    fn read_local(&self, key: u64) -> Self::Output;
+}
+
+impl LocalRead for crate::kv::KvStore {
+    fn read_local(&self, key: u64) -> Self::Output {
+        self.get(key)
+    }
+}
+
+/// One protocol node plus all of its deployment plumbing; see the
+/// [module docs](self) for the Event/Effect contract.
+#[derive(Debug)]
+pub struct ReplicaEngine<P: Protocol, S: StateMachine> {
+    node: P,
+    applier: Applier<S>,
+    /// Absolute deadline per armed timer.
+    timers: BTreeMap<Timer, Nanos>,
+    /// Local commit log (instance → decided command); only populated
+    /// while `record_history` is on.
+    commits: BTreeMap<Instance, Command>,
+    /// Every reply emitted by this node, in emission order; only
+    /// populated while `record_history` is on.
+    replies: Vec<ReplyRecord>,
+    /// Replies waiting for the state machine to catch up (AfterApply).
+    deferred: Vec<(NodeId, u64, Instance)>,
+    blocked: bool,
+    reply_mode: ReplyMode,
+    /// Whether to retain the commit log and reply records. Test harnesses
+    /// assert on them; long-running deployments (the simulator, the
+    /// threaded runtime) turn recording off so memory stays bounded.
+    record_history: bool,
+    /// Reusable action buffer handed to protocol handlers.
+    outbox: Outbox<P::Msg>,
+}
+
+impl<P: Protocol, S: StateMachine> ReplicaEngine<P, S> {
+    /// Wraps `node` and a fresh `state` replica, replying
+    /// [immediately](ReplyMode::Immediate).
+    pub fn new(node: P, state: S) -> Self {
+        Self::with_reply_mode(node, state, ReplyMode::Immediate)
+    }
+
+    /// Wraps `node` with an explicit [`ReplyMode`].
+    pub fn with_reply_mode(node: P, state: S, reply_mode: ReplyMode) -> Self {
+        ReplicaEngine {
+            node,
+            applier: Applier::new(state),
+            timers: BTreeMap::new(),
+            commits: BTreeMap::new(),
+            replies: Vec::new(),
+            deferred: Vec::new(),
+            blocked: false,
+            reply_mode,
+            record_history: true,
+            outbox: Outbox::new(),
+        }
+    }
+
+    /// Enables or disables commit-log and reply-record retention
+    /// (default on). Turn it off for long-running deployments: duplicate
+    /// decisions are still checked by the [`Applier`] either way, but the
+    /// per-command history is not retained, so memory stays bounded by
+    /// live state rather than by run length.
+    pub fn with_history(mut self, record: bool) -> Self {
+        self.record_history = record;
+        self
+    }
+
+    /// Feeds one event to the node at time `now`, appending the resulting
+    /// effects to `effects`.
+    ///
+    /// Blocked engines still process events handed to them — blocking
+    /// gates *delivery* (the harness holds messages back, checked via
+    /// [`Self::is_blocked`]) and *timer firing*, not explicit calls.
+    pub fn handle(
+        &mut self,
+        event: EngineEvent<P::Msg>,
+        now: Nanos,
+        effects: &mut Vec<EngineEffect<P::Msg, S::Output>>,
+    ) {
+        match event {
+            EngineEvent::Start => {
+                self.node.on_start(now, &mut self.outbox);
+                self.absorb(now, effects);
+            }
+            EngineEvent::Message { from, msg } => {
+                self.node.on_message(from, msg, now, &mut self.outbox);
+                self.absorb(now, effects);
+            }
+            EngineEvent::ClientRequest { client, req_id, op } => {
+                self.node
+                    .on_client_request(client, req_id, op, now, &mut self.outbox);
+                self.absorb(now, effects);
+            }
+            EngineEvent::TimerDue { timer } => {
+                self.fire_one(timer, now, effects);
+            }
+            EngineEvent::Tick => {
+                self.fire_due(now, effects);
+            }
+        }
+    }
+
+    /// Fires every armed timer whose deadline is at or before `now`, in
+    /// [`Timer`] order; returns how many fired. A blocked engine fires
+    /// nothing (the slow core is not getting cycles).
+    ///
+    /// The due set is computed before any handler runs, so a handler
+    /// re-arming its own timer (the periodic-tick pattern) cannot make it
+    /// fire twice in one call — but each timer's armed state is
+    /// re-checked just before it fires, so a handler cancelling or
+    /// re-arming a *sibling* due timer takes effect within the same pass
+    /// (identical to delivering each deadline via
+    /// [`EngineEvent::TimerDue`]).
+    pub fn fire_due(
+        &mut self,
+        now: Nanos,
+        effects: &mut Vec<EngineEffect<P::Msg, S::Output>>,
+    ) -> usize {
+        if self.blocked {
+            return 0;
+        }
+        let due: Vec<Timer> = self
+            .timers
+            .iter()
+            .filter(|&(_, &at)| at <= now)
+            .map(|(&t, _)| t)
+            .collect();
+        let mut fired = 0;
+        for &t in &due {
+            match self.timers.get(&t) {
+                Some(&at) if at <= now => {}
+                _ => continue, // cancelled or pushed out by an earlier handler
+            }
+            self.timers.remove(&t);
+            self.node.on_timer(t, now, &mut self.outbox);
+            self.absorb(now, effects);
+            fired += 1;
+        }
+        fired
+    }
+
+    fn fire_one(
+        &mut self,
+        timer: Timer,
+        now: Nanos,
+        effects: &mut Vec<EngineEffect<P::Msg, S::Output>>,
+    ) -> bool {
+        if self.blocked {
+            return false;
+        }
+        match self.timers.get(&timer) {
+            Some(&at) if at <= now => {}
+            _ => return false, // cancelled, re-armed later, or never armed
+        }
+        self.timers.remove(&timer);
+        self.node.on_timer(timer, now, &mut self.outbox);
+        self.absorb(now, effects);
+        true
+    }
+
+    /// The single `Action` dispatch of the workspace: drains the node's
+    /// outbox into engine state and harness-facing effects.
+    fn absorb(&mut self, now: Nanos, effects: &mut Vec<EngineEffect<P::Msg, S::Output>>) {
+        for action in self.outbox.take() {
+            match action {
+                Action::Send { to, msg } => effects.push(EngineEffect::SendTo { to, msg }),
+                Action::Reply {
+                    client,
+                    req_id,
+                    instance,
+                } => self.reply(client, req_id, instance, effects),
+                Action::Commit { instance, cmd } => {
+                    if self.record_history {
+                        let me = self.node.node_id();
+                        let prior = self.commits.insert(instance, cmd);
+                        if let Some(prior) = prior {
+                            assert_eq!(
+                                prior, cmd,
+                                "{me} re-learned instance {instance} with a different command"
+                            );
+                        }
+                    }
+                    // The applier independently rejects a re-decided
+                    // instance with a different command, so safety
+                    // checking does not depend on the history log.
+                    self.applier.on_decided(instance, cmd);
+                    effects.push(EngineEffect::Committed { instance, cmd });
+                    self.flush_deferred(effects);
+                }
+                Action::SetTimer { timer, after } => {
+                    self.timers.insert(timer, now + after);
+                }
+                Action::CancelTimer { timer } => {
+                    self.timers.remove(&timer);
+                }
+            }
+        }
+    }
+
+    fn reply(
+        &mut self,
+        client: NodeId,
+        req_id: u64,
+        instance: Instance,
+        effects: &mut Vec<EngineEffect<P::Msg, S::Output>>,
+    ) {
+        let value = self.applier.output_of(client, req_id).cloned();
+        if value.is_none() && self.reply_mode == ReplyMode::AfterApply {
+            self.deferred.push((client, req_id, instance));
+            return;
+        }
+        if self.record_history {
+            self.replies.push(ReplyRecord {
+                client,
+                req_id,
+                instance,
+                from: self.node.node_id(),
+            });
+        }
+        effects.push(EngineEffect::ReplyTo {
+            client,
+            req_id,
+            instance,
+            value,
+        });
+    }
+
+    /// Retries deferred replies after new commands were applied. Each is
+    /// re-run through [`Self::reply`], which emits it when the output now
+    /// exists and re-defers it otherwise.
+    fn flush_deferred(&mut self, effects: &mut Vec<EngineEffect<P::Msg, S::Output>>) {
+        if self.deferred.is_empty() {
+            return;
+        }
+        let pending = std::mem::take(&mut self.deferred);
+        for (client, req_id, instance) in pending {
+            self.reply(client, req_id, instance, effects);
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Timer table.
+    // ----------------------------------------------------------------
+
+    /// The earliest armed deadline, if any (for harness wake-up planning).
+    pub fn next_deadline(&self) -> Option<Nanos> {
+        self.timers.values().copied().min()
+    }
+
+    /// The absolute deadline `timer` is armed for, if armed.
+    pub fn timer_deadline(&self, timer: Timer) -> Option<Nanos> {
+        self.timers.get(&timer).copied()
+    }
+
+    // ----------------------------------------------------------------
+    // Fault injection.
+    // ----------------------------------------------------------------
+
+    /// Marks this replica as a blocked/slow core (or unblocks it).
+    /// Blocked engines fire no timers; harnesses must also hold back
+    /// message delivery while [`Self::is_blocked`] returns `true`.
+    pub fn set_blocked(&mut self, blocked: bool) {
+        self.blocked = blocked;
+    }
+
+    /// Whether this replica is currently blocked.
+    pub fn is_blocked(&self) -> bool {
+        self.blocked
+    }
+
+    // ----------------------------------------------------------------
+    // Local reads (§7.5).
+    // ----------------------------------------------------------------
+
+    /// Whether the wrapped protocol ever serves reads locally.
+    pub fn supports_local_reads(&self) -> bool {
+        self.node.supports_local_reads()
+    }
+
+    /// Whether `key` is readable from the local replica *right now*
+    /// (e.g. 2PC outside its lock window).
+    pub fn can_read_locally(&self, key: u64) -> bool {
+        self.node.can_read_locally(key)
+    }
+
+    /// Serves a relaxed read of `key` from the local replica, without any
+    /// agreement traffic, if the protocol currently allows it.
+    pub fn local_read(&self, key: u64) -> Option<S::Output>
+    where
+        S: LocalRead,
+    {
+        self.can_read_locally(key)
+            .then(|| self.applier.state().read_local(key))
+    }
+
+    // ----------------------------------------------------------------
+    // Accessors.
+    // ----------------------------------------------------------------
+
+    /// The wrapped protocol node.
+    pub fn node(&self) -> &P {
+        &self.node
+    }
+
+    /// Mutable access to the node (white-box assertions in tests).
+    pub fn node_mut(&mut self) -> &mut P {
+        &mut self.node
+    }
+
+    /// The replicated-state-machine applier.
+    pub fn applier(&self) -> &Applier<S> {
+        &self.applier
+    }
+
+    /// The applied state machine.
+    pub fn state(&self) -> &S {
+        self.applier.state()
+    }
+
+    /// The local commit log (instance → decided command). Empty when
+    /// history recording is off ([`Self::with_history`]).
+    pub fn commits(&self) -> &BTreeMap<Instance, Command> {
+        &self.commits
+    }
+
+    /// Every reply this node has emitted, in emission order. Empty when
+    /// history recording is off ([`Self::with_history`]).
+    pub fn replies(&self) -> &[ReplyRecord] {
+        &self.replies
+    }
+
+    /// Replies currently waiting for the state machine to catch up
+    /// (only non-empty under [`ReplyMode::AfterApply`]).
+    pub fn deferred_replies(&self) -> usize {
+        self.deferred.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kv::KvStore;
+
+    /// A scripted protocol: handlers replay queued actions, so tests can
+    /// exercise engine semantics without a real consensus protocol.
+    struct Scripted {
+        me: NodeId,
+        /// Actions to emit on the next handler invocation.
+        script: Vec<Action<u8>>,
+        timer_fires: Vec<(Timer, Nanos)>,
+        readable: bool,
+    }
+
+    impl Scripted {
+        fn new() -> Self {
+            Scripted {
+                me: NodeId(0),
+                script: Vec::new(),
+                timer_fires: Vec::new(),
+                readable: false,
+            }
+        }
+    }
+
+    impl Protocol for Scripted {
+        type Msg = u8;
+
+        fn node_id(&self) -> NodeId {
+            self.me
+        }
+
+        fn on_start(&mut self, _now: Nanos, out: &mut Outbox<u8>) {
+            for a in self.script.drain(..) {
+                out.push(a);
+            }
+        }
+
+        fn on_message(&mut self, _from: NodeId, _msg: u8, _now: Nanos, out: &mut Outbox<u8>) {
+            for a in self.script.drain(..) {
+                out.push(a);
+            }
+        }
+
+        fn on_timer(&mut self, timer: Timer, now: Nanos, out: &mut Outbox<u8>) {
+            self.timer_fires.push((timer, now));
+            for a in self.script.drain(..) {
+                out.push(a);
+            }
+        }
+
+        fn on_client_request(
+            &mut self,
+            _client: NodeId,
+            _req_id: u64,
+            _op: Op,
+            _now: Nanos,
+            out: &mut Outbox<u8>,
+        ) {
+            for a in self.script.drain(..) {
+                out.push(a);
+            }
+        }
+
+        fn is_leader(&self) -> bool {
+            true
+        }
+
+        fn leader_hint(&self) -> Option<NodeId> {
+            Some(self.me)
+        }
+
+        fn supports_local_reads(&self) -> bool {
+            true
+        }
+
+        fn can_read_locally(&self, _key: u64) -> bool {
+            self.readable
+        }
+    }
+
+    type E = ReplicaEngine<Scripted, KvStore>;
+    type Fx = Vec<EngineEffect<u8, Option<u64>>>;
+
+    fn engine() -> E {
+        ReplicaEngine::new(Scripted::new(), KvStore::new())
+    }
+
+    fn drive(e: &mut E, actions: Vec<Action<u8>>, now: Nanos) -> Fx {
+        e.node_mut().script = actions;
+        let mut fx = Vec::new();
+        e.handle(
+            EngineEvent::Message {
+                from: NodeId(1),
+                msg: 0,
+            },
+            now,
+            &mut fx,
+        );
+        fx
+    }
+
+    #[test]
+    fn rearm_replaces_the_deadline() {
+        let mut e = engine();
+        drive(
+            &mut e,
+            vec![Action::SetTimer {
+                timer: Timer::Tick,
+                after: 100,
+            }],
+            0,
+        );
+        assert_eq!(e.timer_deadline(Timer::Tick), Some(100));
+        // Re-arm at a later deadline: the old one must not fire.
+        drive(
+            &mut e,
+            vec![Action::SetTimer {
+                timer: Timer::Tick,
+                after: 500,
+            }],
+            50,
+        );
+        assert_eq!(e.timer_deadline(Timer::Tick), Some(550));
+        let mut fx = Vec::new();
+        assert_eq!(e.fire_due(100, &mut fx), 0, "superseded deadline fired");
+        assert_eq!(e.fire_due(550, &mut fx), 1);
+        assert_eq!(e.node().timer_fires, vec![(Timer::Tick, 550)]);
+    }
+
+    #[test]
+    fn cancel_after_set_wins_and_set_after_cancel_wins() {
+        let mut e = engine();
+        // Same handler: arm then cancel → not armed.
+        drive(
+            &mut e,
+            vec![
+                Action::SetTimer {
+                    timer: Timer::Tick,
+                    after: 10,
+                },
+                Action::CancelTimer { timer: Timer::Tick },
+            ],
+            0,
+        );
+        assert_eq!(e.timer_deadline(Timer::Tick), None);
+        // Same handler: cancel then arm → armed.
+        drive(
+            &mut e,
+            vec![
+                Action::CancelTimer { timer: Timer::Tick },
+                Action::SetTimer {
+                    timer: Timer::Tick,
+                    after: 10,
+                },
+            ],
+            0,
+        );
+        assert_eq!(e.timer_deadline(Timer::Tick), Some(10));
+    }
+
+    #[test]
+    fn fired_timer_is_disarmed_and_rearm_in_handler_is_fresh() {
+        let mut e = engine();
+        drive(
+            &mut e,
+            vec![Action::SetTimer {
+                timer: Timer::Tick,
+                after: 100,
+            }],
+            0,
+        );
+        // The handler re-arms the same timer; it must not re-fire in the
+        // same fire_due pass.
+        e.node_mut().script = vec![Action::SetTimer {
+            timer: Timer::Tick,
+            after: 100,
+        }];
+        let mut fx = Vec::new();
+        assert_eq!(e.fire_due(1_000, &mut fx), 1);
+        assert_eq!(e.timer_deadline(Timer::Tick), Some(1_100));
+        // One-shot semantics: without a re-arm nothing is left.
+        assert_eq!(e.fire_due(1_100, &mut fx), 1);
+        assert_eq!(e.fire_due(10_000, &mut fx), 0);
+    }
+
+    #[test]
+    fn timers_fire_in_timer_order() {
+        let mut e = engine();
+        drive(
+            &mut e,
+            vec![
+                Action::SetTimer {
+                    timer: Timer::Custom(2),
+                    after: 5,
+                },
+                Action::SetTimer {
+                    timer: Timer::Tick,
+                    after: 10,
+                },
+                Action::SetTimer {
+                    timer: Timer::Custom(1),
+                    after: 7,
+                },
+            ],
+            0,
+        );
+        let mut fx = Vec::new();
+        assert_eq!(e.fire_due(100, &mut fx), 3);
+        let order: Vec<Timer> = e.node().timer_fires.iter().map(|&(t, _)| t).collect();
+        assert_eq!(order, vec![Timer::Tick, Timer::Custom(1), Timer::Custom(2)]);
+    }
+
+    #[test]
+    fn handler_cancelling_a_sibling_due_timer_takes_effect_in_the_same_pass() {
+        let mut e = engine();
+        // Tick and Custom(0) both due at 100; Tick fires first (Timer
+        // order) and its handler cancels Custom(0) and re-arms Custom(1)
+        // far in the future.
+        drive(
+            &mut e,
+            vec![
+                Action::SetTimer {
+                    timer: Timer::Tick,
+                    after: 100,
+                },
+                Action::SetTimer {
+                    timer: Timer::Custom(0),
+                    after: 100,
+                },
+                Action::SetTimer {
+                    timer: Timer::Custom(1),
+                    after: 100,
+                },
+            ],
+            0,
+        );
+        e.node_mut().script = vec![
+            Action::CancelTimer {
+                timer: Timer::Custom(0),
+            },
+            Action::SetTimer {
+                timer: Timer::Custom(1),
+                after: 10_000,
+            },
+        ];
+        let mut fx = Vec::new();
+        assert_eq!(e.fire_due(100, &mut fx), 1, "only Tick may fire");
+        assert_eq!(e.node().timer_fires, vec![(Timer::Tick, 100)]);
+        assert_eq!(e.timer_deadline(Timer::Custom(0)), None);
+        assert_eq!(e.timer_deadline(Timer::Custom(1)), Some(10_100));
+    }
+
+    #[test]
+    fn timer_due_ignores_stale_and_unarmed_deadlines() {
+        let mut e = engine();
+        drive(
+            &mut e,
+            vec![Action::SetTimer {
+                timer: Timer::Tick,
+                after: 100,
+            }],
+            0,
+        );
+        let mut fx = Vec::new();
+        // Not yet due.
+        e.handle(EngineEvent::TimerDue { timer: Timer::Tick }, 99, &mut fx);
+        assert!(e.node().timer_fires.is_empty());
+        // Due.
+        e.handle(EngineEvent::TimerDue { timer: Timer::Tick }, 100, &mut fx);
+        assert_eq!(e.node().timer_fires.len(), 1);
+        // Already fired: a second due notification is stale.
+        e.handle(EngineEvent::TimerDue { timer: Timer::Tick }, 200, &mut fx);
+        assert_eq!(e.node().timer_fires.len(), 1);
+    }
+
+    #[test]
+    fn blocked_engine_fires_no_timers() {
+        let mut e = engine();
+        drive(
+            &mut e,
+            vec![Action::SetTimer {
+                timer: Timer::Tick,
+                after: 10,
+            }],
+            0,
+        );
+        e.set_blocked(true);
+        let mut fx = Vec::new();
+        assert_eq!(e.fire_due(1_000, &mut fx), 0);
+        e.set_blocked(false);
+        assert_eq!(e.fire_due(1_000, &mut fx), 1);
+    }
+
+    fn put(client: u16, req: u64, key: u64, value: u64) -> Command {
+        Command::new(NodeId(client), req, Op::Put { key, value })
+    }
+
+    #[test]
+    fn duplicate_client_request_applies_once() {
+        let mut e = engine();
+        // The same (client, req) decided in two instances: the client
+        // retried and two advocates won slots. Applied exactly once.
+        drive(
+            &mut e,
+            vec![
+                Action::Commit {
+                    instance: 0,
+                    cmd: put(9, 1, 5, 50),
+                },
+                Action::Commit {
+                    instance: 1,
+                    cmd: put(9, 1, 5, 50),
+                },
+                Action::Commit {
+                    instance: 2,
+                    cmd: put(9, 2, 5, 60),
+                },
+            ],
+            0,
+        );
+        assert_eq!(e.state().writes(), 2, "duplicate must not re-apply");
+        assert_eq!(e.state().get(5), Some(60));
+        assert_eq!(e.commits().len(), 3);
+    }
+
+    #[test]
+    fn relearn_same_command_is_idempotent() {
+        let mut e = engine();
+        let fx = drive(
+            &mut e,
+            vec![
+                Action::Commit {
+                    instance: 0,
+                    cmd: put(9, 1, 1, 10),
+                },
+                Action::Commit {
+                    instance: 0,
+                    cmd: put(9, 1, 1, 10),
+                },
+            ],
+            0,
+        );
+        // Both learns surface for oracles/metrics, but state applied once.
+        let commits = fx
+            .iter()
+            .filter(|e| matches!(e, EngineEffect::Committed { .. }))
+            .count();
+        assert_eq!(commits, 2);
+        assert_eq!(e.state().writes(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "re-learned instance 0 with a different command")]
+    fn relearn_different_command_panics() {
+        let mut e = engine();
+        drive(
+            &mut e,
+            vec![
+                Action::Commit {
+                    instance: 0,
+                    cmd: put(9, 1, 1, 10),
+                },
+                Action::Commit {
+                    instance: 0,
+                    cmd: put(9, 2, 1, 20),
+                },
+            ],
+            0,
+        );
+    }
+
+    #[test]
+    fn reply_records_are_idempotent_per_request() {
+        let mut e = engine();
+        drive(
+            &mut e,
+            vec![
+                Action::Commit {
+                    instance: 0,
+                    cmd: put(9, 1, 3, 30),
+                },
+                Action::Reply {
+                    client: NodeId(9),
+                    req_id: 1,
+                    instance: 0,
+                },
+            ],
+            0,
+        );
+        // A duplicate request is re-answered (e.g. Mencius answering from
+        // its decided-id table): same instance, same value, twice in the
+        // record — identical content, no double application.
+        let fx = drive(
+            &mut e,
+            vec![Action::Reply {
+                client: NodeId(9),
+                req_id: 1,
+                instance: 0,
+            }],
+            0,
+        );
+        assert_eq!(e.replies().len(), 2);
+        assert_eq!(e.replies()[0], e.replies()[1]);
+        match &fx[0] {
+            EngineEffect::ReplyTo {
+                instance, value, ..
+            } => {
+                assert_eq!(*instance, 0);
+                assert_eq!(*value, Some(None)); // Put output: no prior value
+            }
+            other => panic!("expected ReplyTo, got {other:?}"),
+        }
+        assert_eq!(e.state().writes(), 1);
+    }
+
+    #[test]
+    fn after_apply_defers_replies_across_log_gaps() {
+        let mut e =
+            ReplicaEngine::with_reply_mode(Scripted::new(), KvStore::new(), ReplyMode::AfterApply);
+        // Instance 1 decided and replied-to before instance 0 exists: the
+        // reply must wait for the gap to fill.
+        let fx = drive(
+            &mut e,
+            vec![
+                Action::Commit {
+                    instance: 1,
+                    cmd: put(9, 2, 7, 70),
+                },
+                Action::Reply {
+                    client: NodeId(9),
+                    req_id: 2,
+                    instance: 1,
+                },
+            ],
+            0,
+        );
+        assert!(
+            !fx.iter().any(|e| matches!(e, EngineEffect::ReplyTo { .. })),
+            "reply leaked across a log gap"
+        );
+        assert_eq!(e.deferred_replies(), 1);
+        // Filling the gap applies both commands and releases the reply,
+        // with the output attached.
+        let fx = drive(
+            &mut e,
+            vec![Action::Commit {
+                instance: 0,
+                cmd: put(9, 1, 7, 60),
+            }],
+            0,
+        );
+        let reply = fx
+            .iter()
+            .find_map(|e| match e {
+                EngineEffect::ReplyTo { req_id, value, .. } => Some((*req_id, *value)),
+                _ => None,
+            })
+            .expect("deferred reply released");
+        assert_eq!(reply, (2, Some(Some(60)))); // Put returns prior value
+        assert_eq!(e.deferred_replies(), 0);
+    }
+
+    #[test]
+    fn immediate_mode_replies_without_the_value() {
+        let mut e = engine();
+        let fx = drive(
+            &mut e,
+            vec![Action::Reply {
+                client: NodeId(9),
+                req_id: 1,
+                instance: 4,
+            }],
+            0,
+        );
+        match &fx[0] {
+            EngineEffect::ReplyTo { value, .. } => assert_eq!(*value, None),
+            other => panic!("expected ReplyTo, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn local_read_is_gated_by_the_protocol() {
+        let mut e = engine();
+        drive(
+            &mut e,
+            vec![Action::Commit {
+                instance: 0,
+                cmd: put(9, 1, 2, 22),
+            }],
+            0,
+        );
+        e.node_mut().readable = false;
+        assert_eq!(e.local_read(2), None, "lock window must block the read");
+        e.node_mut().readable = true;
+        assert_eq!(e.local_read(2), Some(Some(22)));
+        assert_eq!(e.local_read(99), Some(None));
+        // Reads through the fast path are not applied operations.
+        assert_eq!(e.state().reads(), 0);
+    }
+
+    #[test]
+    fn history_off_keeps_no_records_but_still_applies_and_replies() {
+        let mut e = ReplicaEngine::new(Scripted::new(), KvStore::new()).with_history(false);
+        let fx = drive(
+            &mut e,
+            vec![
+                Action::Commit {
+                    instance: 0,
+                    cmd: put(9, 1, 3, 30),
+                },
+                Action::Reply {
+                    client: NodeId(9),
+                    req_id: 1,
+                    instance: 0,
+                },
+            ],
+            0,
+        );
+        // Effects and state-machine application are unaffected...
+        assert!(fx
+            .iter()
+            .any(|e| matches!(e, EngineEffect::Committed { .. })));
+        assert!(fx.iter().any(|e| matches!(e, EngineEffect::ReplyTo { .. })));
+        assert_eq!(e.state().get(3), Some(30));
+        // ...but no per-command history is retained.
+        assert!(e.commits().is_empty());
+        assert!(e.replies().is_empty());
+        // The applier still rejects a divergent re-decide on its own.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            drive(
+                &mut e,
+                vec![Action::Commit {
+                    instance: 0,
+                    cmd: put(9, 2, 3, 31),
+                }],
+                0,
+            );
+        }));
+        assert!(result.is_err(), "divergent re-decide must still panic");
+    }
+
+    #[test]
+    fn next_deadline_tracks_the_earliest_timer() {
+        let mut e = engine();
+        assert_eq!(e.next_deadline(), None);
+        drive(
+            &mut e,
+            vec![
+                Action::SetTimer {
+                    timer: Timer::Tick,
+                    after: 300,
+                },
+                Action::SetTimer {
+                    timer: Timer::Custom(0),
+                    after: 100,
+                },
+            ],
+            0,
+        );
+        assert_eq!(e.next_deadline(), Some(100));
+        let mut fx = Vec::new();
+        e.fire_due(100, &mut fx);
+        assert_eq!(e.next_deadline(), Some(300));
+    }
+}

@@ -21,6 +21,12 @@
 //!   behind PaxosUtility.
 //! * [`twopc`] — 2PC in its agreement form, the blocking baseline used by
 //!   Barrelfish (§2.2).
+//! * [`mencius`] — Mencius-style multi-leader consensus (§8), the
+//!   extension baseline.
+//! * [`engine`] — the shared replica-engine layer: one [`ReplicaEngine`]
+//!   per deployed node owns timers, commits, replies and the applied
+//!   state machine, so every harness is only a transport of
+//!   [`EngineEffect`]s.
 //! * [`rsm`]/[`kv`] — a replicated-state-machine layer and a key/value
 //!   state machine.
 //! * [`testnet`] — a deterministic harness for driving the protocols in
@@ -59,6 +65,7 @@
 
 pub mod basic_paxos;
 mod config;
+pub mod engine;
 pub mod failure;
 pub mod kv;
 pub mod mencius;
@@ -72,6 +79,7 @@ pub mod twopc;
 mod types;
 
 pub use config::ClusterConfig;
+pub use engine::{EngineEffect, EngineEvent, ReplicaEngine, ReplyMode};
 pub use outbox::{Action, Outbox, Timer};
 pub use protocol::Protocol;
 pub use types::{

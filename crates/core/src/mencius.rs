@@ -255,7 +255,9 @@ mod tests {
     use crate::testnet::TestNet;
 
     fn net(n: u16) -> TestNet<MenciusNode> {
-        TestNet::new(n, |m, me| MenciusNode::new(ClusterConfig::new(m.to_vec(), me)))
+        TestNet::new(n, |m, me| {
+            MenciusNode::new(ClusterConfig::new(m.to_vec(), me))
+        })
     }
 
     #[test]

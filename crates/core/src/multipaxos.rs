@@ -411,7 +411,12 @@ impl Protocol for MultiPaxosNode {
                     let accepted = self.accepted_suffix(from_inst);
                     out.send(from, Msg::Promise { bal, accepted });
                 } else {
-                    out.send(from, Msg::PrepareNack { promised: self.promised });
+                    out.send(
+                        from,
+                        Msg::PrepareNack {
+                            promised: self.promised,
+                        },
+                    );
                 }
             }
             Msg::Promise { bal, accepted } => {
@@ -431,7 +436,12 @@ impl Protocol for MultiPaxosNode {
                     self.leader = Some(from);
                     self.accept_locally(inst, bal, cmd, out);
                 } else {
-                    out.send(from, Msg::AcceptNack { promised: self.promised });
+                    out.send(
+                        from,
+                        Msg::AcceptNack {
+                            promised: self.promised,
+                        },
+                    );
                 }
             }
             Msg::Learn { inst, bal, cmd } => {
@@ -467,8 +477,7 @@ impl Protocol for MultiPaxosNode {
                 .values()
                 .any(|&(_, t)| now.saturating_sub(t) > self.timing.suspect_after);
             if stalled {
-                let reclaimed: Vec<Command> =
-                    self.forwarded.values().map(|&(c, _)| c).collect();
+                let reclaimed: Vec<Command> = self.forwarded.values().map(|&(c, _)| c).collect();
                 self.forwarded.clear();
                 self.queue.extend(reclaimed);
                 if self.electing.is_none() {

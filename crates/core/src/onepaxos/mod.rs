@@ -79,14 +79,23 @@ impl Default for Timing {
 enum PendingOp {
     None,
     /// `propose()` (takeover): majority inquiry before the LeaderChange.
-    TakeoverQuery { qid: u64 },
+    TakeoverQuery {
+        qid: u64,
+    },
     /// `propose()` (takeover): LeaderChange CAS in flight.
-    TakeoverCas { uinst: Instance },
+    TakeoverCas {
+        uinst: Instance,
+    },
     /// `AcceptorFailure`: majority inquiry verifying we are still the
     /// Global leader (Fig 4 Step 1).
-    SwitchQuery { qid: u64 },
+    SwitchQuery {
+        qid: u64,
+    },
     /// `AcceptorFailure`: AcceptorChange CAS in flight (Fig 4 Step 2).
-    SwitchCas { uinst: Instance, new_acceptor: NodeId },
+    SwitchCas {
+        uinst: Instance,
+        new_acceptor: NodeId,
+    },
 }
 
 /// A 1Paxos node: proposer + (backup or active) acceptor + learner, plus
@@ -391,7 +400,10 @@ impl OnePaxosNode {
 
     /// `registerProposals(proposals)` (Fig 13): pin values so `getAny`
     /// re-proposes them for their instances.
-    fn register_proposals<'a>(&mut self, proposals: impl IntoIterator<Item = &'a (Instance, Command)>) {
+    fn register_proposals<'a>(
+        &mut self,
+        proposals: impl IntoIterator<Item = &'a (Instance, Command)>,
+    ) {
         for &(inst, cmd) in proposals {
             if !self.learned.contains_key(&inst) {
                 self.proposed.insert(inst, cmd);
@@ -525,7 +537,11 @@ impl OnePaxosNode {
                     }
                 }
             }
-            UtilityEntry::AcceptorChange { by, acceptor, uncommitted } => {
+            UtilityEntry::AcceptorChange {
+                by,
+                acceptor,
+                uncommitted,
+            } => {
                 // "It guarantees that the next leader will try to propose
                 // the same value for instance in" (§5.2).
                 self.register_proposals(uncommitted.iter());
@@ -541,7 +557,13 @@ impl OnePaxosNode {
         }
     }
 
-    fn on_cas_finished(&mut self, uinst: Instance, success: bool, now: Nanos, out: &mut Outbox<Msg>) {
+    fn on_cas_finished(
+        &mut self,
+        uinst: Instance,
+        success: bool,
+        now: Nanos,
+        out: &mut Outbox<Msg>,
+    ) {
         match self.pending_op.clone() {
             PendingOp::TakeoverCas { uinst: u } if u == uinst => {
                 self.pending_op = PendingOp::None;
@@ -558,7 +580,10 @@ impl OnePaxosNode {
                     // updated our view. The tick will retry if needed.
                 }
             }
-            PendingOp::SwitchCas { uinst: u, new_acceptor } if u == uinst => {
+            PendingOp::SwitchCas {
+                uinst: u,
+                new_acceptor,
+            } if u == uinst => {
                 self.pending_op = PendingOp::None;
                 if success {
                     // Lines 12–13: adopt the new acceptor, drop
@@ -610,8 +635,7 @@ impl OnePaxosNode {
                     .expect("seeded log always names an acceptor");
                 // `selectAcceptor()`: a node that is neither us nor the
                 // failed acceptor.
-                let Some(new_acceptor) =
-                    self.cfg.select_acceptor(self.me(), current, &[current])
+                let Some(new_acceptor) = self.cfg.select_acceptor(self.me(), current, &[current])
                 else {
                     return; // no candidate (e.g. 2-node cluster): wait
                 };
@@ -623,7 +647,10 @@ impl OnePaxosNode {
                     uncommitted,
                 };
                 let uinst = self.utility.start_cas(entry, out);
-                self.pending_op = PendingOp::SwitchCas { uinst, new_acceptor };
+                self.pending_op = PendingOp::SwitchCas {
+                    uinst,
+                    new_acceptor,
+                };
             }
             _ => {}
         }

@@ -218,7 +218,12 @@ impl PaxosUtility {
     }
 
     /// Handles a utility message, returning events for the owning node.
-    pub fn handle(&mut self, from: NodeId, msg: UtilityMsg, out: &mut Outbox<Msg>) -> Vec<UtilityEvent> {
+    pub fn handle(
+        &mut self,
+        from: NodeId,
+        msg: UtilityMsg,
+        out: &mut Outbox<Msg>,
+    ) -> Vec<UtilityEvent> {
         let mut events = Vec::new();
         match msg {
             UtilityMsg::Prepare { uinst, bal } => {
@@ -229,7 +234,11 @@ impl PaxosUtility {
                 match acc.on_prepare(bal) {
                     Ok(accepted) => out.send(
                         from,
-                        Msg::Utility(UtilityMsg::Promise { uinst, bal, accepted }),
+                        Msg::Utility(UtilityMsg::Promise {
+                            uinst,
+                            bal,
+                            accepted,
+                        }),
                     ),
                     Err(promised) => out.send(
                         from,
@@ -237,7 +246,11 @@ impl PaxosUtility {
                     ),
                 }
             }
-            UtilityMsg::Promise { uinst, bal, accepted } => {
+            UtilityMsg::Promise {
+                uinst,
+                bal,
+                accepted,
+            } => {
                 self.on_promise(from, uinst, bal, accepted, out, &mut events);
             }
             UtilityMsg::PrepareNack { uinst, promised } => {
@@ -433,11 +446,17 @@ impl PaxosUtility {
         while let Some(e) = self.chosen_ahead.remove(&(self.log.len() as Instance)) {
             let slot = self.log.len() as Instance;
             self.log.push(e.clone());
-            events.push(UtilityEvent::Chosen { uinst: slot, entry: e.clone() });
+            events.push(UtilityEvent::Chosen {
+                uinst: slot,
+                entry: e.clone(),
+            });
             if let Some(cas) = self.cas.as_ref() {
                 if cas.uinst == slot {
                     let success = e == cas.want;
-                    events.push(UtilityEvent::CasFinished { uinst: slot, success });
+                    events.push(UtilityEvent::CasFinished {
+                        uinst: slot,
+                        success,
+                    });
                     self.cas = None;
                 }
             }
@@ -490,18 +509,18 @@ mod tests {
 
         fn absorb(&mut self, from: NodeId, out: &mut Outbox<Msg>) {
             for a in out.take() {
-                if let Action::Send { to, msg: Msg::Utility(m) } = a {
+                if let Action::Send {
+                    to,
+                    msg: Msg::Utility(m),
+                } = a
+                {
                     self.queue.push_back((from, to, m));
                 }
             }
         }
 
         fn run(&mut self, skip: &[NodeId]) {
-            while let Some(pos) = self
-                .queue
-                .iter()
-                .position(|(_, to, _)| !skip.contains(to))
-            {
+            while let Some(pos) = self.queue.iter().position(|(_, to, _)| !skip.contains(to)) {
                 let (from, to, m) = self.queue.remove(pos).unwrap();
                 let mut out = Outbox::new();
                 let evs = self.utils[to.index()].handle(from, m, &mut out);
@@ -553,11 +572,12 @@ mod tests {
         assert_eq!(uinst, 2);
         bus.absorb(NodeId(2), &mut out);
         bus.run(&[]);
-        assert!(bus
-            .events
-            .iter()
-            .any(|(n, e)| *n == NodeId(2)
-                && *e == UtilityEvent::CasFinished { uinst: 2, success: true }));
+        assert!(bus.events.iter().any(|(n, e)| *n == NodeId(2)
+            && *e
+                == UtilityEvent::CasFinished {
+                    uinst: 2,
+                    success: true
+                }));
         // Every node appended the entry.
         for u in &bus.utils {
             assert_eq!(u.log().len(), 3);
@@ -593,9 +613,9 @@ mod tests {
             }
             bus.run(&[]);
             let done = |n: u16| {
-                bus.events
-                    .iter()
-                    .any(|(id, e)| *id == NodeId(n) && matches!(e, UtilityEvent::CasFinished { .. }))
+                bus.events.iter().any(|(id, e)| {
+                    *id == NodeId(n) && matches!(e, UtilityEvent::CasFinished { .. })
+                })
             };
             if done(1) && done(2) {
                 break;
@@ -631,11 +651,8 @@ mod tests {
         bus.utils[0].start_cas(want, &mut out);
         bus.absorb(NodeId(0), &mut out);
         bus.run(&[NodeId(1)]); // node 1 is slow
-        assert!(bus
-            .events
-            .iter()
-            .any(|(n, e)| *n == NodeId(0)
-                && matches!(e, UtilityEvent::CasFinished { success: true, .. })));
+        assert!(bus.events.iter().any(|(n, e)| *n == NodeId(0)
+            && matches!(e, UtilityEvent::CasFinished { success: true, .. })));
     }
 
     #[test]

@@ -98,6 +98,12 @@ impl<M> Outbox<M> {
         }
     }
 
+    /// Queues a raw action (used by harness shims and scripted test
+    /// protocols; protocol code prefers the typed helpers below).
+    pub fn push(&mut self, action: Action<M>) {
+        self.actions.push(action);
+    }
+
     /// Queues a message send.
     pub fn send(&mut self, to: NodeId, msg: M) {
         self.actions.push(Action::Send { to, msg });

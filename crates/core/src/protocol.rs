@@ -84,7 +84,13 @@ impl<P: Protocol + ?Sized> Protocol for Box<P> {
         (**self).on_start(now, out)
     }
 
-    fn on_message(&mut self, from: NodeId, msg: Self::Msg, now: Nanos, out: &mut Outbox<Self::Msg>) {
+    fn on_message(
+        &mut self,
+        from: NodeId,
+        msg: Self::Msg,
+        now: Nanos,
+        out: &mut Outbox<Self::Msg>,
+    ) {
         (**self).on_message(from, msg, now, out)
     }
 

@@ -6,25 +6,24 @@
 //! explicit message delivery, manual time, and the ability to block a node
 //! to model the paper's slow cores. Safety properties must hold under every
 //! schedule this harness can produce; the property tests exploit that.
+//!
+//! Each node is a [`ReplicaEngine`], so `TestNet` itself is only a
+//! scheduler over per-link FIFOs of protocol messages: it decides *when*
+//! an [`EngineEffect`] crosses a link, while the engine owns all timer,
+//! commit, apply and reply semantics — the same engine the simulator and
+//! the threaded runtime deploy.
 
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
-use crate::outbox::{Action, Outbox, Timer};
+use crate::engine::{EngineEffect, EngineEvent, ReplicaEngine};
+use crate::kv::KvStore;
 use crate::protocol::Protocol;
 use crate::types::{Command, Instance, Nanos, NodeId, Op};
 
-/// A recorded client reply.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct ReplyRecord {
-    /// The client that was answered.
-    pub client: NodeId,
-    /// The request id that committed.
-    pub req_id: u64,
-    /// The slot it committed in.
-    pub instance: Instance,
-    /// The node that produced the reply.
-    pub from: NodeId,
-}
+pub use crate::engine::ReplyRecord;
+
+/// The effect stream produced by a `TestNet` node's engine.
+type Effects<P> = Vec<EngineEffect<<P as Protocol>::Msg, Option<u64>>>;
 
 /// Deterministic in-process network of protocol nodes.
 ///
@@ -45,24 +44,33 @@ pub struct ReplyRecord {
 /// assert_eq!(net.replies().len(), 1);
 /// ```
 pub struct TestNet<P: Protocol> {
-    nodes: Vec<P>,
+    engines: Vec<ReplicaEngine<P, KvStore>>,
     /// Per-link FIFO queues, mirroring the paper's per-pair message queues.
     links: BTreeMap<(NodeId, NodeId), VecDeque<P::Msg>>,
-    timers: BTreeMap<NodeId, BTreeMap<Timer, Nanos>>,
-    blocked: BTreeSet<NodeId>,
     now: Nanos,
+    /// Harness-level commit oracle (node → instance → command). Held
+    /// outside the engines so it survives [`Self::reset_node`]: a
+    /// silently rebooted node loses its state, but the *oracle* must
+    /// still catch the rebooted node re-deciding an old instance
+    /// differently (§5, Appendix A).
     commits: BTreeMap<NodeId, BTreeMap<Instance, Command>>,
     replies: Vec<ReplyRecord>,
     delivered: u64,
+    /// Reusable effect buffer.
+    scratch: Effects<P>,
 }
 
 impl<P: Protocol> std::fmt::Debug for TestNet<P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let blocked: Vec<NodeId> = (0..self.engines.len() as u16)
+            .map(NodeId)
+            .filter(|&id| self.is_blocked(id))
+            .collect();
         f.debug_struct("TestNet")
-            .field("nodes", &self.nodes.len())
+            .field("nodes", &self.engines.len())
             .field("now", &self.now)
             .field("delivered", &self.delivered)
-            .field("blocked", &self.blocked)
+            .field("blocked", &blocked)
             .field("replies", &self.replies.len())
             .finish_non_exhaustive()
     }
@@ -74,20 +82,28 @@ impl<P: Protocol> TestNet<P> {
     pub fn new(n: u16, mut make: impl FnMut(&[NodeId], NodeId) -> P) -> Self {
         let members: Vec<NodeId> = (0..n).map(NodeId).collect();
         let mut net = TestNet {
-            nodes: members.iter().map(|&me| make(&members, me)).collect(),
+            // Engine-level history is off: the harness records commits
+            // and replies itself (below), so that the records survive
+            // node resets.
+            engines: members
+                .iter()
+                .map(|&me| {
+                    ReplicaEngine::new(make(&members, me), KvStore::new()).with_history(false)
+                })
+                .collect(),
             links: BTreeMap::new(),
-            timers: BTreeMap::new(),
-            blocked: BTreeSet::new(),
             now: 0,
             commits: BTreeMap::new(),
             replies: Vec::new(),
             delivered: 0,
+            scratch: Vec::new(),
         };
-        for i in 0..net.nodes.len() {
-            let mut out = Outbox::new();
+        for i in 0..net.engines.len() {
             let now = net.now;
-            net.nodes[i].on_start(now, &mut out);
-            net.absorb(NodeId(i as u16), out);
+            let mut effects = std::mem::take(&mut net.scratch);
+            net.engines[i].handle(EngineEvent::Start, now, &mut effects);
+            net.absorb(NodeId(i as u16), &mut effects);
+            net.scratch = effects;
         }
         net
     }
@@ -104,47 +120,77 @@ impl<P: Protocol> TestNet<P> {
 
     /// Immutable access to a node.
     pub fn node(&self, id: NodeId) -> &P {
-        &self.nodes[id.index()]
+        self.engines[id.index()].node()
     }
 
     /// Mutable access to a node (for white-box assertions only).
     pub fn node_mut(&mut self, id: NodeId) -> &mut P {
-        &mut self.nodes[id.index()]
+        self.engines[id.index()].node_mut()
+    }
+
+    /// The engine wrapping node `id` (timer table, applier). Engine-level
+    /// commit/reply history is disabled here — the harness records both
+    /// itself so they survive [`Self::reset_node`]; use
+    /// [`Self::commits`]/[`Self::replies`] instead.
+    pub fn engine(&self, id: NodeId) -> &ReplicaEngine<P, KvStore> {
+        &self.engines[id.index()]
+    }
+
+    /// The key/value replica applied at node `id`.
+    pub fn state(&self, id: NodeId) -> &KvStore {
+        self.engines[id.index()].state()
     }
 
     /// Replaces a node's state machine with a fresh one, losing all state:
     /// models the paper's silently rebooted acceptor (§5, Appendix A).
-    /// In-flight messages to and from the node are preserved.
+    /// In-flight messages to and from the node are preserved, as is the
+    /// node's blocked status (a rebooted slow core is still slow).
     pub fn reset_node(&mut self, id: NodeId, fresh: P) {
-        self.nodes[id.index()] = fresh;
-        self.timers.remove(&id);
-        let mut out = Outbox::new();
-        self.nodes[id.index()].on_start(self.now, &mut out);
-        self.absorb(id, out);
+        let was_blocked = self.engines[id.index()].is_blocked();
+        self.engines[id.index()] = ReplicaEngine::new(fresh, KvStore::new()).with_history(false);
+        self.engines[id.index()].set_blocked(was_blocked);
+        let now = self.now;
+        let mut effects = std::mem::take(&mut self.scratch);
+        self.engines[id.index()].handle(EngineEvent::Start, now, &mut effects);
+        self.absorb(id, &mut effects);
+        self.scratch = effects;
     }
 
     /// Blocks a node: it stops processing messages and timers (a slow
     /// core). Messages addressed to it queue up.
     pub fn block(&mut self, id: NodeId) {
-        self.blocked.insert(id);
+        self.engines[id.index()].set_blocked(true);
     }
 
     /// Unblocks a node; queued input becomes deliverable again.
     pub fn unblock(&mut self, id: NodeId) {
-        self.blocked.remove(&id);
+        self.engines[id.index()].set_blocked(false);
     }
 
     /// Whether `id` is currently blocked.
     pub fn is_blocked(&self, id: NodeId) -> bool {
-        self.blocked.contains(&id)
+        self.engines[id.index()].is_blocked()
     }
 
     /// Submits a client request to `target`.
     pub fn client_request(&mut self, target: NodeId, client: NodeId, req_id: u64, op: Op) {
-        let mut out = Outbox::new();
         let now = self.now;
-        self.nodes[target.index()].on_client_request(client, req_id, op, now, &mut out);
-        self.absorb(target, out);
+        let mut effects = std::mem::take(&mut self.scratch);
+        self.engines[target.index()].handle(
+            EngineEvent::ClientRequest { client, req_id, op },
+            now,
+            &mut effects,
+        );
+        self.absorb(target, &mut effects);
+        self.scratch = effects;
+    }
+
+    /// Serves a relaxed read of `key` at node `id` through the engine's
+    /// §7.5 local-read fast path: `Some(value)` if the protocol allows a
+    /// local read right now, `None` if the read must wait (2PC lock
+    /// window) or go through consensus.
+    pub fn local_read(&self, id: NodeId, key: u64) -> Option<Option<u64>> {
+        self.engines[id.index()].local_read(key)
     }
 
     /// Links `(from, to)` that currently hold at least one deliverable
@@ -152,7 +198,7 @@ impl<P: Protocol> TestNet<P> {
     pub fn deliverable_links(&self) -> Vec<(NodeId, NodeId)> {
         self.links
             .iter()
-            .filter(|((_, to), q)| !q.is_empty() && !self.blocked.contains(to))
+            .filter(|((_, to), q)| !q.is_empty() && !self.is_blocked(*to))
             .map(|(&l, _)| l)
             .collect()
     }
@@ -160,7 +206,7 @@ impl<P: Protocol> TestNet<P> {
     /// Delivers the head-of-line message on `(from, to)`. Returns `false`
     /// if there was none or the destination is blocked.
     pub fn deliver_one(&mut self, from: NodeId, to: NodeId) -> bool {
-        if self.blocked.contains(&to) {
+        if self.is_blocked(to) {
             return false;
         }
         let Some(q) = self.links.get_mut(&(from, to)) else {
@@ -170,10 +216,11 @@ impl<P: Protocol> TestNet<P> {
             return false;
         };
         self.delivered += 1;
-        let mut out = Outbox::new();
         let now = self.now;
-        self.nodes[to.index()].on_message(from, msg, now, &mut out);
-        self.absorb(to, out);
+        let mut effects = std::mem::take(&mut self.scratch);
+        self.engines[to.index()].handle(EngineEvent::Message { from, msg }, now, &mut effects);
+        self.absorb(to, &mut effects);
+        self.scratch = effects;
         true
     }
 
@@ -227,22 +274,12 @@ impl<P: Protocol> TestNet<P> {
     /// messages.
     pub fn advance(&mut self, delta: Nanos) {
         self.now += delta;
-        let due: Vec<(NodeId, Timer)> = self
-            .timers
-            .iter()
-            .filter(|(id, _)| !self.blocked.contains(id))
-            .flat_map(|(&id, ts)| {
-                ts.iter()
-                    .filter(|&(_, &at)| at <= self.now)
-                    .map(move |(&t, _)| (id, t))
-            })
-            .collect();
-        for (id, t) in due {
-            self.timers.get_mut(&id).unwrap().remove(&t);
-            let mut out = Outbox::new();
-            let now = self.now;
-            self.nodes[id.index()].on_timer(t, now, &mut out);
-            self.absorb(id, out);
+        let now = self.now;
+        for i in 0..self.engines.len() {
+            let mut effects = std::mem::take(&mut self.scratch);
+            self.engines[i].fire_due(now, &mut effects);
+            self.absorb(NodeId(i as u16), &mut effects);
+            self.scratch = effects;
         }
     }
 
@@ -255,7 +292,9 @@ impl<P: Protocol> TestNet<P> {
         }
     }
 
-    /// Commits recorded at `node` (instance → command).
+    /// Commits recorded at `node` (instance → command). Survives
+    /// [`Self::reset_node`]: the record belongs to the harness oracle,
+    /// not to the (rebootable) node.
     pub fn commits(&self, node: NodeId) -> &BTreeMap<Instance, Command> {
         static EMPTY: BTreeMap<Instance, Command> = BTreeMap::new();
         self.commits.get(&node).unwrap_or(&EMPTY)
@@ -289,40 +328,33 @@ impl<P: Protocol> TestNet<P> {
         }
     }
 
-    fn absorb(&mut self, me: NodeId, mut out: Outbox<P::Msg>) {
-        for action in out.take() {
-            match action {
-                Action::Send { to, msg } => {
+    /// Routes one engine's effects: sends into per-link FIFOs, replies
+    /// and commits into the harness-level records (which outlive node
+    /// resets, unlike the engines they came from).
+    fn absorb(&mut self, me: NodeId, effects: &mut Effects<P>) {
+        for effect in effects.drain(..) {
+            match effect {
+                EngineEffect::SendTo { to, msg } => {
                     self.links.entry((me, to)).or_default().push_back(msg);
                 }
-                Action::Reply {
+                EngineEffect::ReplyTo {
                     client,
                     req_id,
                     instance,
+                    ..
                 } => self.replies.push(ReplyRecord {
                     client,
                     req_id,
                     instance,
                     from: me,
                 }),
-                Action::Commit { instance, cmd } => {
+                EngineEffect::Committed { instance, cmd } => {
                     let prior = self.commits.entry(me).or_default().insert(instance, cmd);
                     if let Some(prior) = prior {
                         assert_eq!(
                             prior, cmd,
                             "{me} re-learned instance {instance} with a different command"
                         );
-                    }
-                }
-                Action::SetTimer { timer, after } => {
-                    self.timers
-                        .entry(me)
-                        .or_default()
-                        .insert(timer, self.now + after);
-                }
-                Action::CancelTimer { timer } => {
-                    if let Some(ts) = self.timers.get_mut(&me) {
-                        ts.remove(&timer);
                     }
                 }
             }
@@ -333,7 +365,7 @@ impl<P: Protocol> TestNet<P> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::outbox::Outbox;
+    use crate::outbox::{Outbox, Timer};
 
     /// A trivial echo protocol for exercising the harness itself.
     struct Echo {
@@ -452,5 +484,19 @@ mod tests {
         assert!(net.drop_one(NodeId(0), NodeId(1)));
         net.run_to_quiescence();
         assert_eq!(net.node(NodeId(1)).seen, 0);
+    }
+
+    #[test]
+    fn state_is_applied_per_node() {
+        use crate::twopc::TwoPcNode;
+        use crate::ClusterConfig;
+        let mut net = TestNet::new(3, |m, me| {
+            TwoPcNode::new(ClusterConfig::new(m.to_vec(), me))
+        });
+        net.client_request(NodeId(0), NodeId(9), 1, Op::Put { key: 4, value: 44 });
+        net.run_to_quiescence();
+        for n in 0..3u16 {
+            assert_eq!(net.state(NodeId(n)).get(4), Some(44));
+        }
     }
 }

@@ -239,7 +239,12 @@ impl TwoPcNode {
             return;
         };
         for peer in self.cfg.others() {
-            out.send(peer, Msg::Rollback { round: active.round });
+            out.send(
+                peer,
+                Msg::Rollback {
+                    round: active.round,
+                },
+            );
         }
         if self.locked_by == Some((self.me(), active.round)) {
             self.locked_by = None;
@@ -385,7 +390,9 @@ mod tests {
     use crate::testnet::TestNet;
 
     fn net(n: u16) -> TestNet<TwoPcNode> {
-        TestNet::new(n, |m, me| TwoPcNode::new(ClusterConfig::new(m.to_vec(), me)))
+        TestNet::new(n, |m, me| {
+            TwoPcNode::new(ClusterConfig::new(m.to_vec(), me))
+        })
     }
 
     #[test]

@@ -25,8 +25,8 @@ struct LegalVotes {
 fn legal_votes(n_acceptors: u16) -> impl Strategy<Value = LegalVotes> {
     let majority = (n_acceptors as usize) / 2 + 1;
     (
-        2u32..6,                       // winner ballot round
-        0u32..100,                     // winner value
+        2u32..6,                                                  // winner ballot round
+        0u32..100,                                                // winner value
         prop::collection::vec((0u32..100, 0..n_acceptors), 0..4), // losers
     )
         .prop_map(move |(wround, wvalue, losers)| {
@@ -79,11 +79,7 @@ proptest! {
 // --------------------------------------------------------------------
 
 fn decided_log(len: usize) -> impl Strategy<Value = Vec<(Instance, Command)>> {
-    prop::collection::vec(
-        (0u16..4, 1u64..6, 0u64..8, 0u64..100),
-        1..=len,
-    )
-    .prop_map(|entries| {
+    prop::collection::vec((0u16..4, 1u64..6, 0u64..8, 0u64..100), 1..=len).prop_map(|entries| {
         entries
             .into_iter()
             .enumerate()

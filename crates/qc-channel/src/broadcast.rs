@@ -25,7 +25,7 @@ use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use crossbeam::utils::CachePadded;
+use crate::crossbeam::utils::CachePadded;
 
 /// A broadcast slot: sequence tag plus payload.
 #[repr(align(128))]
@@ -197,7 +197,7 @@ impl<T: Clone> Broadcaster<T> {
 
     /// Publishes, spinning while the slowest subscriber lags.
     pub fn broadcast_spin(&self, v: T) {
-        let backoff = crossbeam::utils::Backoff::new();
+        let backoff = crate::crossbeam::utils::Backoff::new();
         let mut v = v;
         loop {
             match self.try_broadcast(v) {
@@ -242,7 +242,7 @@ impl<T: Clone> Subscriber<T> {
 
     /// Receives, spinning until a message is published.
     pub fn recv_spin(&mut self) -> T {
-        let backoff = crossbeam::utils::Backoff::new();
+        let backoff = crate::crossbeam::utils::Backoff::new();
         loop {
             if let Some(v) = self.try_recv() {
                 return v;

@@ -33,6 +33,8 @@
 #![warn(missing_debug_implementations)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+mod crossbeam;
+
 pub mod broadcast;
 pub mod duplex;
 pub mod mailbox;

@@ -20,7 +20,7 @@ use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use crossbeam::utils::CachePadded;
+use crate::crossbeam::utils::CachePadded;
 
 /// Number of usable slots per queue if none is specified — the paper's
 /// "seven by default" (§6.1).
@@ -181,7 +181,7 @@ impl<T> Sender<T> {
     /// experiment's sender pauses "until it learns that the last message
     /// has been read" on a single-slot queue.
     pub fn send_spin(&self, v: T) {
-        let backoff = crossbeam::utils::Backoff::new();
+        let backoff = crate::crossbeam::utils::Backoff::new();
         let mut v = v;
         loop {
             match self.try_send(v) {
@@ -237,7 +237,7 @@ impl<T> Receiver<T> {
 
     /// Dequeues, spinning until a message arrives.
     pub fn recv_spin(&self) -> T {
-        let backoff = crossbeam::utils::Backoff::new();
+        let backoff = crate::crossbeam::utils::Backoff::new();
         loop {
             if let Some(v) = self.try_recv() {
                 return v;

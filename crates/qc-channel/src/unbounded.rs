@@ -9,7 +9,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use crossbeam::queue::SegQueue;
+use crate::crossbeam::queue::SegQueue;
 
 struct Inner<T> {
     q: SegQueue<T>,

@@ -1,0 +1,46 @@
+//! Best-effort thread-to-core pinning.
+//!
+//! The paper pins replicas with `taskset` (§7.1). Portable pinning needs a
+//! platform crate (`core_affinity`), which this offline build cannot
+//! depend on; pinning in the cluster builder is documented as best-effort,
+//! so this stub keeps the same call shape and simply reports that pinning
+//! was not applied. Swapping the bodies for `core_affinity` calls restores
+//! real pinning on a networked build — no caller changes.
+
+/// An assignable core, mirroring `core_affinity::CoreId`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CoreId {
+    /// OS core index.
+    pub id: usize,
+}
+
+/// The cores threads could be pinned to: one id per unit of available
+/// parallelism, or `None` when even that cannot be determined.
+pub fn get_core_ids() -> Option<Vec<CoreId>> {
+    let n = std::thread::available_parallelism().ok()?.get();
+    Some((0..n).map(|id| CoreId { id }).collect())
+}
+
+/// Requests that the current thread run on `_core`. The stub cannot ask
+/// the OS, so it returns `false` ("not pinned") and the caller proceeds
+/// unpinned — exactly the documented best-effort behaviour.
+pub fn set_for_current(_core: CoreId) -> bool {
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_ids_cover_available_parallelism() {
+        let ids = get_core_ids().expect("parallelism known");
+        assert!(!ids.is_empty());
+        assert_eq!(ids[0], CoreId { id: 0 });
+    }
+
+    #[test]
+    fn stub_pinning_reports_unpinned() {
+        assert!(!set_for_current(CoreId { id: 0 }));
+    }
+}

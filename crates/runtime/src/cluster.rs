@@ -2,6 +2,13 @@
 //! between every pair of processes, optional core pinning — the runtime
 //! equivalent of the paper's testbed (§6, §7.1), where replicas were
 //! assigned to cores with `taskset`.
+//!
+//! A replica thread owns a [`ReplicaEngine`] and does nothing but IO: poll
+//! the qc-channel mailbox, feed events to the engine, push
+//! [`EngineEffect`]s back onto the wire (with overflow backlogs so a full
+//! 7-slot queue never blocks the loop). Timers, commits, replies and the
+//! state machine all live in the engine — the same engine the simulator
+//! and `TestNet` deploy.
 
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -9,11 +16,12 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use onepaxos::engine::{EngineEffect, EngineEvent, ReplicaEngine, ReplyMode};
 use onepaxos::kv::KvStore;
-use onepaxos::rsm::Applier;
-use onepaxos::{Action, Instance, Nanos, NodeId, Op, Outbox, Protocol, Timer};
+use onepaxos::{Nanos, NodeId, Op, Protocol};
 use qc_channel::{spsc, Mailbox, Receiver, Sender};
 
+use crate::affinity;
 use crate::wire::Wire;
 
 /// Queue slots per direction between each pair of processes; the paper's
@@ -23,6 +31,9 @@ pub const QUEUE_SLOTS: usize = qc_channel::DEFAULT_SLOTS;
 
 /// The receive sides a process polls: one queue per peer.
 type PeerReceivers<M> = Vec<(NodeId, Receiver<Wire<M>>)>;
+
+/// The effect stream of one runtime replica engine.
+type Effects<P> = Vec<EngineEffect<<P as Protocol>::Msg, Option<u64>>>;
 
 /// Shared per-replica counters.
 #[derive(Debug, Default)]
@@ -131,7 +142,7 @@ where
     }
 
     /// Pin replica threads to distinct cores (the paper's `taskset`),
-    /// when the machine has enough cores. Default off.
+    /// when the machine has enough cores. Best-effort. Default off.
     pub fn pin_cores(mut self, pin: bool) -> Self {
         self.pin_cores = pin;
         self
@@ -168,7 +179,7 @@ where
         let metrics: Vec<Arc<NodeMetrics>> =
             (0..r).map(|_| Arc::new(NodeMetrics::default())).collect();
         let core_ids = if self.pin_cores {
-            core_affinity::get_core_ids().unwrap_or_default()
+            affinity::get_core_ids().unwrap_or_default()
         } else {
             Vec::new()
         };
@@ -191,7 +202,7 @@ where
                 .name(format!("replica-{}", me))
                 .spawn(move || {
                     if let Some(core) = core {
-                        let _ = core_affinity::set_for_current(core);
+                        let _ = affinity::set_for_current(core);
                     }
                     replica_loop(node, rxs, io, m);
                 })
@@ -288,8 +299,45 @@ impl Cluster {
     }
 }
 
+/// Pushes one engine's effects onto the wire. Replies always carry their
+/// state-machine output: the engine runs in [`ReplyMode::AfterApply`], so
+/// an acknowledgement is only released once the command is applied.
+fn dispatch_effects<P: Protocol>(
+    effects: &mut Effects<P>,
+    io: &mut NodeIo<P::Msg>,
+    metrics: &NodeMetrics,
+) {
+    for effect in effects.drain(..) {
+        match effect {
+            EngineEffect::SendTo { to, msg } => {
+                io.send(to, Wire::Peer(msg));
+                metrics.sent.fetch_add(1, Ordering::Relaxed);
+            }
+            EngineEffect::ReplyTo {
+                client,
+                req_id,
+                instance,
+                value,
+            } => {
+                io.send(
+                    client,
+                    Wire::Reply {
+                        req_id,
+                        instance,
+                        value: value.flatten(),
+                    },
+                );
+                metrics.sent.fetch_add(1, Ordering::Relaxed);
+            }
+            EngineEffect::Committed { .. } => {
+                metrics.committed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
 fn replica_loop<P: Protocol>(
-    mut node: P,
+    node: P,
     rxs: PeerReceivers<P::Msg>,
     mut io: NodeIo<P::Msg>,
     metrics: Arc<NodeMetrics>,
@@ -300,44 +348,26 @@ fn replica_loop<P: Protocol>(
     for (peer, rx) in rxs {
         mailbox.add_peer(peer, rx);
     }
-    let mut applier: Applier<KvStore> = Applier::new(KvStore::new());
-    let mut timers: BTreeMap<Timer, Nanos> = BTreeMap::new();
-    // Replies whose state-machine output is not yet applied (log gap).
-    let mut deferred_replies: Vec<(NodeId, u64, Instance)> = Vec::new();
-    let mut out = Outbox::new();
+    // The engine owns timers, commits, the KV replica and reply records;
+    // this loop owns only the qc-channel IO and its overflow backlog.
+    // History off: a live cluster serves traffic indefinitely and must
+    // not grow per-command records (metrics carry the counters instead).
+    let mut engine = ReplicaEngine::with_reply_mode(node, KvStore::new(), ReplyMode::AfterApply)
+        .with_history(false);
+    let mut effects: Effects<P> = Vec::new();
+    // Relaxed reads caught inside a 2PC lock window, waiting it out
+    // ("a read arriving inside the gap waits for the lock window to
+    // close", §7.5).
+    let mut pending_reads: Vec<(NodeId, u64, u64)> = Vec::new();
 
-    node.on_start(now_ns(), &mut out);
-    process_actions(
-        &mut out,
-        &mut io,
-        &mut applier,
-        &mut timers,
-        &mut deferred_replies,
-        &metrics,
-        now_ns(),
-    );
+    engine.handle(EngineEvent::Start, now_ns(), &mut effects);
+    dispatch_effects::<P>(&mut effects, &mut io, &metrics);
 
     loop {
         let mut progressed = io.flush();
         // Fire due timers.
-        let now = now_ns();
-        let due: Vec<Timer> = timers
-            .iter()
-            .filter(|&(_, &at)| at <= now)
-            .map(|(&t, _)| t)
-            .collect();
-        for t in due {
-            timers.remove(&t);
-            node.on_timer(t, now, &mut out);
-            process_actions(
-                &mut out,
-                &mut io,
-                &mut applier,
-                &mut timers,
-                &mut deferred_replies,
-                &metrics,
-                now,
-            );
+        if engine.fire_due(now_ns(), &mut effects) > 0 {
+            dispatch_effects::<P>(&mut effects, &mut io, &metrics);
             progressed = true;
         }
         // Drain a bounded batch of inbound messages.
@@ -349,83 +379,68 @@ fn replica_loop<P: Protocol>(
             progressed = true;
             let now = now_ns();
             match wire {
-                Wire::Peer(m) => node.on_message(from, m, now, &mut out),
-                Wire::Request { client, req_id, op } => {
-                    node.on_client_request(client, req_id, op, now, &mut out)
+                Wire::Peer(msg) => {
+                    engine.handle(EngineEvent::Message { from, msg }, now, &mut effects)
                 }
-                Wire::Reply { .. } => {} // replicas do not receive replies
+                Wire::Request { client, req_id, op } => engine.handle(
+                    EngineEvent::ClientRequest { client, req_id, op },
+                    now,
+                    &mut effects,
+                ),
+                Wire::ReadRelaxed {
+                    client,
+                    req_id,
+                    key,
+                } => {
+                    if let Some(value) = engine.local_read(key) {
+                        io.send(client, Wire::ReadValue { req_id, value });
+                        metrics.sent.fetch_add(1, Ordering::Relaxed);
+                    } else if engine.supports_local_reads() {
+                        // Inside the lock window: wait it out. At most one
+                        // pending read per client — clients are synchronous,
+                        // so a newer request supersedes anything older, and
+                        // the backlog stays bounded by the client count even
+                        // if a lock window never closes.
+                        pending_reads.retain(|&(c, _, _)| c != client);
+                        pending_reads.push((client, req_id, key));
+                    } else {
+                        // Ordered-reads-only protocol: relaxed degrades
+                        // to a linearized read through consensus.
+                        engine.handle(
+                            EngineEvent::ClientRequest {
+                                client,
+                                req_id,
+                                op: Op::Get { key },
+                            },
+                            now,
+                            &mut effects,
+                        );
+                    }
+                }
+                Wire::Reply { .. } | Wire::ReadValue { .. } => {} // replicas ignore replies
                 Wire::Shutdown => return,
             }
-            process_actions(
-                &mut out,
-                &mut io,
-                &mut applier,
-                &mut timers,
-                &mut deferred_replies,
-                &metrics,
-                now,
-            );
+            dispatch_effects::<P>(&mut effects, &mut io, &metrics);
         }
-        // Retry replies that waited for the state machine to catch up.
-        if !deferred_replies.is_empty() {
+        // Retry relaxed reads whose lock window may have closed.
+        if !pending_reads.is_empty() {
             let mut still = Vec::new();
-            for (client, req_id, instance) in deferred_replies.drain(..) {
-                match applier.output_of(client, req_id) {
-                    Some(v) => {
-                        let value = *v;
-                        io.send(client, Wire::Reply { req_id, instance, value });
+            for (client, req_id, key) in pending_reads.drain(..) {
+                match engine.local_read(key) {
+                    Some(value) => {
+                        io.send(client, Wire::ReadValue { req_id, value });
                         metrics.sent.fetch_add(1, Ordering::Relaxed);
+                        progressed = true;
                     }
-                    None => still.push((client, req_id, instance)),
+                    None => still.push((client, req_id, key)),
                 }
             }
-            deferred_replies = still;
+            pending_reads = still;
         }
         if !progressed {
             // Idle: be polite on shared machines (the dev box has far
             // fewer cores than the paper's testbed).
             std::thread::yield_now();
-        }
-    }
-}
-
-fn process_actions<M>(
-    out: &mut Outbox<M>,
-    io: &mut NodeIo<M>,
-    applier: &mut Applier<KvStore>,
-    timers: &mut BTreeMap<Timer, Nanos>,
-    deferred_replies: &mut Vec<(NodeId, u64, Instance)>,
-    metrics: &NodeMetrics,
-    now: Nanos,
-) {
-    for action in out.take() {
-        match action {
-            Action::Send { to, msg } => {
-                io.send(to, Wire::Peer(msg));
-                metrics.sent.fetch_add(1, Ordering::Relaxed);
-            }
-            Action::Reply {
-                client,
-                req_id,
-                instance,
-            } => match applier.output_of(client, req_id) {
-                Some(v) => {
-                    let value = *v;
-                    io.send(client, Wire::Reply { req_id, instance, value });
-                    metrics.sent.fetch_add(1, Ordering::Relaxed);
-                }
-                None => deferred_replies.push((client, req_id, instance)),
-            },
-            Action::Commit { instance, cmd } => {
-                applier.on_decided(instance, cmd);
-                metrics.committed.fetch_add(1, Ordering::Relaxed);
-            }
-            Action::SetTimer { timer, after } => {
-                timers.insert(timer, now + after);
-            }
-            Action::CancelTimer { timer } => {
-                timers.remove(&timer);
-            }
         }
     }
 }
@@ -504,7 +519,12 @@ impl<M: Clone + std::fmt::Debug + Send + 'static> ClientHandle<M> {
             while Instant::now() < deadline {
                 self.io.flush();
                 match self.mailbox.poll() {
-                    Some((_, Wire::Reply { req_id: r, value, .. })) if r == req_id => {
+                    Some((
+                        _,
+                        Wire::Reply {
+                            req_id: r, value, ..
+                        },
+                    )) if r == req_id => {
                         return Ok(value);
                     }
                     Some(_) => {} // stale reply for an older request
@@ -534,6 +554,53 @@ impl<M: Clone + std::fmt::Debug + Send + 'static> ClientHandle<M> {
     /// Propagates [`SubmitTimeout`].
     pub fn get(&mut self, key: u64) -> Result<Option<u64>, SubmitTimeout> {
         self.submit(Op::Get { key })
+    }
+
+    /// Relaxed read (§7.5): asks `replica` for its local copy of `key`,
+    /// bypassing consensus when the protocol allows it (2PC outside its
+    /// lock window). Under an ordered-reads protocol (the Paxos family)
+    /// the replica transparently degrades this to a linearized read, so
+    /// the call is always answered.
+    ///
+    /// The value may be stale with respect to commands still in flight —
+    /// that is the relaxation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SubmitTimeout`] if `replica` does not answer in time
+    /// (e.g. a 2PC lock window that never closes because the coordinator
+    /// is stuck).
+    pub fn get_relaxed(&mut self, replica: NodeId, key: u64) -> Result<Option<u64>, SubmitTimeout> {
+        let req_id = self.next_req;
+        self.next_req += 1;
+        self.io.send(
+            replica,
+            Wire::ReadRelaxed {
+                client: self.me,
+                req_id,
+                key,
+            },
+        );
+        let deadline = Instant::now() + self.timeout;
+        while Instant::now() < deadline {
+            self.io.flush();
+            match self.mailbox.poll() {
+                Some((_, Wire::ReadValue { req_id: r, value })) if r == req_id => {
+                    return Ok(value);
+                }
+                Some((
+                    _,
+                    Wire::Reply {
+                        req_id: r, value, ..
+                    },
+                )) if r == req_id => {
+                    return Ok(value); // served through consensus instead
+                }
+                Some(_) => {} // stale reply for an older request
+                None => std::thread::yield_now(),
+            }
+        }
+        Err(SubmitTimeout)
     }
 
     /// Asks one replica to shut down — fault injection for tests and

@@ -30,10 +30,9 @@
 #![warn(missing_debug_implementations)]
 #![deny(unsafe_code)]
 
+pub mod affinity;
 mod cluster;
 mod wire;
 
-pub use cluster::{
-    Cluster, ClusterBuilder, ClientHandle, NodeMetrics, SubmitTimeout, QUEUE_SLOTS,
-};
+pub use cluster::{ClientHandle, Cluster, ClusterBuilder, NodeMetrics, SubmitTimeout, QUEUE_SLOTS};
 pub use wire::Wire;

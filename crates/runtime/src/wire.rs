@@ -17,6 +17,19 @@ pub enum Wire<M> {
         /// Operation to replicate.
         op: Op,
     },
+    /// A relaxed read (§7.5): served from the replica's local copy when
+    /// the protocol allows it, bypassing consensus entirely. A read
+    /// arriving inside a 2PC lock window waits at the replica until the
+    /// window closes; protocols whose reads must be ordered (the Paxos
+    /// family) answer it through consensus instead.
+    ReadRelaxed {
+        /// Originating client.
+        client: NodeId,
+        /// Client-local request id.
+        req_id: u64,
+        /// Key to read.
+        key: u64,
+    },
     /// A commit acknowledgement back to a client, carrying the
     /// state-machine output (the read value for `Get`s).
     Reply {
@@ -25,6 +38,14 @@ pub enum Wire<M> {
         /// The slot the command committed in.
         instance: Instance,
         /// State-machine output (previous/read value).
+        value: Option<u64>,
+    },
+    /// The answer to a [`Wire::ReadRelaxed`]: the value read from the
+    /// replica's local copy. No consensus slot is involved.
+    ReadValue {
+        /// The request being answered.
+        req_id: u64,
+        /// The locally read value.
         value: Option<u64>,
     },
     /// Orderly shutdown of the receiving process.

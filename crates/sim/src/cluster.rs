@@ -21,18 +21,25 @@
 //! timeout-driven re-targeting to other replicas ("once the clients
 //! detect the slow leader, they send their requests to other nodes",
 //! §7.6).
+//!
+//! Each replica process is a [`ReplicaEngine`]: the engine owns protocol
+//! dispatch, timers, commits and the applied KV replica, while this module
+//! only prices the resulting [`EngineEffect`]s in CPU time and moves them
+//! between cores.
 
 use std::cmp::Ordering as CmpOrdering;
 use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 
+use onepaxos::engine::{EngineEffect, EngineEvent, ReplicaEngine};
 use onepaxos::kv::KvStore;
-use onepaxos::rsm::Applier;
-use onepaxos::{Action, Command, Instance, Nanos, NodeId, Op, Outbox, Protocol, Timer};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use onepaxos::{Command, Instance, Nanos, NodeId, Op, Protocol};
 
 use crate::metrics::{LatencyStats, Timeline};
 use crate::profile::Profile;
+use crate::rng::SimRng;
+
+/// The effect stream of one simulated replica engine.
+type Effects<P> = Vec<EngineEffect<<P as Protocol>::Msg, Option<u64>>>;
 
 /// Client operation mix.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -51,18 +58,18 @@ pub enum Workload {
 }
 
 impl Workload {
-    fn gen(&self, rng: &mut StdRng) -> Op {
+    fn generate(&self, rng: &mut SimRng) -> Op {
         match *self {
             Workload::Noop => Op::Noop,
             Workload::ReadMix { read_pct, keys } => {
-                if rng.random_range(0..100u8) < read_pct {
+                if (rng.below(100) as u8) < read_pct {
                     Op::Get {
-                        key: rng.random_range(0..keys),
+                        key: rng.below(keys),
                     }
                 } else {
                     Op::Put {
-                        key: rng.random_range(0..keys),
-                        value: rng.random_range(0..1_000_000),
+                        key: rng.below(keys),
+                        value: rng.below(1_000_000),
                     }
                 }
             }
@@ -123,8 +130,12 @@ enum WorkItem<M> {
     ClientReq { client: NodeId, req_id: u64, op: Op },
     /// A commit acknowledgement arriving back at the client.
     Reply { req_id: u64 },
-    /// A timer armed by the protocol.
-    Fire { timer: Timer, gen: u64 },
+    /// Wake the replica's engine to fire due timers. `due` is the
+    /// deadline this check was scheduled for: a check that no longer
+    /// matches the replica's pending wake (it was superseded by an
+    /// earlier one) is stale and must do nothing — in particular it must
+    /// not reschedule, or superseded checks would duplicate forever.
+    TimerCheck { due: Nanos },
     /// Client-loop: issue the next request.
     SendNext,
     /// Client-loop: outstanding-request timeout check.
@@ -186,7 +197,7 @@ struct ClientState {
     epoch: u64,
     target_idx: usize,
     completed: u64,
-    rng: StdRng,
+    rng: SimRng,
 }
 
 /// Builder-configured simulation of one protocol deployment.
@@ -387,9 +398,14 @@ where
         assert!(self.replicas >= 1, "need at least one replica");
 
         let members: Vec<NodeId> = (0..self.replicas as u16).map(NodeId).collect();
-        let nodes: Vec<P> = members
+        let engines: Vec<ReplicaEngine<P, KvStore>> = members
             .iter()
-            .map(|&me| (self.factory)(&members, me))
+            // History off: the sim asserts safety through its own global
+            // oracle, and long duration-mode runs must not accumulate
+            // per-replica commit/reply logs.
+            .map(|&me| {
+                ReplicaEngine::new((self.factory)(&members, me), KvStore::new()).with_history(false)
+            })
             .collect();
         let n_replicas = self.replicas;
         let clients = (0..self.clients)
@@ -401,9 +417,13 @@ where
                     next_req: 1,
                     outstanding: None,
                     epoch: 0,
-                    target_idx: if self.spread_clients { j % n_replicas } else { 0 },
+                    target_idx: if self.spread_clients {
+                        j % n_replicas
+                    } else {
+                        0
+                    },
                     completed: 0,
-                    rng: StdRng::seed_from_u64(self.seed ^ (0x9E37_79B9 + j as u64)),
+                    rng: SimRng::seed_from_u64(self.seed ^ (0x9E37_79B9 + j as u64)),
                 }
             })
             .collect();
@@ -423,15 +443,14 @@ where
             None => (0..total_cores).collect(),
         };
 
-        let local_reads_possible = nodes[0].supports_local_reads();
+        let local_reads_possible = engines[0].supports_local_reads();
         let mut sim = ClusterSim {
             profile: self.profile,
             joint: self.joint,
             local_reads_possible,
             placement,
             members,
-            nodes,
-            appliers: (0..n_replicas).map(|_| Applier::new(KvStore::new())).collect(),
+            engines,
             chosen: BTreeMap::new(),
             cores: (0..total_cores)
                 .map(|_| CoreState {
@@ -446,9 +465,9 @@ where
             heap: BinaryHeap::new(),
             seq: 0,
             now: 0,
-            timer_gen: BTreeMap::new(),
+            timer_wake: vec![None; n_replicas],
             link_last: BTreeMap::new(),
-            rng: StdRng::seed_from_u64(self.seed),
+            rng: SimRng::seed_from_u64(self.seed),
             workload: self.workload,
             think: self.think,
             client_timeout: self.client_timeout,
@@ -464,13 +483,15 @@ where
             server_messages: 0,
             total_messages: 0,
             stopped: false,
+            scratch: Vec::new(),
         };
 
         // Protocol bootstrap.
-        for i in 0..sim.nodes.len() {
-            let mut out = Outbox::new();
-            sim.nodes[i].on_start(0, &mut out);
-            sim.apply_actions(i, 0, 0, out);
+        for i in 0..sim.engines.len() {
+            let mut effects = std::mem::take(&mut sim.scratch);
+            sim.engines[i].handle(EngineEvent::Start, 0, &mut effects);
+            sim.apply_effects(i, 0, 0, &mut effects);
+            sim.scratch = effects;
         }
         // Clients start their closed loops at t=0.
         for j in 0..sim.clients.len() {
@@ -478,7 +499,13 @@ where
             sim.push_work(0, core, WorkItem::SendNext);
         }
         for f in &self.faults {
-            sim.push(f.at, Event::SetSpeed { core: f.core, slowdown: f.slowdown });
+            sim.push(
+                f.at,
+                Event::SetSpeed {
+                    core: f.core,
+                    slowdown: f.slowdown,
+                },
+            );
         }
         if let Some(d) = self.duration {
             sim.push(d, Event::Stop);
@@ -496,8 +523,8 @@ struct ClusterSim<P: Protocol> {
     /// Process index → physical core, for topology distances (Fig 1).
     placement: Vec<usize>,
     members: Vec<NodeId>,
-    nodes: Vec<P>,
-    appliers: Vec<Applier<KvStore>>,
+    /// One engine per replica process (protocol + timers + commits + KV).
+    engines: Vec<ReplicaEngine<P, KvStore>>,
     /// Global safety oracle: instance → first command seen committed.
     chosen: BTreeMap<Instance, Command>,
     cores: Vec<CoreState<P::Msg>>,
@@ -505,10 +532,11 @@ struct ClusterSim<P: Protocol> {
     heap: BinaryHeap<Scheduled<P::Msg>>,
     seq: u64,
     now: Nanos,
-    timer_gen: BTreeMap<(usize, Timer), u64>,
+    /// Earliest pending TimerCheck per replica, to avoid wake-up storms.
+    timer_wake: Vec<Option<Nanos>>,
     /// FIFO enforcement: last arrival time per directed core pair.
     link_last: BTreeMap<(usize, usize), Nanos>,
-    rng: StdRng,
+    rng: SimRng,
     workload: Workload,
     think: Nanos,
     client_timeout: Nanos,
@@ -520,12 +548,18 @@ struct ClusterSim<P: Protocol> {
     server_messages: u64,
     total_messages: u64,
     stopped: bool,
+    /// Reusable effect buffer.
+    scratch: Effects<P>,
 }
 
 impl<P: Protocol> ClusterSim<P> {
     fn push(&mut self, at: Nanos, ev: Event<P::Msg>) {
         self.seq += 1;
-        self.heap.push(Scheduled { at, seq: self.seq, ev });
+        self.heap.push(Scheduled {
+            at,
+            seq: self.seq,
+            ev,
+        });
     }
 
     /// Enqueues a work item at a core, waking the core if idle.
@@ -538,25 +572,32 @@ impl<P: Protocol> ClusterSim<P> {
         if self.joint {
             Some(core).filter(|&c| c < self.clients.len())
         } else {
-            core.checked_sub(self.nodes.len()).filter(|&j| j < self.clients.len())
+            core.checked_sub(self.engines.len())
+                .filter(|&j| j < self.clients.len())
         }
     }
 
     fn is_replica_core(&self, core: usize) -> bool {
-        core < self.nodes.len()
+        core < self.engines.len()
     }
 
     fn jitter(&mut self) -> Nanos {
         if self.profile.jitter == 0 {
             0
         } else {
-            self.rng.random_range(0..=self.profile.jitter)
+            self.rng.below(self.profile.jitter + 1)
         }
     }
 
     /// Schedules a message arrival over the interconnect with FIFO
     /// preservation per directed link.
-    fn deliver(&mut self, from_core: usize, to_core: usize, send_done: Nanos, item: WorkItem<P::Msg>) {
+    fn deliver(
+        &mut self,
+        from_core: usize,
+        to_core: usize,
+        send_done: Nanos,
+        item: WorkItem<P::Msg>,
+    ) {
         let prop = self
             .profile
             .prop(self.placement[from_core], self.placement[to_core]);
@@ -570,8 +611,20 @@ impl<P: Protocol> ClusterSim<P> {
         self.push_work(at, to_core, item);
     }
 
-    /// Executes a replica handler's actions; `base` is the CPU time
-    /// already consumed by the handler (rx + handle) scaled by the core's
+    /// Schedules a TimerCheck for the engine's earliest deadline, unless
+    /// an earlier check is already pending.
+    fn schedule_timer_check(&mut self, node_idx: usize) {
+        let Some(deadline) = self.engines[node_idx].next_deadline() else {
+            return;
+        };
+        if self.timer_wake[node_idx].is_none_or(|w| deadline < w) {
+            self.timer_wake[node_idx] = Some(deadline);
+            self.push_work(deadline, node_idx, WorkItem::TimerCheck { due: deadline });
+        }
+    }
+
+    /// Prices a replica engine's effects; `base` is the CPU time already
+    /// consumed by the handler (rx + handle) scaled by the core's
     /// slowdown, relative to `start`. Returns total service time.
     ///
     /// Outbound messages are marshalled and transmitted serially within
@@ -580,12 +633,12 @@ impl<P: Protocol> ClusterSim<P> {
     /// cannot observe half-written cache lines mid-handler. This is what
     /// makes additional broadcast traffic cost latency, the §7.2 "message
     /// copy operations" effect.
-    fn apply_actions(
+    fn apply_effects(
         &mut self,
         node_idx: usize,
         start: Nanos,
         base: Nanos,
-        out: Outbox<P::Msg>,
+        effects: &mut Effects<P>,
     ) -> Nanos {
         let core = node_idx;
         let slowdown = self.cores[core].slowdown;
@@ -593,10 +646,9 @@ impl<P: Protocol> ClusterSim<P> {
         let mut service = base;
         let mut outbound: Vec<(usize, WorkItem<P::Msg>)> = Vec::new();
         let mut local: Vec<WorkItem<P::Msg>> = Vec::new();
-        let mut timers: Vec<(Timer, u64, Nanos)> = Vec::new();
-        for action in out {
-            match action {
-                Action::Send { to, msg } => {
+        for effect in effects.drain(..) {
+            match effect {
+                EngineEffect::SendTo { to, msg } => {
                     let to_core = to.index();
                     let item = WorkItem::Peer {
                         from: self.members[node_idx],
@@ -613,7 +665,7 @@ impl<P: Protocol> ClusterSim<P> {
                         outbound.push((to_core, item));
                     }
                 }
-                Action::Reply { client, req_id, .. } => {
+                EngineEffect::ReplyTo { client, req_id, .. } => {
                     let to_core = client.index();
                     if to_core == core {
                         local.push(WorkItem::Reply { req_id });
@@ -623,23 +675,11 @@ impl<P: Protocol> ClusterSim<P> {
                         outbound.push((to_core, WorkItem::Reply { req_id }));
                     }
                 }
-                Action::Commit { instance, cmd } => {
+                EngineEffect::Committed { instance, cmd } => {
                     // Safety oracle: all replicas must agree per instance.
+                    // (The engine already recorded and applied the commit.)
                     let prior = self.chosen.entry(instance).or_insert(cmd);
-                    assert_eq!(
-                        *prior, cmd,
-                        "consistency violation at instance {instance}"
-                    );
-                    self.appliers[node_idx].on_decided(instance, cmd);
-                }
-                Action::SetTimer { timer, after } => {
-                    let gen = self.timer_gen.entry((core, timer)).or_insert(0);
-                    *gen += 1;
-                    let gen = *gen;
-                    timers.push((timer, gen, after));
-                }
-                Action::CancelTimer { timer } => {
-                    *self.timer_gen.entry((core, timer)).or_insert(0) += 1;
+                    assert_eq!(*prior, cmd, "consistency violation at instance {instance}");
                 }
             }
         }
@@ -650,9 +690,22 @@ impl<P: Protocol> ClusterSim<P> {
         for item in local {
             self.push_work(done, core, item);
         }
-        for (timer, gen, after) in timers {
-            self.push_work(done + after, core, WorkItem::Fire { timer, gen });
-        }
+        self.schedule_timer_check(node_idx);
+        service
+    }
+
+    /// Runs one engine event on a replica core and prices the fallout.
+    fn engine_step(
+        &mut self,
+        core: usize,
+        event: EngineEvent<P::Msg>,
+        start: Nanos,
+        base: Nanos,
+    ) -> Nanos {
+        let mut effects = std::mem::take(&mut self.scratch);
+        self.engines[core].handle(event, start, &mut effects);
+        let service = self.apply_effects(core, start, base, &mut effects);
+        self.scratch = effects;
         service
     }
 
@@ -666,7 +719,7 @@ impl<P: Protocol> ClusterSim<P> {
         }
         let req_id = c.next_req;
         c.next_req += 1;
-        let op = self.workload.gen(&mut c.rng);
+        let op = self.workload.generate(&mut c.rng);
         c.outstanding = Some((req_id, start));
         let client_node = c.node;
         let core = c.core;
@@ -674,13 +727,13 @@ impl<P: Protocol> ClusterSim<P> {
 
         if self.joint {
             // Joint deployment: hand the command to the co-located
-            // replica. Reads are served from the local copy when the
-            // protocol allows it — immediately if unlocked, otherwise
+            // replica. Reads are served from the engine's local copy when
+            // the protocol allows it — immediately if unlocked, otherwise
             // after polling until the 2PC lock window closes (§7.5).
             // Protocols whose reads must be ordered (the Paxos family)
             // never allow it and fall through to consensus.
             if let Op::Get { key } = op {
-                if self.nodes[core].can_read_locally(key) {
+                if self.engines[core].can_read_locally(key) {
                     let service = (self.profile.handle as f64 * self.cores[core].slowdown) as Nanos;
                     let done = start + service;
                     self.client_complete(j, req_id, done);
@@ -693,32 +746,44 @@ impl<P: Protocol> ClusterSim<P> {
                     let service =
                         (self.profile.timer_cost as f64 * self.cores[core].slowdown) as Nanos;
                     let done = start + service;
-                    self.push_work(done + LOCAL_READ_POLL, core, WorkItem::LocalReadWait {
-                        req_id,
-                        key,
-                    });
+                    self.push_work(
+                        done + LOCAL_READ_POLL,
+                        core,
+                        WorkItem::LocalReadWait { req_id, key },
+                    );
                     return service;
                 }
             }
-            let mut out = Outbox::new();
-            self.nodes[core].on_client_request(client_node, req_id, op, start, &mut out);
             let base = (self.profile.handle as f64 * self.cores[core].slowdown) as Nanos;
             // No client timeout in joint mode: the local node handles
             // leader failover itself.
-            self.apply_actions(core, start, base, out)
+            self.engine_step(
+                core,
+                EngineEvent::ClientRequest {
+                    client: client_node,
+                    req_id,
+                    op,
+                },
+                start,
+                base,
+            )
         } else {
             // Send the request to the current target replica.
             let slowdown = self.cores[core].slowdown;
-            let service =
-                ((self.profile.tx + self.profile.marshal) as f64 * slowdown) as Nanos;
-            let target_core = self.clients[j].target_idx % self.nodes.len();
+            let service = ((self.profile.tx + self.profile.marshal) as f64 * slowdown) as Nanos;
+            let target_core = self.clients[j].target_idx % self.engines.len();
             let send_done = start + service;
             self.total_messages += 1;
-            self.deliver(core, target_core, send_done, WorkItem::ClientReq {
-                client: client_node,
-                req_id,
-                op,
-            });
+            self.deliver(
+                core,
+                target_core,
+                send_done,
+                WorkItem::ClientReq {
+                    client: client_node,
+                    req_id,
+                    op,
+                },
+            );
             let at = start + service + self.client_timeout;
             self.push_work(at, core, WorkItem::RetryCheck { req_id, epoch });
             service
@@ -807,30 +872,36 @@ impl<P: Protocol> ClusterSim<P> {
         match item {
             WorkItem::Peer { from, msg } => {
                 debug_assert!(self.is_replica_core(core));
-                let mut out = Outbox::new();
-                self.nodes[core].on_message(from, msg, start, &mut out);
                 let base = scaled(self.profile.rx + self.profile.handle);
-                self.apply_actions(core, start, base, out)
+                self.engine_step(core, EngineEvent::Message { from, msg }, start, base)
             }
             WorkItem::ClientReq { client, req_id, op } => {
                 debug_assert!(self.is_replica_core(core));
-                let mut out = Outbox::new();
-                self.nodes[core].on_client_request(client, req_id, op, start, &mut out);
                 let base = scaled(self.profile.rx + self.profile.handle);
-                self.apply_actions(core, start, base, out)
+                self.engine_step(
+                    core,
+                    EngineEvent::ClientRequest { client, req_id, op },
+                    start,
+                    base,
+                )
             }
-            WorkItem::Fire { timer, gen } => {
-                if self.timer_gen.get(&(core, timer)).copied() != Some(gen) {
-                    return 0; // cancelled or superseded
+            WorkItem::TimerCheck { due } => {
+                debug_assert!(self.is_replica_core(core));
+                if self.timer_wake[core] != Some(due) {
+                    // Superseded by an earlier check: that one owns the
+                    // wake and will reschedule; doing anything here would
+                    // spawn a perpetually duplicated check stream.
+                    return 0;
                 }
-                if self.is_replica_core(core) {
-                    let mut out = Outbox::new();
-                    self.nodes[core].on_timer(timer, start, &mut out);
-                    let base = scaled(self.profile.timer_cost);
-                    self.apply_actions(core, start, base, out)
-                } else {
-                    0
-                }
+                self.timer_wake[core] = None;
+                let mut effects = std::mem::take(&mut self.scratch);
+                let fired = self.engines[core].fire_due(start, &mut effects);
+                // Each fired timer costs one timer service; a check whose
+                // timer was cancelled or re-armed later costs nothing.
+                let base = scaled(self.profile.timer_cost) * fired as Nanos;
+                let service = self.apply_effects(core, start, base, &mut effects);
+                self.scratch = effects;
+                service
             }
             WorkItem::Reply { req_id } => {
                 let service = scaled(self.profile.rx);
@@ -862,7 +933,7 @@ impl<P: Protocol> ClusterSim<P> {
                 if self.clients[j].outstanding.map(|(r, _)| r) != Some(req_id) {
                     return 0;
                 }
-                if self.nodes[core].can_read_locally(key) {
+                if self.engines[core].can_read_locally(key) {
                     let service = scaled(self.profile.handle);
                     let done = start + service;
                     if self.client_complete(j, req_id, done)
@@ -894,26 +965,29 @@ impl<P: Protocol> ClusterSim<P> {
                 // their requests to other nodes" (§7.6): round-robin to
                 // the next replica, same request id.
                 let slowdown = self.cores[core].slowdown;
-                let service =
-                    ((self.profile.tx + self.profile.marshal) as f64 * slowdown) as Nanos;
+                let service = ((self.profile.tx + self.profile.marshal) as f64 * slowdown) as Nanos;
+                let n_replicas = self.engines.len();
                 let c = &mut self.clients[j];
-                c.target_idx = (c.target_idx + 1) % self.nodes.len();
+                c.target_idx = (c.target_idx + 1) % n_replicas;
                 let target_core = c.target_idx;
                 let client_node = c.node;
-                let op = Op::Noop; // retried commands carry their op below
-                let _ = op;
-                let op = self.workload.gen(&mut self.clients[j].rng);
+                let op = self.workload.generate(&mut self.clients[j].rng);
                 // Note: ops are deterministic per (client, req) only for
                 // Noop workloads; for mixed workloads the retry re-rolls,
                 // which is harmless because the RSM layer applies the
                 // first committed copy only.
                 let send_done = start + service;
                 self.total_messages += 1;
-                self.deliver(core, target_core, send_done, WorkItem::ClientReq {
-                    client: client_node,
-                    req_id,
-                    op,
-                });
+                self.deliver(
+                    core,
+                    target_core,
+                    send_done,
+                    WorkItem::ClientReq {
+                        client: client_node,
+                        req_id,
+                        op,
+                    },
+                );
                 let at = start + service + self.client_timeout;
                 self.push_work(at, core, WorkItem::RetryCheck { req_id, epoch });
                 service
@@ -924,18 +998,13 @@ impl<P: Protocol> ClusterSim<P> {
     fn into_report(mut self, warmup: Nanos) -> RunReport {
         let ended_at = self.now;
         let duration = ended_at.saturating_sub(warmup).max(1);
-        let throughput =
-            self.completed_in_window as f64 * 1e9 / duration as f64;
+        let throughput = self.completed_in_window as f64 * 1e9 / duration as f64;
         let utilization = self
             .cores
             .iter()
             .map(|c| c.busy as f64 / ended_at.max(1) as f64)
             .collect();
-        let replica_digests = self
-            .appliers
-            .iter()
-            .map(|a| a.state().digest())
-            .collect();
+        let replica_digests = self.engines.iter().map(|e| e.state().digest()).collect();
         RunReport {
             completed: self.completed_in_window,
             duration,
@@ -980,10 +1049,12 @@ mod tests {
             .requests_per_client(200)
             .run()
             .mean_latency_us();
-        let lm = SimBuilder::new(Profile::opteron48(), |m, me| MultiPaxosNode::new(cfg(m, me)))
-            .requests_per_client(200)
-            .run()
-            .mean_latency_us();
+        let lm = SimBuilder::new(Profile::opteron48(), |m, me| {
+            MultiPaxosNode::new(cfg(m, me))
+        })
+        .requests_per_client(200)
+        .run()
+        .mean_latency_us();
         let l2 = SimBuilder::new(Profile::opteron48(), |m, me| TwoPcNode::new(cfg(m, me)))
             .requests_per_client(200)
             .run()
@@ -1000,12 +1071,14 @@ mod tests {
             .warmup(20_000_000)
             .run()
             .throughput;
-        let tm = SimBuilder::new(Profile::opteron48(), |m, me| MultiPaxosNode::new(cfg(m, me)))
-            .clients(12)
-            .duration(200_000_000)
-            .warmup(20_000_000)
-            .run()
-            .throughput;
+        let tm = SimBuilder::new(Profile::opteron48(), |m, me| {
+            MultiPaxosNode::new(cfg(m, me))
+        })
+        .clients(12)
+        .duration(200_000_000)
+        .warmup(20_000_000)
+        .run()
+        .throughput;
         assert!(
             t1 > 1.5 * tm,
             "1Paxos {t1:.0} op/s should beat Multi-Paxos {tm:.0} op/s clearly"
@@ -1034,7 +1107,11 @@ mod tests {
         let r = SimBuilder::new(Profile::opteron8(), |m, me| TwoPcNode::new(cfg(m, me)))
             .clients(5)
             .duration(400_000_000)
-            .fault(Fault { at: 100_000_000, core: 0, slowdown: 400.0 })
+            .fault(Fault {
+                at: 100_000_000,
+                core: 0,
+                slowdown: 400.0,
+            })
             .run();
         let rates: Vec<f64> = r.timeline.rates().map(|(_, v)| v).collect();
         let before = rates[..8].iter().copied().fold(0.0, f64::max);
@@ -1053,7 +1130,11 @@ mod tests {
         let r = SimBuilder::new(Profile::opteron8(), |m, me| OnePaxosNode::new(cfg(m, me)))
             .clients(5)
             .duration(600_000_000)
-            .fault(Fault { at: 200_000_000, core: 0, slowdown: 400.0 })
+            .fault(Fault {
+                at: 200_000_000,
+                core: 0,
+                slowdown: 400.0,
+            })
             .run();
         let rates: Vec<f64> = r.timeline.rates().map(|(_, v)| v).collect();
         let before = rates[5..18].iter().copied().fold(0.0, f64::max);
@@ -1086,7 +1167,10 @@ mod tests {
     fn twopc_joint_serves_reads_locally() {
         let mixed = SimBuilder::new(Profile::opteron48(), |m, me| TwoPcNode::new(cfg(m, me)))
             .joint(5)
-            .workload(Workload::ReadMix { read_pct: 75, keys: 64 })
+            .workload(Workload::ReadMix {
+                read_pct: 75,
+                keys: 64,
+            })
             .duration(100_000_000)
             .run();
         let writes = SimBuilder::new(Profile::opteron48(), |m, me| TwoPcNode::new(cfg(m, me)))
@@ -1106,7 +1190,10 @@ mod tests {
     fn report_replicas_stay_consistent() {
         let r = SimBuilder::new(Profile::opteron48(), |m, me| OnePaxosNode::new(cfg(m, me)))
             .clients(6)
-            .workload(Workload::ReadMix { read_pct: 20, keys: 32 })
+            .workload(Workload::ReadMix {
+                read_pct: 20,
+                keys: 32,
+            })
             .requests_per_client(100)
             .run();
         // All replicas that fully drained agree (oracle also asserts per

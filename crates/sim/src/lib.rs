@@ -41,7 +41,9 @@
 mod cluster;
 pub mod metrics;
 mod profile;
+pub mod rng;
 
 pub use cluster::{Fault, RunReport, SimBuilder, Workload};
 pub use metrics::{LatencyStats, Timeline};
 pub use profile::Profile;
+pub use rng::SimRng;

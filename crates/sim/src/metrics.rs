@@ -114,12 +114,10 @@ impl Timeline {
     /// Iterator of (bucket start time, ops/sec within the bucket).
     pub fn rates(&self) -> impl Iterator<Item = (Nanos, f64)> + '_ {
         let w = self.bucket_width;
-        self.buckets.iter().enumerate().map(move |(i, &c)| {
-            (
-                i as Nanos * w,
-                c as f64 * (NANOS_PER_SEC as f64 / w as f64),
-            )
-        })
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (i as Nanos * w, c as f64 * (NANOS_PER_SEC as f64 / w as f64)))
     }
 }
 

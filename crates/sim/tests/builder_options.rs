@@ -85,7 +85,10 @@ fn relaxed_reads_outscale_linearized_reads() {
             }
         })
         .joint(5)
-        .workload(Workload::ReadMix { read_pct: 90, keys: 64 })
+        .workload(Workload::ReadMix {
+            read_pct: 90,
+            keys: 64,
+        })
         .duration(100_000_000)
         .warmup(15_000_000)
         .run()
@@ -120,7 +123,11 @@ fn leader_core_saturates_first() {
         r.utilization[2],
         r.utilization[1]
     );
-    assert!(r.utilization[2] < 0.5, "backup acceptor: {}", r.utilization[2]);
+    assert!(
+        r.utilization[2] < 0.5,
+        "backup acceptor: {}",
+        r.utilization[2]
+    );
 }
 
 #[test]

@@ -19,10 +19,12 @@ fn latency_table_shape_matches_sec7_2() {
         .requests_per_client(500)
         .run()
         .mean_latency_us();
-    let multi = SimBuilder::new(Profile::opteron48(), |m, me| MultiPaxosNode::new(cfg(m, me)))
-        .requests_per_client(500)
-        .run()
-        .mean_latency_us();
+    let multi = SimBuilder::new(Profile::opteron48(), |m, me| {
+        MultiPaxosNode::new(cfg(m, me))
+    })
+    .requests_per_client(500)
+    .run()
+    .mean_latency_us();
     let two = SimBuilder::new(Profile::opteron48(), |m, me| TwoPcNode::new(cfg(m, me)))
         .requests_per_client(500)
         .run()
@@ -30,7 +32,10 @@ fn latency_table_shape_matches_sec7_2() {
     eprintln!(
         "latency us — 1Paxos {one:.1} (paper 16.0), Multi-Paxos {multi:.1} (19.6), 2PC {two:.1} (21.4)"
     );
-    assert!(one < multi && multi < two, "{one} < {multi} < {two} violated");
+    assert!(
+        one < multi && multi < two,
+        "{one} < {multi} < {two} violated"
+    );
     // Within a factor of ~2 of the paper's absolutes.
     assert!((8.0..32.0).contains(&one));
     assert!((10.0..40.0).contains(&multi));
@@ -52,12 +57,14 @@ fn saturation_ratios_match_fig8() {
             .throughput
     };
     let multi = |c: usize| {
-        SimBuilder::new(Profile::opteron48(), |m, me| MultiPaxosNode::new(cfg(m, me)))
-            .clients(c)
-            .duration(150_000_000)
-            .warmup(20_000_000)
-            .run()
-            .throughput
+        SimBuilder::new(Profile::opteron48(), |m, me| {
+            MultiPaxosNode::new(cfg(m, me))
+        })
+        .clients(c)
+        .duration(150_000_000)
+        .warmup(20_000_000)
+        .run()
+        .throughput
     };
     let two = |c: usize| {
         SimBuilder::new(Profile::opteron48(), |m, me| TwoPcNode::new(cfg(m, me)))

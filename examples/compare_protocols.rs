@@ -19,9 +19,11 @@ fn main() {
     let lat_one = SimBuilder::new(Profile::opteron48(), |m, me| OnePaxosNode::new(cfg(m, me)))
         .requests_per_client(1_000)
         .run();
-    let lat_mp = SimBuilder::new(Profile::opteron48(), |m, me| MultiPaxosNode::new(cfg(m, me)))
-        .requests_per_client(1_000)
-        .run();
+    let lat_mp = SimBuilder::new(Profile::opteron48(), |m, me| {
+        MultiPaxosNode::new(cfg(m, me))
+    })
+    .requests_per_client(1_000)
+    .run();
     let lat_2pc = SimBuilder::new(Profile::opteron48(), |m, me| TwoPcNode::new(cfg(m, me)))
         .requests_per_client(1_000)
         .run();
@@ -33,13 +35,13 @@ fn main() {
     println!("  clients    1Paxos  Multi-Paxos       2PC");
     for clients in [1usize, 3, 6, 13, 25, 45] {
         let t = |r: consensus_inside::manycore_sim::RunReport| r.throughput;
-        let one = t(SimBuilder::new(Profile::opteron48(), |m, me| {
-            OnePaxosNode::new(cfg(m, me))
-        })
-        .clients(clients)
-        .duration(100_000_000)
-        .warmup(15_000_000)
-        .run());
+        let one = t(
+            SimBuilder::new(Profile::opteron48(), |m, me| OnePaxosNode::new(cfg(m, me)))
+                .clients(clients)
+                .duration(100_000_000)
+                .warmup(15_000_000)
+                .run(),
+        );
         let mp = t(SimBuilder::new(Profile::opteron48(), |m, me| {
             MultiPaxosNode::new(cfg(m, me))
         })
@@ -47,13 +49,13 @@ fn main() {
         .duration(100_000_000)
         .warmup(15_000_000)
         .run());
-        let two = t(SimBuilder::new(Profile::opteron48(), |m, me| {
-            TwoPcNode::new(cfg(m, me))
-        })
-        .clients(clients)
-        .duration(100_000_000)
-        .warmup(15_000_000)
-        .run());
+        let two = t(
+            SimBuilder::new(Profile::opteron48(), |m, me| TwoPcNode::new(cfg(m, me)))
+                .clients(clients)
+                .duration(100_000_000)
+                .warmup(15_000_000)
+                .run(),
+        );
         println!("  {clients:>7}  {one:>8.0}  {mp:>11.0}  {two:>8.0}");
     }
     println!("\n1Paxos commits with roughly half the messages per agreement (Fig 3),");

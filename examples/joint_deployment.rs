@@ -40,13 +40,15 @@ fn main() {
             .warmup(DUR / 8)
             .run()
             .throughput;
-        let mp = SimBuilder::new(Profile::opteron48(), |m, me| MultiPaxosNode::new(cfg(m, me)))
-            .joint(n)
-            .think(THINK)
-            .duration(DUR)
-            .warmup(DUR / 8)
-            .run()
-            .throughput;
+        let mp = SimBuilder::new(Profile::opteron48(), |m, me| {
+            MultiPaxosNode::new(cfg(m, me))
+        })
+        .joint(n)
+        .think(THINK)
+        .duration(DUR)
+        .warmup(DUR / 8)
+        .run()
+        .throughput;
         let two = SimBuilder::new(Profile::opteron48(), |m, me| TwoPcNode::new(cfg(m, me)))
             .joint(n)
             .think(THINK)

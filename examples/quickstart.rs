@@ -13,9 +13,9 @@ fn main() {
     // testbed, a laptop/CI box oversubscribes its cores, and we do not
     // want spurious leader changes in a demo.
     let timing = Timing {
-        tick: 2_000_000,             // 2 ms
-        io_timeout: 200_000_000,     // 200 ms
-        suspect_after: 400_000_000,  // 400 ms
+        tick: 2_000_000,            // 2 ms
+        io_timeout: 200_000_000,    // 200 ms
+        suspect_after: 400_000_000, // 400 ms
     };
 
     println!("spawning 3 replicas (1Paxos: leader on core 0, active acceptor on core 1)...");

@@ -7,11 +7,11 @@
 //! Run with: `cargo run --release --example slow_leader_failover`
 
 use consensus_inside::manycore_sim::Fault;
+use consensus_inside::manycore_sim::{Profile, SimBuilder};
 use consensus_inside::onepaxos::multipaxos;
 use consensus_inside::onepaxos::onepaxos::{OnePaxosNode, Timing};
 use consensus_inside::onepaxos::twopc::TwoPcNode;
 use consensus_inside::onepaxos::{ClusterConfig, NodeId};
-use consensus_inside::manycore_sim::{Profile, SimBuilder};
 
 const DURATION: u64 = 3_000_000_000;
 const FAULT_AT: u64 = 1_000_000_000;

@@ -81,9 +81,21 @@ fn onepaxos_blocks_on_double_failure_until_one_recovers() {
     // safety) suffers until either responds again.
     let recover_at = FAULT_AT + 600_000_000;
     let rates = paced_onepaxos(&[
-        Fault { at: FAULT_AT, core: 0, slowdown: 5000.0 },
-        Fault { at: FAULT_AT, core: 1, slowdown: 5000.0 },
-        Fault { at: recover_at, core: 1, slowdown: 1.0 },
+        Fault {
+            at: FAULT_AT,
+            core: 0,
+            slowdown: 5000.0,
+        },
+        Fault {
+            at: FAULT_AT,
+            core: 1,
+            slowdown: 5000.0,
+        },
+        Fault {
+            at: recover_at,
+            core: 1,
+            slowdown: 1.0,
+        },
     ]);
     // Blocked window: (fault, recover) — allow slack for detection.
     let blocked = &rates[(FAULT_AT / 10_000_000 + 15) as usize..(recover_at / 10_000_000) as usize];

@@ -63,11 +63,10 @@ fn multipaxos_kv_over_threads() {
 
 #[test]
 fn twopc_kv_over_threads() {
-    let (cluster, mut clients) = ClusterBuilder::new(3, |m: &[NodeId], me| {
-        TwoPcNode::new(cfg(m, me))
-    })
-    .clients(1)
-    .spawn();
+    let (cluster, mut clients) =
+        ClusterBuilder::new(3, |m: &[NodeId], me| TwoPcNode::new(cfg(m, me)))
+            .clients(1)
+            .spawn();
     let c = &mut clients[0];
     c.set_timeout(Duration::from_secs(2));
     assert_eq!(c.put(3, 33).expect("commit"), None);

@@ -26,9 +26,13 @@ fn all_protocols_complete_the_budget() {
         }};
     }
     check!("1Paxos", |m: &[NodeId], me| OnePaxosNode::new(cfg(m, me)));
-    check!("Multi-Paxos", |m: &[NodeId], me| MultiPaxosNode::new(cfg(m, me)));
+    check!("Multi-Paxos", |m: &[NodeId], me| MultiPaxosNode::new(cfg(
+        m, me
+    )));
     check!("2PC", |m: &[NodeId], me| TwoPcNode::new(cfg(m, me)));
-    check!("Basic-Paxos", |m: &[NodeId], me| BasicPaxosNode::new(cfg(m, me)));
+    check!("Basic-Paxos", |m: &[NodeId], me| BasicPaxosNode::new(cfg(
+        m, me
+    )));
 }
 
 #[test]
@@ -41,7 +45,10 @@ fn replica_state_machines_converge() {
     })
     .replicas(3)
     .clients(8)
-    .workload(Workload::ReadMix { read_pct: 25, keys: 64 })
+    .workload(Workload::ReadMix {
+        read_pct: 25,
+        keys: 64,
+    })
     .requests_per_client(200)
     .run();
     assert_eq!(r.completed, 1_600);
@@ -63,7 +70,9 @@ fn five_replicas_work_for_all_quorum_protocols() {
         }};
     }
     check!("1Paxos", |m: &[NodeId], me| OnePaxosNode::new(cfg(m, me)));
-    check!("Multi-Paxos", |m: &[NodeId], me| MultiPaxosNode::new(cfg(m, me)));
+    check!("Multi-Paxos", |m: &[NodeId], me| MultiPaxosNode::new(cfg(
+        m, me
+    )));
     check!("2PC", |m: &[NodeId], me| TwoPcNode::new(cfg(m, me)));
 }
 
@@ -94,7 +103,10 @@ fn onepaxos_message_budget_is_half_of_multipaxos() {
         (9.5..11.5).contains(&per_commit_multi),
         "Multi-Paxos messages/commit = {per_commit_multi}"
     );
-    assert!(per_commit_multi / per_commit_one > 1.8, "the factor-of-two claim");
+    assert!(
+        per_commit_multi / per_commit_one > 1.8,
+        "the factor-of-two claim"
+    );
 }
 
 #[test]
@@ -104,7 +116,10 @@ fn deterministic_runs_are_bit_identical() {
             OnePaxosNode::new(cfg(m, me))
         })
         .clients(6)
-        .workload(Workload::ReadMix { read_pct: 50, keys: 16 })
+        .workload(Workload::ReadMix {
+            read_pct: 50,
+            keys: 16,
+        })
         .requests_per_client(100)
         .seed(seed)
         .run();

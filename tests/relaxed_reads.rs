@@ -1,0 +1,105 @@
+//! The §7.5 relaxed-read fast path, end to end on two harnesses.
+//!
+//! The engine centralizes `can_read_locally` gating and the local-copy
+//! read; these tests exercise it through `TestNet` (deterministic lock
+//! window control) and the threaded runtime (`get_relaxed`), for both a
+//! protocol that allows local reads (2PC) and one that orders every read
+//! through consensus (1Paxos).
+
+use std::time::Duration;
+
+use consensus_inside::onepaxos::onepaxos::{OnePaxosNode, Timing};
+use consensus_inside::onepaxos::testnet::TestNet;
+use consensus_inside::onepaxos::twopc::TwoPcNode;
+use consensus_inside::onepaxos::{ClusterConfig, NodeId, Op};
+use consensus_inside::onepaxos_runtime::ClusterBuilder;
+
+fn cfg(m: &[NodeId], me: NodeId) -> ClusterConfig {
+    ClusterConfig::new(m.to_vec(), me)
+}
+
+#[test]
+fn testnet_serves_local_reads_outside_the_lock_window() {
+    let mut net = TestNet::new(3, |m, me| TwoPcNode::new(cfg(m, me)));
+    net.client_request(NodeId(0), NodeId(9), 1, Op::Put { key: 1, value: 11 });
+    net.run_to_quiescence();
+    // Quiescent: no round in flight, every replica serves the read
+    // locally — no messages needed.
+    let delivered = net.delivered();
+    for n in 0..3u16 {
+        assert_eq!(net.local_read(NodeId(n), 1), Some(Some(11)), "replica {n}");
+        assert_eq!(net.local_read(NodeId(n), 99), Some(None), "replica {n}");
+    }
+    assert_eq!(net.delivered(), delivered, "local reads moved messages");
+}
+
+#[test]
+fn testnet_blocks_local_reads_inside_the_lock_window() {
+    let mut net = TestNet::new(3, |m, me| TwoPcNode::new(cfg(m, me)));
+    // Start a round but do not deliver anything: the coordinator has
+    // locked its own copy ("the gap between two phases of 2PC", §7.5).
+    net.client_request(NodeId(0), NodeId(9), 1, Op::Put { key: 1, value: 11 });
+    assert_eq!(
+        net.local_read(NodeId(0), 1),
+        None,
+        "read inside the coordinator's lock window must wait"
+    );
+    // The other replicas have not locked yet; they still serve reads.
+    assert_eq!(net.local_read(NodeId(1), 1), Some(None));
+    // Completing the round reopens the window, now with the new value.
+    net.run_to_quiescence();
+    assert_eq!(net.local_read(NodeId(0), 1), Some(Some(11)));
+}
+
+#[test]
+fn testnet_paxos_never_serves_local_reads() {
+    let mut net = TestNet::new(3, |m, me| OnePaxosNode::new(cfg(m, me)));
+    net.run_to_quiescence();
+    net.client_request(NodeId(0), NodeId(9), 1, Op::Put { key: 1, value: 11 });
+    net.run_to_quiescence();
+    for n in 0..3u16 {
+        assert_eq!(
+            net.local_read(NodeId(n), 1),
+            None,
+            "ordered-reads protocol leaked a local read at {n}"
+        );
+    }
+}
+
+#[test]
+fn runtime_relaxed_reads_bypass_consensus_for_twopc() {
+    let (cluster, mut clients) =
+        ClusterBuilder::new(3, |m: &[NodeId], me| TwoPcNode::new(cfg(m, me)))
+            .clients(1)
+            .spawn();
+    let c = &mut clients[0];
+    c.set_timeout(Duration::from_secs(2));
+    assert_eq!(c.put(7, 70).expect("commit"), None);
+    // Every replica answers from its local copy.
+    for n in 0..3u16 {
+        assert_eq!(c.get_relaxed(NodeId(n), 7).expect("read"), Some(70));
+        assert_eq!(c.get_relaxed(NodeId(n), 8).expect("read"), None);
+    }
+    cluster.shutdown(&mut clients[0]);
+}
+
+#[test]
+fn runtime_relaxed_reads_degrade_to_ordered_for_paxos() {
+    let timing = Timing {
+        tick: 2_000_000,
+        io_timeout: 400_000_000,
+        suspect_after: 800_000_000,
+    };
+    let (cluster, mut clients) = ClusterBuilder::new(3, move |m: &[NodeId], me| {
+        OnePaxosNode::with_timing(cfg(m, me), timing)
+    })
+    .clients(1)
+    .spawn();
+    let c = &mut clients[0];
+    c.set_timeout(Duration::from_secs(2));
+    assert_eq!(c.put(3, 33).expect("commit"), None);
+    // 1Paxos cannot serve the read locally; the replica orders it
+    // through consensus and the client still gets an answer.
+    assert_eq!(c.get_relaxed(NodeId(0), 3).expect("read"), Some(33));
+    cluster.shutdown(&mut clients[0]);
+}
