@@ -1,0 +1,131 @@
+//! Batch-size sweep: throughput/latency/message-count vs commands per
+//! agreement, on the saturated 48-core sim harness.
+//!
+//! The §3 profile says per-message tx/rx CPU cost is the bottleneck
+//! inside a machine; the engine's `BatchConfig` amortises it by
+//! coalescing client commands into one agreement. This experiment
+//! measures the payoff end-to-end and records it in
+//! `BENCH_batching.json`, so the perf trajectory has data and CI can
+//! fail on a batching regression (`bench-smoke` runs the `--smoke`
+//! variant and asserts batched ≥8 beats unbatched).
+//!
+//! Usage: `exp_batching [--smoke] [--out PATH]`
+
+use std::fmt::Write as _;
+
+use consensus_bench::experiments::{exp_batching, BatchPoint, Proto};
+use consensus_bench::table::{ops, us, Table};
+
+/// Flush deadline for every batched point: well under the 1 ms client
+/// patience, a small bound on added latency.
+const MAX_DELAY: u64 = 20_000;
+
+fn render_json(
+    points: &[BatchPoint],
+    proto: Proto,
+    clients: usize,
+    duration: u64,
+    smoke: bool,
+) -> String {
+    // Hand-rolled JSON: the workspace builds offline, without serde.
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"experiment\": \"batching\",");
+    let _ = writeln!(s, "  \"protocol\": \"{}\",", proto.name());
+    let _ = writeln!(s, "  \"profile\": \"opteron-48\",");
+    let _ = writeln!(s, "  \"clients\": {clients},");
+    let _ = writeln!(s, "  \"duration_ns\": {duration},");
+    let _ = writeln!(s, "  \"max_delay_ns\": {MAX_DELAY},");
+    let _ = writeln!(s, "  \"smoke\": {smoke},");
+    s.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let comma = if i + 1 < points.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{\"max_commands\": {}, \"batched\": {}, \"throughput_ops\": {:.1}, \
+             \"mean_latency_us\": {:.2}, \"server_messages\": {}, \"completed\": {}}}{comma}",
+            p.max_commands, p.batched, p.throughput, p.latency_us, p.server_messages, p.completed
+        );
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or("BENCH_batching.json", String::as_str);
+
+    // Smoke mode keeps CI fast: the two points the acceptance gate
+    // compares, on a shorter (still saturated) run.
+    let (sizes, clients, duration): (&[usize], usize, u64) = if smoke {
+        (&[1, 8], 16, 120_000_000)
+    } else {
+        (&[1, 2, 4, 8, 16, 32], 24, 300_000_000)
+    };
+    let proto = Proto::OnePaxos;
+
+    println!(
+        "Batch-size sweep — {} replicas=3 clients={clients} duration={}ms delay={}µs{}\n",
+        proto.name(),
+        duration / 1_000_000,
+        MAX_DELAY / 1_000,
+        if smoke { " (smoke)" } else { "" }
+    );
+    let points = exp_batching(proto, sizes, clients, duration, MAX_DELAY);
+
+    let mut t = Table::new(&[
+        "cmds/agreement",
+        "op/s",
+        "mean µs",
+        "server msgs",
+        "msgs/op",
+    ]);
+    for p in &points {
+        t.row(&[
+            if p.batched {
+                p.max_commands.to_string()
+            } else {
+                "1 (off)".to_string()
+            },
+            ops(p.throughput),
+            us(p.latency_us),
+            p.server_messages.to_string(),
+            format!(
+                "{:.2}",
+                p.server_messages as f64 / p.completed.max(1) as f64
+            ),
+        ]);
+    }
+    print!("{}", t.render());
+
+    let json = render_json(&points, proto, clients, duration, smoke);
+    std::fs::write(out_path, &json).expect("write BENCH_batching.json");
+    println!("\nwrote {out_path}");
+
+    // The acceptance gate: a deep batch (≥8 cmds/agreement) must beat the
+    // unbatched baseline outright, or batching has regressed.
+    let unbatched = points
+        .iter()
+        .find(|p| !p.batched)
+        .expect("sweep includes the unbatched baseline");
+    let deep = points
+        .iter()
+        .filter(|p| p.batched && p.max_commands >= 8)
+        .map(|p| p.throughput)
+        .fold(0.0f64, f64::max);
+    println!(
+        "deep-batch best: {} op/s vs unbatched {} op/s ({:+.1}%)",
+        ops(deep),
+        ops(unbatched.throughput),
+        100.0 * (deep / unbatched.throughput - 1.0)
+    );
+    if deep <= unbatched.throughput {
+        eprintln!("FAIL: batched (≥8 cmds/agreement) throughput must be strictly greater");
+        std::process::exit(1);
+    }
+}

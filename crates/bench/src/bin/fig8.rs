@@ -9,11 +9,22 @@ use consensus_bench::experiments::{fig8, Proto};
 use consensus_bench::table::{ops, us, Table};
 
 fn main() {
-    let clients = [1usize, 2, 3, 5, 7, 9, 13, 17, 21, 29, 37, 45];
-    println!("Fig 8 — latency vs throughput (3 replicas, 48-core profile)\n");
+    // `--smoke`: a three-point sweep on a short run, for the CI
+    // bench-smoke job (same code path, minutes → seconds).
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (clients, duration): (&[usize], u64) = if smoke {
+        (&[1, 5, 13], 80_000_000)
+    } else {
+        (&[1, 2, 3, 5, 7, 9, 13, 17, 21, 29, 37, 45], 200_000_000)
+    };
+    let clients = clients.to_vec();
+    println!(
+        "Fig 8 — latency vs throughput (3 replicas, 48-core profile){}\n",
+        if smoke { " [smoke]" } else { "" }
+    );
     let mut series = Vec::new();
     for p in Proto::PAPER_SET {
-        series.push((p, fig8(p, &clients, 200_000_000)));
+        series.push((p, fig8(p, &clients, duration)));
     }
     let mut t = Table::new(&[
         "clients",

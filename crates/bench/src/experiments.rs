@@ -6,7 +6,7 @@ use onepaxos::basic_paxos::BasicPaxosNode;
 use onepaxos::multipaxos::MultiPaxosNode;
 use onepaxos::onepaxos::OnePaxosNode;
 use onepaxos::twopc::TwoPcNode;
-use onepaxos::{ClusterConfig, Nanos, NodeId};
+use onepaxos::{BatchConfig, ClusterConfig, Nanos, NodeId};
 
 /// The protocols under evaluation (§7).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -65,6 +65,9 @@ pub struct RunCfg {
     pub faults: Vec<Fault>,
     /// RNG seed.
     pub seed: u64,
+    /// Engine-level command batching, if any (amortises per-message CPU
+    /// cost, §3; see `onepaxos::engine`'s module docs).
+    pub batch: Option<BatchConfig>,
 }
 
 impl RunCfg {
@@ -85,6 +88,7 @@ impl RunCfg {
             bucket: 10_000_000,
             faults: Vec::new(),
             seed: 0xC0FFEE,
+            batch: None,
         }
     }
 
@@ -118,6 +122,9 @@ where
     };
     if let Some(d) = cfg.duration {
         b = b.duration(d);
+    }
+    if let Some(batch) = cfg.batch {
+        b = b.batching(batch);
     }
     for f in &cfg.faults {
         b = b.fault(*f);
@@ -363,6 +370,60 @@ pub fn exp_ip(clients: usize, duration: Nanos) -> (f64, f64) {
     (mk(Proto::OnePaxos), mk(Proto::MultiPaxos))
 }
 
+/// One point of the batch-size sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchPoint {
+    /// Batch-size knob (`max_commands`); 1 = batching off.
+    pub max_commands: usize,
+    /// Whether engine batching was enabled for this point.
+    pub batched: bool,
+    /// Throughput, ops/sec.
+    pub throughput: f64,
+    /// Mean commit latency, µs.
+    pub latency_us: f64,
+    /// Inter-replica messages over the whole run.
+    pub server_messages: u64,
+    /// Completions inside the measurement window.
+    pub completed: u64,
+}
+
+/// Batch-size sweep on the saturated sim harness: `max_commands = 1`
+/// runs with batching off (the baseline), every other size batches with
+/// `max_delay` as the deadline. The §3 expectation: throughput grows
+/// with the batch size as inter-replica messages per command shrink,
+/// flattening once the per-command apply cost and the per-reply
+/// transmissions dominate; single-digit microseconds of deadline keep
+/// the latency cost bounded.
+pub fn exp_batching(
+    proto: Proto,
+    sizes: &[usize],
+    clients: usize,
+    duration: Nanos,
+    max_delay: Nanos,
+) -> Vec<BatchPoint> {
+    sizes
+        .iter()
+        .map(|&s| {
+            let batch = (s > 1).then(|| BatchConfig::new(s, max_delay));
+            let r = run(
+                proto,
+                &RunCfg {
+                    batch,
+                    ..RunCfg::throughput48(clients, duration)
+                },
+            );
+            BatchPoint {
+                max_commands: s.max(1),
+                batched: batch.is_some(),
+                throughput: r.throughput,
+                latency_us: r.mean_latency_us(),
+                server_messages: r.server_messages,
+                completed: r.completed,
+            }
+        })
+        .collect()
+}
+
 /// §5.2/§5.4: acceptor switch and double-failure liveness timeline for
 /// 1Paxos. Returns (timeline, label) pairs.
 pub fn exp_accswitch(duration: Nanos) -> Vec<(&'static str, Vec<(Nanos, f64)>)> {
@@ -429,6 +490,20 @@ mod tests {
             );
             assert_eq!(r.completed, 20, "{p:?}");
         }
+    }
+
+    #[test]
+    fn exp_batching_deep_batches_beat_unbatched() {
+        let pts = exp_batching(Proto::OnePaxos, &[1, 8], 16, 120_000_000, 20_000);
+        assert_eq!(pts.len(), 2);
+        assert!(!pts[0].batched && pts[1].batched);
+        assert!(
+            pts[1].throughput > pts[0].throughput,
+            "batch=8 {:.0} op/s must beat unbatched {:.0} op/s",
+            pts[1].throughput,
+            pts[0].throughput
+        );
+        assert!(pts[1].server_messages < pts[0].server_messages);
     }
 
     #[test]

@@ -166,7 +166,7 @@ impl<V: Clone + PartialEq + std::fmt::Debug> Default for QuorumLearner<V> {
 }
 
 /// Wire messages of the collapsed Basic-Paxos deployment.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Msg {
     /// Forward a client command to the proposer.
     Forward {
@@ -353,10 +353,21 @@ impl BasicPaxosNode {
             p.phase2 = true;
             // Non-triviality: propose the highest-ballot accepted value if
             // one exists, else our own command.
-            let cmd = p.prior.map(|(_, c)| c).unwrap_or(p.cmd);
+            let cmd = p
+                .prior
+                .clone()
+                .map(|(_, c)| c)
+                .unwrap_or_else(|| p.cmd.clone());
             let bal = p.bal;
             for peer in self.cfg.others() {
-                out.send(peer, Msg::Accept { inst, bal, cmd });
+                out.send(
+                    peer,
+                    Msg::Accept {
+                        inst,
+                        bal,
+                        cmd: cmd.clone(),
+                    },
+                );
             }
             self.local_accept(inst, bal, cmd, out);
         }
@@ -367,9 +378,16 @@ impl BasicPaxosNode {
             .acceptors
             .entry(inst)
             .or_insert_with(InstanceAcceptor::new);
-        if acc.on_accept(bal, cmd).is_ok() {
+        if acc.on_accept(bal, cmd.clone()).is_ok() {
             for peer in self.cfg.others() {
-                out.send(peer, Msg::Learn { inst, bal, cmd });
+                out.send(
+                    peer,
+                    Msg::Learn {
+                        inst,
+                        bal,
+                        cmd: cmd.clone(),
+                    },
+                );
             }
             let me = self.me();
             self.on_learn_vote(me, inst, bal, cmd, out);
@@ -386,16 +404,17 @@ impl BasicPaxosNode {
     ) {
         let quorum = self.cfg.majority();
         if let Some(chosen) = self.learner.on_learn(inst, from, bal, cmd, quorum) {
+            let id = chosen.id();
             out.commit(inst, chosen);
             if let Some(p) = self.proposing.remove(&inst) {
                 // A competing proposer's value won this instance: advocate
                 // our command again in a fresh instance (drained on tick).
-                if p.cmd.id() != chosen.id() {
+                if p.cmd.id() != id {
                     self.queue.push_back(p.cmd);
                 }
             }
-            if self.my_clients.remove(&chosen.id()) {
-                out.reply(chosen.client, chosen.req_id, inst);
+            if self.my_clients.remove(&id) {
+                out.reply(id.0, id.1, inst);
             }
         }
     }
@@ -475,10 +494,17 @@ impl Protocol for BasicPaxosNode {
                     .acceptors
                     .entry(inst)
                     .or_insert_with(InstanceAcceptor::new);
-                match acc.on_accept(bal, cmd) {
+                match acc.on_accept(bal, cmd.clone()) {
                     Ok(()) => {
                         for peer in self.cfg.others() {
-                            out.send(peer, Msg::Learn { inst, bal, cmd });
+                            out.send(
+                                peer,
+                                Msg::Learn {
+                                    inst,
+                                    bal,
+                                    cmd: cmd.clone(),
+                                },
+                            );
                         }
                         let me = self.me();
                         self.on_learn_vote(me, inst, bal, cmd, out);

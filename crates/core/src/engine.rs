@@ -52,6 +52,28 @@
 //! real client never observes a commit acknowledgement without its read
 //! value — the threaded runtime's contract.
 //!
+//! # Batching
+//!
+//! Per-message tx/rx CPU cost — not propagation — is the throughput
+//! bottleneck inside a machine (§3). [`BatchConfig`] turns on the
+//! engine-side cure: client requests accumulate in the engine and travel
+//! through **one** agreement as an [`Op::Batch`] command. A batch opens on
+//! the first enqueued request, flushes when it reaches
+//! [`BatchConfig::max_commands`] or when [`BatchConfig::max_delay`] has
+//! passed (via the ordinary timer table, under the reserved
+//! [`BATCH_FLUSH`] timer — so [`Self::next_deadline`] automatically
+//! covers a partially filled batch and sleep-until-deadline harnesses
+//! cannot stall it). A flushed singleton is submitted as a plain command,
+//! so `max_delay` is the only cost batching can add to an idle system.
+//!
+//! Batches are advocated under the engine's [`NodeId::batch_source`]
+//! identity. When a batch this engine advocated commits, the engine fans
+//! it back out into per-client [`EngineEffect::ReplyTo`]s (in payload
+//! order, honouring the [`ReplyMode`]); the protocol-level reply for the
+//! batch identity itself is swallowed. Duplicate requests coalesced into
+//! the same batch are submitted once, and the [`Applier`] deduplicates
+//! across batches.
+//!
 //! # Fault injection
 //!
 //! [`Self::set_blocked`] is the uniform slow-core hook: a blocked engine
@@ -81,12 +103,52 @@
 //! assert_eq!(engine.state().get(1), Some(7));
 //! ```
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::outbox::{Action, Outbox, Timer};
 use crate::protocol::Protocol;
 use crate::rsm::{Applier, StateMachine};
 use crate::types::{Command, Instance, Nanos, NodeId, Op};
+
+/// The engine-internal timer driving batch flushes. Reserved: protocols
+/// must not arm it (they own [`Timer::Tick`] and the low `Custom` ids);
+/// the engine intercepts it before protocol dispatch.
+pub const BATCH_FLUSH: Timer = Timer::Custom(u8::MAX);
+
+/// Command-batching knobs (off by default; see the
+/// [module docs](self#batching)).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Flush as soon as this many commands are waiting.
+    pub max_commands: usize,
+    /// Flush when the oldest waiting command is this old, even if the
+    /// batch is not full — bounds the latency batching can add.
+    pub max_delay: Nanos,
+}
+
+impl BatchConfig {
+    /// Creates a config flushing at `max_commands` or after `max_delay`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_commands` is zero.
+    pub fn new(max_commands: usize, max_delay: Nanos) -> Self {
+        assert!(max_commands >= 1, "a batch holds at least one command");
+        BatchConfig {
+            max_commands,
+            max_delay,
+        }
+    }
+}
+
+impl Default for BatchConfig {
+    /// 8 commands or 20 µs, whichever comes first — a batch deep enough
+    /// to amortise the §3 per-message cost, a delay well under typical
+    /// client patience.
+    fn default() -> Self {
+        BatchConfig::new(8, 20_000)
+    }
+}
 
 /// One input to a [`ReplicaEngine`]: something the outside world did.
 #[derive(Clone, Debug)]
@@ -221,6 +283,16 @@ pub struct ReplicaEngine<P: Protocol, S: StateMachine> {
     /// assert on them; long-running deployments (the simulator, the
     /// threaded runtime) turn recording off so memory stays bounded.
     record_history: bool,
+    /// Command-batching knobs; `None` = every request is its own
+    /// agreement.
+    batch: Option<BatchConfig>,
+    /// Requests waiting for the current batch to flush.
+    batch_buf: Vec<Command>,
+    /// Sequence number of the next batch this engine advocates.
+    batch_seq: u64,
+    /// Batches advocated but not yet committed-and-fanned-out, so a
+    /// re-decided batch cannot fan its replies out twice.
+    inflight_batches: BTreeSet<u64>,
     /// Reusable action buffer handed to protocol handlers.
     outbox: Outbox<P::Msg>,
 }
@@ -244,9 +316,65 @@ impl<P: Protocol, S: StateMachine> ReplicaEngine<P, S> {
             blocked: false,
             reply_mode,
             record_history: true,
+            batch: None,
+            batch_buf: Vec::new(),
+            batch_seq: 0,
+            inflight_batches: BTreeSet::new(),
             outbox: Outbox::new(),
         }
     }
+
+    /// Enables command batching with `cfg` (see the
+    /// [module docs](self#batching)).
+    pub fn with_batching(mut self, cfg: BatchConfig) -> Self {
+        self.set_batching(Some(cfg));
+        self
+    }
+
+    /// Enables (`Some`) or disables (`None`) command batching. Call only
+    /// while no batch is accumulating (e.g. before the first request):
+    /// disabling with requests buffered would strand them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if requests are currently buffered.
+    pub fn set_batching(&mut self, cfg: Option<BatchConfig>) {
+        assert!(
+            self.batch_buf.is_empty(),
+            "cannot reconfigure batching with {} requests buffered",
+            self.batch_buf.len()
+        );
+        self.batch = cfg;
+    }
+
+    /// The active batching config, if batching is on.
+    pub fn batching(&self) -> Option<BatchConfig> {
+        self.batch
+    }
+
+    /// Number of requests waiting in the open batch.
+    pub fn pending_batch(&self) -> usize {
+        self.batch_buf.len()
+    }
+
+    /// Raises the batch sequence number to at least `floor`.
+    ///
+    /// Batch identities are `(batch_source, seq)` and the protocols
+    /// deduplicate decided identities forever — so a deployment that
+    /// **rebuilds** an engine in place (the paper's silently rebooted
+    /// node) must move the replacement into a fresh sequence epoch, or
+    /// its recycled batch ids would be dropped as already-decided
+    /// duplicates by surviving peers and the batched clients would never
+    /// be answered. `TestNet::reset_node` shifts each incarnation by
+    /// [`Self::BATCH_EPOCH`]; long-running deployments without in-place
+    /// rebuilds never need this.
+    pub fn set_batch_seq_floor(&mut self, floor: u64) {
+        self.batch_seq = self.batch_seq.max(floor);
+    }
+
+    /// Sequence-number span reserved per engine incarnation (2^32
+    /// batches) for [`Self::set_batch_seq_floor`].
+    pub const BATCH_EPOCH: u64 = 1 << 32;
 
     /// Enables or disables commit-log and reply-record retention
     /// (default on). Turn it off for long-running deployments: duplicate
@@ -280,9 +408,14 @@ impl<P: Protocol, S: StateMachine> ReplicaEngine<P, S> {
                 self.absorb(now, effects);
             }
             EngineEvent::ClientRequest { client, req_id, op } => {
-                self.node
-                    .on_client_request(client, req_id, op, now, &mut self.outbox);
-                self.absorb(now, effects);
+                // Pre-built batches bypass the accumulator (never nest).
+                if self.batch.is_some() && !matches!(op, Op::Batch(_)) {
+                    self.enqueue_batched(client, req_id, op, now, effects);
+                } else {
+                    self.node
+                        .on_client_request(client, req_id, op, now, &mut self.outbox);
+                    self.absorb(now, effects);
+                }
             }
             EngineEvent::TimerDue { timer } => {
                 self.fire_one(timer, now, effects);
@@ -325,8 +458,12 @@ impl<P: Protocol, S: StateMachine> ReplicaEngine<P, S> {
                 _ => continue, // cancelled or pushed out by an earlier handler
             }
             self.timers.remove(&t);
-            self.node.on_timer(t, now, &mut self.outbox);
-            self.absorb(now, effects);
+            if t == BATCH_FLUSH {
+                self.flush_batch(now, effects);
+            } else {
+                self.node.on_timer(t, now, &mut self.outbox);
+                self.absorb(now, effects);
+            }
             fired += 1;
         }
         fired
@@ -346,9 +483,74 @@ impl<P: Protocol, S: StateMachine> ReplicaEngine<P, S> {
             _ => return false, // cancelled, re-armed later, or never armed
         }
         self.timers.remove(&timer);
-        self.node.on_timer(timer, now, &mut self.outbox);
-        self.absorb(now, effects);
+        if timer == BATCH_FLUSH {
+            self.flush_batch(now, effects);
+        } else {
+            self.node.on_timer(timer, now, &mut self.outbox);
+            self.absorb(now, effects);
+        }
         true
+    }
+
+    // ----------------------------------------------------------------
+    // Batching (see the module docs).
+    // ----------------------------------------------------------------
+
+    /// Adds one request to the open batch, opening it (and arming the
+    /// flush deadline) if necessary, and flushing when full.
+    fn enqueue_batched(
+        &mut self,
+        client: NodeId,
+        req_id: u64,
+        op: Op,
+        now: Nanos,
+        effects: &mut Vec<EngineEffect<P::Msg, S::Output>>,
+    ) {
+        let cfg = self.batch.expect("checked by the caller");
+        if self
+            .batch_buf
+            .iter()
+            .any(|c| c.client == client && c.req_id == req_id)
+        {
+            return; // a retry of a request already waiting in this batch
+        }
+        if self.batch_buf.is_empty() {
+            self.timers.insert(BATCH_FLUSH, now + cfg.max_delay);
+        }
+        self.batch_buf.push(Command::new(client, req_id, op));
+        if self.batch_buf.len() >= cfg.max_commands {
+            self.flush_batch(now, effects);
+        }
+    }
+
+    /// Hands the accumulated batch to the protocol as one agreement (or
+    /// as a plain command, if only one request is waiting) and disarms
+    /// the flush deadline.
+    fn flush_batch(&mut self, now: Nanos, effects: &mut Vec<EngineEffect<P::Msg, S::Output>>) {
+        self.timers.remove(&BATCH_FLUSH);
+        if self.batch_buf.is_empty() {
+            return;
+        }
+        let cmds = std::mem::take(&mut self.batch_buf);
+        if cmds.len() == 1 {
+            // A singleton batch is indistinguishable from an unbatched
+            // command: no synthetic identity, no fan-out bookkeeping.
+            let c = cmds.into_iter().next().expect("len checked");
+            self.node
+                .on_client_request(c.client, c.req_id, c.op, now, &mut self.outbox);
+        } else {
+            self.batch_seq += 1;
+            let batch = Command::batch(self.node.node_id(), self.batch_seq, cmds);
+            self.inflight_batches.insert(self.batch_seq);
+            self.node.on_client_request(
+                batch.client,
+                batch.req_id,
+                batch.op,
+                now,
+                &mut self.outbox,
+            );
+        }
+        self.absorb(now, effects);
     }
 
     /// The single `Action` dispatch of the workspace: drains the node's
@@ -365,7 +567,7 @@ impl<P: Protocol, S: StateMachine> ReplicaEngine<P, S> {
                 Action::Commit { instance, cmd } => {
                     if self.record_history {
                         let me = self.node.node_id();
-                        let prior = self.commits.insert(instance, cmd);
+                        let prior = self.commits.insert(instance, cmd.clone());
                         if let Some(prior) = prior {
                             assert_eq!(
                                 prior, cmd,
@@ -376,9 +578,24 @@ impl<P: Protocol, S: StateMachine> ReplicaEngine<P, S> {
                     // The applier independently rejects a re-decided
                     // instance with a different command, so safety
                     // checking does not depend on the history log.
-                    self.applier.on_decided(instance, cmd);
+                    self.applier.on_decided(instance, cmd.clone());
+                    // A committed batch that *this* engine advocated fans
+                    // back out into per-client replies, exactly once (a
+                    // re-decided batch finds its inflight entry gone).
+                    let fan_out: Vec<(NodeId, u64)> = match cmd.as_batch() {
+                        Some(inner)
+                            if cmd.client == self.node.node_id().batch_source()
+                                && self.inflight_batches.remove(&cmd.req_id) =>
+                        {
+                            inner.iter().map(|c| (c.client, c.req_id)).collect()
+                        }
+                        _ => Vec::new(),
+                    };
                     effects.push(EngineEffect::Committed { instance, cmd });
                     self.flush_deferred(effects);
+                    for (client, req_id) in fan_out {
+                        self.reply(client, req_id, instance, effects);
+                    }
                 }
                 Action::SetTimer { timer, after } => {
                     self.timers.insert(timer, now + after);
@@ -397,6 +614,13 @@ impl<P: Protocol, S: StateMachine> ReplicaEngine<P, S> {
         instance: Instance,
         effects: &mut Vec<EngineEffect<P::Msg, S::Output>>,
     ) {
+        if client.is_batch_source() {
+            // The protocol acknowledging a batch to its synthetic
+            // advocate (possibly another engine's): per-client replies
+            // are fanned out at commit time by the advocating engine, so
+            // this must never reach a real wire or the records.
+            return;
+        }
         let value = self.applier.output_of(client, req_id).cloned();
         if value.is_none() && self.reply_mode == ReplyMode::AfterApply {
             self.deferred.push((client, req_id, instance));
@@ -436,6 +660,11 @@ impl<P: Protocol, S: StateMachine> ReplicaEngine<P, S> {
     // ----------------------------------------------------------------
 
     /// The earliest armed deadline, if any (for harness wake-up planning).
+    ///
+    /// Includes a pending batch-flush deadline: the accumulator arms the
+    /// reserved [`BATCH_FLUSH`] timer in this same table, so a harness
+    /// that sleeps until `next_deadline` can never stall a partially
+    /// filled batch.
     pub fn next_deadline(&self) -> Option<Nanos> {
         self.timers.values().copied().min()
     }
@@ -1070,6 +1299,252 @@ mod tests {
             );
         }));
         assert!(result.is_err(), "divergent re-decide must still panic");
+    }
+
+    /// A protocol that instantly decides whatever it is asked to
+    /// advocate: one agreement (commit + reply) per `on_client_request`.
+    /// Exactly what batch-semantics tests need — the number of
+    /// `on_client_request` invocations *is* the number of agreements.
+    struct Deciding {
+        me: NodeId,
+        next: Instance,
+        /// Every advocated (client, req_id) in submission order.
+        requests: Vec<(NodeId, u64)>,
+        /// Last decision, replayable via `on_message` (a duplicate learn).
+        last: Option<(Instance, Command)>,
+    }
+
+    impl Deciding {
+        fn new() -> Self {
+            Deciding {
+                me: NodeId(0),
+                next: 0,
+                requests: Vec::new(),
+                last: None,
+            }
+        }
+    }
+
+    impl Protocol for Deciding {
+        type Msg = u8;
+
+        fn node_id(&self) -> NodeId {
+            self.me
+        }
+
+        fn on_start(&mut self, _now: Nanos, _out: &mut Outbox<u8>) {}
+
+        fn on_message(&mut self, _from: NodeId, _msg: u8, _now: Nanos, out: &mut Outbox<u8>) {
+            // A duplicate learn of the last decision.
+            if let Some((inst, cmd)) = self.last.clone() {
+                out.commit(inst, cmd.clone());
+                out.reply(cmd.client, cmd.req_id, inst);
+            }
+        }
+
+        fn on_timer(&mut self, _timer: Timer, _now: Nanos, _out: &mut Outbox<u8>) {}
+
+        fn on_client_request(
+            &mut self,
+            client: NodeId,
+            req_id: u64,
+            op: Op,
+            _now: Nanos,
+            out: &mut Outbox<u8>,
+        ) {
+            self.requests.push((client, req_id));
+            let cmd = Command::new(client, req_id, op);
+            let inst = self.next;
+            self.next += 1;
+            self.last = Some((inst, cmd.clone()));
+            out.commit(inst, cmd);
+            out.reply(client, req_id, inst);
+        }
+
+        fn is_leader(&self) -> bool {
+            true
+        }
+
+        fn leader_hint(&self) -> Option<NodeId> {
+            Some(self.me)
+        }
+    }
+
+    type D = ReplicaEngine<Deciding, KvStore>;
+
+    fn batched(cfg: BatchConfig) -> D {
+        ReplicaEngine::new(Deciding::new(), KvStore::new()).with_batching(cfg)
+    }
+
+    fn request(e: &mut D, client: u16, req_id: u64, op: Op, now: Nanos) -> Fx {
+        let mut fx = Vec::new();
+        e.handle(
+            EngineEvent::ClientRequest {
+                client: NodeId(client),
+                req_id,
+                op,
+            },
+            now,
+            &mut fx,
+        );
+        fx
+    }
+
+    fn reply_ids(fx: &Fx) -> Vec<(NodeId, u64)> {
+        fx.iter()
+            .filter_map(|e| match e {
+                EngineEffect::ReplyTo { client, req_id, .. } => Some((*client, *req_id)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_flushes_on_max_size_as_one_agreement() {
+        let mut e = batched(BatchConfig::new(3, 1_000_000));
+        assert!(request(&mut e, 9, 1, Op::Put { key: 1, value: 10 }, 0).is_empty());
+        assert!(request(&mut e, 10, 1, Op::Put { key: 2, value: 20 }, 0).is_empty());
+        assert_eq!(e.pending_batch(), 2);
+        let fx = request(&mut e, 11, 1, Op::Get { key: 1 }, 0);
+        // One protocol-level agreement carried all three commands…
+        assert_eq!(e.node().requests.len(), 1);
+        assert_eq!(
+            fx.iter()
+                .filter(|f| matches!(f, EngineEffect::Committed { .. }))
+                .count(),
+            1
+        );
+        // …and fanned out per-client replies in submission order.
+        assert_eq!(
+            reply_ids(&fx),
+            vec![(NodeId(9), 1), (NodeId(10), 1), (NodeId(11), 1)]
+        );
+        assert_eq!(e.pending_batch(), 0);
+        assert_eq!(e.state().get(1), Some(10));
+        assert_eq!(e.state().get(2), Some(20));
+        // The Get inside the batch saw the preceding Put.
+        match &fx[3] {
+            EngineEffect::ReplyTo { value, .. } => assert_eq!(*value, Some(Some(10))),
+            other => panic!("expected the Get's reply, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_flushes_on_deadline_via_the_timer_table() {
+        let mut e = batched(BatchConfig::new(100, 500));
+        request(&mut e, 9, 1, Op::Noop, 0);
+        request(&mut e, 10, 1, Op::Noop, 10);
+        // The flush deadline is a real timer: next_deadline covers it, so
+        // sleep-until-next-deadline harnesses cannot stall the batch.
+        assert_eq!(e.next_deadline(), Some(500));
+        assert_eq!(e.timer_deadline(BATCH_FLUSH), Some(500));
+        let mut fx = Vec::new();
+        assert_eq!(e.fire_due(499, &mut fx), 0);
+        assert!(fx.is_empty());
+        assert_eq!(e.fire_due(500, &mut fx), 1);
+        assert_eq!(reply_ids(&fx), vec![(NodeId(9), 1), (NodeId(10), 1)]);
+        assert_eq!(e.node().requests.len(), 1);
+        assert_eq!(e.next_deadline(), None, "flush disarms the deadline");
+    }
+
+    #[test]
+    fn singleton_batch_is_submitted_as_an_unbatched_command() {
+        let mut e = batched(BatchConfig::new(8, 500));
+        request(&mut e, 9, 1, Op::Put { key: 7, value: 70 }, 0);
+        let mut fx = Vec::new();
+        e.fire_due(500, &mut fx);
+        // The protocol saw the client's own identity, not a batch source.
+        assert_eq!(e.node().requests, vec![(NodeId(9), 1)]);
+        match &fx[0] {
+            EngineEffect::Committed { cmd, .. } => {
+                assert_eq!(cmd.as_batch(), None);
+                assert_eq!(cmd.id(), (NodeId(9), 1));
+            }
+            other => panic!("expected Committed, got {other:?}"),
+        }
+        assert_eq!(reply_ids(&fx), vec![(NodeId(9), 1)]);
+        assert_eq!(e.replies().len(), 1);
+        assert_eq!(e.state().get(7), Some(70));
+    }
+
+    #[test]
+    fn duplicate_request_inside_a_batch_is_submitted_once() {
+        let mut e = batched(BatchConfig::new(100, 500));
+        request(&mut e, 9, 1, Op::Put { key: 1, value: 1 }, 0);
+        request(&mut e, 9, 1, Op::Put { key: 1, value: 1 }, 5); // client retry
+        request(&mut e, 10, 1, Op::Noop, 10);
+        assert_eq!(e.pending_batch(), 2, "retry coalesced away");
+        let mut fx = Vec::new();
+        e.fire_due(500, &mut fx);
+        assert_eq!(reply_ids(&fx), vec![(NodeId(9), 1), (NodeId(10), 1)]);
+        assert_eq!(e.state().writes(), 1);
+    }
+
+    #[test]
+    fn redecided_batch_does_not_fan_replies_out_twice() {
+        let mut e = batched(BatchConfig::new(2, 1_000));
+        request(&mut e, 9, 1, Op::Noop, 0);
+        let fx = request(&mut e, 10, 1, Op::Noop, 0);
+        assert_eq!(reply_ids(&fx).len(), 2);
+        // A duplicate learn of the same batch decision arrives.
+        let mut fx = Vec::new();
+        e.handle(
+            EngineEvent::Message {
+                from: NodeId(1),
+                msg: 0,
+            },
+            0,
+            &mut fx,
+        );
+        assert!(
+            fx.iter()
+                .any(|f| matches!(f, EngineEffect::Committed { .. })),
+            "the duplicate learn still surfaces for oracles"
+        );
+        assert!(reply_ids(&fx).is_empty(), "no duplicate client replies");
+        assert_eq!(e.replies().len(), 2);
+    }
+
+    #[test]
+    fn batched_equals_unbatched_state_and_replies() {
+        // The same request stream through a batched and an unbatched
+        // engine must land in identical state with identical reply sets.
+        let ops = [
+            (9u16, 1u64, Op::Put { key: 1, value: 10 }),
+            (10, 1, Op::Put { key: 2, value: 20 }),
+            (9, 2, Op::Get { key: 2 }),
+            (11, 1, Op::Put { key: 1, value: 30 }),
+            (10, 2, Op::Get { key: 1 }),
+        ];
+        let mut plain = ReplicaEngine::new(Deciding::new(), KvStore::new());
+        let mut batch = batched(BatchConfig::new(2, 1_000));
+        for (c, r, op) in ops.iter().cloned() {
+            request(&mut plain, c, r, op.clone(), 0);
+            request(&mut batch, c, r, op, 0);
+        }
+        let mut fx = Vec::new();
+        batch.fire_due(1_000, &mut fx); // flush the odd tail
+        assert_eq!(plain.state().digest(), batch.state().digest());
+        let ids = |e: &D| -> Vec<(NodeId, u64)> {
+            e.replies().iter().map(|r| (r.client, r.req_id)).collect()
+        };
+        assert_eq!(ids(&plain), ids(&batch));
+        // Batching needed fewer agreements for the same work.
+        assert_eq!(plain.node().requests.len(), 5);
+        assert_eq!(batch.node().requests.len(), 3);
+    }
+
+    #[test]
+    fn blocked_engine_holds_the_batch_until_unblocked() {
+        let mut e = batched(BatchConfig::new(100, 500));
+        request(&mut e, 9, 1, Op::Noop, 0);
+        e.set_blocked(true);
+        let mut fx = Vec::new();
+        assert_eq!(e.fire_due(10_000, &mut fx), 0, "slow core gets no cycles");
+        assert_eq!(e.pending_batch(), 1);
+        e.set_blocked(false);
+        assert_eq!(e.fire_due(10_000, &mut fx), 1);
+        assert_eq!(reply_ids(&fx), vec![(NodeId(9), 1)]);
     }
 
     #[test]

@@ -95,6 +95,9 @@ impl StateMachine for KvStore {
                 self.reads += 1;
                 self.get(key)
             }
+            // The RSM layer unpacks batches into per-command applications
+            // before they reach any state machine.
+            Op::Batch(_) => unreachable!("Op::Batch must be unpacked by the Applier"),
         }
     }
 }

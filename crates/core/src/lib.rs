@@ -79,9 +79,10 @@ pub mod twopc;
 mod types;
 
 pub use config::ClusterConfig;
-pub use engine::{EngineEffect, EngineEvent, ReplicaEngine, ReplyMode};
+pub use engine::{BatchConfig, EngineEffect, EngineEvent, ReplicaEngine, ReplyMode};
 pub use outbox::{Action, Outbox, Timer};
 pub use protocol::Protocol;
 pub use types::{
-    Ballot, Command, Instance, Nanos, NodeId, Op, NANOS_PER_MICRO, NANOS_PER_MILLI, NANOS_PER_SEC,
+    Ballot, BatchPayload, Command, Instance, Nanos, NodeId, Op, NANOS_PER_MICRO, NANOS_PER_MILLI,
+    NANOS_PER_SEC,
 };

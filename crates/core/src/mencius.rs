@@ -34,7 +34,7 @@ use crate::protocol::Protocol;
 use crate::types::{Ballot, Command, Instance, Nanos, NodeId, Op};
 
 /// Wire messages of the Mencius-style protocol.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Msg {
     /// Owner → acceptors proposal for one of its slots.
     Accept {
@@ -145,15 +145,27 @@ impl MenciusNode {
         self.next_own += self.cfg.len() as Instance;
         self.max_seen = self.max_seen.max(inst);
         for peer in self.cfg.others() {
-            out.send(peer, Msg::Accept { inst, cmd });
+            out.send(
+                peer,
+                Msg::Accept {
+                    inst,
+                    cmd: cmd.clone(),
+                },
+            );
         }
         self.accept_locally(inst, cmd, out);
     }
 
     fn accept_locally(&mut self, inst: Instance, cmd: Command, out: &mut Outbox<Msg>) {
-        self.accepted.insert(inst, cmd);
+        self.accepted.insert(inst, cmd.clone());
         for peer in self.cfg.others() {
-            out.send(peer, Msg::Learn { inst, cmd });
+            out.send(
+                peer,
+                Msg::Learn {
+                    inst,
+                    cmd: cmd.clone(),
+                },
+            );
         }
         self.on_learn_vote(self.me(), inst, cmd, out);
     }
@@ -162,13 +174,14 @@ impl MenciusNode {
         let quorum = self.cfg.majority();
         let bal = self.slot_ballot(inst);
         if let Some(chosen) = self.learner.on_learn(inst, from, bal, cmd, quorum) {
+            let id = chosen.id();
             out.commit(inst, chosen);
-            self.decided_ids.entry(chosen.id()).or_insert(inst);
+            self.decided_ids.entry(id).or_insert(inst);
             while self.learner.chosen(self.watermark).is_some() {
                 self.watermark += 1;
             }
-            if self.my_clients.remove(&chosen.id()) {
-                out.reply(chosen.client, chosen.req_id, inst);
+            if self.my_clients.remove(&id) {
+                out.reply(id.0, id.1, inst);
             }
         }
     }

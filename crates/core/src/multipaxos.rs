@@ -220,19 +220,33 @@ impl MultiPaxosNode {
         }
         let inst = self.next_instance;
         self.next_instance += 1;
-        self.proposed.insert(inst, cmd);
+        self.proposed.insert(inst, cmd.clone());
         let bal = self.promised;
         for peer in self.cfg.others() {
-            out.send(peer, Msg::Accept { bal, inst, cmd });
+            out.send(
+                peer,
+                Msg::Accept {
+                    bal,
+                    inst,
+                    cmd: cmd.clone(),
+                },
+            );
         }
         self.accept_locally(inst, bal, cmd, out);
     }
 
     /// The local acceptor accepts and broadcasts its learn.
     fn accept_locally(&mut self, inst: Instance, bal: Ballot, cmd: Command, out: &mut Outbox<Msg>) {
-        self.accepted.insert(inst, (bal, cmd));
+        self.accepted.insert(inst, (bal, cmd.clone()));
         for peer in self.cfg.others() {
-            out.send(peer, Msg::Learn { inst, bal, cmd });
+            out.send(
+                peer,
+                Msg::Learn {
+                    inst,
+                    bal,
+                    cmd: cmd.clone(),
+                },
+            );
         }
         self.on_learn_vote(self.me(), inst, bal, cmd, out);
     }
@@ -247,21 +261,22 @@ impl MultiPaxosNode {
     ) {
         let quorum = self.cfg.majority();
         if let Some(chosen) = self.learner.on_learn(inst, from, bal, cmd, quorum) {
+            let id = chosen.id();
             out.commit(inst, chosen);
-            self.decided_ids.entry(chosen.id()).or_insert(inst);
-            self.forwarded.remove(&chosen.id());
+            self.decided_ids.entry(id).or_insert(inst);
+            self.forwarded.remove(&id);
             if let Some(pinned) = self.proposed.remove(&inst) {
                 // Our proposal lost the slot to another leader's command:
                 // re-advocate it instead of dropping it.
-                if pinned.id() != chosen.id() && !self.decided_ids.contains_key(&pinned.id()) {
+                if pinned.id() != id && !self.decided_ids.contains_key(&pinned.id()) {
                     self.queue.push_back(pinned);
                 }
             }
             while self.learner.chosen(self.watermark).is_some() {
                 self.watermark += 1;
             }
-            if self.my_clients.remove(&chosen.id()) {
-                out.reply(chosen.client, chosen.req_id, inst);
+            if self.my_clients.remove(&id) {
+                out.reply(id.0, id.1, inst);
             }
         }
     }
@@ -288,7 +303,7 @@ impl MultiPaxosNode {
     fn accepted_suffix(&self, from_inst: Instance) -> Vec<(Instance, Ballot, Command)> {
         self.accepted
             .range(from_inst..)
-            .map(|(&i, &(b, c))| (i, b, c))
+            .map(|(&i, (b, c))| (i, *b, c.clone()))
             .collect()
     }
 
@@ -331,15 +346,22 @@ impl MultiPaxosNode {
         let end = max_prior.map_or(start, |i| i + 1);
         for inst in start..end {
             let cmd = match e.prior.get(&inst) {
-                Some(&(_, cmd)) => cmd,
+                Some((_, cmd)) => cmd.clone(),
                 None => {
                     self.noop_seq += 1;
                     Command::noop(self.me(), self.noop_seq)
                 }
             };
-            self.proposed.insert(inst, cmd);
+            self.proposed.insert(inst, cmd.clone());
             for peer in self.cfg.others() {
-                out.send(peer, Msg::Accept { bal, inst, cmd });
+                out.send(
+                    peer,
+                    Msg::Accept {
+                        bal,
+                        inst,
+                        cmd: cmd.clone(),
+                    },
+                );
             }
             self.accept_locally(inst, bal, cmd, out);
         }
@@ -359,7 +381,7 @@ impl MultiPaxosNode {
         // Re-advocate proposals that were still in flight: the new leader
         // may not have seen them. The RSM session layer deduplicates the
         // cases where both copies commit.
-        let orphans: Vec<Command> = self.proposed.values().copied().collect();
+        let orphans: Vec<Command> = self.proposed.values().cloned().collect();
         self.proposed.clear();
         self.queue.extend(orphans);
     }
@@ -477,7 +499,8 @@ impl Protocol for MultiPaxosNode {
                 .values()
                 .any(|&(_, t)| now.saturating_sub(t) > self.timing.suspect_after);
             if stalled {
-                let reclaimed: Vec<Command> = self.forwarded.values().map(|&(c, _)| c).collect();
+                let reclaimed: Vec<Command> =
+                    self.forwarded.values().map(|(c, _)| c.clone()).collect();
                 self.forwarded.clear();
                 self.queue.extend(reclaimed);
                 if self.electing.is_none() {
@@ -494,7 +517,7 @@ impl Protocol for MultiPaxosNode {
                         if self.decided_ids.contains_key(&cmd.id()) {
                             continue;
                         }
-                        self.forwarded.insert(cmd.id(), (cmd, now));
+                        self.forwarded.insert(cmd.id(), (cmd.clone(), now));
                         out.send(leader, Msg::Forward { cmd });
                     }
                 }
@@ -517,7 +540,7 @@ impl Protocol for MultiPaxosNode {
             self.propose(cmd, out);
         } else if !self.leader_suspected(now) {
             if let Some(leader) = self.leader {
-                self.forwarded.insert(cmd.id(), (cmd, now));
+                self.forwarded.insert(cmd.id(), (cmd.clone(), now));
                 out.send(leader, Msg::Forward { cmd });
                 return;
             }

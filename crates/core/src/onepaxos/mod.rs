@@ -314,7 +314,7 @@ impl OnePaxosNode {
         debug_assert!(self.i_am_leader);
         let inst = self.next_instance;
         self.next_instance += 1;
-        self.proposed.insert(inst, cmd);
+        self.proposed.insert(inst, cmd.clone());
         self.inflight.insert(inst, now);
         let pn = self.pn;
         let acceptor = self.active_acceptor.expect("leader has an acceptor");
@@ -346,7 +346,7 @@ impl OnePaxosNode {
         }
         match self.utility.global_leader() {
             Some(l) if l != self.me() => {
-                self.forwarded.insert(cmd.id(), (cmd, now));
+                self.forwarded.insert(cmd.id(), (cmd.clone(), now));
                 out.send(l, Msg::Forward { cmd });
             }
             _ => {
@@ -394,7 +394,7 @@ impl OnePaxosNode {
         // Re-advocate unlearned proposals: the next leader registers the
         // acceptor's `ap`, but values whose accepts never arrived anywhere
         // would otherwise be lost. The RSM layer deduplicates.
-        let orphans: Vec<Command> = self.proposed.values().copied().collect();
+        let orphans: Vec<Command> = self.proposed.values().cloned().collect();
         self.queue.extend(orphans);
     }
 
@@ -404,9 +404,9 @@ impl OnePaxosNode {
         &mut self,
         proposals: impl IntoIterator<Item = &'a (Instance, Command)>,
     ) {
-        for &(inst, cmd) in proposals {
-            if !self.learned.contains_key(&inst) {
-                self.proposed.insert(inst, cmd);
+        for (inst, cmd) in proposals {
+            if !self.learned.contains_key(inst) {
+                self.proposed.insert(*inst, cmd.clone());
             }
         }
     }
@@ -430,12 +430,12 @@ impl OnePaxosNode {
                 continue;
             }
             let cmd = match self.proposed.get(&inst) {
-                Some(&c) => c,
+                Some(c) => c.clone(),
                 None => {
                     // Hole: propose a no-op so the log stays contiguous.
                     self.noop_seq += 1;
                     let c = Command::noop(self.me(), self.noop_seq);
-                    self.proposed.insert(inst, c);
+                    self.proposed.insert(inst, c.clone());
                     c
                 }
             };
@@ -459,7 +459,7 @@ impl OnePaxosNode {
             );
             return;
         }
-        self.learned.insert(inst, cmd);
+        self.learned.insert(inst, cmd.clone());
         self.decided_ids.entry(cmd.id()).or_insert(inst);
         if let Some(pinned) = self.proposed.remove(&inst) {
             // Our proposal lost the slot to another leader's command:
@@ -469,13 +469,14 @@ impl OnePaxosNode {
             }
         }
         self.inflight.remove(&inst);
-        self.forwarded.remove(&cmd.id());
+        let id = cmd.id();
+        self.forwarded.remove(&id);
         out.commit(inst, cmd);
         while self.learned.contains_key(&self.watermark) {
             self.watermark += 1;
         }
-        if self.my_clients.remove(&cmd.id()) {
-            out.reply(cmd.client, cmd.req_id, inst);
+        if self.my_clients.remove(&id) {
+            out.reply(id.0, id.1, inst);
         }
     }
 
@@ -491,7 +492,14 @@ impl OnePaxosNode {
         out: &mut Outbox<Msg>,
     ) {
         for peer in self.cfg.others() {
-            out.send(peer, Msg::Learn { inst, pn, cmd });
+            out.send(
+                peer,
+                Msg::Learn {
+                    inst,
+                    pn,
+                    cmd: cmd.clone(),
+                },
+            );
         }
         // The acceptor is also a learner; learn locally without a message.
         self.note_learned(inst, cmd, out);
@@ -532,7 +540,7 @@ impl OnePaxosNode {
                         if self.decided_ids.contains_key(&cmd.id()) {
                             continue;
                         }
-                        self.forwarded.insert(cmd.id(), (cmd, now));
+                        self.forwarded.insert(cmd.id(), (cmd.clone(), now));
                         out.send(leader, Msg::Forward { cmd });
                     }
                 }
@@ -571,7 +579,7 @@ impl OnePaxosNode {
                     // We are the Global leader; reclaim forwarded commands
                     // and get adopted by the active acceptor (Fig 5 Step 3).
                     let reclaimed: Vec<Command> =
-                        self.forwarded.values().map(|&(c, _)| c).collect();
+                        self.forwarded.values().map(|(c, _)| c.clone()).collect();
                     self.forwarded.clear();
                     self.queue.extend(reclaimed);
                     self.send_prepare(now, out);
@@ -640,7 +648,7 @@ impl OnePaxosNode {
                     return; // no candidate (e.g. 2-node cluster): wait
                 };
                 let uncommitted: Vec<(Instance, Command)> =
-                    self.proposed.iter().map(|(&i, &c)| (i, c)).collect();
+                    self.proposed.iter().map(|(&i, c)| (i, c.clone())).collect();
                 let entry = UtilityEntry::AcceptorChange {
                     by: self.me(),
                     acceptor: new_acceptor,
@@ -706,8 +714,11 @@ impl Protocol for OnePaxosNode {
                     }
                     self.i_am_fresh = false;
                     self.hpn = pn;
-                    let accepted: Vec<(Instance, Ballot, Command)> =
-                        self.ap.iter().map(|(&i, &(b, c))| (i, b, c)).collect();
+                    let accepted: Vec<(Instance, Ballot, Command)> = self
+                        .ap
+                        .iter()
+                        .map(|(&i, (b, c))| (i, *b, c.clone()))
+                        .collect();
                     out.send(from, Msg::PrepareResp { pn, accepted });
                 } else {
                     out.send(
@@ -734,7 +745,7 @@ impl Protocol for OnePaxosNode {
                 self.pn = pn;
                 // Line 40: registerProposals(ap).
                 let pinned: Vec<(Instance, Command)> =
-                    accepted.iter().map(|&(i, _, c)| (i, c)).collect();
+                    accepted.iter().map(|(i, _, c)| (*i, c.clone())).collect();
                 self.register_proposals(pinned.iter());
                 self.repropose_unlearned(now, out);
                 self.drain_queue(now, out);
@@ -750,13 +761,13 @@ impl Protocol for OnePaxosNode {
                             re: AbandonRe::Accept,
                         },
                     );
-                } else if let Some(&(apn, acmd)) = self.ap.get(&inst) {
+                } else if let Some((apn, acmd)) = self.ap.get(&inst).cloned() {
                     // Already accepted: re-broadcast the learn "to cover
                     // the cases that the lost learn message has motivated
                     // the proposer to retry" (Appendix A).
                     self.acceptor_broadcast_learn(inst, apn, acmd, out);
                 } else {
-                    self.ap.insert(inst, (pn, cmd));
+                    self.ap.insert(inst, (pn, cmd.clone()));
                     self.acceptor_broadcast_learn(inst, pn, cmd, out);
                 }
             }
@@ -855,7 +866,8 @@ impl Protocol for OnePaxosNode {
                 .values()
                 .any(|&(_, t)| now.saturating_sub(t) > self.timing.suspect_after);
             if stale {
-                let reclaimed: Vec<Command> = self.forwarded.values().map(|&(c, _)| c).collect();
+                let reclaimed: Vec<Command> =
+                    self.forwarded.values().map(|(c, _)| c.clone()).collect();
                 self.forwarded.clear();
                 self.queue.extend(reclaimed);
                 self.try_takeover(now, out);
@@ -867,7 +879,7 @@ impl Protocol for OnePaxosNode {
                             if self.decided_ids.contains_key(&cmd.id()) {
                                 continue;
                             }
-                            self.forwarded.insert(cmd.id(), (cmd, now));
+                            self.forwarded.insert(cmd.id(), (cmd.clone(), now));
                             out.send(l, Msg::Forward { cmd });
                         }
                     }

@@ -13,7 +13,9 @@ use crate::types::{Command, Instance, Nanos, NodeId};
 ///
 /// All protocols in this crate drive their failure detection from a single
 /// periodic [`Timer::Tick`]; the other variants exist for harness-level
-/// bookkeeping and tests.
+/// bookkeeping and tests. `Custom(u8::MAX)` is reserved for the replica
+/// engine's batch-flush deadline ([`crate::engine::BATCH_FLUSH`]) and is
+/// intercepted before protocol dispatch — protocols must not arm it.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum Timer {
     /// Periodic maintenance tick (failure detection, retries).

@@ -7,6 +7,16 @@
 //! duplicate submissions of the same `(client, req_id)` (a client that
 //! timed out and re-sent to another replica may get its command decided
 //! twice; only the first decision is applied).
+//!
+//! A decided [`Op::Batch`] is unpacked here: each constituent command is
+//! applied individually, in payload order, under the same per-client
+//! at-most-once rule — so a command that travelled in two different
+//! batches (a client retry re-coalesced elsewhere) still executes once,
+//! and its output is recorded under its own `(client, req_id)` for reply
+//! routing. Batches themselves are deduplicated only through their
+//! constituents: engine batch ids are not session-tracked, because
+//! batches from one engine can legally commit out of submission order
+//! across leader changes (unlike closed-loop clients).
 
 use std::collections::BTreeMap;
 
@@ -105,16 +115,32 @@ impl<S: StateMachine> Applier<S> {
     }
 
     fn apply_one(&mut self, cmd: Command) {
+        if let Op::Batch(cmds) = &cmd.op {
+            for inner in cmds.clone().iter() {
+                debug_assert!(
+                    !matches!(inner.op, Op::Batch(_)),
+                    "nested batch decided in the log"
+                );
+                self.apply_single(inner.clone());
+            }
+        } else {
+            self.apply_single(cmd.clone());
+        }
+        self.applied_log.push(cmd);
+    }
+
+    /// Applies one non-batch command under the per-client at-most-once
+    /// rule, recording its output for reply lookup.
+    fn apply_single(&mut self, cmd: Command) {
         let dup = self
             .sessions
             .get(&cmd.client)
             .is_some_and(|&(last, _)| cmd.req_id <= last);
         if !dup {
-            let out = self.state.apply(cmd.op);
+            let out = self.state.apply(cmd.op.clone());
             self.sessions.insert(cmd.client, (cmd.req_id, out.clone()));
             self.outputs.insert(cmd.id(), out);
         }
-        self.applied_log.push(cmd);
     }
 
     /// The wrapped state machine.
@@ -168,9 +194,62 @@ mod tests {
     fn duplicate_decision_same_command_is_idempotent() {
         let mut a = Applier::new(KvStore::new());
         let c = cmd(1, 1, Op::Put { key: 1, value: 9 });
-        a.on_decided(0, c);
+        a.on_decided(0, c.clone());
         assert_eq!(a.on_decided(0, c), 0);
         assert_eq!(a.applied_log().len(), 1);
+    }
+
+    #[test]
+    fn batch_applies_constituents_in_order_with_outputs() {
+        let mut a = Applier::new(KvStore::new());
+        let b = Command::batch(
+            NodeId(0),
+            1,
+            vec![
+                cmd(1, 1, Op::Put { key: 3, value: 30 }),
+                cmd(2, 1, Op::Get { key: 3 }),
+                cmd(1, 2, Op::Put { key: 3, value: 31 }),
+            ],
+        );
+        assert_eq!(a.on_decided(0, b), 1);
+        // One log slot, three applied operations.
+        assert_eq!(a.applied_log().len(), 1);
+        assert_eq!(a.state().writes(), 2);
+        // The Get inside the batch saw the Put that preceded it.
+        assert_eq!(a.output_of(NodeId(2), 1), Some(&Some(30)));
+        assert_eq!(a.output_of(NodeId(1), 2), Some(&Some(30)));
+        assert_eq!(a.state().get(3), Some(31));
+    }
+
+    #[test]
+    fn command_retried_across_batches_applies_once() {
+        let mut a = Applier::new(KvStore::new());
+        let retried = cmd(1, 1, Op::Put { key: 5, value: 50 });
+        a.on_decided(0, Command::batch(NodeId(0), 1, vec![retried.clone()]));
+        a.on_decided(
+            1,
+            Command::batch(NodeId(1), 1, vec![retried, cmd(2, 1, Op::Noop)]),
+        );
+        assert_eq!(a.state().writes(), 1);
+        assert_eq!(a.applied_log().len(), 2);
+    }
+
+    #[test]
+    fn batches_from_one_engine_may_commit_out_of_order() {
+        // Engine batch ids are not session-tracked: batch seq 2 deciding
+        // before seq 1 (leader churn re-ordering) must not suppress seq 1.
+        let mut a = Applier::new(KvStore::new());
+        a.on_decided(
+            0,
+            Command::batch(NodeId(0), 2, vec![cmd(2, 1, Op::Put { key: 1, value: 2 })]),
+        );
+        a.on_decided(
+            1,
+            Command::batch(NodeId(0), 1, vec![cmd(3, 1, Op::Put { key: 2, value: 3 })]),
+        );
+        assert_eq!(a.state().get(1), Some(2));
+        assert_eq!(a.state().get(2), Some(3));
+        assert_eq!(a.state().writes(), 2);
     }
 
     #[test]

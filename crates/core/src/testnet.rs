@@ -15,7 +15,7 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
-use crate::engine::{EngineEffect, EngineEvent, ReplicaEngine};
+use crate::engine::{BatchConfig, EngineEffect, EngineEvent, ReplicaEngine};
 use crate::kv::KvStore;
 use crate::protocol::Protocol;
 use crate::types::{Command, Instance, Nanos, NodeId, Op};
@@ -56,6 +56,13 @@ pub struct TestNet<P: Protocol> {
     commits: BTreeMap<NodeId, BTreeMap<Instance, Command>>,
     replies: Vec<ReplyRecord>,
     delivered: u64,
+    /// Engine-level command batching, if enabled; remembered here so a
+    /// [`Self::reset_node`] rebuild keeps the same configuration.
+    batching: Option<BatchConfig>,
+    /// Rebuilds per node, so each engine incarnation advocates batches
+    /// in a fresh sequence epoch (recycled batch ids would be dropped as
+    /// already-decided duplicates by surviving peers).
+    resets: BTreeMap<NodeId, u64>,
     /// Reusable effect buffer.
     scratch: Effects<P>,
 }
@@ -79,7 +86,27 @@ impl<P: Protocol> std::fmt::Debug for TestNet<P> {
 impl<P: Protocol> TestNet<P> {
     /// Builds `n` nodes with ids `0..n` using `make(members, me)` and runs
     /// each node's `on_start`.
-    pub fn new(n: u16, mut make: impl FnMut(&[NodeId], NodeId) -> P) -> Self {
+    pub fn new(n: u16, make: impl FnMut(&[NodeId], NodeId) -> P) -> Self {
+        Self::build(n, None, make)
+    }
+
+    /// Like [`Self::new`], with engine-level command batching enabled on
+    /// every node. Batches flush on size immediately; deadline flushes
+    /// need [`Self::advance`] past `cfg.max_delay` (the flush deadline is
+    /// an ordinary engine timer).
+    pub fn with_batching(
+        n: u16,
+        cfg: BatchConfig,
+        make: impl FnMut(&[NodeId], NodeId) -> P,
+    ) -> Self {
+        Self::build(n, Some(cfg), make)
+    }
+
+    fn build(
+        n: u16,
+        batching: Option<BatchConfig>,
+        mut make: impl FnMut(&[NodeId], NodeId) -> P,
+    ) -> Self {
         let members: Vec<NodeId> = (0..n).map(NodeId).collect();
         let mut net = TestNet {
             // Engine-level history is off: the harness records commits
@@ -88,7 +115,10 @@ impl<P: Protocol> TestNet<P> {
             engines: members
                 .iter()
                 .map(|&me| {
-                    ReplicaEngine::new(make(&members, me), KvStore::new()).with_history(false)
+                    let mut e =
+                        ReplicaEngine::new(make(&members, me), KvStore::new()).with_history(false);
+                    e.set_batching(batching);
+                    e
                 })
                 .collect(),
             links: BTreeMap::new(),
@@ -96,6 +126,8 @@ impl<P: Protocol> TestNet<P> {
             commits: BTreeMap::new(),
             replies: Vec::new(),
             delivered: 0,
+            batching,
+            resets: BTreeMap::new(),
             scratch: Vec::new(),
         };
         for i in 0..net.engines.len() {
@@ -148,6 +180,13 @@ impl<P: Protocol> TestNet<P> {
     pub fn reset_node(&mut self, id: NodeId, fresh: P) {
         let was_blocked = self.engines[id.index()].is_blocked();
         self.engines[id.index()] = ReplicaEngine::new(fresh, KvStore::new()).with_history(false);
+        self.engines[id.index()].set_batching(self.batching);
+        // A rebuilt engine must not reuse its predecessor's batch
+        // identities (surviving peers deduplicate them forever).
+        let epoch = self.resets.entry(id).or_insert(0);
+        *epoch += 1;
+        let floor = *epoch * ReplicaEngine::<P, KvStore>::BATCH_EPOCH;
+        self.engines[id.index()].set_batch_seq_floor(floor);
         self.engines[id.index()].set_blocked(was_blocked);
         let now = self.now;
         let mut effects = std::mem::take(&mut self.scratch);
@@ -312,9 +351,9 @@ impl<P: Protocol> TestNet<P> {
     ///
     /// Panics on violation, naming the instance.
     pub fn assert_consistent(&self) {
-        let mut chosen: BTreeMap<Instance, (NodeId, Command)> = BTreeMap::new();
+        let mut chosen: BTreeMap<Instance, (NodeId, &Command)> = BTreeMap::new();
         for (&node, commits) in &self.commits {
-            for (&inst, &cmd) in commits {
+            for (&inst, cmd) in commits {
                 match chosen.get(&inst) {
                     None => {
                         chosen.insert(inst, (node, cmd));
@@ -349,7 +388,11 @@ impl<P: Protocol> TestNet<P> {
                     from: me,
                 }),
                 EngineEffect::Committed { instance, cmd } => {
-                    let prior = self.commits.entry(me).or_default().insert(instance, cmd);
+                    let prior = self
+                        .commits
+                        .entry(me)
+                        .or_default()
+                        .insert(instance, cmd.clone());
                     if let Some(prior) = prior {
                         assert_eq!(
                             prior, cmd,

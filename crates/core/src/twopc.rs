@@ -23,7 +23,7 @@ use crate::protocol::Protocol;
 use crate::types::{Command, Instance, Nanos, NodeId, Op};
 
 /// Wire messages of the 2PC agreement protocol.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Msg {
     /// A non-coordinator replica forwards a client command to the
     /// coordinator.
@@ -179,14 +179,20 @@ impl TwoPcNode {
         self.locked_by = Some((self.me(), round));
         self.active = Some(ActiveRound {
             round,
-            cmd,
+            cmd: cmd.clone(),
             phase: Phase::Preparing {
                 acks: BTreeSet::new(),
             },
             nacked: false,
         });
         for peer in self.cfg.others() {
-            out.send(peer, Msg::Prepare { round, cmd });
+            out.send(
+                peer,
+                Msg::Prepare {
+                    round,
+                    cmd: cmd.clone(),
+                },
+            );
         }
         self.maybe_finish_phase1(out);
     }
@@ -204,12 +210,18 @@ impl TwoPcNode {
         }
         // All replicas locked: broadcast commit, execute locally.
         let round = active.round;
-        let cmd = active.cmd;
+        let cmd = active.cmd.clone();
         active.phase = Phase::Committing {
             acks: BTreeSet::new(),
         };
         for peer in self.cfg.others() {
-            out.send(peer, Msg::Commit { round, cmd });
+            out.send(
+                peer,
+                Msg::Commit {
+                    round,
+                    cmd: cmd.clone(),
+                },
+            );
         }
         out.commit(round, cmd);
         self.locked_by = None;
@@ -228,9 +240,9 @@ impl TwoPcNode {
             return;
         }
         let round = active.round;
-        let cmd = active.cmd;
+        let (client, req_id) = active.cmd.id();
         self.active = None;
-        out.reply(cmd.client, cmd.req_id, round);
+        out.reply(client, req_id, round);
         self.try_start_round(out);
     }
 

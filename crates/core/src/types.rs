@@ -6,6 +6,7 @@
 //! by [`NodeId`].
 
 use std::fmt;
+use std::sync::Arc;
 
 /// Virtual or real time in nanoseconds.
 ///
@@ -38,9 +39,40 @@ pub const NANOS_PER_SEC: Nanos = 1_000_000_000;
 pub struct NodeId(pub u16);
 
 impl NodeId {
+    /// First id of the synthetic batch-source namespace (see
+    /// [`Self::batch_source`]). Real cores live far below it.
+    pub const BATCH_SOURCE_BASE: u16 = 0x8000;
+
     /// The node id as a zero-based index (useful for vector indexing).
     pub fn index(self) -> usize {
         self.0 as usize
+    }
+
+    /// The synthetic client id under which the replica engine on this
+    /// node advocates the batches it coalesces ([`Op::Batch`]). Batches
+    /// need their own client identity for at-most-once execution and
+    /// reply routing, and it must not collide with real clients (cores)
+    /// or with the protocols' internal no-op commands (which use the
+    /// replica's own id) — so each node owns one id mirrored into the
+    /// top half of the [`NodeId`] space.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug only) if the node id itself already lies in the
+    /// reserved namespace.
+    pub fn batch_source(self) -> NodeId {
+        debug_assert!(
+            self.0 < Self::BATCH_SOURCE_BASE,
+            "node id {self} collides with the batch-source namespace"
+        );
+        NodeId(u16::MAX - self.0)
+    }
+
+    /// Whether this id is a synthetic batch source rather than a real
+    /// core. Engines use it to keep batch bookkeeping out of the
+    /// client-visible reply stream.
+    pub fn is_batch_source(self) -> bool {
+        self.0 >= Self::BATCH_SOURCE_BASE
     }
 }
 
@@ -131,12 +163,21 @@ impl fmt::Display for Ballot {
     }
 }
 
+/// The payload of an [`Op::Batch`]: the coalesced commands, behind an
+/// [`Arc`] so cloning a batched command (broadcasts, retries, value
+/// pinning across role switches) bumps a reference count instead of
+/// copying the payload — the whole point of batching is to keep per-copy
+/// cost off the hot cores.
+pub type BatchPayload = Arc<[Command]>;
+
 /// The operation a client asks the replicated state machine to perform.
 ///
 /// The paper's experiments use commands with no payload ([`Op::Noop`]);
 /// the key/value operations exist for the examples and the read-workload
-/// experiment (Fig 10).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+/// experiment (Fig 10). [`Op::Batch`] carries several client commands
+/// through a single agreement, amortising the per-message tx/rx CPU cost
+/// that §3 identifies as the bottleneck inside a machine.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
 pub enum Op {
     /// A command with no effect, as in the paper's benchmarks.
     #[default]
@@ -153,12 +194,16 @@ pub enum Op {
         /// Key to read.
         key: u64,
     },
+    /// Several client commands travelling through one agreement. Built by
+    /// the replica engine's accumulator, never submitted by clients, and
+    /// never nested.
+    Batch(BatchPayload),
 }
 
 impl Op {
     /// Whether this operation is a read (serviceable locally by 2PC-Joint,
     /// §7.5).
-    pub fn is_read(self) -> bool {
+    pub fn is_read(&self) -> bool {
         matches!(self, Op::Get { .. })
     }
 }
@@ -166,8 +211,11 @@ impl Op {
 /// A client command: the value agreed upon by the consensus protocols.
 ///
 /// Identified by `(client, req_id)`, which the replicated-state-machine
-/// layer uses for at-most-once execution and reply routing.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+/// layer uses for at-most-once execution and reply routing. For a batch,
+/// `(client, req_id)` identifies the batch itself (the advocating
+/// engine's [`NodeId::batch_source`] and its batch sequence number); the
+/// constituent commands keep their own identities inside the payload.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct Command {
     /// The client that issued the command.
     pub client: NodeId,
@@ -188,9 +236,34 @@ impl Command {
         Command::new(client, req_id, Op::Noop)
     }
 
+    /// A batch command advocated by the engine on `node`: `seq` is the
+    /// engine's batch sequence number, `cmds` the coalesced commands.
+    pub fn batch(node: NodeId, seq: u64, cmds: Vec<Command>) -> Self {
+        debug_assert!(
+            cmds.iter().all(|c| !matches!(c.op, Op::Batch(_))),
+            "nested batches are not allowed"
+        );
+        Command::new(node.batch_source(), seq, Op::Batch(cmds.into()))
+    }
+
     /// The `(client, req_id)` pair identifying this command.
     pub fn id(&self) -> (NodeId, u64) {
         (self.client, self.req_id)
+    }
+
+    /// The batched commands, if this is a batch.
+    pub fn as_batch(&self) -> Option<&[Command]> {
+        match &self.op {
+            Op::Batch(cmds) => Some(cmds),
+            _ => None,
+        }
+    }
+
+    /// How many client commands this command carries: the batch size for
+    /// a batch, `1` otherwise. Harnesses use it to price the per-command
+    /// apply cost of a committed batch (one agreement, many applies).
+    pub fn command_count(&self) -> usize {
+        self.as_batch().map_or(1, <[Command]>::len)
     }
 }
 
@@ -245,5 +318,38 @@ mod tests {
     fn node_id_display_and_index() {
         assert_eq!(NodeId(12).index(), 12);
         assert_eq!(format!("{:?}", NodeId(12)), "n12");
+    }
+
+    #[test]
+    fn batch_source_namespace_is_disjoint_and_per_node() {
+        let a = NodeId(0).batch_source();
+        let b = NodeId(7).batch_source();
+        assert_ne!(a, b);
+        assert!(a.is_batch_source() && b.is_batch_source());
+        assert!(!NodeId(0).is_batch_source() && !NodeId(47).is_batch_source());
+    }
+
+    #[test]
+    fn batch_command_counts_and_exposes_its_payload() {
+        let inner = vec![Command::noop(NodeId(9), 1), Command::noop(NodeId(10), 1)];
+        let b = Command::batch(NodeId(0), 3, inner.clone());
+        assert_eq!(b.id(), (NodeId(0).batch_source(), 3));
+        assert_eq!(b.command_count(), 2);
+        assert_eq!(b.as_batch(), Some(&inner[..]));
+        assert_eq!(Command::noop(NodeId(9), 1).command_count(), 1);
+        assert_eq!(Command::noop(NodeId(9), 1).as_batch(), None);
+    }
+
+    #[test]
+    fn batch_equality_is_structural() {
+        let mk = || {
+            Command::batch(
+                NodeId(1),
+                5,
+                vec![Command::new(NodeId(9), 2, Op::Put { key: 1, value: 2 })],
+            )
+        };
+        assert_eq!(mk(), mk());
+        assert_ne!(mk(), Command::batch(NodeId(1), 5, vec![]));
     }
 }

@@ -4,11 +4,18 @@
 //! node is a `ReplicaEngine`).
 
 use onepaxos::mencius::MenciusNode;
+use onepaxos::onepaxos::OnePaxosNode;
 use onepaxos::testnet::TestNet;
-use onepaxos::{ClusterConfig, NodeId, Op};
+use onepaxos::{BatchConfig, ClusterConfig, NodeId, Op};
 
 fn net(n: u16) -> TestNet<MenciusNode> {
     TestNet::new(n, |m, me| {
+        MenciusNode::new(ClusterConfig::new(m.to_vec(), me))
+    })
+}
+
+fn batched_net(n: u16, cfg: BatchConfig) -> TestNet<MenciusNode> {
+    TestNet::with_batching(n, cfg, |m, me| {
         MenciusNode::new(ClusterConfig::new(m.to_vec(), me))
     })
 }
@@ -131,6 +138,165 @@ fn blocked_minority_does_not_stop_agreement() {
             "n4 missing instance {inst}"
         );
     }
+}
+
+#[test]
+fn mencius_full_batch_travels_through_one_agreement() {
+    let mut net = batched_net(3, BatchConfig::new(4, 1_000_000));
+    for c in 0..4u16 {
+        net.client_request(
+            NodeId(0),
+            NodeId(100 + c),
+            1,
+            Op::Put {
+                key: u64::from(c),
+                value: 7,
+            },
+        );
+    }
+    net.run_to_quiescence();
+    // All four clients answered, but only one slot was agreed on.
+    assert_eq!(net.replies().len(), 4);
+    for n in 0..3u16 {
+        let commits = net.commits(NodeId(n));
+        assert_eq!(commits.len(), 1, "node {n}");
+        assert_eq!(commits.get(&0).map(|c| c.command_count()), Some(4));
+        for c in 0..4u64 {
+            assert_eq!(net.state(NodeId(n)).get(c), Some(7), "node {n} key {c}");
+        }
+    }
+    net.assert_consistent();
+}
+
+#[test]
+fn mencius_partial_batch_flushes_on_deadline() {
+    let mut net = batched_net(3, BatchConfig::new(8, 500_000));
+    net.client_request(NodeId(0), NodeId(9), 1, Op::Put { key: 1, value: 10 });
+    net.client_request(NodeId(0), NodeId(10), 1, Op::Put { key: 2, value: 20 });
+    net.run_to_quiescence();
+    assert!(net.replies().is_empty(), "batch must still be open");
+    // The engine's next_deadline covers the pending flush; advancing past
+    // it releases the two-command batch.
+    net.advance(500_000);
+    net.run_to_quiescence();
+    assert_eq!(net.replies().len(), 2);
+    for n in 0..3u16 {
+        assert_eq!(net.state(NodeId(n)).get(1), Some(10));
+        assert_eq!(net.state(NodeId(n)).get(2), Some(20));
+    }
+    net.assert_consistent();
+}
+
+#[test]
+fn mencius_batched_multi_leader_agreement_matches_unbatched_state() {
+    // Every node batches its own clients' commands into its own slots;
+    // the end state must equal the unbatched run's.
+    let drive = |net: &mut TestNet<MenciusNode>| {
+        for round in 1..=4u64 {
+            for n in 0..3u16 {
+                net.client_request(
+                    NodeId(n),
+                    NodeId(100 + n),
+                    round,
+                    Op::Put {
+                        key: u64::from(n),
+                        value: round,
+                    },
+                );
+            }
+        }
+        net.run_to_quiescence();
+        net.advance_and_settle(MenciusNode::DEFAULT_TICK, 3);
+        net.advance_and_settle(1_000_000, 2); // flush any open batches
+    };
+    let mut plain = net(3);
+    drive(&mut plain);
+    let mut batched = batched_net(3, BatchConfig::new(4, 1_000_000));
+    drive(&mut batched);
+    assert_eq!(plain.replies().len(), 12);
+    assert_eq!(batched.replies().len(), 12);
+    for n in 0..3u16 {
+        assert_eq!(
+            plain.state(NodeId(n)).digest(),
+            batched.state(NodeId(n)).digest(),
+            "node {n}"
+        );
+    }
+    batched.assert_consistent();
+}
+
+#[test]
+fn onepaxos_batched_agreement_including_the_forwarding_path() {
+    let mut net = TestNet::with_batching(3, BatchConfig::new(3, 400_000), |m, me| {
+        OnePaxosNode::new(ClusterConfig::new(m.to_vec(), me))
+    });
+    net.run_to_quiescence(); // initial leader adoption
+                             // Three requests land on the leader (full batch, size flush), two on
+                             // a follower (deadline flush, forwarded to the leader as one batch).
+    for c in 0..3u16 {
+        net.client_request(
+            NodeId(0),
+            NodeId(100 + c),
+            1,
+            Op::Put {
+                key: u64::from(c),
+                value: 1,
+            },
+        );
+    }
+    net.client_request(NodeId(1), NodeId(110), 1, Op::Put { key: 10, value: 2 });
+    net.client_request(NodeId(1), NodeId(111), 1, Op::Put { key: 11, value: 2 });
+    net.run_to_quiescence();
+    net.advance_and_settle(400_000, 3);
+    assert_eq!(net.replies().len(), 5);
+    // The five commands travelled in two agreements.
+    assert_eq!(net.commits(NodeId(2)).len(), 2);
+    for n in 0..3u16 {
+        for key in [0u64, 1, 2] {
+            assert_eq!(net.state(NodeId(n)).get(key), Some(1), "node {n}");
+        }
+        assert_eq!(net.state(NodeId(n)).get(10), Some(2));
+        assert_eq!(net.state(NodeId(n)).get(11), Some(2));
+    }
+    net.assert_consistent();
+}
+
+#[test]
+fn rebooted_node_batches_again_under_fresh_identities() {
+    // A silently rebooted node restarts its engine from scratch. Its
+    // batch sequence must land in a fresh epoch: recycling a decided
+    // (batch_source, seq) identity would make surviving peers drop the
+    // new batch as an already-decided duplicate, stranding its clients.
+    let mut net = TestNet::with_batching(3, BatchConfig::new(2, 400_000), |m, me| {
+        OnePaxosNode::new(ClusterConfig::new(m.to_vec(), me))
+    });
+    net.run_to_quiescence(); // leader adoption
+    net.client_request(NodeId(1), NodeId(100), 1, Op::Put { key: 1, value: 1 });
+    net.client_request(NodeId(1), NodeId(101), 1, Op::Put { key: 2, value: 1 });
+    net.run_to_quiescence();
+    net.advance_and_settle(400_000, 3);
+    assert_eq!(net.replies().len(), 2, "first batch answered");
+    // n1 reboots, losing all engine state (including its batch counter).
+    let members: Vec<NodeId> = (0..3).map(NodeId).collect();
+    net.reset_node(
+        NodeId(1),
+        OnePaxosNode::new(ClusterConfig::new(members, NodeId(1))),
+    );
+    net.run_to_quiescence();
+    net.client_request(NodeId(1), NodeId(102), 1, Op::Put { key: 3, value: 2 });
+    net.client_request(NodeId(1), NodeId(103), 1, Op::Put { key: 4, value: 2 });
+    net.run_to_quiescence();
+    net.advance_and_settle(400_000, 5);
+    assert_eq!(
+        net.replies().len(),
+        4,
+        "post-reboot batch must not be dropped as a duplicate"
+    );
+    for n in [0u16, 2] {
+        assert_eq!(net.state(NodeId(n)).get(3), Some(2), "node {n}");
+        assert_eq!(net.state(NodeId(n)).get(4), Some(2), "node {n}");
+    }
+    net.assert_consistent();
 }
 
 #[test]

@@ -101,17 +101,17 @@ proptest! {
     ) {
         // Reference: in-order application.
         let mut reference: Applier<KvStore> = Applier::new(KvStore::new());
-        for &(inst, cmd) in &log {
-            reference.on_decided(inst, cmd);
+        for (inst, cmd) in &log {
+            reference.on_decided(*inst, cmd.clone());
         }
         // Adversary: random prefix with duplicates, then completion.
         let mut adversary: Applier<KvStore> = Applier::new(KvStore::new());
         for idx in order {
-            let &(inst, cmd) = idx.get(&log);
-            adversary.on_decided(inst, cmd);
+            let (inst, cmd) = idx.get(&log);
+            adversary.on_decided(*inst, cmd.clone());
         }
-        for &(inst, cmd) in &log {
-            adversary.on_decided(inst, cmd);
+        for (inst, cmd) in &log {
+            adversary.on_decided(*inst, cmd.clone());
         }
         prop_assert_eq!(
             reference.state().digest(),
@@ -125,15 +125,15 @@ proptest! {
     #[test]
     fn applier_never_reapplies_client_requests(log in decided_log(16)) {
         let mut a: Applier<KvStore> = Applier::new(KvStore::new());
-        for &(inst, cmd) in &log {
-            a.on_decided(inst, cmd);
+        for (inst, cmd) in &log {
+            a.on_decided(*inst, cmd.clone());
         }
         // Writes applied == distinct (client, req_id) pairs whose first
         // occurrence is not masked by a later req_id from the same client
         // appearing earlier in the log.
         let mut sessions: std::collections::BTreeMap<NodeId, u64> = Default::default();
         let mut expected_writes = 0u64;
-        for &(_, cmd) in &log {
+        for (_, cmd) in &log {
             let last = sessions.get(&cmd.client).copied().unwrap_or(0);
             if cmd.req_id > last {
                 sessions.insert(cmd.client, cmd.req_id);

@@ -16,7 +16,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use onepaxos::engine::{EngineEffect, EngineEvent, ReplicaEngine, ReplyMode};
+use onepaxos::engine::{BatchConfig, EngineEffect, EngineEvent, ReplicaEngine, ReplyMode};
 use onepaxos::kv::KvStore;
 use onepaxos::{Nanos, NodeId, Op, Protocol};
 use qc_channel::{spsc, Mailbox, Receiver, Sender};
@@ -104,6 +104,7 @@ pub struct ClusterBuilder<P, F> {
     clients: usize,
     factory: F,
     pin_cores: bool,
+    batching: Option<BatchConfig>,
     _marker: std::marker::PhantomData<fn() -> P>,
 }
 
@@ -130,6 +131,7 @@ where
             clients: 1,
             factory,
             pin_cores: false,
+            batching: None,
             _marker: std::marker::PhantomData,
         }
     }
@@ -145,6 +147,15 @@ where
     /// when the machine has enough cores. Best-effort. Default off.
     pub fn pin_cores(mut self, pin: bool) -> Self {
         self.pin_cores = pin;
+        self
+    }
+
+    /// Enables engine-level command batching on every replica: requests
+    /// coalesce into one agreement per batch (amortising the per-message
+    /// cost, §3), with per-client replies fanned back out on commit.
+    /// `cfg.max_delay` runs on the replica loop's wall clock. Default off.
+    pub fn batching(mut self, cfg: BatchConfig) -> Self {
+        self.batching = Some(cfg);
         self
     }
 
@@ -198,13 +209,14 @@ where
             let io = NodeIo::new(std::mem::take(&mut senders[i]));
             let m = Arc::clone(&metrics[i]);
             let core = core_ids.get(i % core_ids.len().max(1)).copied();
+            let batching = self.batching;
             let handle = std::thread::Builder::new()
                 .name(format!("replica-{}", me))
                 .spawn(move || {
                     if let Some(core) = core {
                         let _ = affinity::set_for_current(core);
                     }
-                    replica_loop(node, rxs, io, m);
+                    replica_loop(node, rxs, io, m, batching);
                 })
                 .expect("spawn replica thread");
             threads.push(handle);
@@ -341,6 +353,7 @@ fn replica_loop<P: Protocol>(
     rxs: PeerReceivers<P::Msg>,
     mut io: NodeIo<P::Msg>,
     metrics: Arc<NodeMetrics>,
+    batching: Option<BatchConfig>,
 ) {
     let start = Instant::now();
     let now_ns = || start.elapsed().as_nanos() as Nanos;
@@ -354,6 +367,7 @@ fn replica_loop<P: Protocol>(
     // not grow per-command records (metrics carry the counters instead).
     let mut engine = ReplicaEngine::with_reply_mode(node, KvStore::new(), ReplyMode::AfterApply)
         .with_history(false);
+    engine.set_batching(batching);
     let mut effects: Effects<P> = Vec::new();
     // Relaxed reads caught inside a 2PC lock window, waiting it out
     // ("a read arriving inside the gap waits for the lock window to
@@ -512,7 +526,7 @@ impl<M: Clone + std::fmt::Debug + Send + 'static> ClientHandle<M> {
                 Wire::Request {
                     client: self.me,
                     req_id,
-                    op,
+                    op: op.clone(),
                 },
             );
             let deadline = Instant::now() + self.timeout;

@@ -30,6 +30,12 @@ pub struct Profile {
     pub rx: Nanos,
     /// CPU time of protocol processing per handled event.
     pub handle: Nanos,
+    /// CPU time to apply one decided command to the state machine beyond
+    /// the first of an agreement. A plain command's apply cost is folded
+    /// into [`handle`](Self::handle); a batched agreement (one message,
+    /// many commands) additionally pays `apply` per extra command — the
+    /// per-command floor that batching cannot amortise away.
+    pub apply: Nanos,
     /// Propagation delay between cores on the same socket.
     pub prop_local: Nanos,
     /// Propagation delay between cores on different sockets.
@@ -54,6 +60,7 @@ impl Profile {
             marshal: 500,
             rx: 500,
             handle: 1_400,
+            apply: 150,
             prop_local: 400,
             prop_remote: 650,
             timer_cost: 100,
@@ -83,6 +90,7 @@ impl Profile {
             marshal: 500,
             rx: 2_000,
             handle: 1_400,
+            apply: 150,
             prop_local: 135_000,
             prop_remote: 135_000,
             timer_cost: 100,

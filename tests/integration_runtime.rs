@@ -6,7 +6,7 @@ use std::time::Duration;
 use consensus_inside::onepaxos::multipaxos::{self, MultiPaxosNode};
 use consensus_inside::onepaxos::onepaxos::{OnePaxosNode, Timing};
 use consensus_inside::onepaxos::twopc::TwoPcNode;
-use consensus_inside::onepaxos::{ClusterConfig, NodeId, Op};
+use consensus_inside::onepaxos::{BatchConfig, ClusterConfig, NodeId, Op};
 use consensus_inside::onepaxos_runtime::ClusterBuilder;
 
 fn cfg(m: &[NodeId], me: NodeId) -> ClusterConfig {
@@ -109,6 +109,38 @@ fn concurrent_clients_make_consistent_progress() {
         committed.iter().all(|&c| c >= 90),
         "every replica must commit all 90+ commands: {committed:?}"
     );
+    cluster.shutdown(&mut clients[0]);
+}
+
+#[test]
+fn batched_cluster_serves_concurrent_clients_consistently() {
+    // Engine-level batching on real threads: several synchronous clients
+    // hit the same replicas, commands coalesce per agreement (or flush on
+    // the 200 µs deadline), and every write stays readable. Exercises
+    // size flushes, deadline flushes and the commit-time reply fan-out
+    // under AfterApply reply mode.
+    let t = one_timing();
+    let (cluster, clients) = ClusterBuilder::new(3, move |m: &[NodeId], me| {
+        OnePaxosNode::with_timing(cfg(m, me), t)
+    })
+    .clients(3)
+    .batching(BatchConfig::new(4, 200_000))
+    .spawn();
+    let workers: Vec<_> = clients
+        .into_iter()
+        .enumerate()
+        .map(|(w, mut c)| {
+            std::thread::spawn(move || {
+                c.set_timeout(Duration::from_secs(2));
+                for i in 0..20u64 {
+                    c.put(w as u64 * 100 + i, i).expect("commit");
+                }
+                assert_eq!(c.get(w as u64 * 100 + 19).expect("commit"), Some(19));
+                c
+            })
+        })
+        .collect();
+    let mut clients: Vec<_> = workers.into_iter().map(|w| w.join().unwrap()).collect();
     cluster.shutdown(&mut clients[0]);
 }
 
