@@ -11,58 +11,21 @@
 //!
 //! Usage: `exp_batching [--smoke] [--out PATH]`
 
-use std::fmt::Write as _;
-
-use consensus_bench::experiments::{exp_batching, BatchPoint, Proto};
+use consensus_bench::experiments::{exp_batching, Proto};
+use consensus_bench::report::{render_json, BenchCli};
 use consensus_bench::table::{ops, us, Table};
 
 /// Flush deadline for every batched point: well under the 1 ms client
 /// patience, a small bound on added latency.
 const MAX_DELAY: u64 = 20_000;
 
-fn render_json(
-    points: &[BatchPoint],
-    proto: Proto,
-    clients: usize,
-    duration: u64,
-    smoke: bool,
-) -> String {
-    // Hand-rolled JSON: the workspace builds offline, without serde.
-    let mut s = String::new();
-    s.push_str("{\n");
-    let _ = writeln!(s, "  \"experiment\": \"batching\",");
-    let _ = writeln!(s, "  \"protocol\": \"{}\",", proto.name());
-    let _ = writeln!(s, "  \"profile\": \"opteron-48\",");
-    let _ = writeln!(s, "  \"clients\": {clients},");
-    let _ = writeln!(s, "  \"duration_ns\": {duration},");
-    let _ = writeln!(s, "  \"max_delay_ns\": {MAX_DELAY},");
-    let _ = writeln!(s, "  \"smoke\": {smoke},");
-    s.push_str("  \"points\": [\n");
-    for (i, p) in points.iter().enumerate() {
-        let comma = if i + 1 < points.len() { "," } else { "" };
-        let _ = writeln!(
-            s,
-            "    {{\"max_commands\": {}, \"batched\": {}, \"throughput_ops\": {:.1}, \
-             \"mean_latency_us\": {:.2}, \"server_messages\": {}, \"completed\": {}}}{comma}",
-            p.max_commands, p.batched, p.throughput, p.latency_us, p.server_messages, p.completed
-        );
-    }
-    s.push_str("  ]\n}\n");
-    s
-}
-
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .map_or("BENCH_batching.json", String::as_str);
+    let cli = BenchCli::parse();
+    let out_path = cli.out_path("BENCH_batching.json");
 
     // Smoke mode keeps CI fast: the two points the acceptance gate
     // compares, on a shorter (still saturated) run.
-    let (sizes, clients, duration): (&[usize], usize, u64) = if smoke {
+    let (sizes, clients, duration): (&[usize], usize, u64) = if cli.smoke {
         (&[1, 8], 16, 120_000_000)
     } else {
         (&[1, 2, 4, 8, 16, 32], 24, 300_000_000)
@@ -74,7 +37,7 @@ fn main() {
         proto.name(),
         duration / 1_000_000,
         MAX_DELAY / 1_000,
-        if smoke { " (smoke)" } else { "" }
+        if cli.smoke { " (smoke)" } else { "" }
     );
     let points = exp_batching(proto, sizes, clients, duration, MAX_DELAY);
 
@@ -103,7 +66,33 @@ fn main() {
     }
     print!("{}", t.render());
 
-    let json = render_json(&points, proto, clients, duration, smoke);
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"max_commands\": {}, \"batched\": {}, \"throughput_ops\": {:.1}, \
+                 \"mean_latency_us\": {:.2}, \"server_messages\": {}, \"completed\": {}}}",
+                p.max_commands,
+                p.batched,
+                p.throughput,
+                p.latency_us,
+                p.server_messages,
+                p.completed
+            )
+        })
+        .collect();
+    let json = render_json(
+        "batching",
+        proto.name(),
+        &[
+            ("profile", "\"opteron-48\"".into()),
+            ("clients", clients.to_string()),
+            ("duration_ns", duration.to_string()),
+            ("max_delay_ns", MAX_DELAY.to_string()),
+        ],
+        cli.smoke,
+        &rows,
+    );
     std::fs::write(out_path, &json).expect("write BENCH_batching.json");
     println!("\nwrote {out_path}");
 

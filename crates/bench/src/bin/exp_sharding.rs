@@ -1,0 +1,123 @@
+//! Shard-count sweep: throughput/latency vs number of key-hash-routed
+//! consensus groups, on the saturated 48-core sim harness with batching
+//! enabled on every point.
+//!
+//! The engine is the unit of sharding: S independent `ReplicaEngine`
+//! groups with key-hash routing put S leader cores to work, so agreement
+//! throughput scales with cores while protocol code stays untouched —
+//! the ROADMAP's structural multiplier after batching. This experiment
+//! measures the payoff end-to-end and records it in
+//! `BENCH_sharding.json`, so the perf trajectory has data and CI can
+//! fail on a sharding regression (`bench-smoke` runs the `--smoke`
+//! variant and asserts S=4 beats S=1; the full sweep additionally gates
+//! S=4 ≥ 2× S=1).
+//!
+//! Usage: `exp_sharding [--smoke] [--out PATH]`
+
+use consensus_bench::experiments::{exp_sharding, Proto};
+use consensus_bench::report::{render_json, BenchCli};
+use consensus_bench::table::{ops, us, Table};
+use onepaxos::BatchConfig;
+
+/// Batching for every point (the acceptance criterion compares *batched*
+/// runs): the depth the batching sweep found best at saturation.
+const BATCH: (usize, u64) = (8, 20_000);
+
+fn main() {
+    let cli = BenchCli::parse();
+    let out_path = cli.out_path("BENCH_sharding.json");
+
+    // Smoke mode keeps CI fast: the two points the acceptance gate
+    // compares, on a shorter (still saturated) run. The full sweep uses
+    // 24 clients, which saturate even four shard groups while S=8 still
+    // fits the profile: 24 replica-shard processes + 24 clients = 48
+    // cores.
+    let (shard_counts, clients, duration): (&[u16], usize, u64) = if cli.smoke {
+        (&[1, 4], 16, 120_000_000)
+    } else {
+        (&[1, 2, 4, 8], 24, 300_000_000)
+    };
+    let proto = Proto::OnePaxos;
+
+    println!(
+        "Shard-count sweep — {} replicas=3 clients={clients} duration={}ms \
+         batch={}cmds/{}µs{}\n",
+        proto.name(),
+        duration / 1_000_000,
+        BATCH.0,
+        BATCH.1 / 1_000,
+        if cli.smoke { " (smoke)" } else { "" }
+    );
+    let points = exp_sharding(
+        proto,
+        shard_counts,
+        clients,
+        duration,
+        BatchConfig::new(BATCH.0, BATCH.1),
+    );
+
+    let mut t = Table::new(&["shards", "op/s", "mean µs", "server msgs", "vs S=1"]);
+    let base = points[0].throughput;
+    for p in &points {
+        t.row(&[
+            p.shards.to_string(),
+            ops(p.throughput),
+            us(p.latency_us),
+            p.server_messages.to_string(),
+            format!("{:.2}x", p.throughput / base),
+        ]);
+    }
+    print!("{}", t.render());
+
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"shards\": {}, \"throughput_ops\": {:.1}, \"mean_latency_us\": {:.2}, \
+                 \"server_messages\": {}, \"completed\": {}}}",
+                p.shards, p.throughput, p.latency_us, p.server_messages, p.completed
+            )
+        })
+        .collect();
+    let json = render_json(
+        "sharding",
+        proto.name(),
+        &[
+            ("profile", "\"opteron-48\"".into()),
+            ("clients", clients.to_string()),
+            ("duration_ns", duration.to_string()),
+            ("batch_max_commands", BATCH.0.to_string()),
+            ("batch_max_delay_ns", BATCH.1.to_string()),
+        ],
+        cli.smoke,
+        &rows,
+    );
+    std::fs::write(out_path, &json).expect("write BENCH_sharding.json");
+    println!("\nwrote {out_path}");
+
+    // The acceptance gates. Both modes: S=4 must strictly beat S=1 (the
+    // CI direction check). Full mode: S=4 must reach 2x — the point of a
+    // structural multiplier is multiplying.
+    let s1 = points
+        .iter()
+        .find(|p| p.shards == 1)
+        .expect("sweep includes the unsharded baseline");
+    let s4 = points
+        .iter()
+        .find(|p| p.shards == 4)
+        .expect("sweep includes 4 shards");
+    println!(
+        "S=4: {} op/s vs S=1: {} op/s ({:.2}x)",
+        ops(s4.throughput),
+        ops(s1.throughput),
+        s4.throughput / s1.throughput
+    );
+    if s4.throughput <= s1.throughput {
+        eprintln!("FAIL: 4 shards must strictly beat 1 shard");
+        std::process::exit(1);
+    }
+    if !cli.smoke && s4.throughput < 2.0 * s1.throughput {
+        eprintln!("FAIL: the full sweep requires S=4 >= 2x S=1 saturated throughput");
+        std::process::exit(1);
+    }
+}

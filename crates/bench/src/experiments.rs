@@ -68,6 +68,9 @@ pub struct RunCfg {
     /// Engine-level command batching, if any (amortises per-message CPU
     /// cost, §3; see `onepaxos::engine`'s module docs).
     pub batch: Option<BatchConfig>,
+    /// Number of key-hash-routed consensus groups (1 = unsharded; see
+    /// `onepaxos::shard`'s module docs). Non-joint deployments only.
+    pub shards: u16,
 }
 
 impl RunCfg {
@@ -89,6 +92,7 @@ impl RunCfg {
             faults: Vec::new(),
             seed: 0xC0FFEE,
             batch: None,
+            shards: 1,
         }
     }
 
@@ -125,6 +129,9 @@ where
     }
     if let Some(batch) = cfg.batch {
         b = b.batching(batch);
+    }
+    if cfg.shards > 1 {
+        b = b.shards(cfg.shards);
     }
     for f in &cfg.faults {
         b = b.fault(*f);
@@ -424,6 +431,62 @@ pub fn exp_batching(
         .collect()
 }
 
+/// One point of the shard-count sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardPoint {
+    /// Number of key-hash-routed consensus groups (1 = unsharded).
+    pub shards: u16,
+    /// Throughput, ops/sec.
+    pub throughput: f64,
+    /// Mean commit latency, µs.
+    pub latency_us: f64,
+    /// Inter-replica messages over the whole run.
+    pub server_messages: u64,
+    /// Completions inside the measurement window.
+    pub completed: u64,
+}
+
+/// Shard-count sweep on the saturated sim harness, batching enabled on
+/// every point (the acceptance configuration: sharding must multiply
+/// *batched* throughput, not merely recover what batching already
+/// bought). The workload is keyed (`Put`s over a wide key space) so
+/// routing exercises the real key-hash path; every `(replica, shard)`
+/// process runs on its own core, so S groups put S leader cores to work
+/// — the paper's "consensus scales with cores" claim in its sharpest
+/// form.
+pub fn exp_sharding(
+    proto: Proto,
+    shard_counts: &[u16],
+    clients: usize,
+    duration: Nanos,
+    batch: BatchConfig,
+) -> Vec<ShardPoint> {
+    shard_counts
+        .iter()
+        .map(|&s| {
+            let r = run(
+                proto,
+                &RunCfg {
+                    shards: s,
+                    batch: Some(batch),
+                    workload: Workload::ReadMix {
+                        read_pct: 0,
+                        keys: 4096,
+                    },
+                    ..RunCfg::throughput48(clients, duration)
+                },
+            );
+            ShardPoint {
+                shards: s,
+                throughput: r.throughput,
+                latency_us: r.mean_latency_us(),
+                server_messages: r.server_messages,
+                completed: r.completed,
+            }
+        })
+        .collect()
+}
+
 /// §5.2/§5.4: acceptor switch and double-failure liveness timeline for
 /// 1Paxos. Returns (timeline, label) pairs.
 pub fn exp_accswitch(duration: Nanos) -> Vec<(&'static str, Vec<(Nanos, f64)>)> {
@@ -504,6 +567,24 @@ mod tests {
             pts[0].throughput
         );
         assert!(pts[1].server_messages < pts[0].server_messages);
+    }
+
+    #[test]
+    fn exp_sharding_four_groups_beat_one() {
+        let pts = exp_sharding(
+            Proto::OnePaxos,
+            &[1, 4],
+            16,
+            120_000_000,
+            BatchConfig::new(8, 20_000),
+        );
+        assert_eq!(pts.len(), 2);
+        assert!(
+            pts[1].throughput > pts[0].throughput,
+            "4 shards {:.0} op/s must beat 1 shard {:.0} op/s",
+            pts[1].throughput,
+            pts[0].throughput
+        );
     }
 
     #[test]

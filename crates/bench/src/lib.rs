@@ -14,6 +14,7 @@
 
 pub mod experiments;
 pub mod netmeas;
+pub mod report;
 pub mod table;
 
 pub use experiments::{Proto, RunCfg};

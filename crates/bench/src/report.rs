@@ -1,0 +1,100 @@
+//! Shared scaffolding for the `BENCH_*.json` experiment binaries: the
+//! `--smoke`/`--out` CLI contract and the hand-rolled JSON envelope (the
+//! workspace builds offline, without serde). One implementation, so the
+//! recorded data files cannot silently diverge in shape between
+//! experiments.
+
+use std::fmt::Write as _;
+
+/// The CLI every `BENCH_*.json`-writing binary speaks:
+/// `<bin> [--smoke] [--out PATH]`.
+#[derive(Clone, Debug)]
+pub struct BenchCli {
+    /// Run the reduced CI-speed variant of the sweep.
+    pub smoke: bool,
+    out: Option<String>,
+}
+
+impl BenchCli {
+    /// Parses the process arguments.
+    pub fn parse() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        BenchCli {
+            smoke: args.iter().any(|a| a == "--smoke"),
+            out: args
+                .iter()
+                .position(|a| a == "--out")
+                .and_then(|i| args.get(i + 1))
+                .cloned(),
+        }
+    }
+
+    /// The output path: `--out` if given, else `default`.
+    pub fn out_path<'a>(&'a self, default: &'a str) -> &'a str {
+        self.out.as_deref().unwrap_or(default)
+    }
+}
+
+/// Renders the common experiment envelope:
+///
+/// ```json
+/// { "experiment": ..., "protocol": ..., <meta...>, "smoke": ..., "points": [...] }
+/// ```
+///
+/// `meta` values are raw JSON fragments (numbers unquoted, strings
+/// pre-quoted by the caller); `rows` are pre-rendered point objects, one
+/// per line.
+pub fn render_json(
+    experiment: &str,
+    protocol: &str,
+    meta: &[(&str, String)],
+    smoke: bool,
+    rows: &[String],
+) -> String {
+    let mut s = String::from("{\n");
+    let _ = writeln!(s, "  \"experiment\": \"{experiment}\",");
+    let _ = writeln!(s, "  \"protocol\": \"{protocol}\",");
+    for (key, value) in meta {
+        let _ = writeln!(s, "  \"{key}\": {value},");
+    }
+    let _ = writeln!(s, "  \"smoke\": {smoke},");
+    s.push_str("  \"points\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(s, "    {row}{comma}");
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_shape_is_stable() {
+        let json = render_json(
+            "demo",
+            "1Paxos",
+            &[
+                ("profile", "\"opteron-48\"".into()),
+                ("clients", "4".into()),
+            ],
+            true,
+            &["{\"x\": 1}".into(), "{\"x\": 2}".into()],
+        );
+        assert_eq!(
+            json,
+            "{\n  \"experiment\": \"demo\",\n  \"protocol\": \"1Paxos\",\n  \
+             \"profile\": \"opteron-48\",\n  \"clients\": 4,\n  \"smoke\": true,\n  \
+             \"points\": [\n    {\"x\": 1},\n    {\"x\": 2}\n  ]\n}\n"
+        );
+    }
+
+    #[test]
+    fn last_row_has_no_trailing_comma() {
+        let json = render_json("d", "p", &[], false, &["{}".into()]);
+        assert!(json.contains("    {}\n  ]"));
+        assert!(!json.contains("{},"));
+    }
+}

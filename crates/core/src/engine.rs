@@ -293,6 +293,10 @@ pub struct ReplicaEngine<P: Protocol, S: StateMachine> {
     /// Batches advocated but not yet committed-and-fanned-out, so a
     /// re-decided batch cannot fan its replies out twice.
     inflight_batches: BTreeSet<u64>,
+    /// The consensus group this engine belongs to in a sharded
+    /// deployment, if any; diagnostics only (safety-violation panics name
+    /// the shard so multi-group harness failures localize).
+    shard: Option<crate::shard::ShardId>,
     /// Reusable action buffer handed to protocol handlers.
     outbox: Outbox<P::Msg>,
 }
@@ -320,8 +324,22 @@ impl<P: Protocol, S: StateMachine> ReplicaEngine<P, S> {
             batch_buf: Vec::new(),
             batch_seq: 0,
             inflight_batches: BTreeSet::new(),
+            shard: None,
             outbox: Outbox::new(),
         }
+    }
+
+    /// Labels this engine with the shard (consensus group) it serves in a
+    /// sharded deployment (see [`crate::shard::ShardedEngine`]). Purely
+    /// diagnostic: consistency panics name the shard.
+    pub fn with_shard(mut self, shard: crate::shard::ShardId) -> Self {
+        self.shard = Some(shard);
+        self
+    }
+
+    /// The shard label, if this engine is part of a sharded deployment.
+    pub fn shard(&self) -> Option<crate::shard::ShardId> {
+        self.shard
     }
 
     /// Enables command batching with `cfg` (see the
@@ -569,9 +587,12 @@ impl<P: Protocol, S: StateMachine> ReplicaEngine<P, S> {
                         let me = self.node.node_id();
                         let prior = self.commits.insert(instance, cmd.clone());
                         if let Some(prior) = prior {
+                            let group = self
+                                .shard
+                                .map_or(String::new(), |s| format!(" (shard {s})"));
                             assert_eq!(
                                 prior, cmd,
-                                "{me} re-learned instance {instance} with a different command"
+                                "{me}{group} re-learned instance {instance} with a different command"
                             );
                         }
                     }

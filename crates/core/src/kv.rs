@@ -63,6 +63,13 @@ impl KvStore {
         self.reads
     }
 
+    /// Iterates the `(key, value)` entries in key order. Sharded
+    /// deployments partition the key space, so merging per-shard replicas
+    /// (for oracles and property tests) is a disjoint union of these.
+    pub fn entries(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.map.iter().map(|(&k, &v)| (k, v))
+    }
+
     /// A digest of the full contents, for cheap cross-replica equality
     /// checks in tests (FNV-1a over the sorted entries).
     pub fn digest(&self) -> u64 {

@@ -27,6 +27,10 @@
 //!   per deployed node owns timers, commits, replies and the applied
 //!   state machine, so every harness is only a transport of
 //!   [`EngineEffect`]s.
+//! * [`shard`] — key-hash-routed multi-group consensus: a
+//!   [`ShardedEngine`] runs S independent engines per node and routes
+//!   every command to its owning group, multiplying throughput with
+//!   cores while protocol code stays untouched.
 //! * [`rsm`]/[`kv`] — a replicated-state-machine layer and a key/value
 //!   state machine.
 //! * [`testnet`] — a deterministic harness for driving the protocols in
@@ -74,6 +78,7 @@ pub mod onepaxos;
 mod outbox;
 mod protocol;
 pub mod rsm;
+pub mod shard;
 pub mod testnet;
 pub mod twopc;
 mod types;
@@ -82,6 +87,7 @@ pub use config::ClusterConfig;
 pub use engine::{BatchConfig, EngineEffect, EngineEvent, ReplicaEngine, ReplyMode};
 pub use outbox::{Action, Outbox, Timer};
 pub use protocol::Protocol;
+pub use shard::{ShardId, ShardRouter, ShardedEngine};
 pub use types::{
     Ballot, BatchPayload, Command, Instance, Nanos, NodeId, Op, NANOS_PER_MICRO, NANOS_PER_MILLI,
     NANOS_PER_SEC,

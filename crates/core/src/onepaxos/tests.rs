@@ -246,7 +246,7 @@ fn rebooted_acceptor_is_switched_by_its_leader() {
     net.run_to_quiescence();
     // The active acceptor silently loses its state.
     let cfg = ClusterConfig::new(vec![NodeId(0), NodeId(1), NodeId(2)], NodeId(1));
-    net.reset_node(NodeId(1), OnePaxosNode::new(cfg));
+    net.reset_node(NodeId(1), || OnePaxosNode::new(cfg.clone()));
     assert!(net.node(NodeId(1)).is_fresh_acceptor());
     // The leader's next accept is abandoned with hpn = -∞ < pn: reboot
     // detected, acceptor switched.
@@ -267,7 +267,7 @@ fn takeover_leader_cannot_adopt_fresh_acceptor() {
     // Reboot the acceptor AND block the leader: the takeover node n2
     // cannot distinguish reboot from never-adopted, so it must block.
     let cfg = ClusterConfig::new(vec![NodeId(0), NodeId(1), NodeId(2)], NodeId(1));
-    net.reset_node(NodeId(1), OnePaxosNode::new(cfg));
+    net.reset_node(NodeId(1), || OnePaxosNode::new(cfg.clone()));
     net.block(NodeId(0));
     net.client_request(NodeId(2), NodeId(9), 2, Op::Noop);
     net.advance_and_settle(timing().suspect_after + TICK, 10);

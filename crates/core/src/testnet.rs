@@ -7,23 +7,30 @@
 //! to model the paper's slow cores. Safety properties must hold under every
 //! schedule this harness can produce; the property tests exploit that.
 //!
-//! Each node is a [`ReplicaEngine`], so `TestNet` itself is only a
+//! Each node is a [`ShardedEngine`] (one shard unless built
+//! [`sharded`](TestNet::sharded)), so `TestNet` itself is only a
 //! scheduler over per-link FIFOs of protocol messages: it decides *when*
-//! an [`EngineEffect`] crosses a link, while the engine owns all timer,
-//! commit, apply and reply semantics — the same engine the simulator and
-//! the threaded runtime deploy.
+//! an [`EngineEffect`] crosses a link, while the engines own all timer,
+//! commit, apply and reply semantics — the same engines the simulator and
+//! the threaded runtime deploy. Sharded nets multiplex every shard
+//! group's messages over the same per-pair links, each message tagged
+//! with its [`ShardId`].
 
 use std::collections::{BTreeMap, VecDeque};
 
 use crate::engine::{BatchConfig, EngineEffect, EngineEvent, ReplicaEngine};
 use crate::kv::KvStore;
 use crate::protocol::Protocol;
+use crate::shard::{ShardId, ShardedEffects, ShardedEngine};
 use crate::types::{Command, Instance, Nanos, NodeId, Op};
 
 pub use crate::engine::ReplyRecord;
 
-/// The effect stream produced by a `TestNet` node's engine.
-type Effects<P> = Vec<EngineEffect<<P as Protocol>::Msg, Option<u64>>>;
+/// The tagged effect stream produced by a `TestNet` node's engines.
+type Effects<P> = ShardedEffects<<P as Protocol>::Msg, Option<u64>>;
+
+/// One directed link's FIFO: shard-tagged protocol messages.
+type LinkQueue<P> = VecDeque<(ShardId, <P as Protocol>::Msg)>;
 
 /// Deterministic in-process network of protocol nodes.
 ///
@@ -44,16 +51,21 @@ type Effects<P> = Vec<EngineEffect<<P as Protocol>::Msg, Option<u64>>>;
 /// assert_eq!(net.replies().len(), 1);
 /// ```
 pub struct TestNet<P: Protocol> {
-    engines: Vec<ReplicaEngine<P, KvStore>>,
-    /// Per-link FIFO queues, mirroring the paper's per-pair message queues.
-    links: BTreeMap<(NodeId, NodeId), VecDeque<P::Msg>>,
+    engines: Vec<ShardedEngine<P, KvStore>>,
+    /// Number of consensus groups per node (1 unless built sharded).
+    shards: u16,
+    /// Per-link FIFO queues, mirroring the paper's per-pair message
+    /// queues. One FIFO per directed pair carries **all** shard groups'
+    /// messages, each tagged with its group — the multiplexing a real
+    /// per-core link would do.
+    links: BTreeMap<(NodeId, NodeId), LinkQueue<P>>,
     now: Nanos,
-    /// Harness-level commit oracle (node → instance → command). Held
-    /// outside the engines so it survives [`Self::reset_node`]: a
+    /// Harness-level commit oracle (node, shard → instance → command).
+    /// Held outside the engines so it survives [`Self::reset_node`]: a
     /// silently rebooted node loses its state, but the *oracle* must
     /// still catch the rebooted node re-deciding an old instance
     /// differently (§5, Appendix A).
-    commits: BTreeMap<NodeId, BTreeMap<Instance, Command>>,
+    commits: BTreeMap<(NodeId, ShardId), BTreeMap<Instance, Command>>,
     replies: Vec<ReplyRecord>,
     delivered: u64,
     /// Engine-level command batching, if enabled; remembered here so a
@@ -87,7 +99,7 @@ impl<P: Protocol> TestNet<P> {
     /// Builds `n` nodes with ids `0..n` using `make(members, me)` and runs
     /// each node's `on_start`.
     pub fn new(n: u16, make: impl FnMut(&[NodeId], NodeId) -> P) -> Self {
-        Self::build(n, None, make)
+        Self::build(n, 1, None, make)
     }
 
     /// Like [`Self::new`], with engine-level command batching enabled on
@@ -99,11 +111,32 @@ impl<P: Protocol> TestNet<P> {
         cfg: BatchConfig,
         make: impl FnMut(&[NodeId], NodeId) -> P,
     ) -> Self {
-        Self::build(n, Some(cfg), make)
+        Self::build(n, 1, Some(cfg), make)
+    }
+
+    /// Builds `n` nodes each hosting `shards` independent consensus
+    /// groups with key-hash routing (`make` is invoked once per
+    /// `(shard, node)`). Client requests submitted via
+    /// [`Self::client_request`] route to their owning group; per-pair
+    /// links multiplex all groups.
+    pub fn sharded(n: u16, shards: u16, make: impl FnMut(&[NodeId], NodeId) -> P) -> Self {
+        Self::build(n, shards, None, make)
+    }
+
+    /// [`Self::sharded`] with engine-level batching on every shard of
+    /// every node (each shard keeps its own accumulator).
+    pub fn sharded_with_batching(
+        n: u16,
+        shards: u16,
+        cfg: BatchConfig,
+        make: impl FnMut(&[NodeId], NodeId) -> P,
+    ) -> Self {
+        Self::build(n, shards, Some(cfg), make)
     }
 
     fn build(
         n: u16,
+        shards: u16,
         batching: Option<BatchConfig>,
         mut make: impl FnMut(&[NodeId], NodeId) -> P,
     ) -> Self {
@@ -115,12 +148,16 @@ impl<P: Protocol> TestNet<P> {
             engines: members
                 .iter()
                 .map(|&me| {
-                    let mut e =
-                        ReplicaEngine::new(make(&members, me), KvStore::new()).with_history(false);
+                    let mut e = ShardedEngine::new(shards, |shard| {
+                        ReplicaEngine::new(make(&members, me), KvStore::new())
+                            .with_history(false)
+                            .with_shard(shard)
+                    });
                     e.set_batching(batching);
                     e
                 })
                 .collect(),
+            shards,
             links: BTreeMap::new(),
             now: 0,
             commits: BTreeMap::new(),
@@ -133,7 +170,7 @@ impl<P: Protocol> TestNet<P> {
         for i in 0..net.engines.len() {
             let now = net.now;
             let mut effects = std::mem::take(&mut net.scratch);
-            net.engines[i].handle(EngineEvent::Start, now, &mut effects);
+            net.engines[i].start(now, &mut effects);
             net.absorb(NodeId(i as u16), &mut effects);
             net.scratch = effects;
         }
@@ -150,36 +187,69 @@ impl<P: Protocol> TestNet<P> {
         self.delivered
     }
 
-    /// Immutable access to a node.
+    /// Number of consensus groups per node (1 unless built
+    /// [`sharded`](Self::sharded)).
+    pub fn shards(&self) -> u16 {
+        self.shards
+    }
+
+    /// Immutable access to a node's shard-0 protocol instance (the only
+    /// one on unsharded nets). Sharded nets use [`Self::shard_node`].
     pub fn node(&self, id: NodeId) -> &P {
-        self.engines[id.index()].node()
+        self.shard_node(id, ShardId(0))
     }
 
-    /// Mutable access to a node (for white-box assertions only).
+    /// Mutable access to a node's shard-0 protocol instance (for
+    /// white-box assertions only).
     pub fn node_mut(&mut self, id: NodeId) -> &mut P {
-        self.engines[id.index()].node_mut()
+        self.engines[id.index()].shard_mut(ShardId(0)).node_mut()
     }
 
-    /// The engine wrapping node `id` (timer table, applier). Engine-level
-    /// commit/reply history is disabled here — the harness records both
-    /// itself so they survive [`Self::reset_node`]; use
+    /// Immutable access to the protocol instance of one shard group at a
+    /// node.
+    pub fn shard_node(&self, id: NodeId, shard: ShardId) -> &P {
+        self.engines[id.index()].shard(shard).node()
+    }
+
+    /// The engine wrapping node `id`'s shard 0 (timer table, applier).
+    /// Engine-level commit/reply history is disabled here — the harness
+    /// records both itself so they survive [`Self::reset_node`]; use
     /// [`Self::commits`]/[`Self::replies`] instead.
     pub fn engine(&self, id: NodeId) -> &ReplicaEngine<P, KvStore> {
+        self.engines[id.index()].shard(ShardId(0))
+    }
+
+    /// The sharded engine hosting all of node `id`'s groups.
+    pub fn sharded_engine(&self, id: NodeId) -> &ShardedEngine<P, KvStore> {
         &self.engines[id.index()]
     }
 
-    /// The key/value replica applied at node `id`.
+    /// The key/value replica applied at node `id`'s shard 0 (the only
+    /// shard on unsharded nets). Sharded nets read across groups with
+    /// [`Self::kv_get`].
     pub fn state(&self, id: NodeId) -> &KvStore {
-        self.engines[id.index()].state()
+        self.engines[id.index()].shard(ShardId(0)).state()
+    }
+
+    /// Reads `key` from its owning shard's replica at node `id`, ungated
+    /// (a test oracle; clients go through [`Self::local_read`]).
+    pub fn kv_get(&self, id: NodeId, key: u64) -> Option<u64> {
+        self.engines[id.index()].kv_get(key)
     }
 
     /// Replaces a node's state machine with a fresh one, losing all state:
     /// models the paper's silently rebooted acceptor (§5, Appendix A).
     /// In-flight messages to and from the node are preserved, as is the
-    /// node's blocked status (a rebooted slow core is still slow).
-    pub fn reset_node(&mut self, id: NodeId, fresh: P) {
+    /// node's blocked status (a rebooted slow core is still slow). On a
+    /// sharded net, *every* shard group's member at that node reboots
+    /// (the whole core went away), each into a fresh batch epoch.
+    pub fn reset_node(&mut self, id: NodeId, mut fresh: impl FnMut() -> P) {
         let was_blocked = self.engines[id.index()].is_blocked();
-        self.engines[id.index()] = ReplicaEngine::new(fresh, KvStore::new()).with_history(false);
+        self.engines[id.index()] = ShardedEngine::new(self.shards, |shard| {
+            ReplicaEngine::new(fresh(), KvStore::new())
+                .with_history(false)
+                .with_shard(shard)
+        });
         self.engines[id.index()].set_batching(self.batching);
         // A rebuilt engine must not reuse its predecessor's batch
         // identities (surviving peers deduplicate them forever).
@@ -190,7 +260,7 @@ impl<P: Protocol> TestNet<P> {
         self.engines[id.index()].set_blocked(was_blocked);
         let now = self.now;
         let mut effects = std::mem::take(&mut self.scratch);
-        self.engines[id.index()].handle(EngineEvent::Start, now, &mut effects);
+        self.engines[id.index()].start(now, &mut effects);
         self.absorb(id, &mut effects);
         self.scratch = effects;
     }
@@ -211,23 +281,30 @@ impl<P: Protocol> TestNet<P> {
         self.engines[id.index()].is_blocked()
     }
 
-    /// Submits a client request to `target`.
-    pub fn client_request(&mut self, target: NodeId, client: NodeId, req_id: u64, op: Op) {
+    /// Submits a client request to `target`, routing it to the owning
+    /// shard group; returns the shard it went to (always shard 0 on an
+    /// unsharded net).
+    pub fn client_request(
+        &mut self,
+        target: NodeId,
+        client: NodeId,
+        req_id: u64,
+        op: Op,
+    ) -> ShardId {
         let now = self.now;
         let mut effects = std::mem::take(&mut self.scratch);
-        self.engines[target.index()].handle(
-            EngineEvent::ClientRequest { client, req_id, op },
-            now,
-            &mut effects,
-        );
+        let shard = self.engines[target.index()].submit(client, req_id, op, now, &mut effects);
         self.absorb(target, &mut effects);
         self.scratch = effects;
+        shard
     }
 
     /// Serves a relaxed read of `key` at node `id` through the engine's
-    /// §7.5 local-read fast path: `Some(value)` if the protocol allows a
-    /// local read right now, `None` if the read must wait (2PC lock
-    /// window) or go through consensus.
+    /// §7.5 local-read fast path: `Some(value)` if the owning shard's
+    /// protocol allows a local read right now, `None` if the read must
+    /// wait (2PC lock window) or go through consensus. On a sharded net
+    /// the key routes to its owning group first — the per-engine gate is
+    /// what keeps cross-shard reads correct.
     pub fn local_read(&self, id: NodeId, key: u64) -> Option<Option<u64>> {
         self.engines[id.index()].local_read(key)
     }
@@ -242,8 +319,9 @@ impl<P: Protocol> TestNet<P> {
             .collect()
     }
 
-    /// Delivers the head-of-line message on `(from, to)`. Returns `false`
-    /// if there was none or the destination is blocked.
+    /// Delivers the head-of-line message on `(from, to)` to its shard
+    /// group. Returns `false` if there was none or the destination is
+    /// blocked.
     pub fn deliver_one(&mut self, from: NodeId, to: NodeId) -> bool {
         if self.is_blocked(to) {
             return false;
@@ -251,13 +329,18 @@ impl<P: Protocol> TestNet<P> {
         let Some(q) = self.links.get_mut(&(from, to)) else {
             return false;
         };
-        let Some(msg) = q.pop_front() else {
+        let Some((shard, msg)) = q.pop_front() else {
             return false;
         };
         self.delivered += 1;
         let now = self.now;
         let mut effects = std::mem::take(&mut self.scratch);
-        self.engines[to.index()].handle(EngineEvent::Message { from, msg }, now, &mut effects);
+        self.engines[to.index()].handle(
+            shard,
+            EngineEvent::Message { from, msg },
+            now,
+            &mut effects,
+        );
         self.absorb(to, &mut effects);
         self.scratch = effects;
         true
@@ -309,8 +392,8 @@ impl<P: Protocol> TestNet<P> {
     }
 
     /// Advances virtual time by `delta`, firing every due timer of every
-    /// unblocked node (in node order), then returns. Does not deliver
-    /// messages.
+    /// unblocked node (in node order, shards within a node in shard
+    /// order), then returns. Does not deliver messages.
     pub fn advance(&mut self, delta: Nanos) {
         self.now += delta;
         let now = self.now;
@@ -331,12 +414,19 @@ impl<P: Protocol> TestNet<P> {
         }
     }
 
-    /// Commits recorded at `node` (instance → command). Survives
-    /// [`Self::reset_node`]: the record belongs to the harness oracle,
-    /// not to the (rebootable) node.
+    /// Commits recorded at `node`'s shard 0 (instance → command) — the
+    /// whole record on unsharded nets. Survives [`Self::reset_node`]:
+    /// the record belongs to the harness oracle, not to the (rebootable)
+    /// node. Sharded nets inspect each group with
+    /// [`Self::shard_commits`].
     pub fn commits(&self, node: NodeId) -> &BTreeMap<Instance, Command> {
+        self.shard_commits(node, ShardId(0))
+    }
+
+    /// Commits recorded at one shard group's member on `node`.
+    pub fn shard_commits(&self, node: NodeId, shard: ShardId) -> &BTreeMap<Instance, Command> {
         static EMPTY: BTreeMap<Instance, Command> = BTreeMap::new();
-        self.commits.get(&node).unwrap_or(&EMPTY)
+        self.commits.get(&(node, shard)).unwrap_or(&EMPTY)
     }
 
     /// All recorded client replies, in emission order.
@@ -344,37 +434,44 @@ impl<P: Protocol> TestNet<P> {
         &self.replies
     }
 
-    /// Asserts the Appendix B *consistency* property across all nodes: no
-    /// two nodes have learned different commands for the same instance.
+    /// Asserts the Appendix B *consistency* property across all nodes,
+    /// per shard group: no two nodes have learned different commands for
+    /// the same instance of the same group. (Instances of *different*
+    /// groups are unrelated logs.)
     ///
     /// # Panics
     ///
-    /// Panics on violation, naming the instance.
+    /// Panics on violation, naming the shard and instance.
     pub fn assert_consistent(&self) {
-        let mut chosen: BTreeMap<Instance, (NodeId, &Command)> = BTreeMap::new();
-        for (&node, commits) in &self.commits {
+        let mut chosen: BTreeMap<(ShardId, Instance), (NodeId, &Command)> = BTreeMap::new();
+        for (&(node, shard), commits) in &self.commits {
             for (&inst, cmd) in commits {
-                match chosen.get(&inst) {
+                match chosen.get(&(shard, inst)) {
                     None => {
-                        chosen.insert(inst, (node, cmd));
+                        chosen.insert((shard, inst), (node, cmd));
                     }
                     Some(&(other, prior)) => assert_eq!(
                         prior, cmd,
-                        "instance {inst}: {other} learned {prior:?} but {node} learned {cmd:?}"
+                        "shard {shard} instance {inst}: {other} learned {prior:?} \
+                         but {node} learned {cmd:?}"
                     ),
                 }
             }
         }
     }
 
-    /// Routes one engine's effects: sends into per-link FIFOs, replies
-    /// and commits into the harness-level records (which outlive node
-    /// resets, unlike the engines they came from).
+    /// Routes one node's tagged effects: sends into per-link FIFOs
+    /// (multiplexing all shard groups, tagged), replies and commits into
+    /// the harness-level records (which outlive node resets, unlike the
+    /// engines they came from).
     fn absorb(&mut self, me: NodeId, effects: &mut Effects<P>) {
-        for effect in effects.drain(..) {
+        for (shard, effect) in effects.drain(..) {
             match effect {
                 EngineEffect::SendTo { to, msg } => {
-                    self.links.entry((me, to)).or_default().push_back(msg);
+                    self.links
+                        .entry((me, to))
+                        .or_default()
+                        .push_back((shard, msg));
                 }
                 EngineEffect::ReplyTo {
                     client,
@@ -390,13 +487,14 @@ impl<P: Protocol> TestNet<P> {
                 EngineEffect::Committed { instance, cmd } => {
                     let prior = self
                         .commits
-                        .entry(me)
+                        .entry((me, shard))
                         .or_default()
                         .insert(instance, cmd.clone());
                     if let Some(prior) = prior {
                         assert_eq!(
                             prior, cmd,
-                            "{me} re-learned instance {instance} with a different command"
+                            "{me} (shard {shard}) re-learned instance {instance} \
+                             with a different command"
                         );
                     }
                 }
@@ -541,5 +639,108 @@ mod tests {
         for n in 0..3u16 {
             assert_eq!(net.state(NodeId(n)).get(4), Some(44));
         }
+    }
+
+    #[test]
+    fn sharded_net_partitions_keys_across_independent_groups() {
+        use crate::twopc::TwoPcNode;
+        use crate::ClusterConfig;
+        let mut net = TestNet::sharded(3, 4, |m, me| {
+            TwoPcNode::new(ClusterConfig::new(m.to_vec(), me))
+        });
+        for key in 0..16u64 {
+            let shard = net.client_request(
+                NodeId(0),
+                NodeId(9),
+                key + 1,
+                Op::Put {
+                    key,
+                    value: key * 10,
+                },
+            );
+            assert_eq!(shard, net.sharded_engine(NodeId(0)).router().route_key(key));
+        }
+        net.run_to_quiescence();
+        assert_eq!(net.replies().len(), 16);
+        net.assert_consistent();
+        // Every node's owning-shard replica holds every key…
+        for n in 0..3u16 {
+            for key in 0..16u64 {
+                assert_eq!(net.kv_get(NodeId(n), key), Some(key * 10), "node {n}");
+            }
+        }
+        // …and the 16 keys really spread over more than one group, each
+        // group numbering its own instances from 0.
+        let populated: Vec<ShardId> = (0..4u16)
+            .map(ShardId)
+            .filter(|&s| !net.shard_commits(NodeId(0), s).is_empty())
+            .collect();
+        assert!(populated.len() > 1, "all keys landed on one shard");
+        for &s in &populated {
+            assert_eq!(
+                *net.shard_commits(NodeId(0), s).keys().next().unwrap(),
+                0,
+                "group {s} must own an independent instance log"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_equals_unsharded_per_key_state() {
+        use crate::twopc::TwoPcNode;
+        use crate::ClusterConfig;
+        let make = |m: &[NodeId], me| TwoPcNode::new(ClusterConfig::new(m.to_vec(), me));
+        let mut plain = TestNet::new(3, make);
+        let mut sharded = TestNet::sharded(3, 3, make);
+        let ops = [(1u64, 10u64), (2, 20), (1, 11), (7, 70), (2, 21)];
+        for (i, &(key, value)) in ops.iter().enumerate() {
+            let op = Op::Put { key, value };
+            plain.client_request(NodeId(0), NodeId(9), i as u64 + 1, op.clone());
+            plain.run_to_quiescence();
+            sharded.client_request(NodeId(0), NodeId(9), i as u64 + 1, op);
+            sharded.run_to_quiescence();
+        }
+        assert_eq!(plain.replies().len(), sharded.replies().len());
+        for key in [1u64, 2, 7, 99] {
+            assert_eq!(
+                plain.state(NodeId(1)).get(key),
+                sharded.kv_get(NodeId(1), key),
+                "key {key}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_batches_stay_within_their_group() {
+        use crate::twopc::TwoPcNode;
+        use crate::ClusterConfig;
+        let mut net = TestNet::sharded_with_batching(3, 2, BatchConfig::new(4, 1_000), |m, me| {
+            TwoPcNode::new(ClusterConfig::new(m.to_vec(), me))
+        });
+        for key in 0..12u64 {
+            net.client_request(
+                NodeId(0),
+                NodeId(9 + key as u16),
+                1,
+                Op::Put { key, value: 1 },
+            );
+        }
+        net.advance(1_000); // flush partial batches
+        net.run_to_quiescence();
+        assert_eq!(net.replies().len(), 12);
+        // Every decided batch carries only keys its group owns.
+        for node in 0..3u16 {
+            for s in 0..2u16 {
+                let shard = ShardId(s);
+                let router = net.sharded_engine(NodeId(node)).router();
+                for cmd in net.shard_commits(NodeId(node), shard).values() {
+                    for inner in cmd.as_batch().into_iter().flatten() {
+                        let key = inner.op.key().expect("puts have keys");
+                        assert_eq!(router.route_key(key), shard, "batch crossed shards");
+                    }
+                }
+            }
+        }
+        net.assert_consistent();
     }
 }

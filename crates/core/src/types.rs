@@ -206,6 +206,17 @@ impl Op {
     pub fn is_read(&self) -> bool {
         matches!(self, Op::Get { .. })
     }
+
+    /// The key this operation addresses, if it addresses one. Shard
+    /// routing partitions the key space on it; keyless commands
+    /// ([`Op::Noop`], [`Op::Batch`]) route by other identity (see
+    /// `shard::ShardRouter::route`).
+    pub fn key(&self) -> Option<u64> {
+        match *self {
+            Op::Put { key, .. } | Op::Get { key } => Some(key),
+            Op::Noop | Op::Batch(_) => None,
+        }
+    }
 }
 
 /// A client command: the value agreed upon by the consensus protocols.

@@ -278,10 +278,9 @@ fn rebooted_node_batches_again_under_fresh_identities() {
     assert_eq!(net.replies().len(), 2, "first batch answered");
     // n1 reboots, losing all engine state (including its batch counter).
     let members: Vec<NodeId> = (0..3).map(NodeId).collect();
-    net.reset_node(
-        NodeId(1),
-        OnePaxosNode::new(ClusterConfig::new(members, NodeId(1))),
-    );
+    net.reset_node(NodeId(1), || {
+        OnePaxosNode::new(ClusterConfig::new(members.clone(), NodeId(1)))
+    });
     net.run_to_quiescence();
     net.client_request(NodeId(1), NodeId(102), 1, Op::Put { key: 3, value: 2 });
     net.client_request(NodeId(1), NodeId(103), 1, Op::Put { key: 4, value: 2 });

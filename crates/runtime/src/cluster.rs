@@ -3,12 +3,22 @@
 //! equivalent of the paper's testbed (§6, §7.1), where replicas were
 //! assigned to cores with `taskset`.
 //!
-//! A replica thread owns a [`ReplicaEngine`] and does nothing but IO: poll
-//! the qc-channel mailbox, feed events to the engine, push
+//! A replica thread owns a [`ShardedEngine`] (one consensus group unless
+//! [`ClusterBuilder::shards`] raises it) and does nothing but IO: poll
+//! the qc-channel mailbox, feed events to the engines, push
 //! [`EngineEffect`]s back onto the wire (with overflow backlogs so a full
 //! 7-slot queue never blocks the loop). Timers, commits, replies and the
-//! state machine all live in the engine — the same engine the simulator
-//! and `TestNet` deploy.
+//! state machines all live in the engines — the same engines the
+//! simulator and `TestNet` deploy.
+//!
+//! Sharding keeps **one OS thread per core**: each replica thread hosts
+//! every shard group's member for its slot, and each group gets its own
+//! qc-channel *topic* — a dedicated SPSC queue per direction per pair —
+//! so group traffic never interleaves inside a queue and the per-shard
+//! FIFO order matches the other harnesses. Clients route their requests
+//! by key hash ([`ShardRouter`]) with a per-shard target replica, so
+//! callers of [`ClientHandle::put`]/[`ClientHandle::get`] stay
+//! shard-oblivious.
 
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -16,9 +26,10 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use onepaxos::engine::{BatchConfig, EngineEffect, EngineEvent, ReplicaEngine, ReplyMode};
+use onepaxos::engine::{BatchConfig, EngineEffect, ReplicaEngine, ReplyMode};
 use onepaxos::kv::KvStore;
-use onepaxos::{Nanos, NodeId, Op, Protocol};
+use onepaxos::shard::{ShardId, ShardRouter, ShardedEffects, ShardedEngine};
+use onepaxos::{EngineEvent, Nanos, NodeId, Op, Protocol};
 use qc_channel::{spsc, Mailbox, Receiver, Sender};
 
 use crate::affinity;
@@ -29,11 +40,19 @@ use crate::wire::Wire;
 /// queues cannot deadlock the node loops.
 pub const QUEUE_SLOTS: usize = qc_channel::DEFAULT_SLOTS;
 
-/// The receive sides a process polls: one queue per peer.
-type PeerReceivers<M> = Vec<(NodeId, Receiver<Wire<M>>)>;
+/// The qc-channel topic carrying client↔replica traffic (client links
+/// need no per-shard split: requests are routed by the replica engines,
+/// replies carry no shard identity).
+const CLIENT_TOPIC: u16 = 0;
 
-/// The effect stream of one runtime replica engine.
-type Effects<P> = Vec<EngineEffect<<P as Protocol>::Msg, Option<u64>>>;
+/// A peer address on the wire: who, on which shard-group topic.
+type Peer = (NodeId, u16);
+
+/// The receive sides a process polls: one queue per peer per topic.
+type PeerReceivers<M> = Vec<(Peer, Receiver<Wire<M>>)>;
+
+/// The tagged effect stream of one runtime replica's engines.
+type Effects<P> = ShardedEffects<<P as Protocol>::Msg, Option<u64>>;
 
 /// Shared per-replica counters.
 #[derive(Debug, Default)]
@@ -42,20 +61,21 @@ pub struct NodeMetrics {
     pub received: AtomicU64,
     /// Messages sent to peers and clients.
     pub sent: AtomicU64,
-    /// Commands committed (applied or queued for application).
+    /// Commands committed (applied or queued for application), summed
+    /// over shard groups.
     pub committed: AtomicU64,
 }
 
-/// Outbound side of one process: senders to every peer plus overflow
-/// backlogs so a full 7-slot queue never blocks the event loop.
+/// Outbound side of one process: senders to every peer/topic plus
+/// overflow backlogs so a full 7-slot queue never blocks the event loop.
 struct NodeIo<M> {
-    senders: BTreeMap<NodeId, Sender<Wire<M>>>,
-    backlog: BTreeMap<NodeId, VecDeque<Wire<M>>>,
+    senders: BTreeMap<Peer, Sender<Wire<M>>>,
+    backlog: BTreeMap<Peer, VecDeque<Wire<M>>>,
     sent: u64,
 }
 
 impl<M> NodeIo<M> {
-    fn new(senders: BTreeMap<NodeId, Sender<Wire<M>>>) -> Self {
+    fn new(senders: BTreeMap<Peer, Sender<Wire<M>>>) -> Self {
         NodeIo {
             senders,
             backlog: BTreeMap::new(),
@@ -63,12 +83,12 @@ impl<M> NodeIo<M> {
         }
     }
 
-    fn send(&mut self, to: NodeId, msg: Wire<M>) {
+    fn send(&mut self, to: NodeId, topic: u16, msg: Wire<M>) {
         self.sent += 1;
-        let Some(tx) = self.senders.get(&to) else {
+        let Some(tx) = self.senders.get(&(to, topic)) else {
             return; // unknown peer: drop (e.g. client already gone)
         };
-        let back = self.backlog.entry(to).or_default();
+        let back = self.backlog.entry((to, topic)).or_default();
         if back.is_empty() {
             if let Err(qc_channel::Full(m)) = tx.try_send(msg) {
                 back.push_back(m);
@@ -81,8 +101,8 @@ impl<M> NodeIo<M> {
     /// Retries backlogged sends; returns whether any backlog remains.
     fn flush(&mut self) -> bool {
         let mut pending = false;
-        for (to, q) in self.backlog.iter_mut() {
-            let Some(tx) = self.senders.get(to) else {
+        for (addr, q) in self.backlog.iter_mut() {
+            let Some(tx) = self.senders.get(addr) else {
                 q.clear();
                 continue;
             };
@@ -102,6 +122,7 @@ impl<M> NodeIo<M> {
 pub struct ClusterBuilder<P, F> {
     replicas: usize,
     clients: usize,
+    shards: u16,
     factory: F,
     pin_cores: bool,
     batching: Option<BatchConfig>,
@@ -113,6 +134,7 @@ impl<P, F> std::fmt::Debug for ClusterBuilder<P, F> {
         f.debug_struct("ClusterBuilder")
             .field("replicas", &self.replicas)
             .field("clients", &self.clients)
+            .field("shards", &self.shards)
             .field("pin_cores", &self.pin_cores)
             .finish_non_exhaustive()
     }
@@ -129,6 +151,7 @@ where
         ClusterBuilder {
             replicas,
             clients: 1,
+            shards: 1,
             factory,
             pin_cores: false,
             batching: None,
@@ -143,6 +166,19 @@ where
         self
     }
 
+    /// Number of independent consensus groups with key-hash routing
+    /// (default 1). `factory` is invoked once per `(shard, replica)`;
+    /// each group gets its own qc-channel topic between every replica
+    /// pair while the thread count stays one per replica slot.
+    ///
+    /// # Panics
+    ///
+    /// `spawn` panics if `s` is zero.
+    pub fn shards(mut self, s: u16) -> Self {
+        self.shards = s;
+        self
+    }
+
     /// Pin replica threads to distinct cores (the paper's `taskset`),
     /// when the machine has enough cores. Best-effort. Default off.
     pub fn pin_cores(mut self, pin: bool) -> Self {
@@ -153,6 +189,7 @@ where
     /// Enables engine-level command batching on every replica: requests
     /// coalesce into one agreement per batch (amortising the per-message
     /// cost, §3), with per-client replies fanned back out on commit.
+    /// Each shard group batches independently;
     /// `cfg.max_delay` runs on the replica loop's wall clock. Default off.
     pub fn batching(mut self, cfg: BatchConfig) -> Self {
         self.batching = Some(cfg);
@@ -164,11 +201,15 @@ where
     pub fn spawn(mut self) -> (Cluster, Vec<ClientHandle<P::Msg>>) {
         let r = self.replicas;
         let c = self.clients;
+        let shards = self.shards;
+        assert!(shards >= 1, "need at least one shard");
         let total = r + c;
         let members: Vec<NodeId> = (0..r as u16).map(NodeId).collect();
 
-        // Full mesh of SPSC queues: senders[i][j] sends i → j.
-        let mut senders: Vec<BTreeMap<NodeId, Sender<Wire<P::Msg>>>> =
+        // Full mesh of SPSC queues: senders[i][(j, t)] sends i → j on
+        // shard-group topic t. Replica pairs get one topic per group;
+        // client links use the single CLIENT_TOPIC.
+        let mut senders: Vec<BTreeMap<Peer, Sender<Wire<P::Msg>>>> =
             (0..total).map(|_| BTreeMap::new()).collect();
         let mut receivers: Vec<PeerReceivers<P::Msg>> = (0..total).map(|_| Vec::new()).collect();
         #[allow(clippy::needless_range_loop)]
@@ -181,9 +222,12 @@ where
                 if i >= r && j >= r {
                     continue;
                 }
-                let (tx, rx) = spsc::channel(QUEUE_SLOTS);
-                senders[i].insert(NodeId(j as u16), tx);
-                receivers[j].push((NodeId(i as u16), rx));
+                let topics = if i < r && j < r { shards } else { 1 };
+                for t in 0..topics {
+                    let (tx, rx) = spsc::channel(QUEUE_SLOTS);
+                    senders[i].insert((NodeId(j as u16), t), tx);
+                    receivers[j].push(((NodeId(i as u16), t), rx));
+                }
             }
         }
 
@@ -205,7 +249,9 @@ where
 
         for (i, rxs) in node_receivers.into_iter().enumerate() {
             let me = members[i];
-            let node = (self.factory)(&members, me);
+            // One protocol instance per shard group, all hosted on this
+            // slot's single OS thread.
+            let nodes: Vec<P> = (0..shards).map(|_| (self.factory)(&members, me)).collect();
             let io = NodeIo::new(std::mem::take(&mut senders[i]));
             let m = Arc::clone(&metrics[i]);
             let core = core_ids.get(i % core_ids.len().max(1)).copied();
@@ -216,7 +262,7 @@ where
                     if let Some(core) = core {
                         let _ = affinity::set_for_current(core);
                     }
-                    replica_loop(node, rxs, io, m, batching);
+                    replica_loop(nodes, rxs, io, m, batching);
                 })
                 .expect("spawn replica thread");
             threads.push(handle);
@@ -237,7 +283,10 @@ where
                     io: NodeIo::new(std::mem::take(&mut senders[r + j])),
                     mailbox,
                     next_req: 1,
-                    target: 0,
+                    router: ShardRouter::new(shards),
+                    // Per-shard preferred replica: a slow group leader
+                    // only re-targets its own group's requests.
+                    targets: vec![0; shards as usize],
                     timeout: Duration::from_millis(100),
                 }
             })
@@ -300,7 +349,7 @@ impl Cluster {
         client: &mut ClientHandle<M>,
     ) {
         for &m in client.replicas.clone().iter() {
-            client.io.send(m, Wire::Shutdown);
+            client.io.send(m, CLIENT_TOPIC, Wire::Shutdown);
         }
         while client.io.flush() {
             std::thread::yield_now();
@@ -311,18 +360,20 @@ impl Cluster {
     }
 }
 
-/// Pushes one engine's effects onto the wire. Replies always carry their
-/// state-machine output: the engine runs in [`ReplyMode::AfterApply`], so
-/// an acknowledgement is only released once the command is applied.
+/// Pushes one replica's tagged effects onto the wire: peer messages on
+/// their shard group's topic, replies on the client topic. Replies always
+/// carry their state-machine output: the engines run in
+/// [`ReplyMode::AfterApply`], so an acknowledgement is only released once
+/// the command is applied.
 fn dispatch_effects<P: Protocol>(
     effects: &mut Effects<P>,
     io: &mut NodeIo<P::Msg>,
     metrics: &NodeMetrics,
 ) {
-    for effect in effects.drain(..) {
+    for (shard, effect) in effects.drain(..) {
         match effect {
             EngineEffect::SendTo { to, msg } => {
-                io.send(to, Wire::Peer(msg));
+                io.send(to, shard.0, Wire::Peer(msg));
                 metrics.sent.fetch_add(1, Ordering::Relaxed);
             }
             EngineEffect::ReplyTo {
@@ -333,6 +384,7 @@ fn dispatch_effects<P: Protocol>(
             } => {
                 io.send(
                     client,
+                    CLIENT_TOPIC,
                     Wire::Reply {
                         req_id,
                         instance,
@@ -349,7 +401,7 @@ fn dispatch_effects<P: Protocol>(
 }
 
 fn replica_loop<P: Protocol>(
-    node: P,
+    nodes: Vec<P>,
     rxs: PeerReceivers<P::Msg>,
     mut io: NodeIo<P::Msg>,
     metrics: Arc<NodeMetrics>,
@@ -361,12 +413,22 @@ fn replica_loop<P: Protocol>(
     for (peer, rx) in rxs {
         mailbox.add_peer(peer, rx);
     }
-    // The engine owns timers, commits, the KV replica and reply records;
-    // this loop owns only the qc-channel IO and its overflow backlog.
-    // History off: a live cluster serves traffic indefinitely and must
-    // not grow per-command records (metrics carry the counters instead).
-    let mut engine = ReplicaEngine::with_reply_mode(node, KvStore::new(), ReplyMode::AfterApply)
-        .with_history(false);
+    // The engines own timers, commits, the KV replicas and reply
+    // records; this loop owns only the qc-channel IO and its overflow
+    // backlog. History off: a live cluster serves traffic indefinitely
+    // and must not grow per-command records (metrics carry the counters
+    // instead).
+    let mut nodes = nodes.into_iter();
+    let shard_count = nodes.len() as u16;
+    let mut engine = ShardedEngine::new(shard_count, |shard| {
+        ReplicaEngine::with_reply_mode(
+            nodes.next().expect("one node per shard"),
+            KvStore::new(),
+            ReplyMode::AfterApply,
+        )
+        .with_history(false)
+        .with_shard(shard)
+    });
     engine.set_batching(batching);
     let mut effects: Effects<P> = Vec::new();
     // Relaxed reads caught inside a 2PC lock window, waiting it out
@@ -374,19 +436,19 @@ fn replica_loop<P: Protocol>(
     // close", §7.5).
     let mut pending_reads: Vec<(NodeId, u64, u64)> = Vec::new();
 
-    engine.handle(EngineEvent::Start, now_ns(), &mut effects);
+    engine.start(now_ns(), &mut effects);
     dispatch_effects::<P>(&mut effects, &mut io, &metrics);
 
     loop {
         let mut progressed = io.flush();
-        // Fire due timers.
+        // Fire due timers across every shard group.
         if engine.fire_due(now_ns(), &mut effects) > 0 {
             dispatch_effects::<P>(&mut effects, &mut io, &metrics);
             progressed = true;
         }
         // Drain a bounded batch of inbound messages.
         for _ in 0..64 {
-            let Some((from, wire)) = mailbox.poll() else {
+            let Some(((from, topic), wire)) = mailbox.poll() else {
                 break;
             };
             metrics.received.fetch_add(1, Ordering::Relaxed);
@@ -394,20 +456,26 @@ fn replica_loop<P: Protocol>(
             let now = now_ns();
             match wire {
                 Wire::Peer(msg) => {
-                    engine.handle(EngineEvent::Message { from, msg }, now, &mut effects)
+                    // Peer traffic arrives on its group's own topic.
+                    engine.handle(
+                        ShardId(topic),
+                        EngineEvent::Message { from, msg },
+                        now,
+                        &mut effects,
+                    );
                 }
-                Wire::Request { client, req_id, op } => engine.handle(
-                    EngineEvent::ClientRequest { client, req_id, op },
-                    now,
-                    &mut effects,
-                ),
+                Wire::Request { client, req_id, op } => {
+                    // Key-hash routing to the owning group; its batch
+                    // accumulator takes over from here.
+                    engine.submit(client, req_id, op, now, &mut effects);
+                }
                 Wire::ReadRelaxed {
                     client,
                     req_id,
                     key,
                 } => {
                     if let Some(value) = engine.local_read(key) {
-                        io.send(client, Wire::ReadValue { req_id, value });
+                        io.send(client, CLIENT_TOPIC, Wire::ReadValue { req_id, value });
                         metrics.sent.fetch_add(1, Ordering::Relaxed);
                     } else if engine.supports_local_reads() {
                         // Inside the lock window: wait it out. At most one
@@ -419,16 +487,9 @@ fn replica_loop<P: Protocol>(
                         pending_reads.push((client, req_id, key));
                     } else {
                         // Ordered-reads-only protocol: relaxed degrades
-                        // to a linearized read through consensus.
-                        engine.handle(
-                            EngineEvent::ClientRequest {
-                                client,
-                                req_id,
-                                op: Op::Get { key },
-                            },
-                            now,
-                            &mut effects,
-                        );
+                        // to a linearized read through consensus (routed
+                        // to the key's group like any other command).
+                        engine.submit(client, req_id, Op::Get { key }, now, &mut effects);
                     }
                 }
                 Wire::Reply { .. } | Wire::ReadValue { .. } => {} // replicas ignore replies
@@ -442,7 +503,7 @@ fn replica_loop<P: Protocol>(
             for (client, req_id, key) in pending_reads.drain(..) {
                 match engine.local_read(key) {
                     Some(value) => {
-                        io.send(client, Wire::ReadValue { req_id, value });
+                        io.send(client, CLIENT_TOPIC, Wire::ReadValue { req_id, value });
                         metrics.sent.fetch_add(1, Ordering::Relaxed);
                         progressed = true;
                     }
@@ -460,6 +521,29 @@ fn replica_loop<P: Protocol>(
 }
 
 /// Error returned when a command cannot be committed in time.
+///
+/// Implements [`std::fmt::Display`] and [`std::error::Error`], so it
+/// composes with `?` in application code:
+///
+/// ```
+/// use onepaxos::onepaxos::{OnePaxosNode, Timing};
+/// use onepaxos::{ClusterConfig, NodeId};
+/// use onepaxos_runtime::ClusterBuilder;
+///
+/// fn demo() -> Result<(), Box<dyn std::error::Error>> {
+///     let timing = Timing { tick: 2_000_000, io_timeout: 200_000_000, suspect_after: 400_000_000 };
+///     let (cluster, mut clients) = ClusterBuilder::new(3, move |m: &[NodeId], me| {
+///         OnePaxosNode::with_timing(ClusterConfig::new(m.to_vec(), me), timing)
+///     })
+///     .spawn();
+///     clients[0].set_timeout(std::time::Duration::from_secs(5));
+///     clients[0].put(1, 2)?; // SubmitTimeout converts into Box<dyn Error>
+///     assert_eq!(clients[0].get(1)?, Some(2));
+///     cluster.shutdown(&mut clients[0]);
+///     Ok(())
+/// }
+/// demo().unwrap();
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SubmitTimeout;
 
@@ -473,15 +557,19 @@ impl std::error::Error for SubmitTimeout {}
 
 /// A synchronous client: submits one command at a time and waits for its
 /// commit acknowledgement, re-targeting replicas on timeout — exactly the
-/// closed loop the paper's load generators run (§7.1, §7.6).
-#[derive(Debug)]
+/// closed loop the paper's load generators run (§7.1, §7.6). On a sharded
+/// cluster the handle routes each operation to its owning group's
+/// preferred replica by key hash; callers stay shard-oblivious.
 pub struct ClientHandle<M> {
     me: NodeId,
     replicas: Vec<NodeId>,
     io: NodeIo<M>,
-    mailbox: Mailbox<NodeId, Wire<M>>,
+    mailbox: Mailbox<Peer, Wire<M>>,
     next_req: u64,
-    target: usize,
+    router: ShardRouter,
+    /// Preferred replica index per shard group, bumped on timeout so a
+    /// slow group leader re-targets only its own group's traffic.
+    targets: Vec<usize>,
     timeout: Duration,
 }
 
@@ -491,6 +579,17 @@ impl<M> std::fmt::Debug for NodeIo<M> {
             .field("peers", &self.senders.len())
             .field("sent", &self.sent)
             .finish()
+    }
+}
+
+impl<M> std::fmt::Debug for ClientHandle<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClientHandle")
+            .field("me", &self.me)
+            .field("replicas", &self.replicas.len())
+            .field("shards", &self.router.shards())
+            .field("next_req", &self.next_req)
+            .finish_non_exhaustive()
     }
 }
 
@@ -507,6 +606,11 @@ impl<M: Clone + std::fmt::Debug + Send + 'static> ClientHandle<M> {
         self.timeout = t;
     }
 
+    /// The shard group that operations on `key` route to.
+    pub fn shard_of(&self, key: u64) -> ShardId {
+        self.router.route_key(key)
+    }
+
     /// Submits `op` and blocks until it commits, retrying other replicas
     /// on timeout. Returns the state-machine output (previous value for
     /// `Put`, current value for `Get`).
@@ -518,11 +622,13 @@ impl<M: Clone + std::fmt::Debug + Send + 'static> ClientHandle<M> {
     pub fn submit(&mut self, op: Op) -> Result<Option<u64>, SubmitTimeout> {
         let req_id = self.next_req;
         self.next_req += 1;
+        let shard = self.router.route(self.me, &op).index();
         let attempts = self.replicas.len() * 2;
         for _ in 0..attempts {
-            let target = self.replicas[self.target % self.replicas.len()];
+            let target = self.replicas[self.targets[shard] % self.replicas.len()];
             self.io.send(
                 target,
+                CLIENT_TOPIC,
                 Wire::Request {
                     client: self.me,
                     req_id,
@@ -546,13 +652,14 @@ impl<M: Clone + std::fmt::Debug + Send + 'static> ClientHandle<M> {
                 }
             }
             // "Once the clients detect the slow leader, they send their
-            // requests to other nodes" (§7.6).
-            self.target += 1;
+            // requests to other nodes" (§7.6) — per shard group, so one
+            // slow group does not un-target the healthy ones.
+            self.targets[shard] += 1;
         }
         Err(SubmitTimeout)
     }
 
-    /// Convenience: replicated write.
+    /// Convenience: replicated write (routed to `key`'s shard group).
     ///
     /// # Errors
     ///
@@ -561,7 +668,8 @@ impl<M: Clone + std::fmt::Debug + Send + 'static> ClientHandle<M> {
         self.submit(Op::Put { key, value })
     }
 
-    /// Convenience: linearized read (ordered through consensus, §7.5).
+    /// Convenience: linearized read (ordered through `key`'s shard
+    /// group, §7.5).
     ///
     /// # Errors
     ///
@@ -572,9 +680,10 @@ impl<M: Clone + std::fmt::Debug + Send + 'static> ClientHandle<M> {
 
     /// Relaxed read (§7.5): asks `replica` for its local copy of `key`,
     /// bypassing consensus when the protocol allows it (2PC outside its
-    /// lock window). Under an ordered-reads protocol (the Paxos family)
-    /// the replica transparently degrades this to a linearized read, so
-    /// the call is always answered.
+    /// lock window). The replica consults the shard group owning `key`;
+    /// under an ordered-reads protocol (the Paxos family) it
+    /// transparently degrades to a linearized read, so the call is
+    /// always answered.
     ///
     /// The value may be stale with respect to commands still in flight —
     /// that is the relaxation.
@@ -589,6 +698,7 @@ impl<M: Clone + std::fmt::Debug + Send + 'static> ClientHandle<M> {
         self.next_req += 1;
         self.io.send(
             replica,
+            CLIENT_TOPIC,
             Wire::ReadRelaxed {
                 client: self.me,
                 req_id,
@@ -621,7 +731,7 @@ impl<M: Clone + std::fmt::Debug + Send + 'static> ClientHandle<M> {
     /// demos ("crashes" in the paper's model are slow cores; a stopped
     /// thread is the limit case).
     pub fn stop_replica(&mut self, node: NodeId) {
-        self.io.send(node, Wire::Shutdown);
+        self.io.send(node, CLIENT_TOPIC, Wire::Shutdown);
         while self.io.flush() {
             std::thread::yield_now();
         }

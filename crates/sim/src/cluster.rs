@@ -3,7 +3,7 @@
 //!
 //! The model implements the paper's §3 network view of a many-core:
 //!
-//! * every process (replica or client) is pinned to one core;
+//! * every process (replica-shard or client) is pinned to one core;
 //! * each core serves a FIFO queue of work items; while it serves one, it
 //!   is busy — saturation emerges from per-message CPU costs rather than
 //!   from link bandwidth;
@@ -22,35 +22,56 @@
 //! detect the slow leader, they send their requests to other nodes",
 //! §7.6).
 //!
-//! Each replica process is a [`ReplicaEngine`]: the engine owns protocol
-//! dispatch, timers, commits and the applied KV replica, while this module
-//! only prices the resulting [`EngineEffect`]s in CPU time and moves them
-//! between cores.
+//! Each replica is a [`ShardedEngine`]: S independent consensus groups
+//! with key-hash routing (1 unless [`SimBuilder::shards`] raises it).
+//! Every `(replica, shard)` pair is its own simulated *process*, and
+//! [`SimBuilder::placement`] maps processes to physical cores — several
+//! processes placed on one core **serialize** on it (sharding buys
+//! nothing), while the default identity placement spreads them so
+//! throughput scales with the cores hosting shard leaders. The engines
+//! own protocol dispatch, timers, commits and the applied KV replicas,
+//! while this module only prices the resulting [`EngineEffect`]s in CPU
+//! time and moves them between cores.
 
 use std::cmp::Ordering as CmpOrdering;
 use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 
 use onepaxos::engine::{BatchConfig, EngineEffect, EngineEvent, ReplicaEngine};
 use onepaxos::kv::KvStore;
+use onepaxos::shard::{ShardId, ShardRouter, ShardedEngine};
 use onepaxos::{Command, Instance, Nanos, NodeId, Op, Protocol};
 
 use crate::metrics::{LatencyStats, Timeline};
 use crate::profile::Profile;
 use crate::rng::SimRng;
 
-/// The effect stream of one simulated replica engine.
+/// The untagged effect stream of one simulated shard engine.
 type Effects<P> = Vec<EngineEffect<<P as Protocol>::Msg, Option<u64>>>;
 
 /// Client operation mix.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Workload {
     /// Commands with no payload, as in the paper's main experiments
-    /// ("there is no payload added to the requests", §7.1).
+    /// ("there is no payload added to the requests", §7.1). Keyless:
+    /// sharded deployments route them by client id.
     Noop,
     /// `read_pct` percent `Get`s, the rest `Put`s, over `keys` keys
-    /// (Fig 10).
+    /// (Fig 10). Reads are ordered through consensus.
     ReadMix {
         /// Percentage of reads (0–100).
+        read_pct: u8,
+        /// Key-space size.
+        keys: u64,
+    },
+    /// Like [`Workload::ReadMix`], but reads are issued as *relaxed*
+    /// reads (§7.5): the client asks the target replica for its local
+    /// copy, which answers without agreement traffic when the protocol
+    /// allows it (2PC outside its lock window) and degrades to an
+    /// ordered read through consensus otherwise (the Paxos family). This
+    /// is the sim-side `get_relaxed`, so Fig-10-style experiments can
+    /// run sharded and in replica (non-joint) mode.
+    RelaxedMix {
+        /// Percentage of relaxed reads (0–100).
         read_pct: u8,
         /// Key-space size.
         keys: u64,
@@ -61,7 +82,7 @@ impl Workload {
     fn generate(&self, rng: &mut SimRng) -> Op {
         match *self {
             Workload::Noop => Op::Noop,
-            Workload::ReadMix { read_pct, keys } => {
+            Workload::ReadMix { read_pct, keys } | Workload::RelaxedMix { read_pct, keys } => {
                 if (rng.below(100) as u8) < read_pct {
                     Op::Get {
                         key: rng.below(keys),
@@ -75,6 +96,11 @@ impl Workload {
             }
         }
     }
+
+    /// Whether reads of this workload bypass consensus when possible.
+    fn relaxed_reads(&self) -> bool {
+        matches!(self, Workload::RelaxedMix { .. })
+    }
 }
 
 /// A scheduled change of a core's speed (the §2.2/§7.6 CPU-hog injection).
@@ -82,7 +108,7 @@ impl Workload {
 pub struct Fault {
     /// When the change takes effect.
     pub at: Nanos,
-    /// The affected core.
+    /// The affected physical core (every process placed on it slows).
     pub core: usize,
     /// Processing-time multiplier from then on (1.0 = full speed; the
     /// paper's "8 CPU-intensive processes" give the victim ≈ 1/9 of the
@@ -108,11 +134,13 @@ pub struct RunReport {
     pub server_messages: u64,
     /// Total inter-core messages including client requests and replies.
     pub total_messages: u64,
-    /// Per-core busy fraction over the whole run.
+    /// Per-physical-core busy fraction over the whole run (indexed by
+    /// core; cores hosting no process stay at 0).
     pub utilization: Vec<f64>,
     /// Virtual time when the run stopped.
     pub ended_at: Nanos,
-    /// KV digests per replica at the end (equal once logs drain).
+    /// KV digests per replica at the end, folded across shard groups
+    /// (equal once logs drain).
     pub replica_digests: Vec<u64>,
 }
 
@@ -124,15 +152,31 @@ impl RunReport {
 }
 
 enum WorkItem<M> {
-    /// Protocol message from a peer replica.
+    /// Protocol message from a peer replica of the same shard group (the
+    /// group is implied by the receiving process).
     Peer { from: NodeId, msg: M },
-    /// A client request arriving at a replica.
+    /// A client request arriving at a replica-shard process.
     ClientReq { client: NodeId, req_id: u64, op: Op },
     /// A commit acknowledgement arriving back at the client.
     Reply { req_id: u64 },
-    /// Wake the replica's engine to fire due timers. `due` is the
+    /// A relaxed read (§7.5) arriving at a replica-shard process: served
+    /// from the local copy when the protocol allows it, without touching
+    /// the log; degraded to an ordered read otherwise.
+    RelaxedRead {
+        client: NodeId,
+        req_id: u64,
+        key: u64,
+    },
+    /// A relaxed read caught inside a 2PC lock window, re-polling the
+    /// replica's local copy until the window closes.
+    RelaxedPoll {
+        client: NodeId,
+        req_id: u64,
+        key: u64,
+    },
+    /// Wake the process's engine to fire due timers. `due` is the
     /// deadline this check was scheduled for: a check that no longer
-    /// matches the replica's pending wake (it was superseded by an
+    /// matches the process's pending wake (it was superseded by an
     /// earlier one) is stale and must do nothing — in particular it must
     /// not reschedule, or superseded checks would duplicate forever.
     TimerCheck { due: Nanos },
@@ -146,13 +190,13 @@ enum WorkItem<M> {
 }
 
 enum Event<M> {
-    Work { core: usize, item: WorkItem<M> },
+    Work { proc: usize, item: WorkItem<M> },
     CoreRun { core: usize },
     SetSpeed { core: usize, slowdown: f64 },
     Stop,
 }
 
-/// Poll interval while a joint-mode local read waits out a lock window.
+/// Poll interval while a local/relaxed read waits out a lock window.
 const LOCAL_READ_POLL: Nanos = 2_000;
 
 /// Heap entry ordered by (time, seq) only.
@@ -180,8 +224,11 @@ impl<M> Ord for Scheduled<M> {
     }
 }
 
+/// One physical core: a FIFO of work items from every process placed on
+/// it. Processes sharing a core serialize here — that is the whole
+/// placement model.
 struct CoreState<M> {
-    queue: VecDeque<WorkItem<M>>,
+    queue: VecDeque<(usize, WorkItem<M>)>,
     free_at: Nanos,
     running: bool,
     slowdown: f64,
@@ -190,9 +237,13 @@ struct CoreState<M> {
 
 struct ClientState {
     node: NodeId,
-    core: usize,
+    /// The client's process index.
+    proc: usize,
     next_req: u64,
-    outstanding: Option<(u64, Nanos)>,
+    /// The in-flight request: id, send time, and the operation itself
+    /// (retries resend the *same* operation, so a re-targeted request
+    /// cannot commit under two different payloads or shard routes).
+    outstanding: Option<(u64, Nanos, Op)>,
     /// Bumped when the target changes; stale retry checks are dropped.
     epoch: u64,
     target_idx: usize,
@@ -223,6 +274,7 @@ pub struct SimBuilder<P, F> {
     profile: Profile,
     replicas: usize,
     clients: usize,
+    shards: u16,
     joint: bool,
     factory: F,
     workload: Workload,
@@ -246,6 +298,7 @@ impl<P, F> std::fmt::Debug for SimBuilder<P, F> {
             .field("profile", &self.profile.name)
             .field("replicas", &self.replicas)
             .field("clients", &self.clients)
+            .field("shards", &self.shards)
             .field("joint", &self.joint)
             .finish_non_exhaustive()
     }
@@ -263,6 +316,7 @@ where
             profile,
             replicas: 3,
             clients: 1,
+            shards: 1,
             joint: false,
             factory,
             workload: Workload::Noop,
@@ -284,20 +338,32 @@ where
     /// Enables engine-level command batching on every replica: requests
     /// coalesce into one agreement per batch, amortising the per-message
     /// tx/rx CPU cost (§3). A committed batch pays the profile's `apply`
-    /// cost per extra constituent command. Default off.
+    /// cost per extra constituent command. Each shard group batches
+    /// independently. Default off.
     pub fn batching(mut self, cfg: BatchConfig) -> Self {
         self.batching = Some(cfg);
         self
     }
 
-    /// Number of replica processes (cores 0..r). Default 3, as in all the
-    /// paper's replica-mode experiments.
+    /// Number of replica slots per shard group (cores 0..r·s). Default 3,
+    /// as in all the paper's replica-mode experiments.
     pub fn replicas(mut self, r: usize) -> Self {
         self.replicas = r;
         self
     }
 
-    /// Number of client processes (cores r..r+c). Default 1.
+    /// Number of independent consensus groups with key-hash routing
+    /// (default 1). Every `(replica, shard)` pair becomes its own
+    /// process; with the default identity placement each runs on its own
+    /// core, so agreement throughput multiplies with the shard count —
+    /// co-locate them via [`Self::placement`] to model fewer cores.
+    /// Requires non-joint mode.
+    pub fn shards(mut self, s: u16) -> Self {
+        self.shards = s;
+        self
+    }
+
+    /// Number of client processes. Default 1.
     pub fn clients(mut self, c: usize) -> Self {
         self.clients = c;
         self
@@ -378,11 +444,16 @@ where
     }
 
     /// Pins process `i` to physical core `placement[i]`, controlling
-    /// which processes share a socket/LLC (Fig 1's non-uniform latency).
-    /// Defaults to the identity placement.
+    /// which processes share a socket/LLC (Fig 1's non-uniform latency)
+    /// — and which share a *core*: processes placed on the same core
+    /// serialize on its FIFO, which is how co-located shards are
+    /// modelled. Defaults to the identity placement (every process its
+    /// own core).
     ///
-    /// The vector must have one entry per process (replicas then
-    /// clients), all within the profile's core count and distinct.
+    /// Process order: replica-shard processes first (replica-major:
+    /// replica 0's shards, then replica 1's, …), then clients. The
+    /// vector must have one entry per process, all within the profile's
+    /// core count.
     pub fn placement(mut self, placement: Vec<usize>) -> Self {
         self.placement = Some(placement);
         self
@@ -392,32 +463,39 @@ where
     ///
     /// # Panics
     ///
-    /// Panics if the deployment does not fit the profile's core count, or
-    /// if a protocol violates commit consistency (the safety oracle).
+    /// Panics if the deployment does not fit the profile's core count, if
+    /// sharding is combined with joint mode, or if a protocol violates
+    /// commit consistency (the safety oracle).
     pub fn run(mut self) -> RunReport {
-        let total_cores = if self.joint {
+        let shards = self.shards as usize;
+        assert!(shards >= 1, "need at least one shard");
+        assert!(
+            !(self.joint && shards > 1),
+            "sharding is not supported in joint mode"
+        );
+        let n_replica_procs = self.replicas * shards;
+        let total_procs = if self.joint {
             self.replicas
         } else {
-            self.replicas + self.clients
+            n_replica_procs + self.clients
         };
-        assert!(
-            total_cores <= self.profile.cores,
-            "{total_cores} processes exceed {} cores of profile {}",
-            self.profile.cores,
-            self.profile.name
-        );
         assert!(self.replicas >= 1, "need at least one replica");
 
         let members: Vec<NodeId> = (0..self.replicas as u16).map(NodeId).collect();
         let batching = self.batching;
-        let engines: Vec<ReplicaEngine<P, KvStore>> = members
+        let shard_count = self.shards;
+        let factory = &mut self.factory;
+        let engines: Vec<ShardedEngine<P, KvStore>> = members
             .iter()
             // History off: the sim asserts safety through its own global
             // oracle, and long duration-mode runs must not accumulate
             // per-replica commit/reply logs.
             .map(|&me| {
-                let mut e = ReplicaEngine::new((self.factory)(&members, me), KvStore::new())
-                    .with_history(false);
+                let mut e = ShardedEngine::new(shard_count, |shard| {
+                    ReplicaEngine::new(factory(&members, me), KvStore::new())
+                        .with_history(false)
+                        .with_shard(shard)
+                });
                 e.set_batching(batching);
                 e
             })
@@ -425,10 +503,10 @@ where
         let n_replicas = self.replicas;
         let clients = (0..self.clients)
             .map(|j| {
-                let core = if self.joint { j } else { n_replicas + j };
+                let proc = if self.joint { j } else { n_replica_procs + j };
                 ClientState {
-                    node: NodeId(core as u16),
-                    core,
+                    node: NodeId(proc as u16),
+                    proc,
                     next_req: 1,
                     outstanding: None,
                     epoch: 0,
@@ -444,30 +522,38 @@ where
             .collect();
         let placement = match self.placement.take() {
             Some(p) => {
-                assert_eq!(p.len(), total_cores, "placement must cover every process");
-                let mut sorted = p.clone();
-                sorted.sort_unstable();
-                sorted.dedup();
-                assert_eq!(sorted.len(), p.len(), "placement cores must be distinct");
+                assert_eq!(p.len(), total_procs, "placement must cover every process");
                 assert!(
                     p.iter().all(|&c| c < self.profile.cores),
                     "placement exceeds the profile's cores"
                 );
                 p
             }
-            None => (0..total_cores).collect(),
+            None => {
+                assert!(
+                    total_procs <= self.profile.cores,
+                    "{total_procs} processes exceed {} cores of profile {} \
+                     (co-locate them with an explicit placement)",
+                    self.profile.cores,
+                    self.profile.name
+                );
+                (0..total_procs).collect()
+            }
         };
 
         let local_reads_possible = engines[0].supports_local_reads();
+        let n_cores = self.profile.cores;
         let mut sim = ClusterSim {
             profile: self.profile,
             joint: self.joint,
             local_reads_possible,
             placement,
+            shards,
+            router: ShardRouter::new(shard_count),
             members,
             engines,
             chosen: BTreeMap::new(),
-            cores: (0..total_cores)
+            cores: (0..n_cores)
                 .map(|_| CoreState {
                     queue: VecDeque::new(),
                     free_at: 0,
@@ -480,7 +566,7 @@ where
             heap: BinaryHeap::new(),
             seq: 0,
             now: 0,
-            timer_wake: vec![None; n_replicas],
+            timer_wake: vec![None; n_replica_procs],
             link_last: BTreeMap::new(),
             rng: SimRng::seed_from_u64(self.seed),
             workload: self.workload,
@@ -501,17 +587,24 @@ where
             scratch: Vec::new(),
         };
 
-        // Protocol bootstrap.
-        for i in 0..sim.engines.len() {
-            let mut effects = std::mem::take(&mut sim.scratch);
-            sim.engines[i].handle(EngineEvent::Start, 0, &mut effects);
-            sim.apply_effects(i, 0, 0, &mut effects);
-            sim.scratch = effects;
+        // Protocol bootstrap, every shard group of every replica.
+        for r in 0..sim.engines.len() {
+            for s in 0..shards {
+                let p = r * shards + s;
+                let mut effects = std::mem::take(&mut sim.scratch);
+                sim.engines[r].shard_mut(ShardId(s as u16)).handle(
+                    EngineEvent::Start,
+                    0,
+                    &mut effects,
+                );
+                sim.apply_effects(p, 0, 0, &mut effects);
+                sim.scratch = effects;
+            }
         }
         // Clients start their closed loops at t=0.
         for j in 0..sim.clients.len() {
-            let core = sim.clients[j].core;
-            sim.push_work(0, core, WorkItem::SendNext);
+            let proc = sim.clients[j].proc;
+            sim.push_work(0, proc, WorkItem::SendNext);
         }
         for f in &self.faults {
             sim.push(
@@ -535,21 +628,29 @@ struct ClusterSim<P: Protocol> {
     joint: bool,
     /// Whether the deployed protocol ever serves reads locally (2PC).
     local_reads_possible: bool,
-    /// Process index → physical core, for topology distances (Fig 1).
+    /// Process index → physical core (Fig 1 topology + serialization).
     placement: Vec<usize>,
+    /// Shard groups per replica.
+    shards: usize,
+    /// Key-hash routing shared by clients and oracles.
+    router: ShardRouter,
     members: Vec<NodeId>,
-    /// One engine per replica process (protocol + timers + commits + KV).
-    engines: Vec<ReplicaEngine<P, KvStore>>,
-    /// Global safety oracle: instance → first command seen committed.
-    chosen: BTreeMap<Instance, Command>,
+    /// One sharded engine per replica slot (protocol + timers + commits
+    /// + KV, per shard group).
+    engines: Vec<ShardedEngine<P, KvStore>>,
+    /// Global safety oracle: (shard, instance) → first command seen
+    /// committed (instances of different groups are unrelated logs).
+    chosen: BTreeMap<(u16, Instance), Command>,
+    /// Physical cores; processes sharing one serialize on its queue.
     cores: Vec<CoreState<P::Msg>>,
     clients: Vec<ClientState>,
     heap: BinaryHeap<Scheduled<P::Msg>>,
     seq: u64,
     now: Nanos,
-    /// Earliest pending TimerCheck per replica, to avoid wake-up storms.
+    /// Earliest pending TimerCheck per replica-shard process, to avoid
+    /// wake-up storms.
     timer_wake: Vec<Option<Nanos>>,
-    /// FIFO enforcement: last arrival time per directed core pair.
+    /// FIFO enforcement: last arrival time per directed process pair.
     link_last: BTreeMap<(usize, usize), Nanos>,
     rng: SimRng,
     workload: Workload,
@@ -577,23 +678,44 @@ impl<P: Protocol> ClusterSim<P> {
         });
     }
 
-    /// Enqueues a work item at a core, waking the core if idle.
-    fn push_work(&mut self, at: Nanos, core: usize, item: WorkItem<P::Msg>) {
-        self.push(at, Event::Work { core, item });
+    /// Enqueues a work item at a process, waking its core if idle.
+    fn push_work(&mut self, at: Nanos, proc: usize, item: WorkItem<P::Msg>) {
+        self.push(at, Event::Work { proc, item });
     }
 
-    /// Index of the client living on `core`, if any.
-    fn client_on(&self, core: usize) -> Option<usize> {
+    /// Number of replica-shard processes (they occupy the low indices).
+    fn n_replica_procs(&self) -> usize {
+        self.engines.len() * self.shards
+    }
+
+    /// The (replica slot, shard) a replica process hosts.
+    fn replica_of(&self, proc: usize) -> (usize, ShardId) {
+        debug_assert!(self.is_replica_proc(proc));
+        (proc / self.shards, ShardId((proc % self.shards) as u16))
+    }
+
+    /// The process hosting shard `s` of replica slot `r`.
+    fn proc_of(&self, r: usize, s: ShardId) -> usize {
+        r * self.shards + s.index()
+    }
+
+    /// Index of the client living on `proc`, if any.
+    fn client_on(&self, proc: usize) -> Option<usize> {
         if self.joint {
-            Some(core).filter(|&c| c < self.clients.len())
+            Some(proc).filter(|&p| p < self.clients.len())
         } else {
-            core.checked_sub(self.engines.len())
+            proc.checked_sub(self.n_replica_procs())
                 .filter(|&j| j < self.clients.len())
         }
     }
 
-    fn is_replica_core(&self, core: usize) -> bool {
-        core < self.engines.len()
+    fn is_replica_proc(&self, proc: usize) -> bool {
+        proc < self.n_replica_procs()
+    }
+
+    /// The current processing-time multiplier of the core hosting `proc`.
+    fn slowdown_of(&self, proc: usize) -> f64 {
+        self.cores[self.placement[proc]].slowdown
     }
 
     fn jitter(&mut self) -> Nanos {
@@ -608,37 +730,38 @@ impl<P: Protocol> ClusterSim<P> {
     /// preservation per directed link.
     fn deliver(
         &mut self,
-        from_core: usize,
-        to_core: usize,
+        from_proc: usize,
+        to_proc: usize,
         send_done: Nanos,
         item: WorkItem<P::Msg>,
     ) {
         let prop = self
             .profile
-            .prop(self.placement[from_core], self.placement[to_core]);
+            .prop(self.placement[from_proc], self.placement[to_proc]);
         let jitter = self.jitter();
         let mut at = send_done + prop + jitter;
-        let last = self.link_last.entry((from_core, to_core)).or_insert(0);
+        let last = self.link_last.entry((from_proc, to_proc)).or_insert(0);
         if at < *last {
             at = *last;
         }
         *last = at;
-        self.push_work(at, to_core, item);
+        self.push_work(at, to_proc, item);
     }
 
-    /// Schedules a TimerCheck for the engine's earliest deadline, unless
-    /// an earlier check is already pending.
-    fn schedule_timer_check(&mut self, node_idx: usize) {
-        let Some(deadline) = self.engines[node_idx].next_deadline() else {
+    /// Schedules a TimerCheck for a replica-shard engine's earliest
+    /// deadline, unless an earlier check is already pending.
+    fn schedule_timer_check(&mut self, proc: usize) {
+        let (r, s) = self.replica_of(proc);
+        let Some(deadline) = self.engines[r].shard(s).next_deadline() else {
             return;
         };
-        if self.timer_wake[node_idx].is_none_or(|w| deadline < w) {
-            self.timer_wake[node_idx] = Some(deadline);
-            self.push_work(deadline, node_idx, WorkItem::TimerCheck { due: deadline });
+        if self.timer_wake[proc].is_none_or(|w| deadline < w) {
+            self.timer_wake[proc] = Some(deadline);
+            self.push_work(deadline, proc, WorkItem::TimerCheck { due: deadline });
         }
     }
 
-    /// Prices a replica engine's effects; `base` is the CPU time already
+    /// Prices a shard engine's effects; `base` is the CPU time already
     /// consumed by the handler (rx + handle) scaled by the core's
     /// slowdown, relative to `start`. Returns total service time.
     ///
@@ -650,13 +773,13 @@ impl<P: Protocol> ClusterSim<P> {
     /// copy operations" effect.
     fn apply_effects(
         &mut self,
-        node_idx: usize,
+        proc: usize,
         start: Nanos,
         base: Nanos,
         effects: &mut Effects<P>,
     ) -> Nanos {
-        let core = node_idx;
-        let slowdown = self.cores[core].slowdown;
+        let (r, shard) = self.replica_of(proc);
+        let slowdown = self.slowdown_of(proc);
         let out_cost = ((self.profile.tx + self.profile.marshal) as f64 * slowdown) as Nanos;
         let mut service = base;
         let mut outbound: Vec<(usize, WorkItem<P::Msg>)> = Vec::new();
@@ -664,30 +787,33 @@ impl<P: Protocol> ClusterSim<P> {
         for effect in effects.drain(..) {
             match effect {
                 EngineEffect::SendTo { to, msg } => {
-                    let to_core = to.index();
+                    // Peer messages stay within the shard group: the
+                    // destination is the same shard's engine at replica
+                    // slot `to`.
+                    let to_proc = self.proc_of(to.index(), shard);
                     let item = WorkItem::Peer {
-                        from: self.members[node_idx],
+                        from: self.members[r],
                         msg,
                     };
-                    if to_core == core {
-                        // Collapsed roles on one core: local hand-off, no
-                        // transmission cost (§2.3 footnote 5).
+                    if to_proc == proc {
+                        // Collapsed roles on one process: local hand-off,
+                        // no transmission cost (§2.3 footnote 5).
                         local.push(item);
                     } else {
                         service += out_cost;
-                        self.server_messages += u64::from(self.is_replica_core(to_core));
+                        self.server_messages += u64::from(self.is_replica_proc(to_proc));
                         self.total_messages += 1;
-                        outbound.push((to_core, item));
+                        outbound.push((to_proc, item));
                     }
                 }
                 EngineEffect::ReplyTo { client, req_id, .. } => {
-                    let to_core = client.index();
-                    if to_core == core {
+                    let to_proc = client.index();
+                    if to_proc == proc {
                         local.push(WorkItem::Reply { req_id });
                     } else {
                         service += out_cost;
                         self.total_messages += 1;
-                        outbound.push((to_core, WorkItem::Reply { req_id }));
+                        outbound.push((to_proc, WorkItem::Reply { req_id }));
                     }
                 }
                 EngineEffect::Committed { instance, cmd } => {
@@ -697,35 +823,46 @@ impl<P: Protocol> ClusterSim<P> {
                     // tx/rx per agreement, per-command apply cost.
                     service += ((self.profile.apply * (cmd.command_count() as Nanos - 1)) as f64
                         * slowdown) as Nanos;
-                    // Safety oracle: all replicas must agree per instance.
-                    // (The engine already recorded and applied the commit.)
-                    let prior = self.chosen.entry(instance).or_insert_with(|| cmd.clone());
-                    assert_eq!(*prior, cmd, "consistency violation at instance {instance}");
+                    // Safety oracle: all replicas of a shard group must
+                    // agree per instance. (The engine already recorded
+                    // and applied the commit.)
+                    let prior = self
+                        .chosen
+                        .entry((shard.0, instance))
+                        .or_insert_with(|| cmd.clone());
+                    assert_eq!(
+                        *prior, cmd,
+                        "consistency violation at shard {shard} instance {instance}"
+                    );
                 }
             }
         }
         let done = start + service;
-        for (to_core, item) in outbound {
-            self.deliver(core, to_core, done, item);
+        for (to_proc, item) in outbound {
+            self.deliver(proc, to_proc, done, item);
         }
         for item in local {
-            self.push_work(done, core, item);
+            self.push_work(done, proc, item);
         }
-        self.schedule_timer_check(node_idx);
+        self.schedule_timer_check(proc);
         service
     }
 
-    /// Runs one engine event on a replica core and prices the fallout.
+    /// Runs one engine event on a replica-shard process and prices the
+    /// fallout.
     fn engine_step(
         &mut self,
-        core: usize,
+        proc: usize,
         event: EngineEvent<P::Msg>,
         start: Nanos,
         base: Nanos,
     ) -> Nanos {
+        let (r, s) = self.replica_of(proc);
         let mut effects = std::mem::take(&mut self.scratch);
-        self.engines[core].handle(event, start, &mut effects);
-        let service = self.apply_effects(core, start, base, &mut effects);
+        self.engines[r]
+            .shard_mut(s)
+            .handle(event, start, &mut effects);
+        let service = self.apply_effects(proc, start, base, &mut effects);
         self.scratch = effects;
         service
     }
@@ -741,9 +878,9 @@ impl<P: Protocol> ClusterSim<P> {
         let req_id = c.next_req;
         c.next_req += 1;
         let op = self.workload.generate(&mut c.rng);
-        c.outstanding = Some((req_id, start));
+        c.outstanding = Some((req_id, start, op.clone()));
         let client_node = c.node;
-        let core = c.core;
+        let proc = c.proc;
         let epoch = c.epoch;
 
         if self.joint {
@@ -754,32 +891,32 @@ impl<P: Protocol> ClusterSim<P> {
             // Protocols whose reads must be ordered (the Paxos family)
             // never allow it and fall through to consensus.
             if let Op::Get { key } = op {
-                if self.engines[core].can_read_locally(key) {
-                    let service = (self.profile.handle as f64 * self.cores[core].slowdown) as Nanos;
+                if self.engines[proc].can_read_locally(key) {
+                    let service = (self.profile.handle as f64 * self.slowdown_of(proc)) as Nanos;
                     let done = start + service;
                     self.client_complete(j, req_id, done);
                     let c = &mut self.clients[j];
                     if c.completed < budget {
-                        self.push_work(done + think, core, WorkItem::SendNext);
+                        self.push_work(done + think, proc, WorkItem::SendNext);
                     }
                     return service;
                 } else if self.local_reads_possible {
                     let service =
-                        (self.profile.timer_cost as f64 * self.cores[core].slowdown) as Nanos;
+                        (self.profile.timer_cost as f64 * self.slowdown_of(proc)) as Nanos;
                     let done = start + service;
                     self.push_work(
                         done + LOCAL_READ_POLL,
-                        core,
+                        proc,
                         WorkItem::LocalReadWait { req_id, key },
                     );
                     return service;
                 }
             }
-            let base = (self.profile.handle as f64 * self.cores[core].slowdown) as Nanos;
+            let base = (self.profile.handle as f64 * self.slowdown_of(proc)) as Nanos;
             // No client timeout in joint mode: the local node handles
             // leader failover itself.
             self.engine_step(
-                core,
+                proc,
                 EngineEvent::ClientRequest {
                     client: client_node,
                     req_id,
@@ -789,26 +926,50 @@ impl<P: Protocol> ClusterSim<P> {
                 base,
             )
         } else {
-            // Send the request to the current target replica.
-            let slowdown = self.cores[core].slowdown;
-            let service = ((self.profile.tx + self.profile.marshal) as f64 * slowdown) as Nanos;
-            let target_core = self.clients[j].target_idx % self.engines.len();
-            let send_done = start + service;
-            self.total_messages += 1;
-            self.deliver(
-                core,
-                target_core,
-                send_done,
-                WorkItem::ClientReq {
-                    client: client_node,
-                    req_id,
-                    op,
-                },
-            );
-            let at = start + service + self.client_timeout;
-            self.push_work(at, core, WorkItem::RetryCheck { req_id, epoch });
-            service
+            // Send the request to the current target replica of the
+            // shard group owning the operation.
+            self.client_transmit(j, req_id, op, start, epoch)
         }
+    }
+
+    /// Transmits (or re-transmits) a client request to its routed target
+    /// and arms the retry check. Returns the client-side service time.
+    fn client_transmit(
+        &mut self,
+        j: usize,
+        req_id: u64,
+        op: Op,
+        start: Nanos,
+        epoch: u64,
+    ) -> Nanos {
+        let proc = self.clients[j].proc;
+        let client_node = self.clients[j].node;
+        let slowdown = self.slowdown_of(proc);
+        let service = ((self.profile.tx + self.profile.marshal) as f64 * slowdown) as Nanos;
+        let shard = self.router.route(client_node, &op);
+        let target_slot = self.clients[j].target_idx % self.engines.len();
+        let target_proc = self.proc_of(target_slot, shard);
+        let send_done = start + service;
+        self.total_messages += 1;
+        // Relaxed-read workloads issue their Gets as local-copy reads
+        // (the sim-side `get_relaxed`); everything else is an ordinary
+        // replicated request.
+        let item = match op {
+            Op::Get { key } if self.workload.relaxed_reads() => WorkItem::RelaxedRead {
+                client: client_node,
+                req_id,
+                key,
+            },
+            op => WorkItem::ClientReq {
+                client: client_node,
+                req_id,
+                op,
+            },
+        };
+        self.deliver(proc, target_proc, send_done, item);
+        let at = start + service + self.client_timeout;
+        self.push_work(at, proc, WorkItem::RetryCheck { req_id, epoch });
+        service
     }
 
     /// Marks the client's outstanding request completed; returns `false`
@@ -816,7 +977,7 @@ impl<P: Protocol> ClusterSim<P> {
     /// than one node).
     fn client_complete(&mut self, j: usize, req_id: u64, at: Nanos) -> bool {
         let c = &mut self.clients[j];
-        let Some((out_req, sent_at)) = c.outstanding else {
+        let Some((out_req, sent_at)) = c.outstanding.as_ref().map(|(r, t, _)| (*r, *t)) else {
             return false;
         };
         if out_req != req_id {
@@ -841,8 +1002,9 @@ impl<P: Protocol> ClusterSim<P> {
                 break;
             }
             match ev {
-                Event::Work { core, item } => {
-                    self.cores[core].queue.push_back(item);
+                Event::Work { proc, item } => {
+                    let core = self.placement[proc];
+                    self.cores[core].queue.push_back((proc, item));
                     if !self.cores[core].running {
                         self.cores[core].running = true;
                         let when = self.cores[core].free_at.max(at);
@@ -850,11 +1012,11 @@ impl<P: Protocol> ClusterSim<P> {
                     }
                 }
                 Event::CoreRun { core } => {
-                    let Some(item) = self.cores[core].queue.pop_front() else {
+                    let Some((proc, item)) = self.cores[core].queue.pop_front() else {
                         self.cores[core].running = false;
                         continue;
                     };
-                    let service = self.execute(core, item, at);
+                    let service = self.execute(proc, item, at);
                     let c = &mut self.cores[core];
                     c.free_at = at + service;
                     c.busy += service;
@@ -885,48 +1047,66 @@ impl<P: Protocol> ClusterSim<P> {
         }
     }
 
-    /// Processes one work item on `core` at time `start`; returns the
-    /// service time (already scaled by the core's slowdown).
-    fn execute(&mut self, core: usize, item: WorkItem<P::Msg>, start: Nanos) -> Nanos {
-        let slowdown = self.cores[core].slowdown;
+    /// Processes one work item of `proc` at time `start`; returns the
+    /// service time (already scaled by the hosting core's slowdown).
+    fn execute(&mut self, proc: usize, item: WorkItem<P::Msg>, start: Nanos) -> Nanos {
+        let slowdown = self.slowdown_of(proc);
         let scaled = |ns: Nanos| (ns as f64 * slowdown) as Nanos;
         match item {
             WorkItem::Peer { from, msg } => {
-                debug_assert!(self.is_replica_core(core));
+                debug_assert!(self.is_replica_proc(proc));
                 let base = scaled(self.profile.rx + self.profile.handle);
-                self.engine_step(core, EngineEvent::Message { from, msg }, start, base)
+                self.engine_step(proc, EngineEvent::Message { from, msg }, start, base)
             }
             WorkItem::ClientReq { client, req_id, op } => {
-                debug_assert!(self.is_replica_core(core));
+                debug_assert!(self.is_replica_proc(proc));
                 let base = scaled(self.profile.rx + self.profile.handle);
                 self.engine_step(
-                    core,
+                    proc,
                     EngineEvent::ClientRequest { client, req_id, op },
                     start,
                     base,
                 )
             }
+            WorkItem::RelaxedRead {
+                client,
+                req_id,
+                key,
+            } => {
+                debug_assert!(self.is_replica_proc(proc));
+                let base = scaled(self.profile.rx + self.profile.handle);
+                self.relaxed_read_step(proc, client, req_id, key, start, base, true)
+            }
+            WorkItem::RelaxedPoll {
+                client,
+                req_id,
+                key,
+            } => {
+                let base = scaled(self.profile.timer_cost);
+                self.relaxed_read_step(proc, client, req_id, key, start, base, false)
+            }
             WorkItem::TimerCheck { due } => {
-                debug_assert!(self.is_replica_core(core));
-                if self.timer_wake[core] != Some(due) {
+                debug_assert!(self.is_replica_proc(proc));
+                if self.timer_wake[proc] != Some(due) {
                     // Superseded by an earlier check: that one owns the
                     // wake and will reschedule; doing anything here would
                     // spawn a perpetually duplicated check stream.
                     return 0;
                 }
-                self.timer_wake[core] = None;
+                self.timer_wake[proc] = None;
+                let (r, s) = self.replica_of(proc);
                 let mut effects = std::mem::take(&mut self.scratch);
-                let fired = self.engines[core].fire_due(start, &mut effects);
+                let fired = self.engines[r].shard_mut(s).fire_due(start, &mut effects);
                 // Each fired timer costs one timer service; a check whose
                 // timer was cancelled or re-armed later costs nothing.
                 let base = scaled(self.profile.timer_cost) * fired as Nanos;
-                let service = self.apply_effects(core, start, base, &mut effects);
+                let service = self.apply_effects(proc, start, base, &mut effects);
                 self.scratch = effects;
                 service
             }
             WorkItem::Reply { req_id } => {
                 let service = scaled(self.profile.rx);
-                if let Some(j) = self.client_on(core) {
+                if let Some(j) = self.client_on(proc) {
                     let done = start + service;
                     // Only a reply that completes the outstanding request
                     // continues the closed loop; duplicates (a retried
@@ -935,84 +1115,128 @@ impl<P: Protocol> ClusterSim<P> {
                         && self.clients[j].completed < self.requests_per_client
                     {
                         let think = self.think;
-                        self.push_work(done + think, core, WorkItem::SendNext);
+                        self.push_work(done + think, proc, WorkItem::SendNext);
                     }
                 }
                 service
             }
             WorkItem::SendNext => {
-                if let Some(j) = self.client_on(core) {
+                if let Some(j) = self.client_on(proc) {
                     self.client_send_next(j, start)
                 } else {
                     0
                 }
             }
             WorkItem::LocalReadWait { req_id, key } => {
-                let Some(j) = self.client_on(core) else {
+                let Some(j) = self.client_on(proc) else {
                     return 0;
                 };
-                if self.clients[j].outstanding.map(|(r, _)| r) != Some(req_id) {
+                if self.clients[j].outstanding.as_ref().map(|&(r, _, _)| r) != Some(req_id) {
                     return 0;
                 }
-                if self.engines[core].can_read_locally(key) {
+                if self.engines[proc].can_read_locally(key) {
                     let service = scaled(self.profile.handle);
                     let done = start + service;
                     if self.client_complete(j, req_id, done)
                         && self.clients[j].completed < self.requests_per_client
                     {
                         let think = self.think;
-                        self.push_work(done + think, core, WorkItem::SendNext);
+                        self.push_work(done + think, proc, WorkItem::SendNext);
                     }
                     service
                 } else {
                     let service = scaled(self.profile.timer_cost);
                     self.push_work(
                         start + service + LOCAL_READ_POLL,
-                        core,
+                        proc,
                         WorkItem::LocalReadWait { req_id, key },
                     );
                     service
                 }
             }
             WorkItem::RetryCheck { req_id, epoch } => {
-                let Some(j) = self.client_on(core) else {
+                let Some(j) = self.client_on(proc) else {
                     return 0;
                 };
                 let c = &self.clients[j];
-                if c.epoch != epoch || c.outstanding.map(|(r, _)| r) != Some(req_id) {
+                if c.epoch != epoch || c.outstanding.as_ref().map(|&(r, _, _)| r) != Some(req_id) {
                     return 0; // answered meanwhile
                 }
                 // "Once the clients detect the slow leader, they send
                 // their requests to other nodes" (§7.6): round-robin to
-                // the next replica, same request id.
-                let slowdown = self.cores[core].slowdown;
-                let service = ((self.profile.tx + self.profile.marshal) as f64 * slowdown) as Nanos;
+                // the next replica slot, same request id, same operation
+                // (so the retry routes to the same shard group).
                 let n_replicas = self.engines.len();
                 let c = &mut self.clients[j];
                 c.target_idx = (c.target_idx + 1) % n_replicas;
-                let target_core = c.target_idx;
-                let client_node = c.node;
-                let op = self.workload.generate(&mut self.clients[j].rng);
-                // Note: ops are deterministic per (client, req) only for
-                // Noop workloads; for mixed workloads the retry re-rolls,
-                // which is harmless because the RSM layer applies the
-                // first committed copy only.
-                let send_done = start + service;
-                self.total_messages += 1;
-                self.deliver(
-                    core,
-                    target_core,
-                    send_done,
-                    WorkItem::ClientReq {
-                        client: client_node,
-                        req_id,
-                        op,
-                    },
-                );
-                let at = start + service + self.client_timeout;
-                self.push_work(at, core, WorkItem::RetryCheck { req_id, epoch });
-                service
+                let op = c
+                    .outstanding
+                    .as_ref()
+                    .map(|(_, _, op)| op.clone())
+                    .expect("checked");
+                self.client_transmit(j, req_id, op, start, epoch)
             }
+        }
+    }
+
+    /// Serves (or defers) a relaxed read at a replica-shard process.
+    /// `first` marks the initial arrival (which may degrade to consensus
+    /// on ordered-reads protocols); re-polls only ever wait or answer.
+    #[allow(clippy::too_many_arguments)]
+    fn relaxed_read_step(
+        &mut self,
+        proc: usize,
+        client: NodeId,
+        req_id: u64,
+        key: u64,
+        start: Nanos,
+        base: Nanos,
+        first: bool,
+    ) -> Nanos {
+        let (r, s) = self.replica_of(proc);
+        debug_assert_eq!(self.router.route_key(key), s, "relaxed read mis-routed");
+        let slowdown = self.slowdown_of(proc);
+        if self.engines[r].shard(s).local_read(key).is_some() {
+            // Served from the local copy: one reply message, no agreement
+            // traffic at all — the whole point of §7.5.
+            let out_cost = ((self.profile.tx + self.profile.marshal) as f64 * slowdown) as Nanos;
+            let service = base + out_cost;
+            self.total_messages += 1;
+            self.deliver(
+                proc,
+                client.index(),
+                start + service,
+                WorkItem::Reply { req_id },
+            );
+            service
+        } else if self.local_reads_possible {
+            // Inside the lock window: wait it out on the replica, like
+            // the runtime's pending-read backlog.
+            self.push_work(
+                start + base + LOCAL_READ_POLL,
+                proc,
+                WorkItem::RelaxedPoll {
+                    client,
+                    req_id,
+                    key,
+                },
+            );
+            base
+        } else if first {
+            // Ordered-reads protocol: degrade to a linearized read
+            // through consensus (same as the runtime's ReadRelaxed path).
+            self.engine_step(
+                proc,
+                EngineEvent::ClientRequest {
+                    client,
+                    req_id,
+                    op: Op::Get { key },
+                },
+                start,
+                base,
+            )
+        } else {
+            base
         }
     }
 
@@ -1025,7 +1249,7 @@ impl<P: Protocol> ClusterSim<P> {
             .iter()
             .map(|c| c.busy as f64 / ended_at.max(1) as f64)
             .collect();
-        let replica_digests = self.engines.iter().map(|e| e.state().digest()).collect();
+        let replica_digests = self.engines.iter().map(ShardedEngine::kv_digest).collect();
         RunReport {
             completed: self.completed_in_window,
             duration,
@@ -1040,7 +1264,6 @@ impl<P: Protocol> ClusterSim<P> {
         }
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1270,5 +1493,133 @@ mod tests {
         // commit); digests of the first two replicas must match since
         // both saw every learn.
         assert!(r.completed >= 595, "got {}", r.completed);
+    }
+
+    #[test]
+    fn sharding_multiplies_saturated_throughput() {
+        // The tentpole claim end-to-end: four shard groups on their own
+        // cores commit far more per second than one, same protocol code,
+        // same clients, per-commit consistency checked throughout.
+        let run = |shards: u16| {
+            SimBuilder::new(Profile::opteron48(), |m, me| OnePaxosNode::new(cfg(m, me)))
+                .clients(16)
+                .shards(shards)
+                .workload(Workload::ReadMix {
+                    read_pct: 0,
+                    keys: 1024,
+                })
+                .duration(120_000_000)
+                .warmup(20_000_000)
+                .run()
+        };
+        let s1 = run(1);
+        let s4 = run(4);
+        assert!(
+            s4.throughput > 1.8 * s1.throughput,
+            "4 shards {:.0} op/s must far outscale 1 shard {:.0} op/s",
+            s4.throughput,
+            s1.throughput
+        );
+    }
+
+    #[test]
+    fn sharded_runs_complete_budgets_and_stay_deterministic() {
+        let run = || {
+            SimBuilder::new(Profile::opteron48(), |m, me| OnePaxosNode::new(cfg(m, me)))
+                .clients(4)
+                .shards(3)
+                .workload(Workload::ReadMix {
+                    read_pct: 25,
+                    keys: 64,
+                })
+                .requests_per_client(50)
+                .seed(7)
+                .run()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.completed, 200);
+        assert_eq!(a.ended_at, b.ended_at);
+        assert_eq!(a.total_messages, b.total_messages);
+        assert_eq!(a.replica_digests, b.replica_digests);
+    }
+
+    #[test]
+    fn sharding_composes_with_batching() {
+        // The acceptance-criteria configuration in miniature: batching on
+        // both sides, sharded still well ahead.
+        let run = |shards: u16| {
+            SimBuilder::new(Profile::opteron48(), |m, me| OnePaxosNode::new(cfg(m, me)))
+                .clients(16)
+                .shards(shards)
+                .batching(BatchConfig::new(8, 20_000))
+                .workload(Workload::ReadMix {
+                    read_pct: 0,
+                    keys: 1024,
+                })
+                .duration(120_000_000)
+                .warmup(20_000_000)
+                .run()
+        };
+        let s1 = run(1);
+        let s4 = run(4);
+        assert!(
+            s4.throughput > 1.5 * s1.throughput,
+            "sharded+batched {:.0} op/s vs batched {:.0} op/s",
+            s4.throughput,
+            s1.throughput
+        );
+    }
+
+    #[test]
+    fn relaxed_mix_bypasses_agreements_for_twopc_replica_mode() {
+        // The sim-side get_relaxed: in replica (non-joint) mode, 2PC
+        // serves relaxed reads from the target replica's local copy —
+        // fewer server messages per completed op than ordering every
+        // read, and more completions.
+        let run = |w: Workload| {
+            SimBuilder::new(Profile::opteron48(), |m, me| TwoPcNode::new(cfg(m, me)))
+                .clients(8)
+                .workload(w)
+                .duration(100_000_000)
+                .warmup(15_000_000)
+                .run()
+        };
+        let ordered = run(Workload::ReadMix {
+            read_pct: 75,
+            keys: 64,
+        });
+        let relaxed = run(Workload::RelaxedMix {
+            read_pct: 75,
+            keys: 64,
+        });
+        let per_op_ordered = ordered.server_messages as f64 / ordered.completed.max(1) as f64;
+        let per_op_relaxed = relaxed.server_messages as f64 / relaxed.completed.max(1) as f64;
+        assert!(
+            per_op_relaxed < 0.5 * per_op_ordered,
+            "relaxed reads must skip agreement traffic: {per_op_relaxed:.2} vs {per_op_ordered:.2}"
+        );
+        assert!(
+            relaxed.throughput > ordered.throughput,
+            "relaxed {:.0} op/s vs ordered {:.0} op/s",
+            relaxed.throughput,
+            ordered.throughput
+        );
+    }
+
+    #[test]
+    fn relaxed_mix_degrades_to_consensus_for_ordered_protocols() {
+        // 1Paxos without the relaxed-reads opt-in orders every read: the
+        // RelaxedMix workload still completes (reads come back through
+        // consensus) and replicas stay consistent.
+        let r = SimBuilder::new(Profile::opteron48(), |m, me| OnePaxosNode::new(cfg(m, me)))
+            .clients(4)
+            .shards(2)
+            .workload(Workload::RelaxedMix {
+                read_pct: 50,
+                keys: 32,
+            })
+            .requests_per_client(50)
+            .run();
+        assert_eq!(r.completed, 200);
     }
 }

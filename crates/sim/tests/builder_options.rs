@@ -63,13 +63,34 @@ fn placement_must_cover_all_processes() {
 }
 
 #[test]
-#[should_panic(expected = "placement cores must be distinct")]
-fn placement_cores_must_be_distinct() {
-    let _ = SimBuilder::new(Profile::opteron48(), |m, me| OnePaxosNode::new(cfg(m, me)))
-        .replicas(3)
-        .clients(1)
-        .placement(vec![0, 1, 1, 2])
-        .run();
+fn colocated_shards_serialize_while_spread_shards_scale() {
+    // Placement may map several processes to one physical core: they
+    // share its FIFO and serialize. Four shard groups squeezed onto the
+    // three replica cores buy (almost) nothing; the same four groups
+    // spread over twelve cores multiply throughput.
+    let run = |placement: Vec<usize>| {
+        SimBuilder::new(Profile::opteron48(), |m, me| OnePaxosNode::new(cfg(m, me)))
+            .replicas(3)
+            .shards(4)
+            .clients(12)
+            .workload(manycore_sim::Workload::ReadMix {
+                read_pct: 0,
+                keys: 1024,
+            })
+            .placement(placement)
+            .duration(100_000_000)
+            .warmup(15_000_000)
+            .run()
+            .throughput
+    };
+    // Replica-major process order: replica r's four shards, then clients.
+    let colocated: Vec<usize> = (0..12).map(|p| p / 4).chain(12..24).collect();
+    let spread: Vec<usize> = (0..24).collect();
+    let (tied, scaled) = (run(colocated), run(spread));
+    assert!(
+        scaled > 1.5 * tied,
+        "spread shards must outscale colocated ones: {scaled:.0} vs {tied:.0}"
+    );
 }
 
 #[test]

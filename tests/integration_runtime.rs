@@ -145,6 +145,89 @@ fn batched_cluster_serves_concurrent_clients_consistently() {
 }
 
 #[test]
+fn sharded_cluster_partitions_keys_and_serves_every_client() {
+    // Two consensus groups per replica slot, still one thread per slot:
+    // every key routes to its owning group, callers stay oblivious.
+    let t = one_timing();
+    let (cluster, mut clients) = ClusterBuilder::new(3, move |m: &[NodeId], me| {
+        OnePaxosNode::with_timing(cfg(m, me), t)
+    })
+    .clients(1)
+    .shards(2)
+    .spawn();
+    let c = &mut clients[0];
+    c.set_timeout(Duration::from_secs(2));
+    let mut seen = std::collections::BTreeSet::new();
+    for key in 0..12u64 {
+        seen.insert(c.shard_of(key));
+        assert_eq!(c.put(key, key * 7).expect("commit"), None, "key {key}");
+    }
+    assert_eq!(seen.len(), 2, "12 keys must touch both groups");
+    for key in 0..12u64 {
+        assert_eq!(c.get(key).expect("commit"), Some(key * 7), "key {key}");
+    }
+    // Cross-group read-your-writes held above; relaxed reads degrade to
+    // ordered reads per group and still answer.
+    assert_eq!(c.get_relaxed(NodeId(0), 3).expect("read"), Some(21));
+    cluster.shutdown(&mut clients[0]);
+}
+
+#[test]
+fn sharded_batched_cluster_serves_concurrent_clients() {
+    // Sharding composes with batching on real threads: each group keeps
+    // its own accumulator, per-client replies fan back out on commit.
+    let t = one_timing();
+    let (cluster, clients) = ClusterBuilder::new(3, move |m: &[NodeId], me| {
+        OnePaxosNode::with_timing(cfg(m, me), t)
+    })
+    .clients(3)
+    .shards(2)
+    .batching(BatchConfig::new(4, 200_000))
+    .spawn();
+    let workers: Vec<_> = clients
+        .into_iter()
+        .enumerate()
+        .map(|(w, mut c)| {
+            std::thread::spawn(move || {
+                c.set_timeout(Duration::from_secs(2));
+                for i in 0..20u64 {
+                    c.put(w as u64 * 100 + i, i).expect("commit");
+                }
+                assert_eq!(c.get(w as u64 * 100 + 19).expect("commit"), Some(19));
+                c
+            })
+        })
+        .collect();
+    let mut clients: Vec<_> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+    cluster.shutdown(&mut clients[0]);
+}
+
+#[test]
+fn sharded_twopc_serves_relaxed_reads_from_the_owning_group() {
+    let (cluster, mut clients) =
+        ClusterBuilder::new(3, |m: &[NodeId], me| TwoPcNode::new(cfg(m, me)))
+            .clients(1)
+            .shards(3)
+            .spawn();
+    let c = &mut clients[0];
+    c.set_timeout(Duration::from_secs(2));
+    for key in 0..6u64 {
+        assert_eq!(c.put(key, key + 100).expect("commit"), None);
+    }
+    // Every replica answers from the local copy of the key's own group.
+    for n in 0..3u16 {
+        for key in 0..6u64 {
+            assert_eq!(
+                c.get_relaxed(NodeId(n), key).expect("read"),
+                Some(key + 100),
+                "replica {n} key {key}"
+            );
+        }
+    }
+    cluster.shutdown(&mut clients[0]);
+}
+
+#[test]
 fn submit_noop_commits() {
     let t = one_timing();
     let (cluster, mut clients) = ClusterBuilder::new(3, move |m: &[NodeId], me| {

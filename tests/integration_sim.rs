@@ -77,6 +77,55 @@ fn five_replicas_work_for_all_quorum_protocols() {
 }
 
 #[test]
+fn sharded_replicas_converge_across_groups_for_every_protocol() {
+    // Sharded deployments through the facade: every protocol completes a
+    // keyed budget over 4 groups, and the replicas' folded (cross-shard)
+    // KV digests agree at the end.
+    macro_rules! check {
+        ($name:literal, $factory:expr) => {{
+            let r = SimBuilder::new(Profile::opteron48(), $factory)
+                .replicas(3)
+                .shards(4)
+                .clients(6)
+                .workload(Workload::ReadMix {
+                    read_pct: 20,
+                    keys: 256,
+                })
+                .requests_per_client(100)
+                .run();
+            assert_eq!(r.completed, 600, "{} completed", $name);
+            let d = &r.replica_digests;
+            assert_eq!(d[0], d[1], "{}: replica 0 vs 1 diverged", $name);
+            assert_eq!(d[1], d[2], "{}: replica 1 vs 2 diverged", $name);
+        }};
+    }
+    check!("1Paxos", |m: &[NodeId], me| OnePaxosNode::new(cfg(m, me)));
+    check!("Multi-Paxos", |m: &[NodeId], me| MultiPaxosNode::new(cfg(
+        m, me
+    )));
+    check!("2PC", |m: &[NodeId], me| TwoPcNode::new(cfg(m, me)));
+}
+
+#[test]
+fn sharded_relaxed_mix_completes_through_the_facade() {
+    // RelaxedMix + sharding: 2PC serves the reads from each key's owning
+    // group's local copy; the budget still completes exactly.
+    let r = SimBuilder::new(Profile::opteron48(), |m: &[NodeId], me| {
+        TwoPcNode::new(cfg(m, me))
+    })
+    .replicas(3)
+    .shards(2)
+    .clients(4)
+    .workload(Workload::RelaxedMix {
+        read_pct: 60,
+        keys: 64,
+    })
+    .requests_per_client(100)
+    .run();
+    assert_eq!(r.completed, 400);
+}
+
+#[test]
 fn onepaxos_message_budget_is_half_of_multipaxos() {
     // §4.3/Fig 3: 1Paxos halves the per-commit message count (with client
     // traffic: 5 vs 10 per commit on three nodes).
