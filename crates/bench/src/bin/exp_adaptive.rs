@@ -1,0 +1,184 @@
+//! Adaptive-vs-static batch-depth sweep: throughput/latency at three
+//! offered-load levels, sharded and unsharded, comparing the engine's
+//! adaptive depth controller against every static depth.
+//!
+//! The PR 2 sweep (`BENCH_batching.json`) showed the optimal static
+//! depth tracks offered load — 16 is best at 24 closed-loop clients
+//! while 32 already loses throughput and adds latency — so any fixed
+//! `BatchConfig` is wrong at every load but one. The adaptive controller
+//! (`BatchConfig::Adaptive`, see `onepaxos::engine`) is the cure: it
+//! must land within a few percent of whichever static depth happens to
+//! win at *each* load, without being told the load. This experiment
+//! measures that end-to-end and records it in `BENCH_adaptive.json`, so
+//! CI can fail on a controller regression (`bench-smoke` runs the
+//! `--smoke` variant and asserts adaptive beats unbatched and reaches
+//! 90% of the best static point).
+//!
+//! Usage: `exp_adaptive [--smoke] [--out PATH]`
+
+use consensus_bench::experiments::{exp_adaptive, AdaptivePoint, Proto};
+use consensus_bench::report::{render_json, BenchCli};
+use consensus_bench::table::{ops, us, Table};
+
+/// Flush deadline for every batched point (static and adaptive): the
+/// PR 2 choice, well under the 1 ms client patience.
+const MAX_DELAY: u64 = 20_000;
+
+/// Adaptive depth ceiling: the largest static depth in the sweep, so
+/// the controller's whole range is covered by static reference points.
+const CAP: usize = 32;
+
+fn main() {
+    let cli = BenchCli::parse();
+    let out_path = cli.out_path("BENCH_adaptive.json");
+
+    // Smoke mode keeps CI fast: one saturated load, the statics the gate
+    // compares against (off / the known-best 16 / the overshooting 32),
+    // on a shorter run. The full sweep covers three offered-load levels
+    // (48 clients outnumber the profile's spare cores and are
+    // co-located, see `packed_placement`), sharded and unsharded.
+    let (loads, shard_counts, statics, duration): (&[usize], &[u16], &[usize], u64) = if cli.smoke {
+        (&[24], &[1], &[1, 16, 32], 120_000_000)
+    } else {
+        (&[6, 24, 48], &[1, 4], &[1, 8, 16, 32], 200_000_000)
+    };
+    let proto = Proto::OnePaxos;
+
+    println!(
+        "Adaptive batch-depth sweep — {} replicas=3 loads={loads:?} shards={shard_counts:?} \
+         duration={}ms delay={}µs cap={CAP}{}\n",
+        proto.name(),
+        duration / 1_000_000,
+        MAX_DELAY / 1_000,
+        if cli.smoke { " (smoke)" } else { "" }
+    );
+    let points = exp_adaptive(
+        proto,
+        loads,
+        shard_counts,
+        statics,
+        CAP,
+        duration,
+        MAX_DELAY,
+    );
+
+    let mut t = Table::new(&[
+        "clients",
+        "shards",
+        "policy",
+        "op/s",
+        "mean µs",
+        "final depth",
+        "mean fill",
+    ]);
+    for p in &points {
+        t.row(&[
+            p.clients.to_string(),
+            p.shards.to_string(),
+            if p.adaptive {
+                format!("adaptive<={}", p.depth)
+            } else if p.depth == 1 {
+                "static 1 (off)".to_string()
+            } else {
+                format!("static {}", p.depth)
+            },
+            ops(p.throughput),
+            us(p.latency_us),
+            p.final_depth.to_string(),
+            format!("{:.2}", p.mean_fill),
+        ]);
+    }
+    print!("{}", t.render());
+
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"clients\": {}, \"shards\": {}, \"adaptive\": {}, \"depth\": {}, \
+                 \"throughput_ops\": {:.1}, \"mean_latency_us\": {:.2}, \
+                 \"server_messages\": {}, \"completed\": {}, \"final_depth\": {}, \
+                 \"mean_fill\": {:.2}}}",
+                p.clients,
+                p.shards,
+                p.adaptive,
+                p.depth,
+                p.throughput,
+                p.latency_us,
+                p.server_messages,
+                p.completed,
+                p.final_depth,
+                p.mean_fill
+            )
+        })
+        .collect();
+    let json = render_json(
+        "adaptive",
+        proto.name(),
+        &[
+            ("profile", "\"opteron-48\"".into()),
+            ("duration_ns", duration.to_string()),
+            ("max_delay_ns", MAX_DELAY.to_string()),
+            ("adaptive_cap", CAP.to_string()),
+        ],
+        cli.smoke,
+        &rows,
+    );
+    std::fs::write(out_path, &json).expect("write BENCH_adaptive.json");
+    println!("\nwrote {out_path}");
+
+    // The acceptance gates, per (load, shards) cell: adaptive must
+    // reach 90% of the best static point — i.e. adapt at least as well
+    // as a hand-tuned knob, at *every* load (static depth 1 = batching
+    // off is one of the contenders; at light load it wins, and the
+    // controller's goodput veto is what keeps adaptive on its heels
+    // there). At the saturated 24-client load, adaptive must strictly
+    // beat both mistuned extremes: static depth 1 and static depth 32.
+    let mut failed = false;
+    for &shards in shard_counts {
+        for &clients in loads {
+            let cell: Vec<&AdaptivePoint> = points
+                .iter()
+                .filter(|p| p.clients == clients && p.shards == shards)
+                .collect();
+            let adaptive = cell
+                .iter()
+                .find(|p| p.adaptive)
+                .expect("adaptive point per cell");
+            let best_static = cell
+                .iter()
+                .filter(|p| !p.adaptive)
+                .map(|p| p.throughput)
+                .fold(0.0f64, f64::max);
+            println!(
+                "clients={clients} shards={shards}: adaptive {} op/s vs best static {} op/s \
+                 ({:.1}%)",
+                ops(adaptive.throughput),
+                ops(best_static),
+                100.0 * adaptive.throughput / best_static,
+            );
+            if adaptive.throughput < 0.9 * best_static {
+                eprintln!(
+                    "FAIL: adaptive must reach 90% of the best static depth at \
+                     clients={clients} shards={shards}"
+                );
+                failed = true;
+            }
+            if clients == 24 {
+                for extreme in [1usize, 32] {
+                    if let Some(s) = cell.iter().find(|p| !p.adaptive && p.depth == extreme) {
+                        if adaptive.throughput <= s.throughput {
+                            eprintln!(
+                                "FAIL: adaptive must strictly beat static depth {extreme} at \
+                                 24 clients (shards={shards})"
+                            );
+                            failed = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

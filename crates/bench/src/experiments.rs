@@ -6,7 +6,7 @@ use onepaxos::basic_paxos::BasicPaxosNode;
 use onepaxos::multipaxos::MultiPaxosNode;
 use onepaxos::onepaxos::OnePaxosNode;
 use onepaxos::twopc::TwoPcNode;
-use onepaxos::{BatchConfig, ClusterConfig, Nanos, NodeId};
+use onepaxos::{AdaptiveBatch, BatchConfig, ClusterConfig, Nanos, NodeId};
 
 /// The protocols under evaluation (§7).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -71,6 +71,11 @@ pub struct RunCfg {
     /// Number of key-hash-routed consensus groups (1 = unsharded; see
     /// `onepaxos::shard`'s module docs). Non-joint deployments only.
     pub shards: u16,
+    /// Explicit process→core placement (replica-shard processes first,
+    /// then clients); `None` = identity. Lets a sweep offer more
+    /// closed-loop clients than the profile has spare cores by
+    /// co-locating clients.
+    pub placement: Option<Vec<usize>>,
 }
 
 impl RunCfg {
@@ -93,6 +98,7 @@ impl RunCfg {
             seed: 0xC0FFEE,
             batch: None,
             shards: 1,
+            placement: None,
         }
     }
 
@@ -132,6 +138,9 @@ where
     }
     if cfg.shards > 1 {
         b = b.shards(cfg.shards);
+    }
+    if let Some(p) = cfg.placement.clone() {
+        b = b.placement(p);
     }
     for f in &cfg.faults {
         b = b.fault(*f);
@@ -487,6 +496,115 @@ pub fn exp_sharding(
         .collect()
 }
 
+/// One point of the adaptive-vs-static batch-depth sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct AdaptivePoint {
+    /// Offered load: closed-loop clients.
+    pub clients: usize,
+    /// Key-hash-routed consensus groups (1 = unsharded).
+    pub shards: u16,
+    /// Whether the engine drove the depth adaptively.
+    pub adaptive: bool,
+    /// The static flush depth (1 = batching off), or the adaptive cap.
+    pub depth: usize,
+    /// Throughput, ops/sec.
+    pub throughput: f64,
+    /// Mean commit latency, µs.
+    pub latency_us: f64,
+    /// Inter-replica messages over the whole run.
+    pub server_messages: u64,
+    /// Completions inside the measurement window.
+    pub completed: u64,
+    /// Deepest learned flush depth across the replicas' controllers at
+    /// the end of the run (static points report the knob itself).
+    pub final_depth: usize,
+    /// Mean commands per flush across every engine of the run.
+    pub mean_fill: f64,
+}
+
+/// Co-locates clients when a load level asks for more processes than the
+/// profile has cores: replica-shard processes keep a core each (they are
+/// the measured hot path), clients round-robin over the remainder.
+/// Returns `None` when the identity placement already fits.
+fn packed_placement(cores: usize, replica_procs: usize, clients: usize) -> Option<Vec<usize>> {
+    if replica_procs + clients <= cores {
+        return None;
+    }
+    let client_cores = cores - replica_procs;
+    assert!(client_cores > 0, "no cores left for clients");
+    Some(
+        (0..replica_procs)
+            .chain((0..clients).map(|j| replica_procs + j % client_cores))
+            .collect(),
+    )
+}
+
+/// Adaptive-vs-static batch-depth sweep on the 48-core sim harness: for
+/// each offered load (client count) and shard count, run every static
+/// depth in `statics` (1 = batching off) plus one adaptive point bounded
+/// by `cap`. The static points re-measure the load-dependence of the
+/// optimum (the reason a static knob is wrong at every load but one);
+/// the adaptive point is the cure under test — it must land within a
+/// few percent of whichever static depth happens to win at that load.
+/// The workload is keyed so sharded points exercise real routing.
+pub fn exp_adaptive(
+    proto: Proto,
+    loads: &[usize],
+    shard_counts: &[u16],
+    statics: &[usize],
+    cap: usize,
+    duration: Nanos,
+    max_delay: Nanos,
+) -> Vec<AdaptivePoint> {
+    let mut out = Vec::new();
+    for &shards in shard_counts {
+        for &clients in loads {
+            let mut base = RunCfg {
+                shards,
+                workload: Workload::ReadMix {
+                    read_pct: 0,
+                    keys: 4096,
+                },
+                ..RunCfg::throughput48(clients, duration)
+            };
+            base.placement =
+                packed_placement(base.profile.cores, base.replicas * shards as usize, clients);
+            let point = |batch: Option<BatchConfig>, depth: usize, adaptive: bool| {
+                let r = run(
+                    proto,
+                    &RunCfg {
+                        batch,
+                        ..base.clone()
+                    },
+                );
+                let stats = r.batch_stats();
+                AdaptivePoint {
+                    clients,
+                    shards,
+                    adaptive,
+                    depth,
+                    throughput: r.throughput,
+                    latency_us: r.mean_latency_us(),
+                    server_messages: r.server_messages,
+                    completed: r.completed,
+                    final_depth: if adaptive { stats.depth } else { depth },
+                    mean_fill: stats.mean_fill(),
+                }
+            };
+            for &s in statics {
+                let batch = (s > 1).then(|| BatchConfig::new(s, max_delay));
+                out.push(point(batch, s.max(1), false));
+            }
+            out.push(point(
+                Some(BatchConfig::adaptive(AdaptiveBatch::new(cap, max_delay))),
+                cap,
+                true,
+            ));
+        }
+    }
+    out
+}
+
 /// §5.2/§5.4: acceptor switch and double-failure liveness timeline for
 /// 1Paxos. Returns (timeline, label) pairs.
 pub fn exp_accswitch(duration: Nanos) -> Vec<(&'static str, Vec<(Nanos, f64)>)> {
@@ -585,6 +703,45 @@ mod tests {
             pts[1].throughput,
             pts[0].throughput
         );
+    }
+
+    #[test]
+    fn exp_adaptive_learns_a_depth_and_beats_unbatched() {
+        let pts = exp_adaptive(
+            Proto::OnePaxos,
+            &[16],
+            &[1],
+            &[1, 8],
+            32,
+            120_000_000,
+            20_000,
+        );
+        assert_eq!(pts.len(), 3, "two statics plus the adaptive point");
+        let adaptive = pts.iter().find(|p| p.adaptive).expect("adaptive point");
+        let unbatched = pts
+            .iter()
+            .find(|p| !p.adaptive && p.depth == 1)
+            .expect("unbatched baseline");
+        assert!(
+            adaptive.throughput > unbatched.throughput,
+            "adaptive {:.0} op/s must beat unbatched {:.0} op/s",
+            adaptive.throughput,
+            unbatched.throughput
+        );
+        assert!(adaptive.final_depth > 1, "controller never grew");
+        assert!(adaptive.mean_fill > 1.0);
+    }
+
+    #[test]
+    fn packed_placement_only_kicks_in_past_the_core_count() {
+        assert_eq!(packed_placement(48, 3, 45), None);
+        let p = packed_placement(48, 3, 48).expect("51 processes on 48 cores");
+        assert_eq!(p.len(), 51);
+        assert_eq!(&p[..3], &[0, 1, 2], "replicas keep their own cores");
+        assert!(p[3..].iter().all(|&c| (3..48).contains(&c)));
+        // First spare core hosts the first and the 46th client.
+        assert_eq!(p[3], 3);
+        assert_eq!(p[3 + 45], 3);
     }
 
     #[test]

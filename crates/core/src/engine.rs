@@ -58,13 +58,28 @@
 //! bottleneck inside a machine (§3). [`BatchConfig`] turns on the
 //! engine-side cure: client requests accumulate in the engine and travel
 //! through **one** agreement as an [`Op::Batch`] command. A batch opens on
-//! the first enqueued request, flushes when it reaches
-//! [`BatchConfig::max_commands`] or when [`BatchConfig::max_delay`] has
-//! passed (via the ordinary timer table, under the reserved
-//! [`BATCH_FLUSH`] timer — so [`Self::next_deadline`] automatically
-//! covers a partially filled batch and sleep-until-deadline harnesses
-//! cannot stall it). A flushed singleton is submitted as a plain command,
-//! so `max_delay` is the only cost batching can add to an idle system.
+//! the first enqueued request, flushes when it reaches the flush depth
+//! or when [`BatchConfig::max_delay`] has passed (via the ordinary timer
+//! table, under the reserved [`BATCH_FLUSH`] timer — so
+//! [`Self::next_deadline`] automatically covers a partially filled batch
+//! and sleep-until-deadline harnesses cannot stall it). A flushed
+//! singleton is submitted as a plain command, so `max_delay` is the only
+//! cost batching can add to an idle system.
+//!
+//! The flush depth itself comes in two flavours. [`BatchConfig::Fixed`]
+//! is a static knob — always flush at `max_commands`. But the optimal
+//! depth tracks offered load (the `exp_batching` sweep: 16 is best at 24
+//! closed-loop clients while 32 already loses throughput and adds
+//! latency), so a static knob is wrong at every load but one.
+//! [`BatchConfig::Adaptive`] instead lets the engine **learn** the depth:
+//! a flush-time controller ([`AdaptiveBatch`]) walks the depth up while
+//! demand keeps batches full, snaps it back to the observed fill when
+//! load drops, refuses to grow while the commit backlog is past its
+//! knee, and decays to depth 1 when idle — so a latency-sensitive
+//! trickle never waits out `max_delay`. The controller samples only at
+//! batch-open and flush time from counters the engine already maintains
+//! ([`EngineStats`]): zero allocation, no timers of its own, depth always
+//! within `[1, max_commands]`.
 //!
 //! Batches are advocated under the engine's [`NodeId::batch_source`]
 //! identity. When a batch this engine advocated commits, the engine fans
@@ -103,7 +118,7 @@
 //! assert_eq!(engine.state().get(1), Some(7));
 //! ```
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 
 use crate::outbox::{Action, Outbox, Timer};
 use crate::protocol::Protocol;
@@ -115,38 +130,430 @@ use crate::types::{Command, Instance, Nanos, NodeId, Op};
 /// the engine intercepts it before protocol dispatch.
 pub const BATCH_FLUSH: Timer = Timer::Custom(u8::MAX);
 
-/// Command-batching knobs (off by default; see the
+/// Command-batching policy (off by default; see the
 /// [module docs](self#batching)).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct BatchConfig {
-    /// Flush as soon as this many commands are waiting.
-    pub max_commands: usize,
-    /// Flush when the oldest waiting command is this old, even if the
-    /// batch is not full — bounds the latency batching can add.
-    pub max_delay: Nanos,
+pub enum BatchConfig {
+    /// Always flush at `max_commands` — the static knob, right at exactly
+    /// one offered load.
+    Fixed {
+        /// Flush as soon as this many commands are waiting.
+        max_commands: usize,
+        /// Flush when the oldest waiting command is this old, even if the
+        /// batch is not full — bounds the latency batching can add.
+        max_delay: Nanos,
+    },
+    /// Track offered load and drive the flush depth with a hill-climb
+    /// controller bounded by `[1, max_commands]`.
+    Adaptive(AdaptiveBatch),
 }
 
 impl BatchConfig {
-    /// Creates a config flushing at `max_commands` or after `max_delay`.
+    /// Creates a [fixed](Self::Fixed) config flushing at `max_commands`
+    /// or after `max_delay`.
     ///
     /// # Panics
     ///
     /// Panics if `max_commands` is zero.
     pub fn new(max_commands: usize, max_delay: Nanos) -> Self {
         assert!(max_commands >= 1, "a batch holds at least one command");
-        BatchConfig {
+        BatchConfig::Fixed {
             max_commands,
             max_delay,
         }
     }
+
+    /// Creates an [adaptive](Self::Adaptive) config (convenience mirror
+    /// of `BatchConfig::Adaptive(cfg)`).
+    pub fn adaptive(cfg: AdaptiveBatch) -> Self {
+        BatchConfig::Adaptive(cfg)
+    }
+
+    /// The flush deadline shared by both policies.
+    pub fn max_delay(&self) -> Nanos {
+        match *self {
+            BatchConfig::Fixed { max_delay, .. } => max_delay,
+            BatchConfig::Adaptive(a) => a.max_delay,
+        }
+    }
+
+    /// The depth ceiling: the fixed flush depth, or the adaptive
+    /// controller's upper bound.
+    pub fn max_commands(&self) -> usize {
+        match *self {
+            BatchConfig::Fixed { max_commands, .. } => max_commands,
+            BatchConfig::Adaptive(a) => a.max_commands,
+        }
+    }
+
+    /// Whether this config drives the depth adaptively.
+    pub fn is_adaptive(&self) -> bool {
+        matches!(self, BatchConfig::Adaptive(_))
+    }
 }
 
 impl Default for BatchConfig {
-    /// 8 commands or 20 µs, whichever comes first — a batch deep enough
-    /// to amortise the §3 per-message cost, a delay well under typical
-    /// client patience.
+    /// Fixed 8 commands or 20 µs, whichever comes first — a batch deep
+    /// enough to amortise the §3 per-message cost, a delay well under
+    /// typical client patience.
     fn default() -> Self {
         BatchConfig::new(8, 20_000)
+    }
+}
+
+/// Knobs of the adaptive batch-depth controller
+/// ([`BatchConfig::Adaptive`]).
+///
+/// The controller owns one number — the current flush depth, always in
+/// `[1, max_commands]` — and adjusts it from two zero-cost signals
+/// sampled where the engine already does work:
+///
+/// * **Grow** (additive, +1): a flush was size-triggered *and* the next
+///   request arrived within `max_delay` of it — demand exceeded the
+///   depth inside one flush window. `grow_after` consecutive such
+///   signals raise the depth, unless the commit backlog (batches
+///   advocated but not yet committed) has reached `backlog_knee`.
+/// * **Shrink** (snap to demand): consecutive deadline flushes at half
+///   the depth or less drop the depth to the largest fill observed since
+///   the last shrink — so a transient remainder flush behind a full one
+///   never shrinks, while a real load drop converges in a couple of
+///   windows. A commit backlog at twice the knee halves the depth
+///   outright.
+/// * **Goodput veto** (the hill-climb half): arrival rate and mean fill
+///   are measured per window of 32 flush deadlines. A window that ran
+///   deeper than its predecessor yet shipped ≥5% less is proof the
+///   climb's marginal throughput was negative — the depth reverts to
+///   the measured-better one; a window dominated by deadline flushes
+///   that coalesced fewer than two commands on average paid deadline
+///   waits for no message savings at all, and drops straight to
+///   depth 1. Either way growth freezes for 48 goodput windows
+///   (≈31 ms at the default deadline). This is what stops a fast closed loop
+///   (whose replies echo requests back within one flush window at *any*
+///   depth) from talking the controller into batching a load too light
+///   to profit from it.
+/// * **Idle decay**: a request arriving after `idle_after` of silence
+///   resets the depth to 1, so a trickle flushes every command
+///   immediately instead of waiting out `max_delay`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AdaptiveBatch {
+    /// Upper bound on the flush depth (the controller starts at 1).
+    pub max_commands: usize,
+    /// Flush deadline, as in the fixed policy.
+    pub max_delay: Nanos,
+    /// Consecutive demand signals required before growing by one.
+    pub grow_after: u32,
+    /// Commit-backlog knee: at `backlog_knee` in-flight batches the
+    /// depth stops growing, at twice that it halves.
+    pub backlog_knee: usize,
+    /// Idle gap after which the depth decays back to 1.
+    pub idle_after: Nanos,
+}
+
+impl AdaptiveBatch {
+    /// Creates a controller config bounded by `max_commands` with flush
+    /// deadline `max_delay`, using the default pacing knobs (grow on
+    /// every demand signal, backlog knee 4, idle decay after 16 flush
+    /// windows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_commands` is zero.
+    pub fn new(max_commands: usize, max_delay: Nanos) -> Self {
+        assert!(max_commands >= 1, "a batch holds at least one command");
+        AdaptiveBatch {
+            max_commands,
+            max_delay,
+            grow_after: 1,
+            backlog_knee: 4,
+            idle_after: 16 * max_delay.max(1),
+        }
+    }
+}
+
+impl Default for AdaptiveBatch {
+    /// Depth in `[1, 32]` with the default 20 µs deadline: the span the
+    /// static sweep found load-dependent (16 best at 24 clients, 32
+    /// already overshooting).
+    fn default() -> Self {
+        AdaptiveBatch::new(32, 20_000)
+    }
+}
+
+/// What ended a batch's accumulation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum FlushTrigger {
+    /// The batch reached the flush depth.
+    Size,
+    /// The [`BATCH_FLUSH`] deadline fired first.
+    Deadline,
+}
+
+/// Lightweight batching counters, maintained inline by the engine (plain
+/// integer bumps, zero allocation) and sampled by the adaptive
+/// controller at flush time. Snapshot via [`ReplicaEngine::stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Requests accepted into a batch accumulator (retries coalesced
+    /// into a waiting batch are not counted).
+    pub enqueued: u64,
+    /// Batches handed to the protocol (singletons included).
+    pub flushes: u64,
+    /// Commands carried by those flushes.
+    pub flushed_commands: u64,
+    /// Flushes triggered by reaching the flush depth.
+    pub size_flushes: u64,
+    /// Flushes triggered by the [`BATCH_FLUSH`] deadline.
+    pub deadline_flushes: u64,
+    /// Current flush depth: the controller's depth under
+    /// [`BatchConfig::Adaptive`], `max_commands` under
+    /// [`BatchConfig::Fixed`], 1 with batching off.
+    pub depth: usize,
+    /// Adaptive depth increases.
+    pub grows: u64,
+    /// Adaptive depth decreases (demand snaps and backlog halvings).
+    pub shrinks: u64,
+    /// Adaptive resets to depth 1 after an idle gap.
+    pub idle_decays: u64,
+}
+
+impl EngineStats {
+    /// Mean commands per flush (0 when nothing has flushed).
+    pub fn mean_fill(&self) -> f64 {
+        if self.flushes == 0 {
+            0.0
+        } else {
+            self.flushed_commands as f64 / self.flushes as f64
+        }
+    }
+
+    /// Folds `other` into `self`: counters add, `depth` keeps the
+    /// maximum (the aggregate of independent controllers has no single
+    /// depth; the max is the one that matters for latency bounds).
+    pub fn absorb(&mut self, other: &EngineStats) {
+        self.enqueued += other.enqueued;
+        self.flushes += other.flushes;
+        self.flushed_commands += other.flushed_commands;
+        self.size_flushes += other.size_flushes;
+        self.deadline_flushes += other.deadline_flushes;
+        self.depth = self.depth.max(other.depth);
+        self.grows += other.grows;
+        self.shrinks += other.shrinks;
+        self.idle_decays += other.idle_decays;
+    }
+}
+
+/// Consecutive low-fill deadline flushes required before the depth
+/// snaps down to the observed demand. Two, not one: a remainder flush
+/// trailing a size-triggered flush is noise, two windows of low fill is
+/// a load drop.
+const SHRINK_AFTER: u32 = 2;
+
+/// Goodput-measurement window, in flush windows (`max_delay` units):
+/// long enough to average out per-batch noise, short enough that a
+/// climb that hurt throughput is caught within a few windows.
+const RATE_WINDOW: u64 = 32;
+
+/// How long growth stays frozen after a climb was reverted for making
+/// goodput worse, in goodput windows (each [`RATE_WINDOW`] = 32 flush
+/// deadlines, so 48 × 32 × 20 µs ≈ 31 ms at the default deadline).
+/// The freeze bounds the probing duty cycle: at light load the
+/// controller spends a few windows rediscovering that batching does
+/// not pay and then holds the proven depth for this long, keeping the
+/// probe tax in the single-digit percents while a genuine load
+/// increase is still noticed within tens of milliseconds.
+const FREEZE_WINDOWS: u64 = 48;
+
+/// Runtime state of the adaptive depth controller; see [`AdaptiveBatch`]
+/// for the policy.
+#[derive(Debug)]
+struct BatchController {
+    cfg: AdaptiveBatch,
+    /// Current flush depth, always in `[1, cfg.max_commands]`.
+    depth: usize,
+    /// Consecutive grow signals observed (see [`AdaptiveBatch`]).
+    full_streak: u32,
+    /// Consecutive low-fill deadline flushes observed.
+    low_streak: u32,
+    /// Largest fill since the last shrink evaluation — the demand level
+    /// a shrink snaps to.
+    peak_fill: usize,
+    /// When the last size-triggered flush happened; consumed by the next
+    /// batch-open to detect back-to-back demand.
+    last_size_flush: Option<Nanos>,
+    /// Last enqueue or flush, for idle detection.
+    last_activity: Nanos,
+    /// Start of the current goodput window.
+    win_start: Nanos,
+    /// `EngineStats::enqueued` at the window start, to measure the
+    /// window's arrival rate as a delta.
+    win_enqueued: u64,
+    /// `EngineStats::flushes` at the window start.
+    win_flushes: u64,
+    /// `EngineStats::flushed_commands` at the window start.
+    win_flushed: u64,
+    /// `EngineStats::deadline_flushes` at the window start.
+    win_deadline: u64,
+    /// Last completed window's `(goodput, depth)` — the reference the
+    /// hill-climb compares the current window against.
+    anchor: Option<(f64, usize)>,
+    /// Growth is suppressed until this time (set when a climb was
+    /// reverted for shipping less goodput).
+    frozen_until: Nanos,
+}
+
+impl BatchController {
+    fn new(cfg: AdaptiveBatch) -> Self {
+        BatchController {
+            cfg,
+            depth: 1,
+            full_streak: 0,
+            low_streak: 0,
+            peak_fill: 0,
+            last_size_flush: None,
+            last_activity: 0,
+            win_start: 0,
+            win_enqueued: 0,
+            win_flushes: 0,
+            win_flushed: 0,
+            win_deadline: 0,
+            anchor: None,
+            frozen_until: 0,
+        }
+    }
+
+    /// Closes the goodput window if it has run its course: the
+    /// hill-climb's veto. Demand signals only say "requests arrive
+    /// back-to-back", which a fast closed loop produces at *any* depth —
+    /// whether a deeper batch actually ships more commands per second
+    /// only the measured arrival rate can tell. A window that is deeper
+    /// than its predecessor and ≥5% slower means the marginal throughput
+    /// of the climb was negative: revert to the anchor depth and freeze
+    /// growth, so light-load deployments spend their time at the depth
+    /// that measured best instead of riding the demand echo upward.
+    fn roll_window(&mut self, now: Nanos, stats: &mut EngineStats) {
+        let win = RATE_WINDOW * self.cfg.max_delay.max(1);
+        let elapsed = now.saturating_sub(self.win_start);
+        if elapsed < win {
+            return;
+        }
+        let rate = (stats.enqueued - self.win_enqueued) as f64 / elapsed as f64;
+        let flushes = stats.flushes - self.win_flushes;
+        let deadline = stats.deadline_flushes - self.win_deadline;
+        let clean = elapsed < 2 * win; // an idle-stretched window measures the gap, not the depth
+        if clean && flushes >= 4 && deadline * 2 > flushes && self.depth > 1 {
+            let mean_fill = (stats.flushed_commands - self.win_flushed) as f64 / flushes as f64;
+            if mean_fill < 2.0 {
+                // A window dominated by deadline flushes that coalesced
+                // next to nothing: the load is too light for batching to
+                // pay, and every command is waiting out a deadline for
+                // no message savings. (A size-flushing engine never
+                // trips this — its batches fill without waiting.) The
+                // only depth that cannot wait is 1.
+                self.depth = 1;
+                self.frozen_until = now + FREEZE_WINDOWS * win;
+                self.full_streak = 0;
+                stats.shrinks += 1;
+            }
+        }
+        if let Some((anchor_rate, anchor_depth)) = self.anchor {
+            if clean && self.depth > anchor_depth && rate <= 0.95 * anchor_rate {
+                self.depth = anchor_depth;
+                self.frozen_until = now + FREEZE_WINDOWS * win;
+                self.full_streak = 0;
+                stats.shrinks += 1;
+            }
+        }
+        self.anchor = Some((rate, self.depth));
+        self.win_start = now;
+        self.win_enqueued = stats.enqueued;
+        self.win_flushes = stats.flushes;
+        self.win_flushed = stats.flushed_commands;
+        self.win_deadline = stats.deadline_flushes;
+    }
+
+    /// Samples the controller as a new batch opens: the hot-demand grow
+    /// signal and the idle decay both live here.
+    fn on_open(&mut self, now: Nanos, backlog: usize, stats: &mut EngineStats) {
+        self.roll_window(now, stats);
+        if let Some(flushed_at) = self.last_size_flush.take() {
+            if now.saturating_sub(flushed_at) <= self.cfg.max_delay {
+                // The previous batch filled and more demand arrived
+                // within one flush window: the depth is too small.
+                self.full_streak += 1;
+                if self.full_streak >= self.cfg.grow_after
+                    && backlog < self.cfg.backlog_knee
+                    && now >= self.frozen_until
+                    && self.depth < self.cfg.max_commands
+                {
+                    self.depth += 1;
+                    self.full_streak = 0;
+                    stats.grows += 1;
+                }
+            } else {
+                self.full_streak = 0;
+            }
+        }
+        if self.depth > 1 && now.saturating_sub(self.last_activity) >= self.cfg.idle_after {
+            self.depth = 1;
+            self.full_streak = 0;
+            self.low_streak = 0;
+            self.peak_fill = 0;
+            // A fresh regime: stale goodput anchors must not veto it.
+            self.anchor = None;
+            self.win_start = now;
+            self.win_enqueued = stats.enqueued;
+            self.win_flushes = stats.flushes;
+            self.win_flushed = stats.flushed_commands;
+            self.win_deadline = stats.deadline_flushes;
+            stats.idle_decays += 1;
+        }
+        self.last_activity = now;
+    }
+
+    /// Samples the controller as a batch flushes with `fill` commands.
+    fn on_flush(
+        &mut self,
+        now: Nanos,
+        fill: usize,
+        trigger: FlushTrigger,
+        backlog: usize,
+        stats: &mut EngineStats,
+    ) {
+        self.roll_window(now, stats);
+        self.last_activity = now;
+        self.peak_fill = self.peak_fill.max(fill);
+        match trigger {
+            FlushTrigger::Size => {
+                self.last_size_flush = Some(now);
+                self.low_streak = 0;
+            }
+            FlushTrigger::Deadline => {
+                if fill * 2 <= self.depth {
+                    self.low_streak += 1;
+                    if self.low_streak >= SHRINK_AFTER {
+                        // Snap to the demand actually observed, not to a
+                        // blind halving: any size flush since the last
+                        // shrink keeps the peak at the full depth, so
+                        // remainder noise cannot shrink a loaded engine.
+                        let target = self.peak_fill.max(1);
+                        if target < self.depth {
+                            self.depth = target;
+                            stats.shrinks += 1;
+                        }
+                        self.peak_fill = 0;
+                        self.low_streak = 0;
+                    }
+                } else {
+                    self.low_streak = 0;
+                }
+            }
+        }
+        if backlog >= 2 * self.cfg.backlog_knee && self.depth > 1 {
+            // Commits are falling behind the advocacy rate: the knee of
+            // the latency curve. Multiplicative decrease, immediately.
+            self.depth = (self.depth / 2).max(1);
+            stats.shrinks += 1;
+        }
     }
 }
 
@@ -286,8 +693,17 @@ pub struct ReplicaEngine<P: Protocol, S: StateMachine> {
     /// Command-batching knobs; `None` = every request is its own
     /// agreement.
     batch: Option<BatchConfig>,
+    /// The adaptive depth controller; `Some` iff `batch` is
+    /// [`BatchConfig::Adaptive`].
+    ctl: Option<BatchController>,
     /// Requests waiting for the current batch to flush.
     batch_buf: Vec<Command>,
+    /// Identities of the requests in `batch_buf`, for O(1) retry dedup
+    /// (cleared, not dropped, at flush — zero-alloc in steady state).
+    batch_keys: HashSet<(NodeId, u64)>,
+    /// Batching counters (see [`EngineStats`]); plain integer bumps on
+    /// the hot path.
+    stats: EngineStats,
     /// Sequence number of the next batch this engine advocates.
     batch_seq: u64,
     /// Batches advocated but not yet committed-and-fanned-out, so a
@@ -299,6 +715,9 @@ pub struct ReplicaEngine<P: Protocol, S: StateMachine> {
     shard: Option<crate::shard::ShardId>,
     /// Reusable action buffer handed to protocol handlers.
     outbox: Outbox<P::Msg>,
+    /// Scratch vector [`Self::absorb`] swaps the outbox's actions into,
+    /// so draining a handler's actions allocates nothing in steady state.
+    action_scratch: Vec<Action<P::Msg>>,
 }
 
 impl<P: Protocol, S: StateMachine> ReplicaEngine<P, S> {
@@ -321,11 +740,15 @@ impl<P: Protocol, S: StateMachine> ReplicaEngine<P, S> {
             reply_mode,
             record_history: true,
             batch: None,
+            ctl: None,
             batch_buf: Vec::new(),
+            batch_keys: HashSet::new(),
+            stats: EngineStats::default(),
             batch_seq: 0,
             inflight_batches: BTreeSet::new(),
             shard: None,
             outbox: Outbox::new(),
+            action_scratch: Vec::new(),
         }
     }
 
@@ -351,7 +774,8 @@ impl<P: Protocol, S: StateMachine> ReplicaEngine<P, S> {
 
     /// Enables (`Some`) or disables (`None`) command batching. Call only
     /// while no batch is accumulating (e.g. before the first request):
-    /// disabling with requests buffered would strand them.
+    /// disabling with requests buffered would strand them. Switching to
+    /// an adaptive config starts its controller fresh at depth 1.
     ///
     /// # Panics
     ///
@@ -363,6 +787,10 @@ impl<P: Protocol, S: StateMachine> ReplicaEngine<P, S> {
             self.batch_buf.len()
         );
         self.batch = cfg;
+        self.ctl = match cfg {
+            Some(BatchConfig::Adaptive(a)) => Some(BatchController::new(a)),
+            _ => None,
+        };
     }
 
     /// The active batching config, if batching is on.
@@ -373,6 +801,25 @@ impl<P: Protocol, S: StateMachine> ReplicaEngine<P, S> {
     /// Number of requests waiting in the open batch.
     pub fn pending_batch(&self) -> usize {
         self.batch_buf.len()
+    }
+
+    /// A snapshot of the batching counters, including the current flush
+    /// depth (see [`EngineStats`]).
+    pub fn stats(&self) -> EngineStats {
+        let mut s = self.stats;
+        s.depth = self.flush_depth();
+        s
+    }
+
+    /// The number of buffered commands that triggers a size flush right
+    /// now: the controller's learned depth under an adaptive config, the
+    /// static `max_commands` otherwise (1 with batching off).
+    fn flush_depth(&self) -> usize {
+        match (&self.ctl, &self.batch) {
+            (Some(ctl), _) => ctl.depth,
+            (None, Some(cfg)) => cfg.max_commands(),
+            (None, None) => 1,
+        }
     }
 
     /// Raises the batch sequence number to at least `floor`.
@@ -477,7 +924,7 @@ impl<P: Protocol, S: StateMachine> ReplicaEngine<P, S> {
             }
             self.timers.remove(&t);
             if t == BATCH_FLUSH {
-                self.flush_batch(now, effects);
+                self.flush_batch(FlushTrigger::Deadline, now, effects);
             } else {
                 self.node.on_timer(t, now, &mut self.outbox);
                 self.absorb(now, effects);
@@ -502,7 +949,7 @@ impl<P: Protocol, S: StateMachine> ReplicaEngine<P, S> {
         }
         self.timers.remove(&timer);
         if timer == BATCH_FLUSH {
-            self.flush_batch(now, effects);
+            self.flush_batch(FlushTrigger::Deadline, now, effects);
         } else {
             self.node.on_timer(timer, now, &mut self.outbox);
             self.absorb(now, effects);
@@ -515,7 +962,8 @@ impl<P: Protocol, S: StateMachine> ReplicaEngine<P, S> {
     // ----------------------------------------------------------------
 
     /// Adds one request to the open batch, opening it (and arming the
-    /// flush deadline) if necessary, and flushing when full.
+    /// flush deadline) if necessary, and flushing when the depth is
+    /// reached.
     fn enqueue_batched(
         &mut self,
         client: NodeId,
@@ -525,29 +973,54 @@ impl<P: Protocol, S: StateMachine> ReplicaEngine<P, S> {
         effects: &mut Vec<EngineEffect<P::Msg, S::Output>>,
     ) {
         let cfg = self.batch.expect("checked by the caller");
-        if self
-            .batch_buf
-            .iter()
-            .any(|c| c.client == client && c.req_id == req_id)
-        {
+        // O(1) retry dedup: a linear scan of `batch_buf` here would make
+        // accumulation O(n²) at exactly the depths the adaptive
+        // controller reaches. The set mirrors `batch_buf`'s identities
+        // and is cleared (capacity kept) at every flush.
+        if !self.batch_keys.insert((client, req_id)) {
             return; // a retry of a request already waiting in this batch
         }
         if self.batch_buf.is_empty() {
-            self.timers.insert(BATCH_FLUSH, now + cfg.max_delay);
+            if let Some(ctl) = &mut self.ctl {
+                ctl.on_open(now, self.inflight_batches.len(), &mut self.stats);
+            }
+            self.timers.insert(BATCH_FLUSH, now + cfg.max_delay());
         }
+        self.stats.enqueued += 1;
         self.batch_buf.push(Command::new(client, req_id, op));
-        if self.batch_buf.len() >= cfg.max_commands {
-            self.flush_batch(now, effects);
+        if self.batch_buf.len() >= self.flush_depth() {
+            self.flush_batch(FlushTrigger::Size, now, effects);
         }
     }
 
     /// Hands the accumulated batch to the protocol as one agreement (or
     /// as a plain command, if only one request is waiting) and disarms
     /// the flush deadline.
-    fn flush_batch(&mut self, now: Nanos, effects: &mut Vec<EngineEffect<P::Msg, S::Output>>) {
+    fn flush_batch(
+        &mut self,
+        trigger: FlushTrigger,
+        now: Nanos,
+        effects: &mut Vec<EngineEffect<P::Msg, S::Output>>,
+    ) {
         self.timers.remove(&BATCH_FLUSH);
+        self.batch_keys.clear();
         if self.batch_buf.is_empty() {
             return;
+        }
+        self.stats.flushes += 1;
+        self.stats.flushed_commands += self.batch_buf.len() as u64;
+        match trigger {
+            FlushTrigger::Size => self.stats.size_flushes += 1,
+            FlushTrigger::Deadline => self.stats.deadline_flushes += 1,
+        }
+        if let Some(ctl) = &mut self.ctl {
+            ctl.on_flush(
+                now,
+                self.batch_buf.len(),
+                trigger,
+                self.inflight_batches.len(),
+                &mut self.stats,
+            );
         }
         let cmds = std::mem::take(&mut self.batch_buf);
         if cmds.len() == 1 {
@@ -573,8 +1046,15 @@ impl<P: Protocol, S: StateMachine> ReplicaEngine<P, S> {
 
     /// The single `Action` dispatch of the workspace: drains the node's
     /// outbox into engine state and harness-facing effects.
+    ///
+    /// The drain swaps the outbox's backing vector with a persistent
+    /// scratch vector instead of allocating a fresh one per handler
+    /// invocation — both buffers keep their capacity, so the hottest
+    /// loop in the workspace settles at zero allocations.
     fn absorb(&mut self, now: Nanos, effects: &mut Vec<EngineEffect<P::Msg, S::Output>>) {
-        for action in self.outbox.take() {
+        let mut actions = std::mem::take(&mut self.action_scratch);
+        self.outbox.take_into(&mut actions);
+        for action in actions.drain(..) {
             match action {
                 Action::Send { to, msg } => effects.push(EngineEffect::SendTo { to, msg }),
                 Action::Reply {
@@ -626,6 +1106,7 @@ impl<P: Protocol, S: StateMachine> ReplicaEngine<P, S> {
                 }
             }
         }
+        self.action_scratch = actions;
     }
 
     fn reply(
@@ -1566,6 +2047,206 @@ mod tests {
         e.set_blocked(false);
         assert_eq!(e.fire_due(10_000, &mut fx), 1);
         assert_eq!(reply_ids(&fx), vec![(NodeId(9), 1)]);
+    }
+
+    // ----------------------------------------------------------------
+    // Adaptive batch depth (the controller; see AdaptiveBatch).
+    // ----------------------------------------------------------------
+
+    fn adaptive_cfg(cap: usize, delay: Nanos) -> AdaptiveBatch {
+        AdaptiveBatch::new(cap, delay)
+    }
+
+    fn adaptive(cap: usize, delay: Nanos) -> D {
+        ReplicaEngine::new(Deciding::new(), KvStore::new())
+            .with_batching(BatchConfig::adaptive(adaptive_cfg(cap, delay)))
+    }
+
+    #[test]
+    fn adaptive_starts_at_one_and_a_trickle_never_waits_out_the_deadline() {
+        let mut e = adaptive(32, 1_000);
+        assert_eq!(e.stats().depth, 1);
+        // Requests spaced beyond the flush window: each one flushes
+        // immediately as a singleton — zero added latency, no timer wait.
+        for i in 0..5u64 {
+            let now = i * 10_000;
+            let fx = request(&mut e, 9, i + 1, Op::Noop, now);
+            assert_eq!(reply_ids(&fx), vec![(NodeId(9), i + 1)], "request {i}");
+            assert_eq!(e.stats().depth, 1, "trickle must not grow the depth");
+        }
+        assert_eq!(e.stats().grows, 0);
+        assert_eq!(e.stats().size_flushes, 5);
+    }
+
+    #[test]
+    fn adaptive_grows_under_back_to_back_demand_and_respects_the_cap() {
+        let mut e = adaptive(8, 1_000);
+        // A flood of concurrent requests: every size flush is followed by
+        // another arrival within the window, so the depth climbs — but
+        // never past the cap.
+        for i in 0..200u64 {
+            request(&mut e, (i % 100) as u16, i / 100 + 1, Op::Noop, 0);
+            let d = e.stats().depth;
+            assert!((1..=8).contains(&d), "depth {d} escaped [1, 8]");
+        }
+        assert_eq!(e.stats().depth, 8, "sustained demand must reach the cap");
+        assert!(e.stats().grows >= 7);
+        // Flush the tail so nothing is stranded.
+        let mut fx = Vec::new();
+        e.fire_due(1_000, &mut fx);
+        assert_eq!(e.replies().len(), 200);
+    }
+
+    #[test]
+    fn adaptive_converges_to_the_offered_burst_size() {
+        // Constant offered load: bursts of 5 per flush window, rounds
+        // spaced wider than the window but inside the idle threshold.
+        let cfg = adaptive_cfg(16, 1_000);
+        let mut e = adaptive(16, 1_000);
+        assert!(5 * 1_000 < cfg.idle_after, "spacing must not look idle");
+        let mut depths = Vec::new();
+        for round in 0..20u64 {
+            let t = round * 5_000;
+            for c in 0..5u16 {
+                request(&mut e, 10 + c, round + 1, Op::Noop, t);
+            }
+            let mut fx = Vec::new();
+            e.fire_due(t + 1_000, &mut fx);
+            depths.push(e.stats().depth);
+        }
+        // Fixed point: the depth settles at exactly the burst size and
+        // stays there (one agreement per burst, no deadline waits).
+        assert_eq!(&depths[15..], &[5, 5, 5, 5, 5], "depths: {depths:?}");
+    }
+
+    #[test]
+    fn adaptive_snaps_down_when_load_drops() {
+        let mut e = adaptive(32, 1_000);
+        // Phase 1: saturate to grow the depth.
+        for i in 0..60u64 {
+            request(&mut e, (i % 60) as u16, 1, Op::Noop, 0);
+        }
+        let mut fx = Vec::new();
+        e.fire_due(1_000, &mut fx);
+        let grown = e.stats().depth;
+        assert!(grown > 4, "saturation should have grown the depth: {grown}");
+        // Phase 2: a thin trickle of deadline flushes. The first shrink
+        // evaluation snaps to the (stale, high) peak; the following ones
+        // see only the trickle and collapse the depth.
+        for round in 1..=6u64 {
+            let t = round * 10_000;
+            request(&mut e, 99, round, Op::Noop, t);
+            e.fire_due(t + 1_000, &mut fx);
+        }
+        let shrunk = e.stats().depth;
+        assert!(shrunk <= 2, "load drop must shrink the depth: {shrunk}");
+        assert!(e.stats().shrinks >= 1);
+    }
+
+    #[test]
+    fn adaptive_idle_decay_resets_to_depth_one() {
+        let cfg = adaptive_cfg(32, 1_000);
+        let mut e = adaptive(32, 1_000);
+        for i in 0..60u64 {
+            request(&mut e, (i % 60) as u16, 1, Op::Noop, 0);
+        }
+        let mut fx = Vec::new();
+        e.fire_due(1_000, &mut fx);
+        assert!(e.stats().depth > 1);
+        // A long silence, then one request: it must flush immediately at
+        // depth 1 instead of waiting out the deadline at the old depth.
+        let later = 1_000 + cfg.idle_after;
+        let fx = request(&mut e, 77, 1, Op::Noop, later);
+        assert_eq!(reply_ids(&fx), vec![(NodeId(77), 1)]);
+        assert_eq!(e.stats().depth, 1);
+        assert_eq!(e.stats().idle_decays, 1);
+    }
+
+    #[test]
+    fn adaptive_backlog_knee_stops_growth() {
+        // Scripted never commits, so every multi-command batch stays in
+        // flight: with a knee of 1 the controller must stop growing (and
+        // halve) as soon as one batch is outstanding, keeping the depth
+        // pinned low no matter how hot the demand looks.
+        let mut cfg = adaptive_cfg(32, 1_000);
+        cfg.backlog_knee = 1;
+        let mut e = ReplicaEngine::new(Scripted::new(), KvStore::new())
+            .with_batching(BatchConfig::adaptive(cfg));
+        let mut fx = Vec::new();
+        for i in 0..100u64 {
+            e.handle(
+                EngineEvent::ClientRequest {
+                    client: NodeId((i % 100) as u16),
+                    req_id: 1,
+                    op: Op::Noop,
+                },
+                0,
+                &mut fx,
+            );
+            let d = e.stats().depth;
+            assert!(d <= 2, "backlog past the knee must cap growth, got {d}");
+        }
+    }
+
+    #[test]
+    fn adaptive_batched_equals_unbatched_state_and_replies() {
+        let ops = [
+            (9u16, 1u64, Op::Put { key: 1, value: 10 }),
+            (10, 1, Op::Put { key: 2, value: 20 }),
+            (9, 2, Op::Get { key: 2 }),
+            (11, 1, Op::Put { key: 1, value: 30 }),
+            (10, 2, Op::Get { key: 1 }),
+        ];
+        let mut plain = ReplicaEngine::new(Deciding::new(), KvStore::new());
+        let mut adapt = adaptive(8, 1_000);
+        for (c, r, op) in ops.iter().cloned() {
+            request(&mut plain, c, r, op.clone(), 0);
+            request(&mut adapt, c, r, op, 0);
+        }
+        let mut fx = Vec::new();
+        adapt.fire_due(1_000, &mut fx); // flush any tail
+        assert_eq!(plain.state().digest(), adapt.state().digest());
+        let ids = |e: &D| -> Vec<(NodeId, u64)> {
+            e.replies().iter().map(|r| (r.client, r.req_id)).collect()
+        };
+        assert_eq!(ids(&plain), ids(&adapt));
+    }
+
+    #[test]
+    fn retry_after_flush_is_resubmitted_and_applied_once() {
+        // The dedup set is cleared at flush: a retry arriving *after* its
+        // batch flushed is advocated again (the protocol may decide it in
+        // a second slot), and the applier still executes it exactly once.
+        let mut e = batched(BatchConfig::new(2, 1_000));
+        request(&mut e, 9, 1, Op::Put { key: 1, value: 1 }, 0);
+        request(&mut e, 10, 1, Op::Noop, 0); // flushes the pair
+        request(&mut e, 9, 1, Op::Put { key: 1, value: 1 }, 5); // late retry
+        request(&mut e, 11, 1, Op::Noop, 5); // flushes the retry pair
+        assert_eq!(e.node().requests.len(), 2, "two agreements");
+        assert_eq!(e.state().writes(), 1, "retried put applied once");
+    }
+
+    #[test]
+    fn stats_track_flush_shapes() {
+        let mut e = batched(BatchConfig::new(3, 500));
+        for c in 0..3u16 {
+            request(&mut e, 9 + c, 1, Op::Noop, 0);
+        }
+        request(&mut e, 20, 1, Op::Noop, 10);
+        let mut fx = Vec::new();
+        e.fire_due(510, &mut fx);
+        let s = e.stats();
+        assert_eq!(s.enqueued, 4);
+        assert_eq!(s.flushes, 2);
+        assert_eq!(s.flushed_commands, 4);
+        assert_eq!(s.size_flushes, 1);
+        assert_eq!(s.deadline_flushes, 1);
+        assert_eq!(s.depth, 3, "fixed config reports its static depth");
+        assert_eq!(s.mean_fill(), 2.0);
+        // Unbatched engines report depth 1 and no flush activity.
+        let plain = ReplicaEngine::new(Deciding::new(), KvStore::new());
+        assert_eq!(plain.stats().depth, 1);
+        assert_eq!(plain.stats().flushes, 0);
     }
 
     #[test]

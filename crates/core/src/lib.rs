@@ -84,7 +84,9 @@ pub mod twopc;
 mod types;
 
 pub use config::ClusterConfig;
-pub use engine::{BatchConfig, EngineEffect, EngineEvent, ReplicaEngine, ReplyMode};
+pub use engine::{
+    AdaptiveBatch, BatchConfig, EngineEffect, EngineEvent, EngineStats, ReplicaEngine, ReplyMode,
+};
 pub use outbox::{Action, Outbox, Timer};
 pub use protocol::Protocol;
 pub use shard::{ShardId, ShardRouter, ShardedEngine};

@@ -146,9 +146,24 @@ impl<M> Outbox<M> {
     }
 
     /// Drains and returns all queued actions, leaving the outbox empty and
-    /// reusable.
+    /// reusable. Allocates a fresh backing vector on the next push; hot
+    /// loops use [`Self::take_into`] instead.
     pub fn take(&mut self) -> Vec<Action<M>> {
         std::mem::take(&mut self.actions)
+    }
+
+    /// Moves all queued actions into `buf` by swapping backing vectors:
+    /// the outbox adopts `buf`'s (empty) allocation and `buf` receives
+    /// the queued actions. Both capacities survive, so a caller that
+    /// drains `buf` and hands it back next time never allocates — the
+    /// zero-alloc counterpart of [`Self::take`] for per-event hot paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug only) if `buf` is not empty.
+    pub fn take_into(&mut self, buf: &mut Vec<Action<M>>) {
+        debug_assert!(buf.is_empty(), "scratch buffer handed back undrained");
+        std::mem::swap(&mut self.actions, buf);
     }
 
     /// Iterates over the queued actions without draining them.
@@ -195,6 +210,27 @@ mod tests {
         let _ = out.take();
         out.send(NodeId(0), 2);
         assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn take_into_swaps_and_preserves_capacity() {
+        let mut out: Outbox<u32> = Outbox::new();
+        out.send(NodeId(1), 1);
+        out.send(NodeId(2), 2);
+        let mut scratch: Vec<Action<u32>> = Vec::with_capacity(64);
+        out.take_into(&mut scratch);
+        assert_eq!(scratch.len(), 2);
+        assert!(out.is_empty());
+        // The outbox adopted the scratch allocation: pushing again does
+        // not need to grow from zero.
+        assert!(out.actions.capacity() >= 64);
+        // Drained scratch keeps the actions' old capacity for next time.
+        let old_cap = scratch.capacity();
+        scratch.clear();
+        out.send(NodeId(3), 3);
+        out.take_into(&mut scratch);
+        assert_eq!(scratch.len(), 1);
+        assert!(scratch.capacity() >= old_cap.min(64));
     }
 
     #[test]

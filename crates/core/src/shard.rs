@@ -70,7 +70,9 @@
 
 use std::fmt;
 
-use crate::engine::{BatchConfig, EngineEffect, EngineEvent, LocalRead, ReplicaEngine};
+use crate::engine::{
+    BatchConfig, EngineEffect, EngineEvent, EngineStats, LocalRead, ReplicaEngine,
+};
 use crate::protocol::Protocol;
 use crate::rsm::StateMachine;
 use crate::types::{Nanos, NodeId, Op};
@@ -331,6 +333,24 @@ impl<P: Protocol, S: StateMachine> ShardedEngine<P, S> {
         }
     }
 
+    /// Batching counters of one shard group's engine (each shard runs
+    /// its own accumulator — and, under [`BatchConfig::Adaptive`], its
+    /// own depth controller, since per-shard load diverges under key
+    /// skew).
+    pub fn stats(&self, s: ShardId) -> EngineStats {
+        self.shards[s.index()].stats()
+    }
+
+    /// Batching counters folded across every shard: counts add, `depth`
+    /// reports the deepest controller (see [`EngineStats::absorb`]).
+    pub fn merged_stats(&self) -> EngineStats {
+        let mut total = EngineStats::default();
+        for e in &self.shards {
+            total.absorb(&e.stats());
+        }
+        total
+    }
+
     /// Raises every shard's batch sequence floor (see
     /// [`ReplicaEngine::set_batch_seq_floor`]): a rebuilt node must move
     /// **all** of its shard engines into a fresh epoch, since each shard
@@ -579,6 +599,55 @@ mod tests {
         // Both instance logs start at 0: independent groups.
         assert_eq!(e.shard(ShardId(0)).applier().applied_up_to(), Some(0));
         assert_eq!(e.shard(ShardId(1)).applier().applied_up_to(), Some(0));
+    }
+
+    #[test]
+    fn adaptive_controllers_are_per_shard_under_key_skew() {
+        use crate::engine::AdaptiveBatch;
+        // One hot shard hammered with back-to-back traffic, one cold
+        // shard trickled: each learns its own depth.
+        let mut e = ShardedEngine::new(2, |s| {
+            ReplicaEngine::new(Deciding::new(), KvStore::new())
+                .with_shard(s)
+                .with_batching(BatchConfig::adaptive(AdaptiveBatch::new(16, 1_000)))
+        });
+        let r = e.router();
+        let hot = (0..).find(|&k| r.route_key(k) == ShardId(0)).unwrap();
+        let cold = (0..).find(|&k| r.route_key(k) == ShardId(1)).unwrap();
+        let mut fx: Fx = Vec::new();
+        for i in 0..120u64 {
+            e.submit(
+                NodeId((i % 100) as u16),
+                i / 100 + 1,
+                Op::Put { key: hot, value: i },
+                0,
+                &mut fx,
+            );
+        }
+        // The cold shard sees one request every ten flush windows.
+        for round in 0..4u64 {
+            e.submit(
+                NodeId(120),
+                round + 1,
+                Op::Put {
+                    key: cold,
+                    value: round,
+                },
+                round * 10_000,
+                &mut fx,
+            );
+        }
+        let hot_depth = e.stats(ShardId(0)).depth;
+        let cold_depth = e.stats(ShardId(1)).depth;
+        assert!(hot_depth > 4, "hot shard should grow, got {hot_depth}");
+        assert_eq!(cold_depth, 1, "cold shard must stay latency-optimal");
+        // Merged stats fold counters and surface the deepest controller.
+        let merged = e.merged_stats();
+        assert_eq!(merged.depth, hot_depth);
+        assert_eq!(
+            merged.enqueued,
+            e.stats(ShardId(0)).enqueued + e.stats(ShardId(1)).enqueued
+        );
     }
 
     #[test]

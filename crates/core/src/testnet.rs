@@ -18,7 +18,9 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
-use crate::engine::{BatchConfig, EngineEffect, EngineEvent, ReplicaEngine};
+use crate::engine::{
+    AdaptiveBatch, BatchConfig, EngineEffect, EngineEvent, EngineStats, ReplicaEngine,
+};
 use crate::kv::KvStore;
 use crate::protocol::Protocol;
 use crate::shard::{ShardId, ShardedEffects, ShardedEngine};
@@ -112,6 +114,19 @@ impl<P: Protocol> TestNet<P> {
         make: impl FnMut(&[NodeId], NodeId) -> P,
     ) -> Self {
         Self::build(n, 1, Some(cfg), make)
+    }
+
+    /// Like [`Self::new`], with **adaptive** command batching on every
+    /// node: the engine grows and shrinks its flush depth within
+    /// `[1, cfg.max_commands]` from observed load (see
+    /// [`BatchConfig::Adaptive`]). Observe the learned depth via
+    /// [`Self::engine_stats`].
+    pub fn with_adaptive_batching(
+        n: u16,
+        cfg: AdaptiveBatch,
+        make: impl FnMut(&[NodeId], NodeId) -> P,
+    ) -> Self {
+        Self::build(n, 1, Some(BatchConfig::Adaptive(cfg)), make)
     }
 
     /// Builds `n` nodes each hosting `shards` independent consensus
@@ -222,6 +237,14 @@ impl<P: Protocol> TestNet<P> {
     /// The sharded engine hosting all of node `id`'s groups.
     pub fn sharded_engine(&self, id: NodeId) -> &ShardedEngine<P, KvStore> {
         &self.engines[id.index()]
+    }
+
+    /// Batching counters of node `id`, folded across its shard groups
+    /// (counters add, `depth` reports the deepest controller). Per-group
+    /// counters are reachable through
+    /// [`sharded_engine`](Self::sharded_engine)`.stats(shard)`.
+    pub fn engine_stats(&self, id: NodeId) -> EngineStats {
+        self.engines[id.index()].merged_stats()
     }
 
     /// The key/value replica applied at node `id`'s shard 0 (the only
@@ -707,6 +730,41 @@ mod tests {
                 sharded.kv_get(NodeId(1), key),
                 "key {key}"
             );
+        }
+    }
+
+    #[test]
+    fn adaptive_batched_net_commits_everything_and_learns_a_depth() {
+        use crate::twopc::TwoPcNode;
+        use crate::ClusterConfig;
+        let mut net = TestNet::with_adaptive_batching(3, AdaptiveBatch::new(8, 1_000), |m, me| {
+            TwoPcNode::new(ClusterConfig::new(m.to_vec(), me))
+        });
+        // A back-to-back burst at one instant: the target node's
+        // controller must climb off depth 1 while the backlog knee keeps
+        // it honest (nothing is delivered until quiescence).
+        for c in 0..20u16 {
+            net.client_request(
+                NodeId(0),
+                NodeId(9 + c),
+                1,
+                Op::Put {
+                    key: u64::from(c),
+                    value: 1,
+                },
+            );
+        }
+        net.advance(1_000); // flush any tail batch
+        net.run_to_quiescence();
+        assert_eq!(net.replies().len(), 20);
+        net.assert_consistent();
+        let stats = net.engine_stats(NodeId(0));
+        assert!(stats.depth > 1, "demand must grow the depth: {stats:?}");
+        assert!(stats.flushes > 0 && stats.enqueued == 20);
+        // Non-target nodes never buffered anything.
+        assert_eq!(net.engine_stats(NodeId(1)).enqueued, 0);
+        for c in 0..20u64 {
+            assert_eq!(net.kv_get(NodeId(2), c), Some(1));
         }
     }
 

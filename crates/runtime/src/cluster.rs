@@ -26,7 +26,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use onepaxos::engine::{BatchConfig, EngineEffect, ReplicaEngine, ReplyMode};
+use onepaxos::engine::{BatchConfig, EngineEffect, EngineStats, ReplicaEngine, ReplyMode};
 use onepaxos::kv::KvStore;
 use onepaxos::shard::{ShardId, ShardRouter, ShardedEffects, ShardedEngine};
 use onepaxos::{EngineEvent, Nanos, NodeId, Op, Protocol};
@@ -64,6 +64,16 @@ pub struct NodeMetrics {
     /// Commands committed (applied or queued for application), summed
     /// over shard groups.
     pub committed: AtomicU64,
+    /// Batches flushed to the protocols, summed over shard groups (the
+    /// replica loop republishes its engines' [`EngineStats`] snapshot
+    /// whenever it makes progress; zero with batching off).
+    pub batch_flushes: AtomicU64,
+    /// Commands those flushes carried, summed over shard groups.
+    pub batched_commands: AtomicU64,
+    /// Current flush depth: the deepest shard group's learned depth
+    /// under adaptive batching, the static `max_commands` under a fixed
+    /// config, 1 with batching off.
+    pub batch_depth: AtomicU64,
 }
 
 /// Outbound side of one process: senders to every peer/topic plus
@@ -189,8 +199,10 @@ where
     /// Enables engine-level command batching on every replica: requests
     /// coalesce into one agreement per batch (amortising the per-message
     /// cost, §3), with per-client replies fanned back out on commit.
-    /// Each shard group batches independently;
-    /// `cfg.max_delay` runs on the replica loop's wall clock. Default off.
+    /// Each shard group batches independently — and, under
+    /// [`BatchConfig::Adaptive`], learns its own flush depth from its
+    /// own load (watch it move via [`NodeMetrics::batch_depth`]). The
+    /// flush deadline runs on the replica loop's wall clock. Default off.
     pub fn batching(mut self, cfg: BatchConfig) -> Self {
         self.batching = Some(cfg);
         self
@@ -400,6 +412,21 @@ fn dispatch_effects<P: Protocol>(
     }
 }
 
+/// Republishes a replica's folded batching counters into its shared
+/// metrics block, so callers outside the replica thread can watch the
+/// adaptive depth move.
+fn publish_batch_stats(stats: &EngineStats, metrics: &NodeMetrics) {
+    metrics
+        .batch_flushes
+        .store(stats.flushes, Ordering::Relaxed);
+    metrics
+        .batched_commands
+        .store(stats.flushed_commands, Ordering::Relaxed);
+    metrics
+        .batch_depth
+        .store(stats.depth as u64, Ordering::Relaxed);
+}
+
 fn replica_loop<P: Protocol>(
     nodes: Vec<P>,
     rxs: PeerReceivers<P::Msg>,
@@ -438,6 +465,7 @@ fn replica_loop<P: Protocol>(
 
     engine.start(now_ns(), &mut effects);
     dispatch_effects::<P>(&mut effects, &mut io, &metrics);
+    publish_batch_stats(&engine.merged_stats(), &metrics);
 
     loop {
         let mut progressed = io.flush();
@@ -512,7 +540,9 @@ fn replica_loop<P: Protocol>(
             }
             pending_reads = still;
         }
-        if !progressed {
+        if progressed {
+            publish_batch_stats(&engine.merged_stats(), &metrics);
+        } else {
             // Idle: be polite on shared machines (the dev box has far
             // fewer cores than the paper's testbed).
             std::thread::yield_now();

@@ -36,7 +36,7 @@
 use std::cmp::Ordering as CmpOrdering;
 use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 
-use onepaxos::engine::{BatchConfig, EngineEffect, EngineEvent, ReplicaEngine};
+use onepaxos::engine::{BatchConfig, EngineEffect, EngineEvent, EngineStats, ReplicaEngine};
 use onepaxos::kv::KvStore;
 use onepaxos::shard::{ShardId, ShardRouter, ShardedEngine};
 use onepaxos::{Command, Instance, Nanos, NodeId, Op, Protocol};
@@ -142,12 +142,27 @@ pub struct RunReport {
     /// KV digests per replica at the end, folded across shard groups
     /// (equal once logs drain).
     pub replica_digests: Vec<u64>,
+    /// Final batching counters per `(replica, shard)` process in
+    /// replica-major order (all zeros except `depth` when batching is
+    /// off). Under adaptive batching, `depth` is the depth each
+    /// controller had learned when the run stopped.
+    pub engine_stats: Vec<EngineStats>,
 }
 
 impl RunReport {
     /// Mean latency in microseconds (convenience for tables).
     pub fn mean_latency_us(&self) -> f64 {
         self.latency.mean() as f64 / 1_000.0
+    }
+
+    /// Batching counters folded over every replica-shard process
+    /// (counters add, `depth` reports the deepest controller).
+    pub fn batch_stats(&self) -> EngineStats {
+        let mut total = EngineStats::default();
+        for s in &self.engine_stats {
+            total.absorb(s);
+        }
+        total
     }
 }
 
@@ -339,7 +354,9 @@ where
     /// coalesce into one agreement per batch, amortising the per-message
     /// tx/rx CPU cost (§3). A committed batch pays the profile's `apply`
     /// cost per extra constituent command. Each shard group batches
-    /// independently. Default off.
+    /// independently — and, under [`BatchConfig::Adaptive`], learns its
+    /// own flush depth from its own load (final controller state lands
+    /// in [`RunReport::engine_stats`]). Default off.
     pub fn batching(mut self, cfg: BatchConfig) -> Self {
         self.batching = Some(cfg);
         self
@@ -1250,6 +1267,11 @@ impl<P: Protocol> ClusterSim<P> {
             .map(|c| c.busy as f64 / ended_at.max(1) as f64)
             .collect();
         let replica_digests = self.engines.iter().map(ShardedEngine::kv_digest).collect();
+        let engine_stats = self
+            .engines
+            .iter()
+            .flat_map(|e| e.iter().map(|(s, _)| e.stats(s)).collect::<Vec<_>>())
+            .collect();
         RunReport {
             completed: self.completed_in_window,
             duration,
@@ -1261,6 +1283,7 @@ impl<P: Protocol> ClusterSim<P> {
             utilization,
             ended_at,
             replica_digests,
+            engine_stats,
         }
     }
 }
@@ -1360,6 +1383,59 @@ mod tests {
             "batched {} server messages vs unbatched {}",
             batched.server_messages,
             plain.server_messages
+        );
+    }
+
+    #[test]
+    fn adaptive_batching_learns_a_depth_and_beats_unbatched_at_saturation() {
+        use onepaxos::engine::AdaptiveBatch;
+        // The tentpole end-to-end: a saturated deployment with *no*
+        // depth knob set must discover one good enough to beat the
+        // unbatched baseline, with the safety oracle checking throughout.
+        let run = |batch: Option<BatchConfig>| {
+            let mut b =
+                SimBuilder::new(Profile::opteron48(), |m, me| OnePaxosNode::new(cfg(m, me)))
+                    .clients(16)
+                    .duration(150_000_000)
+                    .warmup(20_000_000);
+            if let Some(c) = batch {
+                b = b.batching(c);
+            }
+            b.run()
+        };
+        let plain = run(None);
+        let adaptive = run(Some(BatchConfig::adaptive(AdaptiveBatch::new(32, 20_000))));
+        assert!(
+            adaptive.throughput > plain.throughput,
+            "adaptive {:.0} op/s must beat unbatched {:.0} op/s",
+            adaptive.throughput,
+            plain.throughput
+        );
+        // The leader process (replica 0, shard 0) did the learning.
+        let leader = adaptive.engine_stats[0];
+        assert!(leader.depth > 1, "controller never grew: {leader:?}");
+        assert!(leader.grows > 0 && leader.flushes > 0);
+        assert!(leader.depth <= 32, "depth escaped the cap");
+    }
+
+    #[test]
+    fn adaptive_batching_stays_shallow_for_a_single_closed_loop_client() {
+        use onepaxos::engine::AdaptiveBatch;
+        // One client can never justify a deep batch: the controller must
+        // hover at the bottom of its range and keep latency flat instead
+        // of making every request wait out the deadline at a high depth.
+        let r = SimBuilder::new(Profile::opteron48(), |m, me| OnePaxosNode::new(cfg(m, me)))
+            .clients(1)
+            .requests_per_client(50)
+            .batching(BatchConfig::adaptive(AdaptiveBatch::new(32, 20_000)))
+            .run();
+        assert_eq!(r.completed, 50);
+        assert!(r.mean_latency_us() < 100.0, "got {}", r.mean_latency_us());
+        let leader = r.engine_stats[0];
+        assert!(
+            leader.depth <= 2,
+            "one client grew depth to {}",
+            leader.depth
         );
     }
 

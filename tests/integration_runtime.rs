@@ -6,7 +6,7 @@ use std::time::Duration;
 use consensus_inside::onepaxos::multipaxos::{self, MultiPaxosNode};
 use consensus_inside::onepaxos::onepaxos::{OnePaxosNode, Timing};
 use consensus_inside::onepaxos::twopc::TwoPcNode;
-use consensus_inside::onepaxos::{BatchConfig, ClusterConfig, NodeId, Op};
+use consensus_inside::onepaxos::{AdaptiveBatch, BatchConfig, ClusterConfig, NodeId, Op};
 use consensus_inside::onepaxos_runtime::ClusterBuilder;
 
 fn cfg(m: &[NodeId], me: NodeId) -> ClusterConfig {
@@ -141,6 +141,50 @@ fn batched_cluster_serves_concurrent_clients_consistently() {
         })
         .collect();
     let mut clients: Vec<_> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+    cluster.shutdown(&mut clients[0]);
+}
+
+#[test]
+fn adaptive_batched_cluster_serves_clients_and_publishes_depth() {
+    // Adaptive batch depth on real threads: the engines learn their own
+    // flush depth, every write stays readable, and the replica loops
+    // republish the learned depth through NodeMetrics.
+    let t = one_timing();
+    let (cluster, clients) = ClusterBuilder::new(3, move |m: &[NodeId], me| {
+        OnePaxosNode::with_timing(cfg(m, me), t)
+    })
+    .clients(3)
+    .batching(BatchConfig::adaptive(AdaptiveBatch::new(8, 200_000)))
+    .spawn();
+    let workers: Vec<_> = clients
+        .into_iter()
+        .enumerate()
+        .map(|(w, mut c)| {
+            std::thread::spawn(move || {
+                c.set_timeout(Duration::from_secs(2));
+                for i in 0..20u64 {
+                    c.put(w as u64 * 100 + i, i).expect("commit");
+                }
+                assert_eq!(c.get(w as u64 * 100 + 19).expect("commit"), Some(19));
+                c
+            })
+        })
+        .collect();
+    let mut clients: Vec<_> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+    // The leader's loop published a live depth within the bounds; with
+    // three synchronous clients it may or may not have grown, but it can
+    // never be 0 or above the cap.
+    let depth = cluster.metrics()[0]
+        .batch_depth
+        .load(std::sync::atomic::Ordering::Relaxed);
+    assert!((1..=8).contains(&depth), "published depth {depth}");
+    assert!(
+        cluster.metrics()[0]
+            .batch_flushes
+            .load(std::sync::atomic::Ordering::Relaxed)
+            > 0,
+        "leader must have flushed batches"
+    );
     cluster.shutdown(&mut clients[0]);
 }
 
