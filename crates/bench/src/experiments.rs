@@ -605,6 +605,80 @@ pub fn exp_adaptive(
     out
 }
 
+/// One point of the cross-shard-transaction sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct TxnPoint {
+    /// Distinct shard groups each transaction touches (0 for the
+    /// plain-put baseline).
+    pub fanout: u16,
+    /// Whether this point ran coordinator-driven transactions.
+    pub txn: bool,
+    /// Committed-transaction (or put) throughput, ops/sec.
+    pub throughput: f64,
+    /// Mean commit latency, µs.
+    pub latency_us: f64,
+    /// Inter-replica messages over the whole run.
+    pub server_messages: u64,
+    /// Completions inside the measurement window.
+    pub completed: u64,
+    /// Transactions aborted by prepare-phase lock conflicts.
+    pub aborted: u64,
+}
+
+/// Committed-transaction throughput vs cross-shard fan-out on the
+/// saturated sharded sim harness, batching enabled on every point. The
+/// baseline is the same deployment running plain batched puts; then the
+/// `TxnMix` workload drives fan-outs of 1 (the `MultiPut` short-circuit,
+/// which must cost ≈ a put), 2 and 4 — each committed fan-out-F
+/// transaction paying F prepare + F outcome agreements across its
+/// groups, so throughput is expected to fall roughly as 1/2F while
+/// remaining strictly live.
+pub fn exp_txn(
+    proto: Proto,
+    fanouts: &[u16],
+    shards: u16,
+    clients: usize,
+    duration: Nanos,
+    batch: BatchConfig,
+) -> Vec<TxnPoint> {
+    let base = |workload: Workload| RunCfg {
+        shards,
+        batch: Some(batch),
+        workload,
+        ..RunCfg::throughput48(clients, duration)
+    };
+    let mut out = Vec::with_capacity(fanouts.len() + 1);
+    let baseline = run(
+        proto,
+        &base(Workload::ReadMix {
+            read_pct: 0,
+            keys: 4096,
+        }),
+    );
+    out.push(TxnPoint {
+        fanout: 0,
+        txn: false,
+        throughput: baseline.throughput,
+        latency_us: baseline.mean_latency_us(),
+        server_messages: baseline.server_messages,
+        completed: baseline.completed,
+        aborted: 0,
+    });
+    for &fanout in fanouts {
+        let r = run(proto, &base(Workload::TxnMix { fanout, keys: 4096 }));
+        out.push(TxnPoint {
+            fanout,
+            txn: true,
+            throughput: r.throughput,
+            latency_us: r.mean_latency_us(),
+            server_messages: r.server_messages,
+            completed: r.completed,
+            aborted: r.txn_aborts,
+        });
+    }
+    out
+}
+
 /// §5.2/§5.4: acceptor switch and double-failure liveness timeline for
 /// 1Paxos. Returns (timeline, label) pairs.
 pub fn exp_accswitch(duration: Nanos) -> Vec<(&'static str, Vec<(Nanos, f64)>)> {
@@ -730,6 +804,34 @@ mod tests {
         );
         assert!(adaptive.final_depth > 1, "controller never grew");
         assert!(adaptive.mean_fill > 1.0);
+    }
+
+    #[test]
+    fn exp_txn_single_shard_rides_the_batch_path_and_fanout_two_progresses() {
+        let pts = exp_txn(
+            Proto::OnePaxos,
+            &[1, 2],
+            4,
+            16,
+            120_000_000,
+            BatchConfig::new(8, 20_000),
+        );
+        assert_eq!(pts.len(), 3, "baseline plus two fan-outs");
+        let baseline = &pts[0];
+        let f1 = &pts[1];
+        let f2 = &pts[2];
+        assert!(!baseline.txn && f1.txn && f2.txn);
+        // Fan-out 1 short-circuits to MultiPut: one agreement per txn,
+        // same shape as a put — within 10% of the plain-put baseline.
+        assert!(
+            f1.throughput >= 0.9 * baseline.throughput,
+            "single-shard txns {:.0} op/s vs plain puts {:.0} op/s",
+            f1.throughput,
+            baseline.throughput
+        );
+        // Cross-shard txns pay their 2PC legs but stay live.
+        assert!(f2.completed > 0, "fan-out-2 made no progress");
+        assert!(f2.throughput > 0.0);
     }
 
     #[test]

@@ -660,11 +660,29 @@ pub trait LocalRead: StateMachine {
     /// Reads `key` from the local replica without recording an applied
     /// operation.
     fn read_local(&self, key: u64) -> Self::Output;
+
+    /// Whether the state machine itself currently forbids a local read
+    /// of `key` — the transactional analogue of the protocol-level 2PC
+    /// lock window (§7.5): a key staged by a prepared cross-shard
+    /// transaction ([`Op::TxnPrepare`]) must not be read until the
+    /// outcome lands, or a reader could assemble a view in which one
+    /// shard's fragment is visible and another's is not. Defaults to
+    /// `false` (no state-level lock windows).
+    fn blocks_local_read(&self, key: u64) -> bool {
+        let _ = key;
+        false
+    }
 }
 
 impl LocalRead for crate::kv::KvStore {
     fn read_local(&self, key: u64) -> Self::Output {
         self.get(key)
+    }
+
+    /// Keys locked by a prepared transaction are unreadable until its
+    /// outcome (see [`crate::txn`]).
+    fn blocks_local_read(&self, key: u64) -> bool {
+        self.txn_locked(key)
     }
 }
 
@@ -1201,14 +1219,21 @@ impl<P: Protocol, S: StateMachine> ReplicaEngine<P, S> {
         self.node.supports_local_reads()
     }
 
-    /// Whether `key` is readable from the local replica *right now*
-    /// (e.g. 2PC outside its lock window).
-    pub fn can_read_locally(&self, key: u64) -> bool {
-        self.node.can_read_locally(key)
+    /// Whether `key` is readable from the local replica *right now*:
+    /// the protocol must allow it (e.g. 2PC outside its lock window)
+    /// **and** the state machine must not hold a transactional lock on
+    /// the key ([`LocalRead::blocks_local_read`] — a prepared
+    /// cross-shard fragment keeps its keys unreadable until the
+    /// outcome).
+    pub fn can_read_locally(&self, key: u64) -> bool
+    where
+        S: LocalRead,
+    {
+        self.node.can_read_locally(key) && !self.applier.state().blocks_local_read(key)
     }
 
     /// Serves a relaxed read of `key` from the local replica, without any
-    /// agreement traffic, if the protocol currently allows it.
+    /// agreement traffic, if both lock gates currently allow it.
     pub fn local_read(&self, key: u64) -> Option<S::Output>
     where
         S: LocalRead,

@@ -8,9 +8,19 @@
 use std::collections::BTreeMap;
 
 use crate::rsm::StateMachine;
-use crate::types::Op;
+use crate::txn::{TxnStatus, TXN_VOTE_ABORT, TXN_VOTE_COMMIT};
+use crate::types::{Op, TxnId, TxnWrites};
 
 /// Deterministic in-memory key/value store.
+///
+/// Besides plain puts and gets, the store is a 2PC **participant** for
+/// cross-shard transactions (see [`crate::txn`]): an applied
+/// [`Op::TxnPrepare`] stages the fragment and locks its keys (the vote
+/// is the apply output, so it is as durable as the log that carried the
+/// command), and the outcome command atomically applies or discards the
+/// staged writes. Locks gate only the §7.5 local-read fast path —
+/// log-ordered writes to a locked key simply serialize before the staged
+/// fragment.
 ///
 /// # Examples
 ///
@@ -29,6 +39,17 @@ pub struct KvStore {
     map: BTreeMap<u64, u64>,
     writes: u64,
     reads: u64,
+    /// Prepared transactions: fragment staged, keys locked, outcome
+    /// pending.
+    staged: BTreeMap<TxnId, TxnWrites>,
+    /// Key → the prepared transaction holding its lock.
+    locks: BTreeMap<u64, TxnId>,
+    /// Finished transactions (`true` = committed), so late or duplicate
+    /// phase commands stay idempotent and recovery can query the
+    /// outcome. Grows with the transaction count — acceptable for this
+    /// reproduction's bounded runs; a production store would checkpoint
+    /// it.
+    finished: BTreeMap<TxnId, bool>,
 }
 
 impl KvStore {
@@ -70,6 +91,79 @@ impl KvStore {
         self.map.iter().map(|(&k, &v)| (k, v))
     }
 
+    /// Whether `key` is locked by a prepared (outcome-pending)
+    /// transaction — the replica is inside that transaction's lock
+    /// window for this key, so the §7.5 local-read fast path must wait
+    /// (see [`crate::engine::LocalRead::blocks_local_read`]).
+    pub fn txn_locked(&self, key: u64) -> bool {
+        self.locks.contains_key(&key)
+    }
+
+    /// Number of keys currently locked by prepared transactions (test
+    /// oracle: must drain to zero once every transaction has an
+    /// outcome).
+    pub fn txn_locks(&self) -> usize {
+        self.locks.len()
+    }
+
+    /// This replica's view of transaction `txn` (see
+    /// [`TxnStatus`]) — what coordinator recovery queries.
+    pub fn txn_status(&self, txn: TxnId) -> TxnStatus {
+        if self.staged.contains_key(&txn) {
+            TxnStatus::Prepared
+        } else {
+            match self.finished.get(&txn) {
+                Some(true) => TxnStatus::Committed,
+                Some(false) => TxnStatus::Aborted,
+                None => TxnStatus::Unknown,
+            }
+        }
+    }
+
+    /// Votes on `txn`'s fragment: stages it and locks its keys on yes.
+    fn prepare(&mut self, txn: TxnId, writes: &TxnWrites) -> u64 {
+        // A finished transaction can never re-enter its lock window: a
+        // late or re-decided prepare echoes the recorded outcome.
+        if let Some(&committed) = self.finished.get(&txn) {
+            return if committed {
+                TXN_VOTE_COMMIT
+            } else {
+                TXN_VOTE_ABORT
+            };
+        }
+        if self.staged.contains_key(&txn) {
+            return TXN_VOTE_COMMIT; // duplicate prepare: already locked by us
+        }
+        if writes.iter().any(|&(key, _)| self.locks.contains_key(&key)) {
+            return TXN_VOTE_ABORT; // conflict: another txn holds a lock
+        }
+        for &(key, _) in writes.iter() {
+            self.locks.insert(key, txn);
+        }
+        self.staged.insert(txn, writes.clone());
+        TXN_VOTE_COMMIT
+    }
+
+    /// Applies `txn`'s outcome; both directions are idempotent, and the
+    /// first outcome to arrive wins forever.
+    fn finish(&mut self, txn: TxnId, commit: bool) -> u64 {
+        if let Some(writes) = self.staged.remove(&txn) {
+            for &(key, value) in writes.iter() {
+                self.locks.remove(&key);
+                if commit {
+                    self.writes += 1;
+                    self.map.insert(key, value);
+                }
+            }
+        }
+        let recorded = *self.finished.entry(txn).or_insert(commit);
+        if recorded {
+            TXN_VOTE_COMMIT
+        } else {
+            TXN_VOTE_ABORT
+        }
+    }
+
     /// A digest of the full contents, for cheap cross-replica equality
     /// checks in tests (FNV-1a over the sorted entries).
     pub fn digest(&self) -> u64 {
@@ -88,7 +182,9 @@ impl KvStore {
 
 impl StateMachine for KvStore {
     /// `Put` returns the previous value; `Get` returns the current value;
-    /// `Noop` returns `None`.
+    /// `Noop` returns `None`. Transaction phases return their vote or
+    /// outcome (`TXN_VOTE_COMMIT`/`TXN_VOTE_ABORT`); `MultiPut` returns
+    /// the number of keys written.
     type Output = Option<u64>;
 
     fn apply(&mut self, op: Op) -> Self::Output {
@@ -102,6 +198,19 @@ impl StateMachine for KvStore {
                 self.reads += 1;
                 self.get(key)
             }
+            Op::MultiPut { writes } => {
+                // The single-shard transaction short-circuit: one
+                // command, all writes — atomic by construction, since a
+                // state-machine step is indivisible to every read path.
+                for &(key, value) in writes.iter() {
+                    self.writes += 1;
+                    self.map.insert(key, value);
+                }
+                Some(writes.len() as u64)
+            }
+            Op::TxnPrepare { txn, writes } => Some(self.prepare(txn, &writes)),
+            Op::TxnCommit { txn, .. } => Some(self.finish(txn, true)),
+            Op::TxnAbort { txn, .. } => Some(self.finish(txn, false)),
             // The RSM layer unpacks batches into per-command applications
             // before they reach any state machine.
             Op::Batch(_) => unreachable!("Op::Batch must be unpacked by the Applier"),
@@ -140,6 +249,120 @@ mod tests {
         assert_eq!(a.digest(), b.digest());
         b.apply(Op::Put { key: 2, value: 2 });
         assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn prepare_stages_and_locks_without_touching_the_map() {
+        use crate::types::NodeId;
+        let mut kv = KvStore::new();
+        kv.apply(Op::Put { key: 1, value: 10 });
+        let txn = TxnId::new(NodeId(9), 1);
+        let writes: TxnWrites = vec![(1, 11), (2, 22)].into();
+        assert_eq!(
+            kv.apply(Op::TxnPrepare { txn, writes }),
+            Some(TXN_VOTE_COMMIT)
+        );
+        // Staged, locked, but not visible.
+        assert_eq!(kv.get(1), Some(10));
+        assert_eq!(kv.get(2), None);
+        assert!(kv.txn_locked(1) && kv.txn_locked(2) && !kv.txn_locked(3));
+        assert_eq!(kv.txn_locks(), 2);
+        assert_eq!(kv.txn_status(txn), TxnStatus::Prepared);
+        // Commit applies atomically and releases the locks.
+        assert_eq!(
+            kv.apply(Op::TxnCommit { txn, key: 1 }),
+            Some(TXN_VOTE_COMMIT)
+        );
+        assert_eq!(kv.get(1), Some(11));
+        assert_eq!(kv.get(2), Some(22));
+        assert_eq!(kv.txn_locks(), 0);
+        assert_eq!(kv.txn_status(txn), TxnStatus::Committed);
+    }
+
+    #[test]
+    fn conflicting_prepare_votes_abort_and_takes_no_locks() {
+        use crate::types::NodeId;
+        let mut kv = KvStore::new();
+        let first = TxnId::new(NodeId(9), 1);
+        let second = TxnId::new(NodeId(10), 1);
+        kv.apply(Op::TxnPrepare {
+            txn: first,
+            writes: vec![(5, 50)].into(),
+        });
+        // Overlapping fragment: no vote, and crucially no partial locks
+        // on the non-conflicting key.
+        assert_eq!(
+            kv.apply(Op::TxnPrepare {
+                txn: second,
+                writes: vec![(5, 99), (6, 60)].into(),
+            }),
+            Some(TXN_VOTE_ABORT)
+        );
+        assert!(!kv.txn_locked(6), "losing prepare must not lock anything");
+        assert_eq!(kv.txn_status(second), TxnStatus::Unknown);
+    }
+
+    #[test]
+    fn abort_discards_the_staged_fragment_and_outcomes_are_idempotent() {
+        use crate::types::NodeId;
+        let mut kv = KvStore::new();
+        let txn = TxnId::new(NodeId(9), 1);
+        kv.apply(Op::TxnPrepare {
+            txn,
+            writes: vec![(7, 70)].into(),
+        });
+        assert_eq!(kv.apply(Op::TxnAbort { txn, key: 7 }), Some(TXN_VOTE_ABORT));
+        assert_eq!(kv.get(7), None);
+        assert_eq!(kv.txn_locks(), 0);
+        assert_eq!(kv.txn_status(txn), TxnStatus::Aborted);
+        // A duplicate abort, and even a late commit, echo the recorded
+        // outcome instead of resurrecting the transaction.
+        assert_eq!(kv.apply(Op::TxnAbort { txn, key: 7 }), Some(TXN_VOTE_ABORT));
+        assert_eq!(
+            kv.apply(Op::TxnCommit { txn, key: 7 }),
+            Some(TXN_VOTE_ABORT)
+        );
+        assert_eq!(kv.get(7), None);
+        // A late re-prepare of the dead transaction cannot lock.
+        assert_eq!(
+            kv.apply(Op::TxnPrepare {
+                txn,
+                writes: vec![(7, 70)].into(),
+            }),
+            Some(TXN_VOTE_ABORT)
+        );
+        assert_eq!(kv.txn_locks(), 0);
+    }
+
+    #[test]
+    fn log_ordered_put_on_a_locked_key_serializes_before_the_fragment() {
+        use crate::types::NodeId;
+        let mut kv = KvStore::new();
+        let txn = TxnId::new(NodeId(9), 1);
+        kv.apply(Op::TxnPrepare {
+            txn,
+            writes: vec![(3, 30)].into(),
+        });
+        // The put lands (the log already ordered it)…
+        kv.apply(Op::Put { key: 3, value: 5 });
+        assert_eq!(kv.get(3), Some(5));
+        // …and the committed fragment overwrites it: a valid serial
+        // order (put before transaction).
+        kv.apply(Op::TxnCommit { txn, key: 3 });
+        assert_eq!(kv.get(3), Some(30));
+    }
+
+    #[test]
+    fn multiput_applies_every_write_in_one_step() {
+        let mut kv = KvStore::new();
+        let out = kv.apply(Op::MultiPut {
+            writes: vec![(1, 10), (2, 20), (1, 11)].into(),
+        });
+        assert_eq!(out, Some(3));
+        assert_eq!(kv.get(1), Some(11), "in-order application");
+        assert_eq!(kv.get(2), Some(20));
+        assert_eq!(kv.writes(), 3);
+        assert_eq!(kv.txn_locks(), 0, "no lock window for the short-circuit");
     }
 
     #[test]

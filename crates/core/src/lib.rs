@@ -31,6 +31,9 @@
 //!   [`ShardedEngine`] runs S independent engines per node and routes
 //!   every command to its owning group, multiplying throughput with
 //!   cores while protocol code stays untouched.
+//! * [`txn`] — cross-shard atomic transactions: a client-side 2PC
+//!   coordinator spanning shard groups, every phase decision agreed by
+//!   the participant shard's own log (classic 2PC-over-Paxos).
 //! * [`rsm`]/[`kv`] — a replicated-state-machine layer and a key/value
 //!   state machine.
 //! * [`testnet`] — a deterministic harness for driving the protocols in
@@ -81,6 +84,7 @@ pub mod rsm;
 pub mod shard;
 pub mod testnet;
 pub mod twopc;
+pub mod txn;
 mod types;
 
 pub use config::ClusterConfig;
@@ -90,7 +94,8 @@ pub use engine::{
 pub use outbox::{Action, Outbox, Timer};
 pub use protocol::Protocol;
 pub use shard::{ShardId, ShardRouter, ShardedEngine};
+pub use txn::{TxnCoordinator, TxnOutcome, TxnStatus};
 pub use types::{
-    Ballot, BatchPayload, Command, Instance, Nanos, NodeId, Op, NANOS_PER_MICRO, NANOS_PER_MILLI,
-    NANOS_PER_SEC,
+    Ballot, BatchPayload, Command, Instance, Nanos, NodeId, Op, TxnId, TxnWrites, NANOS_PER_MICRO,
+    NANOS_PER_MILLI, NANOS_PER_SEC,
 };

@@ -162,6 +162,17 @@ impl ShardRouter {
             !matches!(op, Op::Batch(_)),
             "batches are built per shard and must not be routed"
         );
+        // A multi-key fragment (transaction prepare or single-shard
+        // multi-put) routes by its first key; the coordinator must have
+        // partitioned the write set so the rest agree.
+        if let Op::MultiPut { writes } | Op::TxnPrepare { writes, .. } = op {
+            debug_assert!(
+                writes
+                    .iter()
+                    .all(|&(k, _)| self.route_key(k) == self.route_key(writes[0].0)),
+                "write-set fragment crosses shards — mis-partitioned coordinator"
+            );
+        }
         match op.key() {
             Some(key) => self.route_key(key),
             None => ShardId((mix64(u64::from(client.0)) % u64::from(self.shards)) as u16),
@@ -368,8 +379,13 @@ impl<P: Protocol, S: StateMachine> ShardedEngine<P, S> {
     }
 
     /// Whether `key` is readable from the local replica of its owning
-    /// shard *right now*.
-    pub fn can_read_locally(&self, key: u64) -> bool {
+    /// shard *right now*: the shard's protocol gate **and** the
+    /// state-machine lock gate (a prepared cross-shard transaction keeps
+    /// its keys unreadable, see [`crate::txn`]) must both be open.
+    pub fn can_read_locally(&self, key: u64) -> bool
+    where
+        S: LocalRead,
+    {
         self.shards[self.router.route_key(key).index()].can_read_locally(key)
     }
 
@@ -393,6 +409,23 @@ impl<P: Protocol> ShardedEngine<P, crate::kv::KvStore> {
         self.shards[self.router.route_key(key).index()]
             .state()
             .get(key)
+    }
+
+    /// This node's view of transaction `txn` at the shard owning
+    /// `routing_key` (any key of that shard's fragment) — the status a
+    /// recovering coordinator queries (see
+    /// [`crate::txn::recover_outcome`]).
+    pub fn txn_status(&self, routing_key: u64, txn: crate::types::TxnId) -> crate::txn::TxnStatus {
+        self.shards[self.router.route_key(routing_key).index()]
+            .state()
+            .txn_status(txn)
+    }
+
+    /// Transactional locks currently held across every shard replica on
+    /// this node (test oracle: zero once every transaction has its
+    /// outcome).
+    pub fn txn_locks(&self) -> usize {
+        self.shards.iter().map(|e| e.state().txn_locks()).sum()
     }
 
     /// A digest of the replica's full key/value contents across shards.

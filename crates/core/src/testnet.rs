@@ -24,9 +24,28 @@ use crate::engine::{
 use crate::kv::KvStore;
 use crate::protocol::Protocol;
 use crate::shard::{ShardId, ShardedEffects, ShardedEngine};
-use crate::types::{Command, Instance, Nanos, NodeId, Op};
+use crate::txn::{Fragment, TxnCoordinator, TxnOutcome, TxnStatus, TxnStep};
+use crate::types::{Command, Instance, Nanos, NodeId, Op, TxnId};
 
-pub use crate::engine::ReplyRecord;
+/// A recorded client reply at the harness level: who was answered, for
+/// what, from where — and the state-machine output the reply carried
+/// (`None` when the output was not yet applied at emission under
+/// [`crate::engine::ReplyMode::Immediate`]; for a transaction prepare
+/// the attached output **is** the shard's vote, which is how the
+/// [`TxnCoordinator`] driver reads votes off this harness).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReplyRecord {
+    /// The client that was answered.
+    pub client: NodeId,
+    /// The request id that committed.
+    pub req_id: u64,
+    /// The slot it committed in.
+    pub instance: Instance,
+    /// The node that produced the reply.
+    pub from: NodeId,
+    /// The flattened state-machine output attached to the reply.
+    pub value: Option<u64>,
+}
 
 /// The tagged effect stream produced by a `TestNet` node's engines.
 type Effects<P> = ShardedEffects<<P as Protocol>::Msg, Option<u64>>;
@@ -332,6 +351,102 @@ impl<P: Protocol> TestNet<P> {
         self.engines[id.index()].local_read(key)
     }
 
+    // ----------------------------------------------------------------
+    // Cross-shard transactions (see `crate::txn`): the TestNet is the
+    // coordinator's transport — fragments are submitted as ordinary
+    // client requests of the coordinator's identity, and votes are read
+    // back off the recorded reply values.
+    // ----------------------------------------------------------------
+
+    /// Submits each fragment to `target`, letting the engines route it
+    /// to its owning shard group.
+    pub fn submit_fragments(&mut self, target: NodeId, client: NodeId, frags: Vec<Fragment>) {
+        for f in frags {
+            let routed = self.client_request(target, client, f.req_id, f.op);
+            debug_assert_eq!(routed, f.shard, "fragment routed off its shard");
+        }
+    }
+
+    /// Runs one complete transaction through `coord` against `target`,
+    /// driving every phase to quiescence: prepares out, votes in,
+    /// outcome out, acknowledgements in. Time advances a little between
+    /// rounds so batch-flush deadlines and protocol ticks fire.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transaction does not finish within the driver's
+    /// round budget (a stuck shard group).
+    pub fn run_txn(
+        &mut self,
+        target: NodeId,
+        coord: &mut TxnCoordinator,
+        writes: &[(u64, u64)],
+    ) -> TxnOutcome {
+        let frags = coord.begin(writes);
+        self.drive_txn(target, coord, frags)
+    }
+
+    /// Drives an already-started transaction (or a recovery started with
+    /// [`TxnCoordinator::begin_recovery`]) to its outcome; see
+    /// [`Self::run_txn`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transaction does not finish within the round
+    /// budget.
+    pub fn drive_txn(
+        &mut self,
+        target: NodeId,
+        coord: &mut TxnCoordinator,
+        mut frags: Vec<Fragment>,
+    ) -> TxnOutcome {
+        let client = coord.client();
+        let mut seen = self.replies.len();
+        for round in 0..64 {
+            self.submit_fragments(target, client, std::mem::take(&mut frags));
+            self.run_to_quiescence();
+            if round > 0 {
+                // Let deadline-driven machinery (batch flushes, protocol
+                // ticks, retries) make progress on stalled rounds.
+                self.advance_and_settle(200_000, 1);
+            }
+            let mut step = TxnStep::Pending;
+            while seen < self.replies.len() {
+                let r = self.replies[seen];
+                seen += 1;
+                if r.client != client {
+                    continue;
+                }
+                match coord.on_reply(r.req_id, r.value) {
+                    TxnStep::Pending => {}
+                    next => step = next,
+                }
+            }
+            match step {
+                TxnStep::Done(outcome) => return outcome,
+                TxnStep::Submit(next) => frags = next,
+                // No phase transition: re-ask for whatever is still
+                // outstanding (a valueless reply raced its apply; the
+                // protocols re-answer decided ids with the value).
+                TxnStep::Pending => frags = coord.outstanding_fragments(),
+            }
+        }
+        panic!("transaction did not finish within the driver budget");
+    }
+
+    /// `node`'s view of transaction `txn` at the shard owning
+    /// `routing_key` — the per-shard status coordinator recovery feeds
+    /// to [`crate::txn::recover_outcome`].
+    pub fn txn_status(&self, node: NodeId, routing_key: u64, txn: TxnId) -> TxnStatus {
+        self.engines[node.index()].txn_status(routing_key, txn)
+    }
+
+    /// Transactional locks currently held across every shard replica of
+    /// `node` (zero once every transaction has its outcome).
+    pub fn txn_locks(&self, node: NodeId) -> usize {
+        self.engines[node.index()].txn_locks()
+    }
+
     /// Links `(from, to)` that currently hold at least one deliverable
     /// message (destination not blocked), in deterministic order.
     pub fn deliverable_links(&self) -> Vec<(NodeId, NodeId)> {
@@ -500,12 +615,13 @@ impl<P: Protocol> TestNet<P> {
                     client,
                     req_id,
                     instance,
-                    ..
+                    value,
                 } => self.replies.push(ReplyRecord {
                     client,
                     req_id,
                     instance,
                     from: me,
+                    value: value.flatten(),
                 }),
                 EngineEffect::Committed { instance, cmd } => {
                     let prior = self
@@ -766,6 +882,72 @@ mod tests {
         for c in 0..20u64 {
             assert_eq!(net.kv_get(NodeId(2), c), Some(1));
         }
+    }
+
+    #[test]
+    fn txn_driver_commits_across_shards_and_short_circuits_within_one() {
+        use crate::shard::ShardRouter;
+        use crate::twopc::TwoPcNode;
+        use crate::txn::{TxnCoordinator, TxnOutcome};
+        use crate::ClusterConfig;
+        let mut net = TestNet::sharded(3, 4, |m, me| {
+            TwoPcNode::new(ClusterConfig::new(m.to_vec(), me))
+        });
+        let router = ShardRouter::new(4);
+        let mut coord = TxnCoordinator::new(NodeId(9), router);
+        // Keys spanning two distinct shards.
+        let k0 = 0u64;
+        let k1 = (1u64..)
+            .find(|&k| router.route_key(k) != router.route_key(k0))
+            .unwrap();
+        assert_eq!(
+            net.run_txn(NodeId(0), &mut coord, &[(k0, 10), (k1, 11)]),
+            TxnOutcome::Committed
+        );
+        // Atomic: both writes visible on every node, no locks left.
+        for n in 0..3u16 {
+            assert_eq!(net.kv_get(NodeId(n), k0), Some(10), "node {n}");
+            assert_eq!(net.kv_get(NodeId(n), k1), Some(11), "node {n}");
+            assert_eq!(net.txn_locks(NodeId(n)), 0, "node {n}");
+        }
+        net.assert_consistent();
+        // Single-shard write set: the MultiPut short-circuit.
+        let twin = (1u64..)
+            .find(|&k| k != k0 && router.route_key(k) == router.route_key(k0))
+            .unwrap();
+        assert_eq!(
+            net.run_txn(NodeId(0), &mut coord, &[(k0, 20), (twin, 21)]),
+            TxnOutcome::Committed
+        );
+        assert_eq!(net.kv_get(NodeId(2), k0), Some(20));
+        assert_eq!(net.kv_get(NodeId(2), twin), Some(21));
+        net.assert_consistent();
+    }
+
+    #[test]
+    fn txn_driver_composes_with_batching() {
+        use crate::shard::ShardRouter;
+        use crate::twopc::TwoPcNode;
+        use crate::txn::{TxnCoordinator, TxnOutcome};
+        use crate::ClusterConfig;
+        // Fragments ride the per-shard batch accumulators like any
+        // client command; the driver's time advances flush the tails.
+        let mut net = TestNet::sharded_with_batching(3, 2, BatchConfig::new(4, 1_000), |m, me| {
+            TwoPcNode::new(ClusterConfig::new(m.to_vec(), me))
+        });
+        let router = ShardRouter::new(2);
+        let mut coord = TxnCoordinator::new(NodeId(9), router);
+        let k0 = 0u64;
+        let k1 = (1u64..)
+            .find(|&k| router.route_key(k) != router.route_key(k0))
+            .unwrap();
+        assert_eq!(
+            net.run_txn(NodeId(0), &mut coord, &[(k0, 1), (k1, 2)]),
+            TxnOutcome::Committed
+        );
+        assert_eq!(net.kv_get(NodeId(1), k0), Some(1));
+        assert_eq!(net.kv_get(NodeId(1), k1), Some(2));
+        net.assert_consistent();
     }
 
     #[test]

@@ -327,6 +327,15 @@ impl Protocol for TwoPcNode {
                 }
                 out.commit(round, cmd);
                 out.send(from, Msg::CommitAck { round });
+                // Lock released: a co-coordinator with queued work must
+                // resume *now*, not on its next maintenance tick — lock
+                // windows are reused per transaction fragment, so a
+                // tick-long stall per release compounds. `try_start_round`
+                // re-checks every guard (active round, backoff, lock,
+                // queue) and pops at most one command, so a command
+                // arriving exactly at lock release is dispatched exactly
+                // once even though the tick path will also call this.
+                self.try_start_round(out);
             }
             Msg::CommitAck { round } => {
                 if let Some(active) = &mut self.active {
@@ -342,6 +351,8 @@ impl Protocol for TwoPcNode {
                 if self.locked_by == Some((from, round)) {
                     self.locked_by = None;
                 }
+                // Same dispatch-at-release as `Msg::Commit`.
+                self.try_start_round(out);
             }
         }
     }
@@ -516,6 +527,57 @@ mod tests {
         net.advance_and_settle(TwoPcNode::DEFAULT_TICK, 4);
         let committed: usize = (0..3).map(|n| net.commits(NodeId(n)).len()).sum();
         assert!(committed > 0);
+        net.assert_consistent();
+    }
+
+    #[test]
+    fn command_arriving_at_lock_release_is_dispatched_exactly_once_and_immediately() {
+        // The latent `is_locked()`/queue interaction surfaced by
+        // lock-window reuse: n1 believes it coordinates, but its copy is
+        // locked by n0's in-flight round, so its queued command cannot
+        // start. When n0's Commit releases the lock, the command must
+        // start *immediately* (no tick) and be dispatched exactly once —
+        // the release handler and the tick path both call
+        // `try_start_round`, and only the pop-once queue discipline
+        // keeps that single dispatch.
+        let mut net = net(3);
+        net.node_mut(NodeId(1)).coordinator = NodeId(1); // co-coordinator
+        net.node_mut(NodeId(1)).next_round = 1000;
+        // n0 starts a round; deliver its Prepare to n1 so n1 is locked.
+        net.client_request(NodeId(0), NodeId(8), 1, Op::Noop);
+        assert!(net.deliver_one(NodeId(0), NodeId(1)));
+        assert!(net.node(NodeId(1)).is_locked());
+        // A command reaches the locked co-coordinator: it must queue.
+        net.client_request(NodeId(1), NodeId(9), 1, Op::Noop);
+        assert_eq!(net.node(NodeId(1)).queue_len(), 1);
+        // Finishing n0's round delivers Commit to n1 — the lock releases
+        // and the queued command starts in the same delivery, with NO
+        // time advance (the old behaviour stalled it until the tick).
+        net.run_to_quiescence();
+        assert!(!net.node(NodeId(1)).is_locked());
+        assert_eq!(net.node(NodeId(1)).queue_len(), 0, "dispatched at release");
+        assert_eq!(net.replies().len(), 2, "both commands answered");
+        // Exactly once: n9's command occupies exactly one slot in every
+        // replica's log (a double dispatch would commit it twice, in
+        // n1's disjoint round space).
+        for n in 0..3u16 {
+            let hits = net
+                .commits(NodeId(n))
+                .values()
+                .filter(|c| c.client == NodeId(9))
+                .count();
+            assert_eq!(hits, 1, "node {n} committed the command {hits} times");
+        }
+        // Ticks afterwards must not re-dispatch anything either.
+        net.advance_and_settle(TwoPcNode::DEFAULT_TICK, 4);
+        for n in 0..3u16 {
+            let hits = net
+                .commits(NodeId(n))
+                .values()
+                .filter(|c| c.client == NodeId(9))
+                .count();
+            assert_eq!(hits, 1, "tick re-dispatched at node {n}");
+        }
         net.assert_consistent();
     }
 

@@ -1,0 +1,703 @@
+//! Cross-shard atomic transactions: classic 2PC run **across** the
+//! per-shard consensus groups, every phase decision made durable by the
+//! participant shard's own replicated log — the "transaction commit over
+//! replicated participants" construction the paper's §6 building blocks
+//! enable.
+//!
+//! PR 3 sharded the engine into independent key-hash-routed groups
+//! ([`crate::shard`]), which is exactly why a multi-key write spanning
+//! groups loses atomicity: each shard's log orders only its own keys.
+//! This module restores atomicity with the in-tree 2PC protocol lifted
+//! one level: the *participants* of the 2PC round are no longer
+//! individual replicas (as in [`crate::twopc`]) but whole **shard
+//! groups**, and each phase message is an ordinary client command agreed
+//! by the group's [`ReplicaEngine`](crate::engine::ReplicaEngine):
+//!
+//! * [`Op::TxnPrepare`] — the shard votes on (and stages + locks) its
+//!   fragment of the write set. The vote is the command's state-machine
+//!   output, so it lives in the shard's log: **a replica crash never
+//!   loses a vote**, and any node that replays the log re-derives it.
+//! * [`Op::TxnCommit`] / [`Op::TxnAbort`] — the outcome, likewise one
+//!   agreed command per touched shard. A shard applies its staged
+//!   fragment **atomically in one state-machine step** at commit, which
+//!   is what keeps relaxed readers from ever observing half a
+//!   transaction.
+//!
+//! Between prepare and outcome, the touched keys are locked in the
+//! [`KvStore`](crate::kv::KvStore) replica; the engine's §7.5 local-read
+//! gate is extended to refuse relaxed reads of locked keys (the reader
+//! waits the window out, exactly like a 2PC lock window in
+//! [`crate::twopc`]).
+//!
+//! # The coordinator
+//!
+//! [`TxnCoordinator`] is a **client-side**, sans-IO state machine: it
+//! turns a multi-key write set into per-shard [`Fragment`]s and consumes
+//! the replies. The harness (TestNet driver, the sim's `TxnMix` client
+//! loop, the runtime's `ClientHandle::txn_put`) owns all transport:
+//!
+//! ```text
+//! coordinator                 shard A (Paxos group)    shard B (Paxos group)
+//!     | begin(writes)               |                        |
+//!     |--- TxnPrepare(frag A) ----->| agree + stage + lock   |
+//!     |--- TxnPrepare(frag B) ---------------------------- ->| agree + stage + lock
+//!     |<-- reply: vote A -----------|                        |
+//!     |<-- reply: vote B ------------------------------------|
+//!     | all yes?                    |                        |
+//!     |--- TxnCommit -------------->| agree + apply + unlock |
+//!     |--- TxnCommit ------------------------------------- ->| agree + apply + unlock
+//!     |<-- ack ---------------------|                        |
+//!     |<-- ack ----------------------------------------------|   => Committed
+//! ```
+//!
+//! A write set owned by a single shard short-circuits to one
+//! [`Op::MultiPut`] — no lock window, no second phase, batch-compatible
+//! like any plain put.
+//!
+//! # Failure matrix
+//!
+//! | failure                                    | consequence |
+//! |--------------------------------------------|-------------|
+//! | participant **replica** crashes mid-prepare | nothing lost: the vote is a decided command in the shard's log; the group keeps serving (its protocol's own failover) |
+//! | coordinator crashes **before any prepare decides** | no shard staged anything; nothing to clean up |
+//! | coordinator crashes **after a strict subset prepared** | prepared shards hold locks; recovery (below) queries every shard and aborts — the missing vote proves no commit was ever sent |
+//! | coordinator crashes **after all shards prepared** | recovery finds unanimous yes votes and may commit (the coordinator could only ever have decided commit) |
+//! | coordinator crashes **mid-outcome**        | recovery finds the outcome on ≥1 shard and replays it to the rest |
+//!
+//! Recovery ([`recover_outcome`] + [`TxnCoordinator::begin_recovery`])
+//! reads per-shard [`TxnStatus`]es and drives the uniquely-safe outcome.
+//! It must run only once the original coordinator is known dead (the
+//! outcome commands are idempotent per shard, but a *racing* live
+//! coordinator could disagree with recovery — the classic 2PC window
+//! that only a replicated coordinator log would close; see the README's
+//! failure matrix).
+//!
+//! Locks do **not** block unrelated writes: a plain [`Op::Put`] to a
+//! locked key is already serialized by the shard's log and simply lands
+//! *before* the staged fragment (which overwrites it at commit) — a
+//! valid serial order. Locks exist to gate the §7.5 relaxed-read fast
+//! path, whose readers bypass the log.
+
+use std::collections::BTreeMap;
+
+use crate::shard::{ShardId, ShardRouter};
+use crate::types::{NodeId, Op, TxnId, TxnWrites};
+
+/// State-machine output of a yes vote ([`Op::TxnPrepare`]) and of an
+/// applied [`Op::TxnCommit`].
+pub const TXN_VOTE_COMMIT: u64 = 1;
+
+/// State-machine output of a no vote (fragment conflicted with another
+/// transaction's lock) and of an applied [`Op::TxnAbort`].
+pub const TXN_VOTE_ABORT: u64 = 0;
+
+/// Final fate of a transaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TxnOutcome {
+    /// Every touched shard voted yes and applied its fragment.
+    Committed,
+    /// At least one shard refused (lock conflict) or recovery found the
+    /// prepare incomplete; no fragment was applied anywhere.
+    Aborted,
+}
+
+/// One shard's view of a transaction, as recorded by its replicated
+/// [`KvStore`](crate::kv::KvStore) — what a recovering coordinator
+/// queries to re-derive the outcome.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TxnStatus {
+    /// No prepare for this transaction has been applied here.
+    Unknown,
+    /// Voted yes; fragment staged, locks held, awaiting the outcome.
+    Prepared,
+    /// Outcome applied: the fragment's writes landed.
+    Committed,
+    /// Outcome applied: the fragment was discarded.
+    Aborted,
+}
+
+/// One per-shard request the harness must submit on the coordinator's
+/// behalf (as an ordinary client command of the coordinator's identity).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Fragment {
+    /// The shard group this request belongs to.
+    pub shard: ShardId,
+    /// The coordinator-client's request id for it.
+    pub req_id: u64,
+    /// The command (prepare, commit, abort or single-shard multi-put).
+    pub op: Op,
+}
+
+/// What the coordinator wants next after consuming a reply.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TxnStep {
+    /// Nothing yet: the reply was stale, valueless, or votes are still
+    /// outstanding.
+    Pending,
+    /// Phase transition: submit these outcome fragments.
+    Submit(Vec<Fragment>),
+    /// The transaction finished.
+    Done(TxnOutcome),
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    /// Single-shard short-circuit: one [`Op::MultiPut`] in flight.
+    Single,
+    /// Waiting for every touched shard's vote.
+    Preparing,
+    /// Waiting for every touched shard to acknowledge the outcome.
+    Outcome(TxnOutcome),
+}
+
+#[derive(Debug)]
+struct Active {
+    txn: TxnId,
+    phase: Phase,
+    /// Fragments awaiting a reply: req_id → (shard, op) — the op kept
+    /// for retransmission.
+    outstanding: BTreeMap<u64, (ShardId, Op)>,
+    /// Votes collected so far (prepare phase).
+    votes: BTreeMap<ShardId, bool>,
+    /// The per-shard write-set fragments (outcome routing keys come from
+    /// here).
+    fragments: BTreeMap<ShardId, TxnWrites>,
+}
+
+/// Client-side 2PC-over-Paxos coordinator; see the [module docs](self)
+/// for the protocol and failure story.
+///
+/// One coordinator per client, living as long as the client: it owns the
+/// client's transaction sequence numbers and (its slice of) the client's
+/// request ids, both strictly increasing — which is what keeps the
+/// per-shard [`Applier`](crate::rsm::Applier) sessions' at-most-once
+/// dedup sound for fragments.
+///
+/// # Examples
+///
+/// ```
+/// use onepaxos::shard::ShardRouter;
+/// use onepaxos::txn::TxnCoordinator;
+/// use onepaxos::NodeId;
+///
+/// let mut coord = TxnCoordinator::new(NodeId(9), ShardRouter::new(4));
+/// let frags = coord.begin(&[(1, 10), (2, 20), (3, 30)]);
+/// // One fragment per touched shard, ready for the harness to submit.
+/// assert!(!frags.is_empty() && coord.in_flight());
+/// ```
+#[derive(Debug)]
+pub struct TxnCoordinator {
+    client: NodeId,
+    router: ShardRouter,
+    next_req: u64,
+    next_seq: u64,
+    active: Option<Active>,
+}
+
+impl TxnCoordinator {
+    /// Creates a coordinator for `client` over `router`'s shard space,
+    /// with request ids starting at 1.
+    pub fn new(client: NodeId, router: ShardRouter) -> Self {
+        Self::with_first_req(client, router, 1)
+    }
+
+    /// Like [`Self::new`] with an explicit first request id — for
+    /// callers that share the client's request-id counter with
+    /// non-transactional traffic (the threaded runtime's
+    /// `ClientHandle`).
+    pub fn with_first_req(client: NodeId, router: ShardRouter, first_req: u64) -> Self {
+        TxnCoordinator {
+            client,
+            router,
+            next_req: first_req.max(1),
+            next_seq: 1,
+            active: None,
+        }
+    }
+
+    /// The client identity fragments are submitted under.
+    pub fn client(&self) -> NodeId {
+        self.client
+    }
+
+    /// The next request id this coordinator would allocate (for resyncing
+    /// a shared client counter).
+    pub fn next_req(&self) -> u64 {
+        self.next_req
+    }
+
+    /// Whether a transaction is currently in flight.
+    pub fn in_flight(&self) -> bool {
+        self.active.is_some()
+    }
+
+    /// The id of the in-flight transaction, if any (single-shard
+    /// short-circuits have none — they are plain commands).
+    pub fn current_txn(&self) -> Option<TxnId> {
+        self.active
+            .as_ref()
+            .filter(|a| a.phase != Phase::Single)
+            .map(|a| a.txn)
+    }
+
+    /// The still-unanswered fragment carrying `req_id`, if any — what a
+    /// harness retransmits on timeout.
+    pub fn fragment(&self, req_id: u64) -> Option<Fragment> {
+        let a = self.active.as_ref()?;
+        a.outstanding.get(&req_id).map(|(shard, op)| Fragment {
+            shard: *shard,
+            req_id,
+            op: op.clone(),
+        })
+    }
+
+    /// Every still-unanswered fragment (for bulk retransmission).
+    pub fn outstanding_fragments(&self) -> Vec<Fragment> {
+        self.active.as_ref().map_or_else(Vec::new, |a| {
+            a.outstanding
+                .iter()
+                .map(|(&req_id, (shard, op))| Fragment {
+                    shard: *shard,
+                    req_id,
+                    op: op.clone(),
+                })
+                .collect()
+        })
+    }
+
+    fn alloc_req(&mut self) -> u64 {
+        let r = self.next_req;
+        self.next_req += 1;
+        r
+    }
+
+    /// Partitions `writes` by owning shard, in shard order.
+    fn partition(&self, writes: &[(u64, u64)]) -> BTreeMap<ShardId, Vec<(u64, u64)>> {
+        let mut by_shard: BTreeMap<ShardId, Vec<(u64, u64)>> = BTreeMap::new();
+        for &(key, value) in writes {
+            by_shard
+                .entry(self.router.route_key(key))
+                .or_default()
+                .push((key, value));
+        }
+        by_shard
+    }
+
+    /// Starts a transaction writing `writes` and returns the phase-1
+    /// fragments to submit: one [`Op::TxnPrepare`] per touched shard, or
+    /// a single [`Op::MultiPut`] when one shard owns every key (the
+    /// short-circuit — no lock window, no second phase).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a transaction is already in flight or `writes` is
+    /// empty.
+    pub fn begin(&mut self, writes: &[(u64, u64)]) -> Vec<Fragment> {
+        assert!(self.active.is_none(), "a transaction is already in flight");
+        assert!(!writes.is_empty(), "a transaction writes at least one key");
+        let by_shard = self.partition(writes);
+        let txn = TxnId::new(self.client, self.next_seq);
+        self.next_seq += 1;
+        let mut active = Active {
+            txn,
+            phase: if by_shard.len() == 1 {
+                Phase::Single
+            } else {
+                Phase::Preparing
+            },
+            outstanding: BTreeMap::new(),
+            votes: BTreeMap::new(),
+            fragments: BTreeMap::new(),
+        };
+        let mut out = Vec::with_capacity(by_shard.len());
+        for (shard, frag) in by_shard {
+            let writes: TxnWrites = frag.into();
+            active.fragments.insert(shard, writes.clone());
+            let op = if active.phase == Phase::Single {
+                Op::MultiPut { writes }
+            } else {
+                Op::TxnPrepare { txn, writes }
+            };
+            let req_id = self.alloc_req();
+            active.outstanding.insert(req_id, (shard, op.clone()));
+            out.push(Fragment { shard, req_id, op });
+        }
+        self.active = Some(active);
+        out
+    }
+
+    /// Resumes a transaction whose coordinator died: builds the outcome
+    /// fragments (`outcome` as decided by [`recover_outcome`] from the
+    /// shards' statuses) for every shard `writes` touches, and arms the
+    /// coordinator to collect their acknowledgements. `writes` must be
+    /// the original write set (the recovering coordinator replays its
+    /// client's request); `txn` the original id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a transaction is already in flight, `writes` is empty,
+    /// or the write set is single-shard (nothing to recover — a
+    /// [`Op::MultiPut`] either committed atomically or never existed).
+    pub fn begin_recovery(
+        &mut self,
+        txn: TxnId,
+        writes: &[(u64, u64)],
+        outcome: TxnOutcome,
+    ) -> Vec<Fragment> {
+        assert!(self.active.is_none(), "a transaction is already in flight");
+        assert!(!writes.is_empty(), "a transaction writes at least one key");
+        let by_shard = self.partition(writes);
+        assert!(
+            by_shard.len() > 1,
+            "single-shard transactions have no prepare window to recover"
+        );
+        self.active = Some(Active {
+            txn,
+            phase: Phase::Preparing, // placeholder; outcome_fragments sets it
+            outstanding: BTreeMap::new(),
+            votes: BTreeMap::new(),
+            fragments: by_shard
+                .into_iter()
+                .map(|(shard, frag)| (shard, frag.into()))
+                .collect(),
+        });
+        self.outcome_fragments(outcome)
+    }
+
+    /// Moves the active transaction into its outcome phase and builds
+    /// one commit/abort fragment per touched shard — the single place
+    /// outcome routing and request-id allocation happen, shared by the
+    /// live path ([`Self::decide`]) and recovery
+    /// ([`Self::begin_recovery`]).
+    fn outcome_fragments(&mut self, outcome: TxnOutcome) -> Vec<Fragment> {
+        let a = self.active.as_mut().expect("no transaction to conclude");
+        a.phase = Phase::Outcome(outcome);
+        let txn = a.txn;
+        let shards: Vec<(ShardId, u64)> = a
+            .fragments
+            .iter()
+            .map(|(&shard, writes)| (shard, writes[0].0))
+            .collect();
+        let mut out = Vec::with_capacity(shards.len());
+        for (shard, key) in shards {
+            let op = match outcome {
+                TxnOutcome::Committed => Op::TxnCommit { txn, key },
+                TxnOutcome::Aborted => Op::TxnAbort { txn, key },
+            };
+            let req_id = self.alloc_req();
+            self.active
+                .as_mut()
+                .expect("still active")
+                .outstanding
+                .insert(req_id, (shard, op.clone()));
+            out.push(Fragment { shard, req_id, op });
+        }
+        out
+    }
+
+    /// Builds the outcome fragments once every vote is in: commit
+    /// everywhere on unanimous yes, abort everywhere otherwise (a
+    /// no-voting shard staged nothing, but the abort still records the
+    /// txn as finished there, so a late or duplicate prepare can never
+    /// lock keys for a dead transaction).
+    fn decide(&mut self) -> TxnStep {
+        let a = self.active.as_ref().expect("deciding without a txn");
+        let outcome = if a.votes.values().all(|&yes| yes) {
+            TxnOutcome::Committed
+        } else {
+            TxnOutcome::Aborted
+        };
+        TxnStep::Submit(self.outcome_fragments(outcome))
+    }
+
+    /// Consumes one client reply. `value` is the reply's state-machine
+    /// output (the vote, for a prepare); a valueless prepare reply — a
+    /// log gap raced the reply out — leaves the fragment outstanding so
+    /// the harness's retry resends it and collects the vote later.
+    ///
+    /// Replies for unknown request ids (stale, duplicate, or other
+    /// traffic of the same client) return [`TxnStep::Pending`] and
+    /// change nothing.
+    pub fn on_reply(&mut self, req_id: u64, value: Option<u64>) -> TxnStep {
+        let Some(a) = self.active.as_mut() else {
+            return TxnStep::Pending;
+        };
+        if !a.outstanding.contains_key(&req_id) {
+            return TxnStep::Pending;
+        }
+        match a.phase {
+            Phase::Single => {
+                // The reply means the MultiPut decided: atomicity came
+                // from the single agreement, nothing else to do.
+                a.outstanding.remove(&req_id);
+                self.active = None;
+                TxnStep::Done(TxnOutcome::Committed)
+            }
+            Phase::Preparing => {
+                let Some(vote) = value else {
+                    return TxnStep::Pending; // vote not applied yet: retry will re-ask
+                };
+                let (shard, _) = a.outstanding.remove(&req_id).expect("checked");
+                a.votes.insert(shard, vote == TXN_VOTE_COMMIT);
+                if a.votes.len() == a.fragments.len() {
+                    self.decide()
+                } else {
+                    TxnStep::Pending
+                }
+            }
+            Phase::Outcome(outcome) => {
+                a.outstanding.remove(&req_id);
+                if a.outstanding.is_empty() {
+                    self.active = None;
+                    TxnStep::Done(outcome)
+                } else {
+                    TxnStep::Pending
+                }
+            }
+        }
+    }
+}
+
+/// The uniquely safe outcome a recovering coordinator must drive, given
+/// every touched shard's [`TxnStatus`]:
+///
+/// * any shard already **Committed** → the dead coordinator had decided
+///   commit: finish the job.
+/// * any shard already **Aborted** → likewise abort.
+/// * all shards **Prepared** → unanimous yes votes are in the logs; the
+///   coordinator could only ever have decided commit, so commit.
+/// * otherwise (some shard **Unknown**) → the coordinator cannot have
+///   assembled unanimous votes: abort. The abort lands on the unknown
+///   shard too, so a prepare still in flight finds the transaction
+///   finished and refuses to lock.
+pub fn recover_outcome(statuses: &[TxnStatus]) -> TxnOutcome {
+    assert!(!statuses.is_empty(), "recovery needs at least one shard");
+    if statuses.contains(&TxnStatus::Committed) {
+        return TxnOutcome::Committed;
+    }
+    if statuses.contains(&TxnStatus::Aborted) {
+        return TxnOutcome::Aborted;
+    }
+    if statuses.iter().all(|&s| s == TxnStatus::Prepared) {
+        TxnOutcome::Committed
+    } else {
+        TxnOutcome::Aborted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn coord(shards: u16) -> TxnCoordinator {
+        TxnCoordinator::new(NodeId(9), ShardRouter::new(shards))
+    }
+
+    /// Keys that land on `n` distinct shards of a `shards`-way router.
+    fn spanning_keys(shards: u16, n: usize) -> Vec<u64> {
+        let r = ShardRouter::new(shards);
+        let mut seen = std::collections::BTreeSet::new();
+        let mut keys = Vec::new();
+        for k in 0.. {
+            if seen.insert(r.route_key(k)) {
+                keys.push(k);
+                if keys.len() == n {
+                    return keys;
+                }
+            }
+        }
+        unreachable!()
+    }
+
+    #[test]
+    fn single_shard_write_set_short_circuits_to_multiput() {
+        let mut c = coord(4);
+        let r = ShardRouter::new(4);
+        let s0 = r.route_key(0);
+        let twin = (1u64..).find(|&k| r.route_key(k) == s0).unwrap();
+        let frags = c.begin(&[(0, 1), (twin, 2)]);
+        assert_eq!(frags.len(), 1);
+        assert!(matches!(frags[0].op, Op::MultiPut { .. }));
+        assert_eq!(frags[0].shard, s0);
+        assert_eq!(c.current_txn(), None, "short-circuit has no txn id");
+        // Any reply (valueless included) completes it.
+        assert_eq!(
+            c.on_reply(frags[0].req_id, None),
+            TxnStep::Done(TxnOutcome::Committed)
+        );
+        assert!(!c.in_flight());
+    }
+
+    #[test]
+    fn unanimous_votes_commit_on_every_touched_shard() {
+        let mut c = coord(4);
+        let keys = spanning_keys(4, 3);
+        let writes: Vec<(u64, u64)> = keys.iter().map(|&k| (k, k + 100)).collect();
+        let frags = c.begin(&writes);
+        assert_eq!(frags.len(), 3);
+        assert!(frags.iter().all(|f| matches!(f.op, Op::TxnPrepare { .. })));
+        let txn = c.current_txn().expect("multi-shard txn has an id");
+        // Two yes votes: still pending.
+        assert_eq!(
+            c.on_reply(frags[0].req_id, Some(TXN_VOTE_COMMIT)),
+            TxnStep::Pending
+        );
+        assert_eq!(
+            c.on_reply(frags[1].req_id, Some(TXN_VOTE_COMMIT)),
+            TxnStep::Pending
+        );
+        // Third vote decides: commit everywhere.
+        let TxnStep::Submit(outcome) = c.on_reply(frags[2].req_id, Some(TXN_VOTE_COMMIT)) else {
+            panic!("expected the outcome fragments");
+        };
+        assert_eq!(outcome.len(), 3);
+        for f in &outcome {
+            match &f.op {
+                Op::TxnCommit { txn: t, key } => {
+                    assert_eq!(*t, txn);
+                    assert_eq!(c.router.route_key(*key), f.shard, "outcome mis-routed");
+                }
+                other => panic!("expected TxnCommit, got {other:?}"),
+            }
+        }
+        // Acks drain to Done.
+        assert_eq!(c.on_reply(outcome[0].req_id, None), TxnStep::Pending);
+        assert_eq!(c.on_reply(outcome[1].req_id, None), TxnStep::Pending);
+        assert_eq!(
+            c.on_reply(outcome[2].req_id, None),
+            TxnStep::Done(TxnOutcome::Committed)
+        );
+    }
+
+    #[test]
+    fn one_no_vote_aborts_everywhere() {
+        let mut c = coord(4);
+        let keys = spanning_keys(4, 2);
+        let frags = c.begin(&[(keys[0], 1), (keys[1], 2)]);
+        assert_eq!(
+            c.on_reply(frags[0].req_id, Some(TXN_VOTE_ABORT)),
+            TxnStep::Pending
+        );
+        let TxnStep::Submit(outcome) = c.on_reply(frags[1].req_id, Some(TXN_VOTE_COMMIT)) else {
+            panic!("expected the outcome fragments");
+        };
+        // The abort reaches BOTH shards — the no-voter records the txn
+        // as finished so a late duplicate prepare cannot lock.
+        assert_eq!(outcome.len(), 2);
+        assert!(outcome.iter().all(|f| matches!(f.op, Op::TxnAbort { .. })));
+        c.on_reply(outcome[0].req_id, None);
+        assert_eq!(
+            c.on_reply(outcome[1].req_id, None),
+            TxnStep::Done(TxnOutcome::Aborted)
+        );
+    }
+
+    #[test]
+    fn valueless_prepare_reply_keeps_the_fragment_outstanding() {
+        let mut c = coord(4);
+        let keys = spanning_keys(4, 2);
+        let frags = c.begin(&[(keys[0], 1), (keys[1], 2)]);
+        assert_eq!(c.on_reply(frags[0].req_id, None), TxnStep::Pending);
+        // The fragment is still retransmittable…
+        let again = c.fragment(frags[0].req_id).expect("still outstanding");
+        assert_eq!(again, frags[0]);
+        assert_eq!(c.outstanding_fragments().len(), 2);
+        // …and a later valued reply counts.
+        c.on_reply(frags[0].req_id, Some(TXN_VOTE_COMMIT));
+        assert!(matches!(
+            c.on_reply(frags[1].req_id, Some(TXN_VOTE_COMMIT)),
+            TxnStep::Submit(_)
+        ));
+    }
+
+    #[test]
+    fn stale_and_duplicate_replies_are_ignored() {
+        let mut c = coord(4);
+        let keys = spanning_keys(4, 2);
+        let frags = c.begin(&[(keys[0], 1), (keys[1], 2)]);
+        assert_eq!(c.on_reply(9999, Some(1)), TxnStep::Pending, "unknown id");
+        c.on_reply(frags[0].req_id, Some(TXN_VOTE_COMMIT));
+        // A duplicate reply for a resolved fragment changes nothing.
+        assert_eq!(
+            c.on_reply(frags[0].req_id, Some(TXN_VOTE_ABORT)),
+            TxnStep::Pending
+        );
+        assert!(matches!(
+            c.on_reply(frags[1].req_id, Some(TXN_VOTE_COMMIT)),
+            TxnStep::Submit(_)
+        ));
+    }
+
+    #[test]
+    fn req_ids_stay_strictly_increasing_across_transactions() {
+        let mut c = coord(4);
+        let keys = spanning_keys(4, 2);
+        let mut last = 0;
+        for round in 0..3 {
+            let frags = c.begin(&[(keys[0], round), (keys[1], round)]);
+            for f in &frags {
+                assert!(f.req_id > last, "req ids must increase");
+                last = f.req_id;
+            }
+            c.on_reply(frags[0].req_id, Some(TXN_VOTE_COMMIT));
+            let TxnStep::Submit(outcome) = c.on_reply(frags[1].req_id, Some(TXN_VOTE_COMMIT))
+            else {
+                panic!("expected outcome");
+            };
+            for f in &outcome {
+                assert!(f.req_id > last);
+                last = f.req_id;
+            }
+            c.on_reply(outcome[0].req_id, None);
+            assert!(matches!(
+                c.on_reply(outcome[1].req_id, None),
+                TxnStep::Done(TxnOutcome::Committed)
+            ));
+        }
+    }
+
+    #[test]
+    fn recovery_outcomes_follow_the_matrix() {
+        use TxnStatus::*;
+        assert_eq!(
+            recover_outcome(&[Prepared, Prepared]),
+            TxnOutcome::Committed
+        );
+        assert_eq!(recover_outcome(&[Prepared, Unknown]), TxnOutcome::Aborted);
+        assert_eq!(recover_outcome(&[Unknown, Unknown]), TxnOutcome::Aborted);
+        assert_eq!(
+            recover_outcome(&[Committed, Prepared]),
+            TxnOutcome::Committed
+        );
+        assert_eq!(recover_outcome(&[Aborted, Prepared]), TxnOutcome::Aborted);
+        // An outcome found anywhere wins over everything else.
+        assert_eq!(
+            recover_outcome(&[Committed, Unknown]),
+            TxnOutcome::Committed
+        );
+    }
+
+    #[test]
+    fn begin_recovery_builds_outcome_fragments_for_every_shard() {
+        let mut c = coord(4);
+        let keys = spanning_keys(4, 2);
+        let writes = [(keys[0], 1), (keys[1], 2)];
+        let txn = TxnId::new(NodeId(7), 42);
+        let frags = c.begin_recovery(txn, &writes, TxnOutcome::Aborted);
+        assert_eq!(frags.len(), 2);
+        for f in &frags {
+            match &f.op {
+                Op::TxnAbort { txn: t, key } => {
+                    assert_eq!(*t, txn);
+                    assert_eq!(c.router.route_key(*key), f.shard);
+                }
+                other => panic!("expected TxnAbort, got {other:?}"),
+            }
+        }
+        c.on_reply(frags[0].req_id, None);
+        assert_eq!(
+            c.on_reply(frags[1].req_id, None),
+            TxnStep::Done(TxnOutcome::Aborted)
+        );
+    }
+}

@@ -163,6 +163,53 @@ impl fmt::Display for Ballot {
     }
 }
 
+/// Globally unique identifier of a cross-shard transaction (see
+/// [`crate::txn`]): the coordinating client plus a coordinator-local
+/// sequence number. Every shard the transaction touches agrees on this
+/// id, which is what lets a recovering coordinator replay the outcome
+/// from the shards' logs.
+///
+/// # Examples
+///
+/// ```
+/// use onepaxos::{NodeId, TxnId};
+/// let t = TxnId::new(NodeId(9), 3);
+/// assert_eq!(format!("{t}"), "t9.3");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TxnId {
+    /// The client acting as 2PC coordinator.
+    pub coordinator: NodeId,
+    /// Coordinator-local transaction sequence number.
+    pub seq: u64,
+}
+
+impl TxnId {
+    /// Creates the id of `coordinator`'s `seq`-th transaction.
+    pub fn new(coordinator: NodeId, seq: u64) -> Self {
+        TxnId { coordinator, seq }
+    }
+}
+
+impl fmt::Debug for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}.{}", self.coordinator.0, self.seq)
+    }
+}
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}.{}", self.coordinator.0, self.seq)
+    }
+}
+
+/// One shard's fragment of a transaction's write set: `(key, value)`
+/// pairs, behind an [`Arc`] so retransmissions and log replication bump
+/// a reference count instead of copying the payload (the same economy as
+/// [`BatchPayload`]). All keys of one fragment are owned by one shard —
+/// the coordinator partitions the write set before building fragments.
+pub type TxnWrites = Arc<[(u64, u64)]>;
+
 /// The payload of an [`Op::Batch`]: the coalesced commands, behind an
 /// [`Arc`] so cloning a batched command (broadcasts, retries, value
 /// pinning across role switches) bumps a reference count instead of
@@ -198,6 +245,45 @@ pub enum Op {
     /// the replica engine's accumulator, never submitted by clients, and
     /// never nested.
     Batch(BatchPayload),
+    /// Write several keys atomically **within one shard**: the
+    /// short-circuit a single-shard transaction takes (see
+    /// [`crate::txn`]). Unlike a 2PC fragment it needs no lock window —
+    /// the shard's log already serializes it — and unlike [`Op::Batch`]
+    /// it is an ordinary client command, so it rides the batch
+    /// accumulator like any [`Op::Put`]. All keys must be owned by one
+    /// shard (the coordinator partitions; the router debug-checks).
+    MultiPut {
+        /// The `(key, value)` pairs to write, applied in order.
+        writes: TxnWrites,
+    },
+    /// 2PC phase 1 at one participant shard: vote on (and, on a yes
+    /// vote, lock and stage) this shard's fragment of transaction
+    /// `txn`'s write set. The vote is the command's state-machine
+    /// output (`TXN_VOTE_COMMIT`/`TXN_VOTE_ABORT` in [`crate::txn`]),
+    /// durable in the shard's log like any decided command.
+    TxnPrepare {
+        /// The transaction being prepared.
+        txn: TxnId,
+        /// This shard's fragment of the write set.
+        writes: TxnWrites,
+    },
+    /// 2PC phase 2, commit: apply `txn`'s staged fragment and release
+    /// its locks. `key` is any key of the fragment — it only routes the
+    /// command to the owning shard.
+    TxnCommit {
+        /// The transaction to commit.
+        txn: TxnId,
+        /// Routing key (one key of this shard's fragment).
+        key: u64,
+    },
+    /// 2PC phase 2, abort: discard `txn`'s staged fragment (if any) and
+    /// release its locks. `key` routes like in [`Op::TxnCommit`].
+    TxnAbort {
+        /// The transaction to abort.
+        txn: TxnId,
+        /// Routing key (one key of this shard's fragment).
+        key: u64,
+    },
 }
 
 impl Op {
@@ -210,10 +296,16 @@ impl Op {
     /// The key this operation addresses, if it addresses one. Shard
     /// routing partitions the key space on it; keyless commands
     /// ([`Op::Noop`], [`Op::Batch`]) route by other identity (see
-    /// `shard::ShardRouter::route`).
+    /// `shard::ShardRouter::route`). Multi-key operations route by their
+    /// first key — the coordinator guarantees every key of a fragment is
+    /// owned by the same shard.
     pub fn key(&self) -> Option<u64> {
         match *self {
             Op::Put { key, .. } | Op::Get { key } => Some(key),
+            Op::TxnCommit { key, .. } | Op::TxnAbort { key, .. } => Some(key),
+            Op::MultiPut { ref writes } | Op::TxnPrepare { ref writes, .. } => {
+                writes.first().map(|&(key, _)| key)
+            }
             Op::Noop | Op::Batch(_) => None,
         }
     }

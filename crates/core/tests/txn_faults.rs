@@ -1,0 +1,193 @@
+//! Fault injection for cross-shard transactions (`onepaxos::txn`): a
+//! transaction layer is only as real as its failure story. These tests
+//! kill the coordinator at every interesting point of the protocol and
+//! crash a participant replica mid-prepare, then assert the participants
+//! converge to the uniquely-safe outcome — votes and outcomes being
+//! ordinary commands in each shard's replicated log is what makes every
+//! one of these recoverable.
+
+use onepaxos::onepaxos::OnePaxosNode;
+use onepaxos::shard::ShardRouter;
+use onepaxos::testnet::TestNet;
+use onepaxos::twopc::TwoPcNode;
+use onepaxos::txn::{recover_outcome, Fragment, TxnCoordinator, TxnOutcome, TxnStatus};
+use onepaxos::{ClusterConfig, NodeId, Op};
+
+fn cfg(m: &[NodeId], me: NodeId) -> ClusterConfig {
+    ClusterConfig::new(m.to_vec(), me)
+}
+
+/// Two keys owned by two distinct shards of an `s`-way router.
+fn cross_shard_keys(s: u16) -> (u64, u64, ShardRouter) {
+    let router = ShardRouter::new(s);
+    let k0 = 0u64;
+    let k1 = (1u64..)
+        .find(|&k| router.route_key(k) != router.route_key(k0))
+        .expect("router spreads keys");
+    (k0, k1, router)
+}
+
+#[test]
+fn coordinator_crash_after_partial_prepare_recovers_to_abort() {
+    // The coordinator dies after PREPARE landed on a strict subset of
+    // the touched shards: the prepared shard holds locks (its replicas
+    // refuse relaxed reads of the staged keys), and recovery must abort
+    // — the missing vote proves no commit was ever sent.
+    let mut net = TestNet::sharded(3, 4, |m, me| TwoPcNode::new(cfg(m, me)));
+    let (k0, k1, router) = cross_shard_keys(4);
+    let mut doomed = TxnCoordinator::new(NodeId(150), router);
+    let frags = doomed.begin(&[(k0, 10), (k1, 20)]);
+    let txn = doomed.current_txn().expect("multi-shard txn");
+    // Only k0's fragment ever reaches its shard; then the coordinator
+    // is gone.
+    let landed: Vec<Fragment> = frags
+        .into_iter()
+        .filter(|f| f.shard == router.route_key(k0))
+        .collect();
+    net.submit_fragments(NodeId(0), doomed.client(), landed);
+    net.run_to_quiescence();
+    // The prepared shard is inside the transaction's lock window: the
+    // vote is recorded, the key is locked on every replica, and the
+    // relaxed-read fast path refuses to serve it.
+    for n in 0..3u16 {
+        assert_eq!(net.txn_status(NodeId(n), k0, txn), TxnStatus::Prepared);
+        assert_eq!(net.txn_status(NodeId(n), k1, txn), TxnStatus::Unknown);
+        assert_eq!(net.local_read(NodeId(n), k0), None, "locked key served");
+        assert_eq!(net.txn_locks(NodeId(n)), 1, "node {n}");
+    }
+    // Recovery: query every touched shard, derive the outcome, drive it.
+    let statuses = [
+        net.txn_status(NodeId(0), k0, txn),
+        net.txn_status(NodeId(0), k1, txn),
+    ];
+    assert_eq!(recover_outcome(&statuses), TxnOutcome::Aborted);
+    let mut recovery = TxnCoordinator::new(NodeId(200), router);
+    let outcome = recovery.begin_recovery(txn, &[(k0, 10), (k1, 20)], TxnOutcome::Aborted);
+    assert_eq!(
+        net.drive_txn(NodeId(0), &mut recovery, outcome),
+        TxnOutcome::Aborted
+    );
+    // Converged: locks released, no fragment landed anywhere, the
+    // transaction is recorded aborted on both shards, and reads flow.
+    for n in 0..3u16 {
+        assert_eq!(net.txn_locks(NodeId(n)), 0, "node {n}");
+        assert_eq!(net.kv_get(NodeId(n), k0), None, "aborted fragment landed");
+        assert_eq!(net.kv_get(NodeId(n), k1), None, "aborted fragment landed");
+        assert_eq!(net.txn_status(NodeId(n), k0, txn), TxnStatus::Aborted);
+        assert_eq!(net.txn_status(NodeId(n), k1, txn), TxnStatus::Aborted);
+        assert_eq!(
+            net.local_read(NodeId(n), k0),
+            Some(None),
+            "window still shut"
+        );
+    }
+    // A late duplicate of the lost prepare must not resurrect the
+    // transaction or re-take locks.
+    net.client_request(
+        NodeId(0),
+        NodeId(150),
+        9_999,
+        Op::TxnPrepare {
+            txn,
+            writes: vec![(k1, 20)].into(),
+        },
+    );
+    net.run_to_quiescence();
+    assert_eq!(net.txn_status(NodeId(1), k1, txn), TxnStatus::Aborted);
+    assert_eq!(net.txn_locks(NodeId(1)), 0);
+    net.assert_consistent();
+}
+
+#[test]
+fn coordinator_crash_after_full_prepare_recovers_to_commit() {
+    // Every shard voted yes before the coordinator died: the unanimous
+    // votes are in the logs, so recovery commits — the dead coordinator
+    // could only ever have decided commit.
+    let mut net = TestNet::sharded(3, 4, |m, me| TwoPcNode::new(cfg(m, me)));
+    let (k0, k1, router) = cross_shard_keys(4);
+    let mut doomed = TxnCoordinator::new(NodeId(150), router);
+    let frags = doomed.begin(&[(k0, 10), (k1, 20)]);
+    let txn = doomed.current_txn().expect("multi-shard txn");
+    net.submit_fragments(NodeId(0), doomed.client(), frags);
+    net.run_to_quiescence();
+    let statuses = [
+        net.txn_status(NodeId(0), k0, txn),
+        net.txn_status(NodeId(0), k1, txn),
+    ];
+    assert_eq!(statuses, [TxnStatus::Prepared, TxnStatus::Prepared]);
+    assert_eq!(recover_outcome(&statuses), TxnOutcome::Committed);
+    let mut recovery = TxnCoordinator::new(NodeId(200), router);
+    let outcome = recovery.begin_recovery(txn, &[(k0, 10), (k1, 20)], TxnOutcome::Committed);
+    assert_eq!(
+        net.drive_txn(NodeId(0), &mut recovery, outcome),
+        TxnOutcome::Committed
+    );
+    for n in 0..3u16 {
+        assert_eq!(net.kv_get(NodeId(n), k0), Some(10), "node {n}");
+        assert_eq!(net.kv_get(NodeId(n), k1), Some(20), "node {n}");
+        assert_eq!(net.txn_locks(NodeId(n)), 0);
+    }
+    net.assert_consistent();
+}
+
+#[test]
+fn participant_replica_crash_mid_prepare_cannot_lose_the_vote() {
+    // The 2PC-over-Paxos payoff: the vote is a decided command in the
+    // shard's replicated log, so crashing a participant replica between
+    // prepare and outcome loses nothing — the surviving quorum carries
+    // both the vote and the outcome. (In plain 2PC, per §2.2, this
+    // crash would block every update forever.)
+    let mut net = TestNet::sharded(3, 2, |m, me| OnePaxosNode::new(cfg(m, me)));
+    net.run_to_quiescence(); // leader adoption in both groups
+    let (k0, k1, router) = cross_shard_keys(2);
+    let mut coord = TxnCoordinator::new(NodeId(100), router);
+    let frags = coord.begin(&[(k0, 7), (k1, 8)]);
+    let txn = coord.current_txn().expect("multi-shard txn");
+    let prepare_reqs: Vec<u64> = frags.iter().map(|f| f.req_id).collect();
+    net.submit_fragments(NodeId(0), coord.client(), frags);
+    net.run_to_quiescence();
+    // Both prepares decided; the lock window is open on every replica.
+    assert_eq!(net.txn_status(NodeId(0), k0, txn), TxnStatus::Prepared);
+    assert_eq!(net.txn_status(NodeId(0), k1, txn), TxnStatus::Prepared);
+    // Mid-prepare, a participant replica silently reboots, losing all
+    // of its shard-group state (the paper's silently rebooted node).
+    let c2 = cfg(&[NodeId(0), NodeId(1), NodeId(2)], NodeId(2));
+    net.reset_node(NodeId(2), || OnePaxosNode::new(c2.clone()));
+    // The votes survive in the shard logs held by the quorum: both
+    // prepare commands sit decided at the leader…
+    for &k in &[k0, k1] {
+        let shard = router.route_key(k);
+        let vote_logged = net
+            .shard_commits(NodeId(0), shard)
+            .values()
+            .any(|c| matches!(&c.op, Op::TxnPrepare { txn: t, .. } if *t == txn));
+        assert!(vote_logged, "vote missing from shard {shard}'s log");
+    }
+    // …so the coordinator finishes the transaction as if nothing
+    // happened: feed it the recorded votes and drive the outcome.
+    let mut outcome_frags = Vec::new();
+    for r in net.replies().iter().filter(|r| r.client == NodeId(100)) {
+        if prepare_reqs.contains(&r.req_id) {
+            if let onepaxos::txn::TxnStep::Submit(next) = coord.on_reply(r.req_id, r.value) {
+                outcome_frags = next;
+            }
+        }
+    }
+    assert!(
+        !outcome_frags.is_empty(),
+        "votes did not reach the coordinator"
+    );
+    assert_eq!(
+        net.drive_txn(NodeId(0), &mut coord, outcome_frags),
+        TxnOutcome::Committed
+    );
+    // The surviving replicas hold the full write set atomically.
+    for n in 0..2u16 {
+        assert_eq!(net.kv_get(NodeId(n), k0), Some(7), "node {n}");
+        assert_eq!(net.kv_get(NodeId(n), k1), Some(8), "node {n}");
+        assert_eq!(net.txn_locks(NodeId(n)), 0);
+        assert_eq!(net.txn_status(NodeId(n), k0, txn), TxnStatus::Committed);
+    }
+    // The harness oracle (which outlives the reboot) saw no divergence.
+    net.assert_consistent();
+}

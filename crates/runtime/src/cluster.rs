@@ -29,7 +29,8 @@ use std::time::{Duration, Instant};
 use onepaxos::engine::{BatchConfig, EngineEffect, EngineStats, ReplicaEngine, ReplyMode};
 use onepaxos::kv::KvStore;
 use onepaxos::shard::{ShardId, ShardRouter, ShardedEffects, ShardedEngine};
-use onepaxos::{EngineEvent, Nanos, NodeId, Op, Protocol};
+use onepaxos::txn::{Fragment, TxnCoordinator, TxnStep};
+use onepaxos::{EngineEvent, Nanos, NodeId, Op, Protocol, TxnOutcome};
 use qc_channel::{spsc, Mailbox, Receiver, Sender};
 
 use crate::affinity;
@@ -706,6 +707,98 @@ impl<M: Clone + std::fmt::Debug + Send + 'static> ClientHandle<M> {
     /// Propagates [`SubmitTimeout`].
     pub fn get(&mut self, key: u64) -> Result<Option<u64>, SubmitTimeout> {
         self.submit(Op::Get { key })
+    }
+
+    /// Sends one transaction fragment to its shard group's current
+    /// preferred replica.
+    fn send_fragment(&mut self, f: &Fragment) {
+        let target = self.replicas[self.targets[f.shard.index()] % self.replicas.len()];
+        self.io.send(
+            target,
+            CLIENT_TOPIC,
+            Wire::Request {
+                client: self.me,
+                req_id: f.req_id,
+                op: f.op.clone(),
+            },
+        );
+    }
+
+    /// Writes several keys **atomically**, across shard groups if their
+    /// key hashes demand it: this handle acts as the 2PC coordinator
+    /// (see `onepaxos::txn`), sending each shard's fragment over that
+    /// group's route and driving PREPARE → COMMIT/ABORT, every phase a
+    /// command agreed by the participant group's own log. A write set
+    /// owned by one shard short-circuits to a single `Op::MultiPut`
+    /// agreement.
+    ///
+    /// Returns [`TxnOutcome::Committed`] when every touched group voted
+    /// yes and applied its fragment, [`TxnOutcome::Aborted`] when a lock
+    /// conflict with a concurrent transaction refused the prepare
+    /// (nothing was applied anywhere).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SubmitTimeout`] when a shard group stops answering
+    /// mid-protocol. The transaction may then be left prepared (locked)
+    /// on a subset of groups; resolving it is a coordinator-recovery
+    /// pass (`onepaxos::txn::recover_outcome`) once this coordinator is
+    /// known dead — the same rule every 2PC deployment lives by.
+    pub fn txn_put(&mut self, writes: &[(u64, u64)]) -> Result<TxnOutcome, SubmitTimeout> {
+        let mut coord = TxnCoordinator::with_first_req(self.me, self.router, self.next_req);
+        let mut to_send = coord.begin(writes);
+        // The same patience budget as `submit`, refilled at each phase
+        // transition: every replica of a group gets its two chances per
+        // phase — a slow prepare must not starve the outcome phase of
+        // retries once the decision is already in the logs.
+        let phase_budget = self.replicas.len() * 2;
+        let mut attempts = phase_budget;
+        loop {
+            for f in to_send.drain(..) {
+                self.send_fragment(&f);
+            }
+            let deadline = Instant::now() + self.timeout;
+            let mut progressed = false;
+            while Instant::now() < deadline {
+                self.io.flush();
+                match self.mailbox.poll() {
+                    Some((
+                        _,
+                        Wire::Reply {
+                            req_id: r, value, ..
+                        },
+                    )) => match coord.on_reply(r, value) {
+                        TxnStep::Pending => {}
+                        TxnStep::Submit(next) => {
+                            to_send = next;
+                            attempts = phase_budget;
+                            progressed = true;
+                            break;
+                        }
+                        TxnStep::Done(outcome) => {
+                            self.next_req = coord.next_req();
+                            return Ok(outcome);
+                        }
+                    },
+                    Some(_) => {} // stale read values etc.
+                    None => std::thread::yield_now(),
+                }
+            }
+            if !progressed {
+                attempts -= 1;
+                if attempts == 0 {
+                    self.next_req = coord.next_req();
+                    return Err(SubmitTimeout);
+                }
+                // Re-target each stalled fragment's own group (§7.6,
+                // per shard) and re-send; the appliers dedup, the
+                // protocols re-answer decided ids.
+                to_send = coord.outstanding_fragments();
+                for f in &to_send {
+                    self.targets[f.shard.index()] += 1;
+                }
+            }
+        }
     }
 
     /// Relaxed read (§7.5): asks `replica` for its local copy of `key`,

@@ -42,6 +42,13 @@ pub struct Profile {
     pub prop_remote: Nanos,
     /// CPU time to service a timer event.
     pub timer_cost: Nanos,
+    /// CPU time a transaction coordinator (client) spends per 2PC leg it
+    /// sends — assembling the fragment, tracking the vote — on top of
+    /// the ordinary `marshal + tx` transmission cost. Charged once per
+    /// prepare and once per commit/abort fragment, so a fan-out-F
+    /// transaction pays `2·F·txn_leg` of client CPU (see
+    /// `Workload::TxnMix`).
+    pub txn_leg: Nanos,
     /// Maximum uniform jitter added to propagation delays.
     pub jitter: Nanos,
 }
@@ -64,6 +71,7 @@ impl Profile {
             prop_local: 400,
             prop_remote: 650,
             timer_cost: 100,
+            txn_leg: 300,
             jitter: 60,
         }
     }
@@ -94,6 +102,7 @@ impl Profile {
             prop_local: 135_000,
             prop_remote: 135_000,
             timer_cost: 100,
+            txn_leg: 300,
             jitter: 4_000,
         }
     }

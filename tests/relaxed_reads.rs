@@ -67,6 +67,81 @@ fn testnet_paxos_never_serves_local_reads() {
 }
 
 #[test]
+fn relaxed_reads_never_observe_a_partial_cross_shard_write_set() {
+    // Isolation against the §7.5 fast path: a get_relaxed issued inside
+    // another transaction's lock window must never observe a partially
+    // applied write set. Staged fragments only touch the map atomically
+    // at TxnCommit, and locked keys refuse relaxed reads outright — so
+    // even when one shard has committed and the other has not, a reader
+    // can only see (a) pre-transaction values for keys whose outcome is
+    // pending BLOCKED, or (b) post-transaction values for keys already
+    // committed; never a stale read after a new one.
+    use consensus_inside::onepaxos::shard::ShardRouter;
+    use consensus_inside::onepaxos::testnet::TestNet;
+    use consensus_inside::onepaxos::txn::{TxnCoordinator, TxnOutcome, TxnStep};
+    let mut net = TestNet::sharded(3, 4, |m, me| TwoPcNode::new(cfg(m, me)));
+    let router = ShardRouter::new(4);
+    let k_a = 0u64;
+    let k_b = (1u64..)
+        .find(|&k| router.route_key(k) != router.route_key(k_a))
+        .unwrap();
+    // Pre-transaction values, so "old" is distinguishable from "absent".
+    net.client_request(NodeId(0), NodeId(9), 1, Op::Put { key: k_a, value: 1 });
+    net.run_to_quiescence();
+    net.client_request(NodeId(0), NodeId(9), 2, Op::Put { key: k_b, value: 2 });
+    net.run_to_quiescence();
+    // Start the cross-shard transaction and land both prepares — every
+    // replica is now inside the lock window for both keys.
+    let mut coord = TxnCoordinator::new(NodeId(100), router);
+    let frags = coord.begin(&[(k_a, 10), (k_b, 20)]);
+    let reply_floor = net.replies().len();
+    net.submit_fragments(NodeId(0), coord.client(), frags);
+    net.run_to_quiescence();
+    for n in 0..3u16 {
+        assert_eq!(net.local_read(NodeId(n), k_a), None, "locked key readable");
+        assert_eq!(net.local_read(NodeId(n), k_b), None, "locked key readable");
+    }
+    // Collect the votes and take the commit fragments, but deliver the
+    // outcome to ONLY shard A — the window where one shard has applied
+    // the transaction and the other has not.
+    let mut outcome = Vec::new();
+    for i in reply_floor..net.replies().len() {
+        let r = net.replies()[i];
+        if r.client == NodeId(100) {
+            if let TxnStep::Submit(next) = coord.on_reply(r.req_id, r.value) {
+                outcome = next;
+            }
+        }
+    }
+    assert_eq!(outcome.len(), 2, "commit fragments for both shards");
+    let (a_frag, b_frag): (Vec<_>, Vec<_>) = outcome
+        .into_iter()
+        .partition(|f| f.shard == router.route_key(k_a));
+    net.submit_fragments(NodeId(0), coord.client(), a_frag);
+    net.run_to_quiescence();
+    // Shard A committed: its key reads NEW. Shard B still prepared: its
+    // key is locked, so the read WAITS instead of serving the old value
+    // — no reader can assemble {new A, old B}.
+    for n in 0..3u16 {
+        assert_eq!(net.local_read(NodeId(n), k_a), Some(Some(10)), "node {n}");
+        assert_eq!(net.local_read(NodeId(n), k_b), None, "partial view leaked");
+    }
+    // Unrelated keys read fine throughout (the lock is per key, not per
+    // shard).
+    assert_eq!(net.local_read(NodeId(0), 9_999), Some(None));
+    // Deliver B's outcome: the window closes with the full write set.
+    assert_eq!(
+        net.drive_txn(NodeId(0), &mut coord, b_frag),
+        TxnOutcome::Committed
+    );
+    for n in 0..3u16 {
+        assert_eq!(net.local_read(NodeId(n), k_a), Some(Some(10)));
+        assert_eq!(net.local_read(NodeId(n), k_b), Some(Some(20)));
+    }
+    net.assert_consistent();
+}
+
+#[test]
 fn runtime_relaxed_reads_bypass_consensus_for_twopc() {
     let (cluster, mut clients) =
         ClusterBuilder::new(3, |m: &[NodeId], me| TwoPcNode::new(cfg(m, me)))
