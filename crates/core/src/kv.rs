@@ -106,8 +106,14 @@ impl KvStore {
         self.locks.len()
     }
 
-    /// This replica's view of transaction `txn` (see
-    /// [`TxnStatus`]) — what coordinator recovery queries.
+    /// This replica's **locally-applied** view of transaction `txn`
+    /// (see [`TxnStatus`]) — a test oracle. A replica lagging its
+    /// shard's decided log under-reports (e.g. `Unknown` for a
+    /// committed transaction), so coordinator recovery must not read
+    /// statuses here: it uses the agreed probe [`Op::TxnStatus`], which
+    /// answers through this same method but only *after* the log has
+    /// ordered the probe behind every earlier decision (see
+    /// [`crate::txn::recover_outcome`]'s freshness contract).
     pub fn txn_status(&self, txn: TxnId) -> TxnStatus {
         if self.staged.contains_key(&txn) {
             TxnStatus::Prepared
@@ -184,7 +190,8 @@ impl StateMachine for KvStore {
     /// `Put` returns the previous value; `Get` returns the current value;
     /// `Noop` returns `None`. Transaction phases return their vote or
     /// outcome (`TXN_VOTE_COMMIT`/`TXN_VOTE_ABORT`); `MultiPut` returns
-    /// the number of keys written.
+    /// the number of keys written; `TxnStatus` returns the encoded
+    /// status ([`TxnStatus::as_output`]).
     type Output = Option<u64>;
 
     fn apply(&mut self, op: Op) -> Self::Output {
@@ -211,6 +218,13 @@ impl StateMachine for KvStore {
             Op::TxnPrepare { txn, writes } => Some(self.prepare(txn, &writes)),
             Op::TxnCommit { txn, .. } => Some(self.finish(txn, true)),
             Op::TxnAbort { txn, .. } => Some(self.finish(txn, false)),
+            Op::TxnStatus { txn, .. } => {
+                // The agreed status probe: by the time it applies, this
+                // replica has applied the shard's full decided prefix,
+                // so the local view it reports is fresh by construction.
+                self.reads += 1;
+                Some(self.txn_status(txn).as_output())
+            }
             // The RSM layer unpacks batches into per-command applications
             // before they reach any state machine.
             Op::Batch(_) => unreachable!("Op::Batch must be unpacked by the Applier"),
@@ -332,6 +346,30 @@ mod tests {
             Some(TXN_VOTE_ABORT)
         );
         assert_eq!(kv.txn_locks(), 0);
+    }
+
+    #[test]
+    fn status_probe_reports_each_phase_without_mutating_state() {
+        use crate::types::NodeId;
+        let mut kv = KvStore::new();
+        let txn = TxnId::new(NodeId(9), 1);
+        let probe = Op::TxnStatus { txn, key: 1 };
+        assert_eq!(
+            kv.apply(probe.clone()),
+            Some(TxnStatus::Unknown.as_output())
+        );
+        kv.apply(Op::TxnPrepare {
+            txn,
+            writes: vec![(1, 11)].into(),
+        });
+        assert_eq!(
+            kv.apply(probe.clone()),
+            Some(TxnStatus::Prepared.as_output())
+        );
+        assert_eq!(kv.txn_locks(), 1, "probing must not disturb the window");
+        kv.apply(Op::TxnCommit { txn, key: 1 });
+        assert_eq!(kv.apply(probe), Some(TxnStatus::Committed.as_output()));
+        assert_eq!(kv.get(1), Some(11));
     }
 
     #[test]

@@ -411,10 +411,13 @@ impl<P: Protocol> ShardedEngine<P, crate::kv::KvStore> {
             .get(key)
     }
 
-    /// This node's view of transaction `txn` at the shard owning
-    /// `routing_key` (any key of that shard's fragment) — the status a
-    /// recovering coordinator queries (see
-    /// [`crate::txn::recover_outcome`]).
+    /// This node's **locally-applied** view of transaction `txn` at the
+    /// shard owning `routing_key` (any key of that shard's fragment) —
+    /// a per-replica test oracle. A replica lagging its group's decided
+    /// log under-reports, so coordinator recovery must not read status
+    /// here: it goes through the agreed probe
+    /// [`Op::TxnStatus`](crate::types::Op::TxnStatus) instead (see
+    /// [`crate::txn::recover_outcome`]'s freshness contract).
     pub fn txn_status(&self, routing_key: u64, txn: crate::types::TxnId) -> crate::txn::TxnStatus {
         self.shards[self.router.route_key(routing_key).index()]
             .state()

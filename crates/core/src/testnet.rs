@@ -96,6 +96,9 @@ pub struct TestNet<P: Protocol> {
     /// in a fresh sequence epoch (recycled batch ids would be dropped as
     /// already-decided duplicates by surviving peers).
     resets: BTreeMap<NodeId, u64>,
+    /// Request ids already allocated to [`Self::txn_status_agreed`]
+    /// probes (issued under [`Self::PROBE_CLIENT`]).
+    probe_reqs: u64,
     /// Reusable effect buffer.
     scratch: Effects<P>,
 }
@@ -117,6 +120,11 @@ impl<P: Protocol> std::fmt::Debug for TestNet<P> {
 }
 
 impl<P: Protocol> TestNet<P> {
+    /// The synthetic client identity under which the harness issues its
+    /// own [`Self::txn_status_agreed`] probes — far above any test's
+    /// real client ids, below the reserved batch-source namespace.
+    pub const PROBE_CLIENT: NodeId = NodeId(0x7F00);
+
     /// Builds `n` nodes with ids `0..n` using `make(members, me)` and runs
     /// each node's `on_start`.
     pub fn new(n: u16, make: impl FnMut(&[NodeId], NodeId) -> P) -> Self {
@@ -199,6 +207,7 @@ impl<P: Protocol> TestNet<P> {
             delivered: 0,
             batching,
             resets: BTreeMap::new(),
+            probe_reqs: 0,
             scratch: Vec::new(),
         };
         for i in 0..net.engines.len() {
@@ -402,14 +411,9 @@ impl<P: Protocol> TestNet<P> {
     ) -> TxnOutcome {
         let client = coord.client();
         let mut seen = self.replies.len();
-        for round in 0..64 {
+        for round in 0..Self::TXN_DRIVER_ROUNDS {
             self.submit_fragments(target, client, std::mem::take(&mut frags));
-            self.run_to_quiescence();
-            if round > 0 {
-                // Let deadline-driven machinery (batch flushes, protocol
-                // ticks, retries) make progress on stalled rounds.
-                self.advance_and_settle(200_000, 1);
-            }
+            self.settle_round(round);
             let mut step = TxnStep::Pending;
             while seen < self.replies.len() {
                 let r = self.replies[seen];
@@ -434,11 +438,72 @@ impl<P: Protocol> TestNet<P> {
         panic!("transaction did not finish within the driver budget");
     }
 
-    /// `node`'s view of transaction `txn` at the shard owning
-    /// `routing_key` — the per-shard status coordinator recovery feeds
-    /// to [`crate::txn::recover_outcome`].
+    /// Round budget shared by the transaction drivers ([`Self::drive_txn`]
+    /// and [`Self::txn_status_agreed`]) before declaring a shard group
+    /// stuck.
+    const TXN_DRIVER_ROUNDS: usize = 64;
+
+    /// One driver round's settling policy, shared by [`Self::drive_txn`]
+    /// and [`Self::txn_status_agreed`]: drain all deliverable messages,
+    /// and on retry rounds also advance time so deadline-driven machinery
+    /// (batch flushes, protocol ticks, retries) makes progress.
+    fn settle_round(&mut self, round: usize) {
+        self.run_to_quiescence();
+        if round > 0 {
+            self.advance_and_settle(200_000, 1);
+        }
+    }
+
+    /// `node`'s **locally-applied** view of transaction `txn` at the
+    /// shard owning `routing_key` — a per-replica test oracle. A
+    /// lagging (e.g. blocked) node under-reports, so this must not feed
+    /// [`crate::txn::recover_outcome`] unless the net is known settled;
+    /// recovery reads statuses with [`Self::txn_status_agreed`], which
+    /// cannot lag.
     pub fn txn_status(&self, node: NodeId, routing_key: u64, txn: TxnId) -> TxnStatus {
         self.engines[node.index()].txn_status(routing_key, txn)
+    }
+
+    /// The status of transaction `txn` at the shard owning
+    /// `routing_key`, read **through the shard's log**: an
+    /// [`Op::TxnStatus`] probe submitted to `target` as an ordinary
+    /// agreed command, so the answer reflects the shard's full decided
+    /// prefix no matter which replica serves it — the form of status
+    /// read coordinator recovery requires (see
+    /// [`crate::txn::recover_outcome`]'s freshness contract; the
+    /// relaxed [`Self::txn_status`] is a per-replica oracle that can
+    /// lag).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the probe does not decide within the driver's round
+    /// budget (a stuck shard group), or if a reply carries an output no
+    /// probe produces.
+    pub fn txn_status_agreed(&mut self, target: NodeId, routing_key: u64, txn: TxnId) -> TxnStatus {
+        self.probe_reqs += 1;
+        let req_id = self.probe_reqs;
+        let op = Op::TxnStatus {
+            txn,
+            key: routing_key,
+        };
+        let mut seen = self.replies.len();
+        for round in 0..Self::TXN_DRIVER_ROUNDS {
+            // Re-submitting the same (client, req_id) is safe: the
+            // appliers dedup and the protocols re-answer decided ids,
+            // this time with the applied output attached.
+            self.client_request(target, Self::PROBE_CLIENT, req_id, op.clone());
+            self.settle_round(round);
+            while seen < self.replies.len() {
+                let r = self.replies[seen];
+                seen += 1;
+                if r.client == Self::PROBE_CLIENT && r.req_id == req_id {
+                    if let Some(v) = r.value {
+                        return TxnStatus::from_output(v).expect("probe output is a status");
+                    }
+                }
+            }
+        }
+        panic!("status probe did not decide within the driver budget");
     }
 
     /// Transactional locks currently held across every shard replica of

@@ -66,11 +66,19 @@
 //!
 //! Recovery ([`recover_outcome`] + [`TxnCoordinator::begin_recovery`])
 //! reads per-shard [`TxnStatus`]es and drives the uniquely-safe outcome.
-//! It must run only once the original coordinator is known dead (the
-//! outcome commands are idempotent per shard, but a *racing* live
-//! coordinator could disagree with recovery — the classic 2PC window
-//! that only a replicated coordinator log would close; see the README's
-//! failure matrix).
+//! Two preconditions make it safe:
+//!
+//! 1. It must run only once the original coordinator is known dead (the
+//!    outcome commands are idempotent per shard, but a *racing* live
+//!    coordinator could disagree with recovery — the classic 2PC window
+//!    that only a replicated coordinator log would close; see the
+//!    README's failure matrix).
+//! 2. Each status must reflect its shard's full decided log prefix —
+//!    read it with the **agreed probe** [`Op::TxnStatus`], itself a
+//!    command ordered by the shard's consensus, never from a replica's
+//!    relaxed local state (a lagging replica under-reports and would
+//!    steer recovery into a non-atomic abort; see
+//!    [`recover_outcome`]'s freshness contract).
 //!
 //! Locks do **not** block unrelated writes: a plain [`Op::Put`] to a
 //! locked key is already serialized by the shard's log and simply lands
@@ -114,6 +122,30 @@ pub enum TxnStatus {
     Committed,
     /// Outcome applied: the fragment was discarded.
     Aborted,
+}
+
+impl TxnStatus {
+    /// Encodes this status as the state-machine output of an applied
+    /// [`Op::TxnStatus`] probe (the agreed status read recovery uses).
+    pub fn as_output(self) -> u64 {
+        match self {
+            TxnStatus::Unknown => 0,
+            TxnStatus::Prepared => 1,
+            TxnStatus::Committed => 2,
+            TxnStatus::Aborted => 3,
+        }
+    }
+
+    /// Decodes a probe's output; `None` for values no probe produces.
+    pub fn from_output(v: u64) -> Option<TxnStatus> {
+        match v {
+            0 => Some(TxnStatus::Unknown),
+            1 => Some(TxnStatus::Prepared),
+            2 => Some(TxnStatus::Committed),
+            3 => Some(TxnStatus::Aborted),
+            _ => None,
+        }
+    }
 }
 
 /// One per-shard request the harness must submit on the coordinator's
@@ -171,7 +203,11 @@ struct Active {
 /// client's transaction sequence numbers and (its slice of) the client's
 /// request ids, both strictly increasing — which is what keeps the
 /// per-shard [`Applier`](crate::rsm::Applier) sessions' at-most-once
-/// dedup sound for fragments.
+/// dedup sound for fragments, and what keeps [`TxnId`]s unique (shards
+/// remember finished ids forever). A caller that instead rebuilds a
+/// coordinator per transaction must persist **both** counters across
+/// rebuilds ([`Self::with_first_req`] + [`Self::with_first_seq`],
+/// resynced from [`Self::next_req`] + [`Self::next_seq`]).
 ///
 /// # Examples
 ///
@@ -215,6 +251,22 @@ impl TxnCoordinator {
         }
     }
 
+    /// Starts the transaction sequence at `first_seq` instead of 1 —
+    /// mandatory for callers that rebuild a coordinator per transaction
+    /// around a persistent client identity (the threaded runtime's
+    /// `ClientHandle`). [`TxnId`]s must stay unique for the client's
+    /// whole lifetime: participant shards remember a finished
+    /// transaction's outcome forever, so a reused id makes a *new*
+    /// transaction's prepare echo the *old* one's outcome without
+    /// staging anything — reported committed, writes silently dropped.
+    /// Resync via [`Self::next_seq`] after every transaction, exactly
+    /// like the request-id counter via [`Self::next_req`].
+    #[must_use]
+    pub fn with_first_seq(mut self, first_seq: u64) -> Self {
+        self.next_seq = first_seq.max(1);
+        self
+    }
+
     /// The client identity fragments are submitted under.
     pub fn client(&self) -> NodeId {
         self.client
@@ -224,6 +276,15 @@ impl TxnCoordinator {
     /// a shared client counter).
     pub fn next_req(&self) -> u64 {
         self.next_req
+    }
+
+    /// The next transaction sequence number this coordinator would
+    /// allocate — what a caller that rebuilds coordinators must persist
+    /// and feed back through [`Self::with_first_seq`], also after a
+    /// failed transaction (the abandoned id may be prepared on some
+    /// shards and must never be reused).
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
     }
 
     /// Whether a transaction is currently in flight.
@@ -470,6 +531,22 @@ impl TxnCoordinator {
 ///   assembled unanimous votes: abort. The abort lands on the unknown
 ///   shard too, so a prepare still in flight finds the transaction
 ///   finished and refuses to lock.
+///
+/// # Status freshness
+///
+/// Each input must reflect its shard's **full decided log prefix**:
+/// obtain it with the agreed probe ([`Op::TxnStatus`], an ordinary
+/// command ordered through the shard's consensus — e.g.
+/// `TestNet::txn_status_agreed`), *not* from an arbitrary replica's
+/// locally-applied state. A lagging replica under-reports: it answers
+/// `Unknown` (or `Prepared`) for a transaction its shard has already
+/// committed, which steers this function to `Aborted` — recovery then
+/// aborts the other shards while the committed fragment stands, and
+/// atomicity is broken. The relaxed accessors (`KvStore::txn_status`,
+/// `ShardedEngine::txn_status`, `TestNet::txn_status`) are per-replica
+/// test oracles, safe as recovery input only when the queried replica
+/// is known to have applied everything its shards decided (e.g. a
+/// deterministic harness at quiescence).
 pub fn recover_outcome(statuses: &[TxnStatus]) -> TxnOutcome {
     assert!(!statuses.is_empty(), "recovery needs at least one shard");
     if statuses.contains(&TxnStatus::Committed) {
@@ -654,6 +731,38 @@ mod tests {
                 TxnStep::Done(TxnOutcome::Committed)
             ));
         }
+    }
+
+    #[test]
+    fn rebuilt_coordinators_resync_the_txn_sequence() {
+        // The threaded runtime rebuilds a coordinator per txn_put call;
+        // seeding `with_first_seq` from the previous coordinator's
+        // `next_seq` must keep TxnIds unique across rebuilds — a reused
+        // id would make participant shards echo the previous
+        // transaction's recorded outcome instead of staging anything.
+        let keys = spanning_keys(4, 2);
+        let writes = [(keys[0], 1), (keys[1], 2)];
+        let router = ShardRouter::new(4);
+        let mut first = TxnCoordinator::with_first_req(NodeId(9), router, 1);
+        first.begin(&writes);
+        let t1 = first.current_txn().expect("multi-shard txn");
+        // The rebuild (after the first transaction finished or timed
+        // out) carries both counters forward.
+        let mut second = TxnCoordinator::with_first_req(NodeId(9), router, first.next_req())
+            .with_first_seq(first.next_seq());
+        second.begin(&writes);
+        let t2 = second.current_txn().expect("multi-shard txn");
+        assert_ne!(t1, t2, "rebuilt coordinator reused a TxnId");
+        assert!(t2.seq > t1.seq);
+    }
+
+    #[test]
+    fn status_output_encoding_roundtrips() {
+        use TxnStatus::*;
+        for s in [Unknown, Prepared, Committed, Aborted] {
+            assert_eq!(TxnStatus::from_output(s.as_output()), Some(s));
+        }
+        assert_eq!(TxnStatus::from_output(17), None);
     }
 
     #[test]

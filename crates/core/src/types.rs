@@ -284,6 +284,24 @@ pub enum Op {
         /// Routing key (one key of this shard's fragment).
         key: u64,
     },
+    /// Log-ordered probe of one shard's view of transaction `txn` — the
+    /// status read coordinator **recovery** feeds to
+    /// `txn::recover_outcome`. Because the probe is an ordinary command
+    /// agreed by the shard's consensus, the replying replica has
+    /// applied every command decided before it, so the answer can never
+    /// under-report a transaction the shard already prepared or
+    /// finished. (A relaxed read of a replica's local state can: a
+    /// lagging replica answers `Unknown` about a committed transaction,
+    /// which would steer recovery into a non-atomic abort.) The
+    /// command's output encodes the status
+    /// (`txn::TxnStatus::as_output`); `key` routes like in
+    /// [`Op::TxnCommit`].
+    TxnStatus {
+        /// The transaction being queried.
+        txn: TxnId,
+        /// Routing key (any key of this shard's fragment).
+        key: u64,
+    },
 }
 
 impl Op {
@@ -302,7 +320,9 @@ impl Op {
     pub fn key(&self) -> Option<u64> {
         match *self {
             Op::Put { key, .. } | Op::Get { key } => Some(key),
-            Op::TxnCommit { key, .. } | Op::TxnAbort { key, .. } => Some(key),
+            Op::TxnCommit { key, .. } | Op::TxnAbort { key, .. } | Op::TxnStatus { key, .. } => {
+                Some(key)
+            }
             Op::MultiPut { ref writes } | Op::TxnPrepare { ref writes, .. } => {
                 writes.first().map(|&(key, _)| key)
             }

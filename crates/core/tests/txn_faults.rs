@@ -55,10 +55,12 @@ fn coordinator_crash_after_partial_prepare_recovers_to_abort() {
         assert_eq!(net.local_read(NodeId(n), k0), None, "locked key served");
         assert_eq!(net.txn_locks(NodeId(n)), 1, "node {n}");
     }
-    // Recovery: query every touched shard, derive the outcome, drive it.
+    // Recovery: query every touched shard THROUGH ITS LOG (an agreed
+    // Op::TxnStatus probe per shard — a relaxed local read could lag),
+    // derive the outcome, drive it.
     let statuses = [
-        net.txn_status(NodeId(0), k0, txn),
-        net.txn_status(NodeId(0), k1, txn),
+        net.txn_status_agreed(NodeId(0), k0, txn),
+        net.txn_status_agreed(NodeId(0), k1, txn),
     ];
     assert_eq!(recover_outcome(&statuses), TxnOutcome::Aborted);
     let mut recovery = TxnCoordinator::new(NodeId(200), router);
@@ -110,9 +112,12 @@ fn coordinator_crash_after_full_prepare_recovers_to_commit() {
     let txn = doomed.current_txn().expect("multi-shard txn");
     net.submit_fragments(NodeId(0), doomed.client(), frags);
     net.run_to_quiescence();
+    // Status via the agreed per-shard probe — the only status read a
+    // real recovery may trust (see recover_outcome's freshness
+    // contract).
     let statuses = [
-        net.txn_status(NodeId(0), k0, txn),
-        net.txn_status(NodeId(0), k1, txn),
+        net.txn_status_agreed(NodeId(0), k0, txn),
+        net.txn_status_agreed(NodeId(0), k1, txn),
     ];
     assert_eq!(statuses, [TxnStatus::Prepared, TxnStatus::Prepared]);
     assert_eq!(recover_outcome(&statuses), TxnOutcome::Committed);
@@ -127,6 +132,53 @@ fn coordinator_crash_after_full_prepare_recovers_to_commit() {
         assert_eq!(net.kv_get(NodeId(n), k1), Some(20), "node {n}");
         assert_eq!(net.txn_locks(NodeId(n)), 0);
     }
+    net.assert_consistent();
+}
+
+#[test]
+fn recovery_status_must_be_read_through_the_log_not_a_lagging_replica() {
+    // The hazard the agreed probe exists for: a replica lagging its
+    // shard groups (here: blocked while a quorum commits a transaction)
+    // locally reports Unknown for a transaction its shards have already
+    // COMMITTED. Feeding that relaxed view to recover_outcome derives
+    // Abort against a committed transaction — recovery would then abort
+    // shards whose sibling already applied its fragment, breaking
+    // atomicity. The agreed probe is ordered through each shard's log,
+    // so it cannot under-report no matter which replica lags.
+    let mut net = TestNet::sharded(3, 2, |m, me| OnePaxosNode::new(cfg(m, me)));
+    net.run_to_quiescence(); // leader adoption in both groups
+    let (k0, k1, router) = cross_shard_keys(2);
+    net.block(NodeId(2)); // the slow core misses everything from here on
+    let mut coord = TxnCoordinator::new(NodeId(100), router);
+    let frags = coord.begin(&[(k0, 7), (k1, 8)]);
+    let txn = coord.current_txn().expect("multi-shard txn");
+    // The surviving quorum (nodes 0 and 1) commits the transaction.
+    assert_eq!(
+        net.drive_txn(NodeId(0), &mut coord, frags),
+        TxnOutcome::Committed
+    );
+    assert_eq!(net.kv_get(NodeId(0), k0), Some(7));
+    // The lagging replica's relaxed local view is stale on both shards…
+    let stale = [
+        net.txn_status(NodeId(2), k0, txn),
+        net.txn_status(NodeId(2), k1, txn),
+    ];
+    assert_eq!(stale, [TxnStatus::Unknown, TxnStatus::Unknown]);
+    // …and would steer recovery to the WRONG outcome — which is exactly
+    // why recovery must never consume relaxed status reads.
+    assert_eq!(recover_outcome(&stale), TxnOutcome::Aborted);
+    // The agreed probe answers from the shard's decided prefix instead.
+    let agreed = [
+        net.txn_status_agreed(NodeId(0), k0, txn),
+        net.txn_status_agreed(NodeId(0), k1, txn),
+    ];
+    assert_eq!(agreed, [TxnStatus::Committed, TxnStatus::Committed]);
+    assert_eq!(recover_outcome(&agreed), TxnOutcome::Committed);
+    // Once the slow core catches up, its local view converges too.
+    net.unblock(NodeId(2));
+    net.run_to_quiescence();
+    assert_eq!(net.txn_status(NodeId(2), k0, txn), TxnStatus::Committed);
+    assert_eq!(net.txn_status(NodeId(2), k1, txn), TxnStatus::Committed);
     net.assert_consistent();
 }
 

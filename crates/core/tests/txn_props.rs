@@ -133,9 +133,10 @@ proptest! {
                         landed.len() == doomed.outstanding_fragments().len();
                     net.submit_fragments(target, doomed.client(), landed);
                     net.run_to_quiescence();
-                    // Recovery: query each touched shard's status at some
-                    // node (all nodes agree at quiescence) and drive the
-                    // uniquely-safe outcome.
+                    // Recovery: query each touched shard's status through
+                    // its log (the agreed probe — the only status read
+                    // recovery may trust) and drive the uniquely-safe
+                    // outcome.
                     let statuses: Vec<TxnStatus> = {
                         let mut shard_keys: BTreeMap<_, u64> = BTreeMap::new();
                         for &(k, _) in &writes {
@@ -143,7 +144,7 @@ proptest! {
                         }
                         shard_keys
                             .values()
-                            .map(|&k| net.txn_status(NodeId(0), k, txn))
+                            .map(|&k| net.txn_status_agreed(target, k, txn))
                             .collect()
                     };
                     let outcome = recover_outcome(&statuses);
@@ -218,10 +219,11 @@ proptest! {
             prop_assert_eq!(net.kv_get(NodeId(n), k0), None, "fragment leaked");
             prop_assert_eq!(net.kv_get(NodeId(n), k1), None, "fragment leaked");
         }
-        // …until recovery aborts the crashed one and releases its locks.
+        // …until recovery aborts the crashed one and releases its locks
+        // (statuses read through each shard's log via the agreed probe).
         let statuses = [
-            net.txn_status(NodeId(0), k0, txn),
-            net.txn_status(NodeId(0), k1, txn),
+            net.txn_status_agreed(NodeId(0), k0, txn),
+            net.txn_status_agreed(NodeId(0), k1, txn),
         ];
         prop_assert_eq!(recover_outcome(&statuses), TxnOutcome::Aborted);
         let mut recovery = TxnCoordinator::new(NodeId(200), router);

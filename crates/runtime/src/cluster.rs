@@ -296,6 +296,7 @@ where
                     io: NodeIo::new(std::mem::take(&mut senders[r + j])),
                     mailbox,
                     next_req: 1,
+                    next_txn_seq: 1,
                     router: ShardRouter::new(shards),
                     // Per-shard preferred replica: a slow group leader
                     // only re-targets its own group's requests.
@@ -597,6 +598,12 @@ pub struct ClientHandle<M> {
     io: NodeIo<M>,
     mailbox: Mailbox<Peer, Wire<M>>,
     next_req: u64,
+    /// Next transaction sequence number (see `TxnCoordinator`): TxnIds
+    /// must stay unique for the handle's lifetime, so the counter lives
+    /// here and is resynced through each `txn_put`'s coordinator — a
+    /// reused id would make participant shards echo the previous
+    /// transaction's recorded outcome instead of staging the new one.
+    next_txn_seq: u64,
     router: ShardRouter,
     /// Preferred replica index per shard group, bumped on timeout so a
     /// slow group leader re-targets only its own group's traffic.
@@ -745,7 +752,15 @@ impl<M: Clone + std::fmt::Debug + Send + 'static> ClientHandle<M> {
     /// pass (`onepaxos::txn::recover_outcome`) once this coordinator is
     /// known dead — the same rule every 2PC deployment lives by.
     pub fn txn_put(&mut self, writes: &[(u64, u64)]) -> Result<TxnOutcome, SubmitTimeout> {
-        let mut coord = TxnCoordinator::with_first_req(self.me, self.router, self.next_req);
+        // The coordinator is rebuilt per call, so BOTH of its counters
+        // are seeded from this handle and resynced back at every exit:
+        // request ids are shared with plain traffic, and the
+        // transaction sequence must never repeat for this client —
+        // participant shards remember a finished TxnId's outcome
+        // forever, so a reused id would echo the old outcome while
+        // silently dropping the new writes.
+        let mut coord = TxnCoordinator::with_first_req(self.me, self.router, self.next_req)
+            .with_first_seq(self.next_txn_seq);
         let mut to_send = coord.begin(writes);
         // The same patience budget as `submit`, refilled at each phase
         // transition: every replica of a group gets its two chances per
@@ -777,6 +792,7 @@ impl<M: Clone + std::fmt::Debug + Send + 'static> ClientHandle<M> {
                         }
                         TxnStep::Done(outcome) => {
                             self.next_req = coord.next_req();
+                            self.next_txn_seq = coord.next_seq();
                             return Ok(outcome);
                         }
                     },
@@ -788,6 +804,10 @@ impl<M: Clone + std::fmt::Debug + Send + 'static> ClientHandle<M> {
                 attempts -= 1;
                 if attempts == 0 {
                     self.next_req = coord.next_req();
+                    // The abandoned transaction's id may sit prepared on
+                    // some shards; burning its sequence number keeps any
+                    // later txn_put from colliding with it.
+                    self.next_txn_seq = coord.next_seq();
                     return Err(SubmitTimeout);
                 }
                 // Re-target each stalled fragment's own group (§7.6,

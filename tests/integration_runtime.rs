@@ -413,6 +413,17 @@ fn txn_put_commits_atomically_across_shard_groups() {
     // Linearized reads see both writes (atomicity end-to-end).
     assert_eq!(c.get(k0).expect("read"), Some(10));
     assert_eq!(c.get(k1).expect("read"), Some(20));
+    // A SECOND cross-shard transaction from the same handle touches the
+    // same shards: it must run under a fresh TxnId (the handle persists
+    // the coordinator's sequence across calls), so its writes land
+    // instead of the shards echoing the first transaction's recorded
+    // outcome while dropping the new fragments.
+    assert_eq!(
+        c.txn_put(&[(k0, 30), (k1, 40)]).expect("commit"),
+        TxnOutcome::Committed
+    );
+    assert_eq!(c.get(k0).expect("read"), Some(30));
+    assert_eq!(c.get(k1).expect("read"), Some(40));
     // A single-shard write set short-circuits to one MultiPut agreement.
     let twin = (1u64..)
         .find(|&k| k != k0 && router.route_key(k) == router.route_key(k0))
@@ -425,7 +436,7 @@ fn txn_put_commits_atomically_across_shard_groups() {
     assert_eq!(c.get(twin).expect("read"), Some(12));
     // Plain traffic keeps working on the same handle afterwards (the
     // request-id counter was resynced through the coordinator).
-    assert_eq!(c.put(k1, 21).expect("commit"), Some(20));
+    assert_eq!(c.put(k1, 21).expect("commit"), Some(40));
     cluster.shutdown(&mut clients[0]);
 }
 
