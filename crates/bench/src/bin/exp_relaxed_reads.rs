@@ -26,6 +26,7 @@ fn run(n: usize, read_pct: u8, relaxed: bool) -> f64 {
     .workload(Workload::ReadMix {
         read_pct,
         keys: 128,
+        hot_pct: 0,
     })
     .duration(DUR)
     .warmup(DUR / 8)

@@ -314,6 +314,20 @@ pub struct EngineStats {
     pub shrinks: u64,
     /// Adaptive resets to depth 1 after an idle gap.
     pub idle_decays: u64,
+    /// Transaction prepares applied by this node's state machine
+    /// (every replica applies every prepare, so for a group of `n`
+    /// replicas this is `n×` the prepares decided by the group).
+    pub txn_prepares: u64,
+    /// Prepares parked in the lock-wait queue instead of voting no
+    /// (the ordered-lock fast path absorbing a conflict).
+    pub txn_lock_waits: u64,
+    /// Prepares turned away with a retryable busy vote (younger than
+    /// the lock holder, or the wait queue was full).
+    pub txn_busy_rejects: u64,
+    /// Prepares that voted a hard no (transaction already aborted).
+    pub txn_vote_aborts: u64,
+    /// High-water mark of the lock-wait queue depth.
+    pub txn_wait_depth: usize,
 }
 
 impl EngineStats {
@@ -339,6 +353,11 @@ impl EngineStats {
         self.grows += other.grows;
         self.shrinks += other.shrinks;
         self.idle_decays += other.idle_decays;
+        self.txn_prepares += other.txn_prepares;
+        self.txn_lock_waits += other.txn_lock_waits;
+        self.txn_busy_rejects += other.txn_busy_rejects;
+        self.txn_vote_aborts += other.txn_vote_aborts;
+        self.txn_wait_depth = self.txn_wait_depth.max(other.txn_wait_depth);
     }
 }
 
@@ -822,10 +841,17 @@ impl<P: Protocol, S: StateMachine> ReplicaEngine<P, S> {
     }
 
     /// A snapshot of the batching counters, including the current flush
-    /// depth (see [`EngineStats`]).
+    /// depth and the applied state machine's transaction counters (see
+    /// [`EngineStats`]).
     pub fn stats(&self) -> EngineStats {
         let mut s = self.stats;
         s.depth = self.flush_depth();
+        let t = self.applier.state().txn_stats();
+        s.txn_prepares = t.prepares;
+        s.txn_lock_waits = t.lock_waits;
+        s.txn_busy_rejects = t.busy_rejects;
+        s.txn_vote_aborts = t.vote_aborts;
+        s.txn_wait_depth = t.wait_depth;
         s
     }
 

@@ -7,9 +7,16 @@
 
 use std::collections::BTreeMap;
 
-use crate::rsm::StateMachine;
-use crate::txn::{TxnStatus, TXN_VOTE_ABORT, TXN_VOTE_COMMIT};
-use crate::types::{Op, TxnId, TxnWrites};
+use crate::rsm::{StateMachine, TxnStats};
+use crate::txn::TxnStatus;
+use crate::types::{Op, TxnId, TxnVote, TxnWrites};
+
+/// Capacity of the per-shard lock-wait queue: a conflicting prepare
+/// beyond this parks nowhere and is turned away with [`TxnVote::Busy`].
+/// The bound keeps a contention storm from accumulating unbounded parked
+/// state in the replicated store (every entry pins its write set until
+/// granted or finished).
+pub const MAX_PARKED: usize = 32;
 
 /// Deterministic in-memory key/value store.
 ///
@@ -18,7 +25,12 @@ use crate::types::{Op, TxnId, TxnWrites};
 /// [`Op::TxnPrepare`] stages the fragment and locks its keys (the vote
 /// is the apply output, so it is as durable as the log that carried the
 /// command), and the outcome command atomically applies or discards the
-/// staged writes. Locks gate only the §7.5 local-read fast path —
+/// staged writes. A prepare that conflicts with a held lock does not
+/// vote no outright: when wait-die allows (the requester is older than
+/// every conflicting holder) it **parks** in a bounded lock-wait queue
+/// ([`TxnVote::Wait`]) and is granted, in arrival order, as outcomes
+/// release locks; otherwise it is turned away retryably
+/// ([`TxnVote::Busy`]). Locks gate only the §7.5 local-read fast path —
 /// log-ordered writes to a locked key simply serialize before the staged
 /// fragment.
 ///
@@ -44,12 +56,24 @@ pub struct KvStore {
     staged: BTreeMap<TxnId, TxnWrites>,
     /// Key → the prepared transaction holding its lock.
     locks: BTreeMap<u64, TxnId>,
+    /// The lock-wait queue, in arrival order: prepares that conflicted
+    /// with a holder but were **older** than every conflicting holder
+    /// (wait-die), parked here holding *no* locks and staging nothing
+    /// until [`Self::finish`]'s grant scan finds their keys free.
+    /// Bounded by [`MAX_PARKED`]. Because parked entries hold nothing,
+    /// the only wait edges in the system point from a parked (older)
+    /// transaction to lock-holding (younger) ones — a cycle would need
+    /// an old→young and a young→old edge under one total order, so
+    /// deadlock is impossible by construction.
+    parked: Vec<(TxnId, TxnWrites)>,
     /// Finished transactions (`true` = committed), so late or duplicate
     /// phase commands stay idempotent and recovery can query the
     /// outcome. Grows with the transaction count — acceptable for this
     /// reproduction's bounded runs; a production store would checkpoint
     /// it.
     finished: BTreeMap<TxnId, bool>,
+    /// Prepare-traffic counters (see [`TxnStats`]).
+    txn_stats: TxnStats,
 }
 
 impl KvStore {
@@ -126,33 +150,69 @@ impl KvStore {
         }
     }
 
-    /// Votes on `txn`'s fragment: stages it and locks its keys on yes.
+    /// Votes on `txn`'s fragment: stages it and locks its keys on yes
+    /// ([`TxnVote::Commit`]); on a lock conflict, parks it in the
+    /// bounded lock-wait queue when wait-die allows ([`TxnVote::Wait`] —
+    /// the requester is older than every conflicting holder) and turns
+    /// it away retryably otherwise ([`TxnVote::Busy`]). A hard no
+    /// ([`TxnVote::Abort`]) only ever echoes an already-recorded abort.
     fn prepare(&mut self, txn: TxnId, writes: &TxnWrites) -> u64 {
         // A finished transaction can never re-enter its lock window: a
         // late or re-decided prepare echoes the recorded outcome.
         if let Some(&committed) = self.finished.get(&txn) {
             return if committed {
-                TXN_VOTE_COMMIT
+                TxnVote::Commit.as_output()
             } else {
-                TXN_VOTE_ABORT
+                TxnVote::Abort.as_output()
             };
         }
+        self.txn_stats.prepares += 1;
         if self.staged.contains_key(&txn) {
-            return TXN_VOTE_COMMIT; // duplicate prepare: already locked by us
+            // Duplicate prepare (or a re-probe of a since-granted parked
+            // one): already locked by us.
+            return TxnVote::Commit.as_output();
         }
-        if writes.iter().any(|&(key, _)| self.locks.contains_key(&key)) {
-            return TXN_VOTE_ABORT; // conflict: another txn holds a lock
+        if self.parked.iter().any(|&(t, _)| t == txn) {
+            // A re-probe of a still-parked transaction: keep waiting.
+            return TxnVote::Wait.as_output();
         }
-        for &(key, _) in writes.iter() {
-            self.locks.insert(key, txn);
+        let conflicted = writes.iter().any(|&(key, _)| self.locks.contains_key(&key));
+        if !conflicted {
+            for &(key, _) in writes.iter() {
+                self.locks.insert(key, txn);
+            }
+            self.staged.insert(txn, writes.clone());
+            return TxnVote::Commit.as_output();
         }
-        self.staged.insert(txn, writes.clone());
-        TXN_VOTE_COMMIT
+        // Wait-die: only a requester older than EVERY conflicting holder
+        // may park (wait edges then all point old→young, so no cycle);
+        // a younger requester must die — retryably, from the
+        // coordinator's side — rather than wait.
+        let older_than_holders = writes
+            .iter()
+            .all(|&(key, _)| self.locks.get(&key).is_none_or(|&holder| txn < holder));
+        if older_than_holders && self.parked.len() < MAX_PARKED {
+            self.parked.push((txn, writes.clone()));
+            self.txn_stats.lock_waits += 1;
+            self.txn_stats.wait_depth = self.txn_stats.wait_depth.max(self.parked.len());
+            TxnVote::Wait.as_output()
+        } else {
+            self.txn_stats.busy_rejects += 1;
+            TxnVote::Busy.as_output()
+        }
     }
 
     /// Applies `txn`'s outcome; both directions are idempotent, and the
-    /// first outcome to arrive wins forever.
+    /// first outcome to arrive wins forever. Releasing locks re-scans
+    /// the lock-wait queue and grants (stages + locks) every parked
+    /// prepare whose keys are now free, in arrival order — the granted
+    /// coordinator collects its yes vote on the next re-probe.
     fn finish(&mut self, txn: TxnId, commit: bool) -> u64 {
+        // An outcome reaching a transaction still parked (its
+        // coordinator gave up waiting, or crashed and was recovered to
+        // abort) must purge the queue entry: a later grant would re-lock
+        // keys for a transaction whose fate is already sealed.
+        self.parked.retain(|&(t, _)| t != txn);
         if let Some(writes) = self.staged.remove(&txn) {
             for &(key, value) in writes.iter() {
                 self.locks.remove(&key);
@@ -161,13 +221,51 @@ impl KvStore {
                     self.map.insert(key, value);
                 }
             }
+            self.grant_parked();
         }
         let recorded = *self.finished.entry(txn).or_insert(commit);
         if recorded {
-            TXN_VOTE_COMMIT
+            TxnVote::Commit.as_output()
         } else {
-            TXN_VOTE_ABORT
+            TxnVote::Abort.as_output()
         }
+    }
+
+    /// Grants every parked prepare whose keys are all free, oldest
+    /// arrival first, repeating until a full pass grants nothing (one
+    /// grant can never free keys for another — grants only *take* locks
+    /// — but the loop keeps the policy obviously complete).
+    fn grant_parked(&mut self) {
+        loop {
+            let mut granted = false;
+            let mut i = 0;
+            while i < self.parked.len() {
+                let free = self.parked[i]
+                    .1
+                    .iter()
+                    .all(|&(key, _)| !self.locks.contains_key(&key));
+                if free {
+                    let (txn, writes) = self.parked.remove(i);
+                    for &(key, _) in writes.iter() {
+                        self.locks.insert(key, txn);
+                    }
+                    self.staged.insert(txn, writes);
+                    granted = true;
+                } else {
+                    i += 1;
+                }
+            }
+            if !granted {
+                break;
+            }
+        }
+    }
+
+    /// Number of prepares currently parked in the lock-wait queue (test
+    /// oracle: must drain to zero once every transaction has an
+    /// outcome).
+    pub fn txn_parked(&self) -> usize {
+        self.parked.len()
     }
 
     /// A digest of the full contents, for cheap cross-replica equality
@@ -188,11 +286,16 @@ impl KvStore {
 
 impl StateMachine for KvStore {
     /// `Put` returns the previous value; `Get` returns the current value;
-    /// `Noop` returns `None`. Transaction phases return their vote or
-    /// outcome (`TXN_VOTE_COMMIT`/`TXN_VOTE_ABORT`); `MultiPut` returns
+    /// `Noop` returns `None`. A `TxnPrepare` returns its vote
+    /// ([`TxnVote::as_output`]); outcome phases return the recorded
+    /// outcome (`TxnVote::Commit`/`TxnVote::Abort`); `MultiPut` returns
     /// the number of keys written; `TxnStatus` returns the encoded
     /// status ([`TxnStatus::as_output`]).
     type Output = Option<u64>;
+
+    fn txn_stats(&self) -> TxnStats {
+        self.txn_stats
+    }
 
     fn apply(&mut self, op: Op) -> Self::Output {
         match op {
@@ -274,7 +377,7 @@ mod tests {
         let writes: TxnWrites = vec![(1, 11), (2, 22)].into();
         assert_eq!(
             kv.apply(Op::TxnPrepare { txn, writes }),
-            Some(TXN_VOTE_COMMIT)
+            Some(TxnVote::Commit.as_output())
         );
         // Staged, locked, but not visible.
         assert_eq!(kv.get(1), Some(10));
@@ -285,7 +388,7 @@ mod tests {
         // Commit applies atomically and releases the locks.
         assert_eq!(
             kv.apply(Op::TxnCommit { txn, key: 1 }),
-            Some(TXN_VOTE_COMMIT)
+            Some(TxnVote::Commit.as_output())
         );
         assert_eq!(kv.get(1), Some(11));
         assert_eq!(kv.get(2), Some(22));
@@ -294,26 +397,134 @@ mod tests {
     }
 
     #[test]
-    fn conflicting_prepare_votes_abort_and_takes_no_locks() {
+    fn conflicting_younger_prepare_is_turned_away_and_takes_no_locks() {
         use crate::types::NodeId;
         let mut kv = KvStore::new();
         let first = TxnId::new(NodeId(9), 1);
-        let second = TxnId::new(NodeId(10), 1);
+        let second = TxnId::new(NodeId(10), 1); // younger: NodeId(10) > NodeId(9)
         kv.apply(Op::TxnPrepare {
             txn: first,
             writes: vec![(5, 50)].into(),
         });
-        // Overlapping fragment: no vote, and crucially no partial locks
-        // on the non-conflicting key.
+        // Overlapping fragment from a younger transaction: wait-die says
+        // die (retryably), and crucially no partial locks land on the
+        // non-conflicting key.
         assert_eq!(
             kv.apply(Op::TxnPrepare {
                 txn: second,
                 writes: vec![(5, 99), (6, 60)].into(),
             }),
-            Some(TXN_VOTE_ABORT)
+            Some(TxnVote::Busy.as_output())
         );
         assert!(!kv.txn_locked(6), "losing prepare must not lock anything");
+        assert_eq!(kv.txn_parked(), 0, "a Busy reject parks nothing");
         assert_eq!(kv.txn_status(second), TxnStatus::Unknown);
+        // Once the holder commits, a retry of the same prepare succeeds.
+        kv.apply(Op::TxnCommit { txn: first, key: 5 });
+        assert_eq!(
+            kv.apply(Op::TxnPrepare {
+                txn: second,
+                writes: vec![(5, 99), (6, 60)].into(),
+            }),
+            Some(TxnVote::Commit.as_output())
+        );
+    }
+
+    #[test]
+    fn conflicting_older_prepare_parks_and_is_granted_on_release() {
+        use crate::types::NodeId;
+        let mut kv = KvStore::new();
+        let holder = TxnId::new(NodeId(9), 1);
+        let older = TxnId::new(NodeId(3), 1); // older: NodeId(3) < NodeId(9)
+        kv.apply(Op::TxnPrepare {
+            txn: holder,
+            writes: vec![(5, 50)].into(),
+        });
+        // The older requester parks (wait-die): no vote yet, no locks
+        // taken, nothing staged — recovery would see Unknown and may
+        // safely abort it.
+        assert_eq!(
+            kv.apply(Op::TxnPrepare {
+                txn: older,
+                writes: vec![(5, 99), (6, 60)].into(),
+            }),
+            Some(TxnVote::Wait.as_output())
+        );
+        assert_eq!(kv.txn_parked(), 1);
+        assert!(!kv.txn_locked(6), "parked prepares hold no locks");
+        assert_eq!(kv.txn_status(older), TxnStatus::Unknown);
+        // A re-probe while still parked keeps waiting.
+        assert_eq!(
+            kv.apply(Op::TxnPrepare {
+                txn: older,
+                writes: vec![(5, 99), (6, 60)].into(),
+            }),
+            Some(TxnVote::Wait.as_output())
+        );
+        // The holder's outcome releases the lock and grants the parked
+        // prepare: staged + locked, and the next re-probe collects yes.
+        kv.apply(Op::TxnCommit {
+            txn: holder,
+            key: 5,
+        });
+        assert_eq!(kv.txn_parked(), 0);
+        assert!(kv.txn_locked(5) && kv.txn_locked(6));
+        assert_eq!(kv.txn_status(older), TxnStatus::Prepared);
+        assert_eq!(
+            kv.apply(Op::TxnPrepare {
+                txn: older,
+                writes: vec![(5, 99), (6, 60)].into(),
+            }),
+            Some(TxnVote::Commit.as_output())
+        );
+        // Its commit applies the fragment over the holder's value.
+        kv.apply(Op::TxnCommit { txn: older, key: 5 });
+        assert_eq!(kv.get(5), Some(99));
+        assert_eq!(kv.get(6), Some(60));
+        assert_eq!(kv.txn_locks(), 0);
+    }
+
+    #[test]
+    fn outcome_for_a_parked_transaction_purges_the_queue_entry() {
+        use crate::types::NodeId;
+        let mut kv = KvStore::new();
+        let holder = TxnId::new(NodeId(9), 1);
+        let parked = TxnId::new(NodeId(3), 1);
+        kv.apply(Op::TxnPrepare {
+            txn: holder,
+            writes: vec![(5, 50)].into(),
+        });
+        kv.apply(Op::TxnPrepare {
+            txn: parked,
+            writes: vec![(5, 99)].into(),
+        });
+        assert_eq!(kv.txn_parked(), 1);
+        // The parked transaction's coordinator gives up (or dies and is
+        // recovered to abort): the abort must purge the queue entry so a
+        // later release cannot re-lock keys for a dead transaction.
+        assert_eq!(
+            kv.apply(Op::TxnAbort {
+                txn: parked,
+                key: 5
+            }),
+            Some(TxnVote::Abort.as_output())
+        );
+        assert_eq!(kv.txn_parked(), 0);
+        kv.apply(Op::TxnCommit {
+            txn: holder,
+            key: 5,
+        });
+        assert_eq!(kv.txn_locks(), 0, "no zombie grant after the purge");
+        assert_eq!(kv.txn_status(parked), TxnStatus::Aborted);
+        // And a late re-probe of the aborted transaction cannot lock.
+        assert_eq!(
+            kv.apply(Op::TxnPrepare {
+                txn: parked,
+                writes: vec![(5, 99)].into(),
+            }),
+            Some(TxnVote::Abort.as_output())
+        );
+        assert_eq!(kv.txn_locks(), 0);
     }
 
     #[test]
@@ -325,16 +536,22 @@ mod tests {
             txn,
             writes: vec![(7, 70)].into(),
         });
-        assert_eq!(kv.apply(Op::TxnAbort { txn, key: 7 }), Some(TXN_VOTE_ABORT));
+        assert_eq!(
+            kv.apply(Op::TxnAbort { txn, key: 7 }),
+            Some(TxnVote::Abort.as_output())
+        );
         assert_eq!(kv.get(7), None);
         assert_eq!(kv.txn_locks(), 0);
         assert_eq!(kv.txn_status(txn), TxnStatus::Aborted);
         // A duplicate abort, and even a late commit, echo the recorded
         // outcome instead of resurrecting the transaction.
-        assert_eq!(kv.apply(Op::TxnAbort { txn, key: 7 }), Some(TXN_VOTE_ABORT));
+        assert_eq!(
+            kv.apply(Op::TxnAbort { txn, key: 7 }),
+            Some(TxnVote::Abort.as_output())
+        );
         assert_eq!(
             kv.apply(Op::TxnCommit { txn, key: 7 }),
-            Some(TXN_VOTE_ABORT)
+            Some(TxnVote::Abort.as_output())
         );
         assert_eq!(kv.get(7), None);
         // A late re-prepare of the dead transaction cannot lock.
@@ -343,7 +560,7 @@ mod tests {
                 txn,
                 writes: vec![(7, 70)].into(),
             }),
-            Some(TXN_VOTE_ABORT)
+            Some(TxnVote::Abort.as_output())
         );
         assert_eq!(kv.txn_locks(), 0);
     }

@@ -96,6 +96,6 @@ pub use protocol::Protocol;
 pub use shard::{ShardId, ShardRouter, ShardedEngine};
 pub use txn::{TxnCoordinator, TxnOutcome, TxnStatus};
 pub use types::{
-    Ballot, BatchPayload, Command, Instance, Nanos, NodeId, Op, TxnId, TxnWrites, NANOS_PER_MICRO,
-    NANOS_PER_MILLI, NANOS_PER_SEC,
+    Ballot, BatchPayload, Command, Instance, Nanos, NodeId, Op, TxnId, TxnVote, TxnWrites,
+    NANOS_PER_MICRO, NANOS_PER_MILLI, NANOS_PER_SEC,
 };

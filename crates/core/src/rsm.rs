@@ -29,6 +29,50 @@ pub trait StateMachine {
 
     /// Applies `op` and returns its output. Must be deterministic.
     fn apply(&mut self, op: Op) -> Self::Output;
+
+    /// Transaction-participant counters, for engine stats attribution
+    /// (see [`TxnStats`]). State machines that are not 2PC participants
+    /// report zeros.
+    fn txn_stats(&self) -> TxnStats {
+        TxnStats::default()
+    }
+}
+
+/// Counters a 2PC participant state machine maintains about its prepare
+/// traffic (see `KvStore`), surfaced through
+/// [`StateMachine::txn_stats`] into `EngineStats` so benches can
+/// attribute cross-shard transaction behaviour per shard: how many
+/// prepares arrived, how many parked in the lock-wait queue instead of
+/// aborting, how deep the queue got, and how many were turned away.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TxnStats {
+    /// Applied `TxnPrepare` commands (coordinator re-probes of a parked
+    /// transaction count again — the counter measures prepare traffic,
+    /// not distinct transactions).
+    pub prepares: u64,
+    /// Prepares that parked in the lock-wait queue (`TxnVote::Wait`).
+    pub lock_waits: u64,
+    /// Prepares refused retryably (`TxnVote::Busy`): younger than a
+    /// conflicting holder (wait-die) or the queue was full.
+    pub busy_rejects: u64,
+    /// Prepares answered with a hard no (`TxnVote::Abort`): the
+    /// transaction was already finished as aborted.
+    pub vote_aborts: u64,
+    /// High-water mark of the lock-wait queue depth.
+    pub wait_depth: usize,
+}
+
+impl TxnStats {
+    /// Folds `other` into `self`: counters add, `wait_depth` keeps the
+    /// maximum (the aggregate of independent shards has no single
+    /// depth; the deepest queue is the one that bounds waiting).
+    pub fn absorb(&mut self, other: &TxnStats) {
+        self.prepares += other.prepares;
+        self.lock_waits += other.lock_waits;
+        self.busy_rejects += other.busy_rejects;
+        self.vote_aborts += other.vote_aborts;
+        self.wait_depth = self.wait_depth.max(other.wait_depth);
+    }
 }
 
 /// Applies decided commands to a [`StateMachine`] in instance order,

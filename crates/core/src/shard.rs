@@ -431,6 +431,13 @@ impl<P: Protocol> ShardedEngine<P, crate::kv::KvStore> {
         self.shards.iter().map(|e| e.state().txn_locks()).sum()
     }
 
+    /// Prepares parked in lock-wait queues across every shard replica
+    /// on this node (test oracle: zero once every transaction has its
+    /// outcome — a leftover entry is a zombie waiter).
+    pub fn txn_parked(&self) -> usize {
+        self.shards.iter().map(|e| e.state().txn_parked()).sum()
+    }
+
     /// A digest of the replica's full key/value contents across shards.
     /// Equals the plain [`KvStore::digest`](crate::kv::KvStore::digest)
     /// for a one-shard deployment; multi-shard digests fold the per-shard

@@ -411,6 +411,14 @@ impl<P: Protocol> TestNet<P> {
     ) -> TxnOutcome {
         let client = coord.client();
         let mut seen = self.replies.len();
+        // A caller may hand us the fan-out fragments of a transaction
+        // it already saw decided (early ack): with no prepare phase to
+        // drive, the decided outcome is the drain's.
+        let mut decided = if coord.in_flight() {
+            None
+        } else {
+            coord.drain_outcome()
+        };
         for round in 0..Self::TXN_DRIVER_ROUNDS {
             self.submit_fragments(target, client, std::mem::take(&mut frags));
             self.settle_round(round);
@@ -428,11 +436,29 @@ impl<P: Protocol> TestNet<P> {
             }
             match step {
                 TxnStep::Done(outcome) => return outcome,
+                // Early ack: the outcome is already decided; keep
+                // driving the fan-out until the acknowledgements drain
+                // so the next call starts from a quiet network.
+                TxnStep::Decided { outcome, submit } => {
+                    decided = Some(outcome);
+                    frags = submit;
+                }
                 TxnStep::Submit(next) => frags = next,
                 // No phase transition: re-ask for whatever is still
-                // outstanding (a valueless reply raced its apply; the
-                // protocols re-answer decided ids with the value).
-                TxnStep::Pending => frags = coord.outstanding_fragments(),
+                // outstanding — a valueless reply raced its apply (the
+                // protocols re-answer decided ids with the value), or a
+                // lock-wait re-probe was queued for deferred submission
+                // (the deterministic driver submits it right away; the
+                // one-window delay only matters under load).
+                TxnStep::Pending => {
+                    coord.take_deferred();
+                    if let Some(outcome) = decided {
+                        if !coord.draining() {
+                            return outcome;
+                        }
+                    }
+                    frags = coord.outstanding_fragments();
+                }
             }
         }
         panic!("transaction did not finish within the driver budget");
@@ -510,6 +536,12 @@ impl<P: Protocol> TestNet<P> {
     /// `node` (zero once every transaction has its outcome).
     pub fn txn_locks(&self, node: NodeId) -> usize {
         self.engines[node.index()].txn_locks()
+    }
+
+    /// Prepares parked in lock-wait queues across every shard replica
+    /// of `node` (zero once every transaction has its outcome).
+    pub fn txn_parked(&self, node: NodeId) -> usize {
+        self.engines[node.index()].txn_parked()
     }
 
     /// Links `(from, to)` that currently hold at least one deliverable

@@ -43,16 +43,41 @@
 //!     |--- TxnPrepare(frag B) ---------------------------- ->| agree + stage + lock
 //!     |<-- reply: vote A -----------|                        |
 //!     |<-- reply: vote B ------------------------------------|
-//!     | all yes?                    |                        |
+//!     | all yes => Decided(Committed): EARLY ACK to caller   |
 //!     |--- TxnCommit -------------->| agree + apply + unlock |
 //!     |--- TxnCommit ------------------------------------- ->| agree + apply + unlock
-//!     |<-- ack ---------------------|                        |
-//!     |<-- ack ----------------------------------------------|   => Committed
+//!     |    (acks drain in the background; the caller is      |
+//!     |     already preparing its next transaction)          |
 //! ```
 //!
 //! A write set owned by a single shard short-circuits to one
 //! [`Op::MultiPut`] — no lock window, no second phase, batch-compatible
 //! like any plain put.
+//!
+//! # The fan-out hot path
+//!
+//! Three compounding optimizations keep multi-shard transactions off
+//! the abort-retry cliff:
+//!
+//! 1. **Ordered, pipelined lock acquisition + lock-wait queues.**
+//!    [`TxnCoordinator::begin`] emits prepare fragments in shard-id
+//!    order (pipelined — nothing waits for a vote), and a conflicting
+//!    prepare no longer votes no: the `KvStore` participant parks it in
+//!    a bounded lock-wait queue when wait-die allows
+//!    ([`crate::types::TxnVote::Wait`]) and turns it away retryably
+//!    otherwise ([`crate::types::TxnVote::Busy`]). Conflicts become
+//!    short serialized waits instead of abort-retry storms.
+//! 2. **Pipelined outcome phase (presumed-durability early ack).** Once
+//!    the votes force the outcome, [`TxnStep::Decided`] hands the
+//!    result to the caller immediately and the commit/abort fan-out
+//!    drains asynchronously — safe because [`recover_outcome`]'s
+//!    all-prepared-commits rule reconstructs exactly the same decision
+//!    if the coordinator dies mid-fan-out.
+//! 3. **Conflict-aware scheduling.** Wait/busy/abort replies feed a
+//!    small recently-contended-key cache; re-probes go out a flush
+//!    window later ([`TxnCoordinator::take_deferred`]) and
+//!    [`TxnCoordinator::is_hot`] lets the harness delay transactions it
+//!    knows will queue.
 //!
 //! # Failure matrix
 //!
@@ -89,15 +114,39 @@
 use std::collections::BTreeMap;
 
 use crate::shard::{ShardId, ShardRouter};
-use crate::types::{NodeId, Op, TxnId, TxnWrites};
+use crate::types::{NodeId, Op, TxnId, TxnVote, TxnWrites};
 
 /// State-machine output of a yes vote ([`Op::TxnPrepare`]) and of an
-/// applied [`Op::TxnCommit`].
+/// applied [`Op::TxnCommit`] — [`TxnVote::Commit`]'s encoding, kept as a
+/// named constant for callers that deal in raw outputs.
 pub const TXN_VOTE_COMMIT: u64 = 1;
 
-/// State-machine output of a no vote (fragment conflicted with another
-/// transaction's lock) and of an applied [`Op::TxnAbort`].
+/// State-machine output of a no vote and of an applied [`Op::TxnAbort`]
+/// — [`TxnVote::Abort`]'s encoding.
 pub const TXN_VOTE_ABORT: u64 = 0;
+
+/// How many [`TxnVote::Wait`] replies per shard the coordinator absorbs
+/// (re-probing with a fresh request id each time) before giving up and
+/// aborting the transaction. Parked prepares normally resolve within a
+/// couple of re-probes — the holder's outcome releases the locks — so
+/// exhausting this patience means the holder is stuck (most likely a
+/// dead coordinator whose recovery hasn't run); aborting breaks the
+/// cross-shard poll-wait cycle that shard-local wait-die cannot see.
+const WAIT_PATIENCE: u32 = 12;
+
+/// How many [`TxnVote::Busy`] replies per shard before aborting. Busy
+/// means wait-die made this (younger) transaction die retryably; a few
+/// deferred re-probes usually land after the holder finishes.
+const BUSY_PATIENCE: u32 = 12;
+
+/// How many [`TxnCoordinator::begin`] calls a key stays in the
+/// recently-contended cache after a conflict signal (abort/wait/busy
+/// replies feed it). While cached, the harness is advised to delay
+/// first submission by one flush window ([`TxnCoordinator::is_hot`]).
+const HOT_TTL: u8 = 4;
+
+/// Capacity of the recently-contended-key cache.
+const HOT_CAP: usize = 32;
 
 /// Final fate of a transaction.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -164,11 +213,31 @@ pub struct Fragment {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum TxnStep {
     /// Nothing yet: the reply was stale, valueless, or votes are still
-    /// outstanding.
+    /// outstanding. (A wait/busy vote also lands here — it queues a
+    /// deferred re-probe, see [`TxnCoordinator::take_deferred`].)
     Pending,
-    /// Phase transition: submit these outcome fragments.
+    /// Phase transition: submit these outcome fragments and keep feeding
+    /// replies (recovery drives its outcome this way and waits for the
+    /// acknowledgements before reporting [`TxnStep::Done`]).
     Submit(Vec<Fragment>),
-    /// The transaction finished.
+    /// The outcome is **forced** — unanimous yes votes can only ever
+    /// become a commit (exactly the decision [`recover_outcome`]'s
+    /// all-prepared rule reconstructs), a no vote can only become an
+    /// abort — so the harness reports `outcome` to the caller *now* and
+    /// fans `submit` out asynchronously: the outcome phase of this
+    /// transaction overlaps the prepare phase of the next one (early
+    /// ack). The coordinator tracks the fan-out in its drain queue
+    /// ([`TxnCoordinator::draining`]) and absorbs the acknowledgements
+    /// as [`TxnStep::Pending`].
+    Decided {
+        /// The transaction's (already decided) fate.
+        outcome: TxnOutcome,
+        /// One commit/abort fragment per touched shard, to submit
+        /// asynchronously.
+        submit: Vec<Fragment>,
+    },
+    /// The transaction finished (single-shard short-circuit, or a
+    /// recovery's outcome fan-out fully acknowledged).
     Done(TxnOutcome),
 }
 
@@ -194,6 +263,22 @@ struct Active {
     /// The per-shard write-set fragments (outcome routing keys come from
     /// here).
     fragments: BTreeMap<ShardId, TxnWrites>,
+    /// Per-shard count of `Wait` votes absorbed (parked behind a
+    /// holder); exhausting [`WAIT_PATIENCE`] aborts the transaction.
+    waits: BTreeMap<ShardId, u32>,
+    /// Per-shard count of `Busy` votes absorbed (wait-die retryable
+    /// die); exhausting [`BUSY_PATIENCE`] aborts the transaction.
+    busys: BTreeMap<ShardId, u32>,
+}
+
+/// One early-acked transaction's outcome fan-out still awaiting shard
+/// acknowledgements. The client already has the outcome; these exist so
+/// the harness can keep retransmitting until every shard has applied it
+/// (the commands are idempotent and log-driven, so duplicates are free).
+#[derive(Debug)]
+struct Drain {
+    outcome: TxnOutcome,
+    outstanding: BTreeMap<u64, (ShardId, Op)>,
 }
 
 /// Client-side 2PC-over-Paxos coordinator; see the [module docs](self)
@@ -228,6 +313,22 @@ pub struct TxnCoordinator {
     next_req: u64,
     next_seq: u64,
     active: Option<Active>,
+    /// Outcome fan-outs of early-acked transactions still collecting
+    /// shard acknowledgements; a new transaction may begin while these
+    /// drain (phase 2 of txn *n* overlaps phase 1 of txn *n+1*).
+    draining: Vec<Drain>,
+    /// Re-probe fragments produced by wait/busy votes, for the harness
+    /// to submit after one flush window (immediate resubmission would
+    /// just re-join the same contended queue; see
+    /// [`Self::take_deferred`]).
+    deferred: Vec<Fragment>,
+    /// Recently-contended keys (fed by abort/wait/busy replies) with a
+    /// remaining time-to-live in [`Self::begin`] calls — the
+    /// conflict-aware scheduling cache behind [`Self::is_hot`].
+    recent: BTreeMap<u64, u8>,
+    /// Cumulative re-probe fragments issued (bench: the `retries`
+    /// column).
+    reprobes: u64,
 }
 
 impl TxnCoordinator {
@@ -248,6 +349,10 @@ impl TxnCoordinator {
             next_req: first_req.max(1),
             next_seq: 1,
             active: None,
+            draining: Vec::new(),
+            deferred: Vec::new(),
+            recent: BTreeMap::new(),
+            reprobes: 0,
         }
     }
 
@@ -302,28 +407,96 @@ impl TxnCoordinator {
     }
 
     /// The still-unanswered fragment carrying `req_id`, if any — what a
-    /// harness retransmits on timeout.
+    /// harness retransmits on timeout. Covers both the active
+    /// transaction and the drain queues of early-acked ones.
     pub fn fragment(&self, req_id: u64) -> Option<Fragment> {
-        let a = self.active.as_ref()?;
-        a.outstanding.get(&req_id).map(|(shard, op)| Fragment {
+        let entry = self
+            .active
+            .as_ref()
+            .and_then(|a| a.outstanding.get(&req_id))
+            .or_else(|| {
+                self.draining
+                    .iter()
+                    .find_map(|d| d.outstanding.get(&req_id))
+            })?;
+        let (shard, op) = entry;
+        Some(Fragment {
             shard: *shard,
             req_id,
             op: op.clone(),
         })
     }
 
-    /// Every still-unanswered fragment (for bulk retransmission).
+    /// Every still-unanswered fragment, active transaction first, then
+    /// the drain queues (for bulk retransmission).
     pub fn outstanding_fragments(&self) -> Vec<Fragment> {
-        self.active.as_ref().map_or_else(Vec::new, |a| {
-            a.outstanding
-                .iter()
-                .map(|(&req_id, (shard, op))| Fragment {
-                    shard: *shard,
-                    req_id,
-                    op: op.clone(),
-                })
-                .collect()
-        })
+        let active = self.active.iter().flat_map(|a| a.outstanding.iter());
+        let drains = self.draining.iter().flat_map(|d| d.outstanding.iter());
+        active
+            .chain(drains)
+            .map(|(&req_id, (shard, op))| Fragment {
+                shard: *shard,
+                req_id,
+                op: op.clone(),
+            })
+            .collect()
+    }
+
+    /// Whether any early-acked transaction's outcome fan-out is still
+    /// collecting acknowledgements.
+    pub fn draining(&self) -> bool {
+        !self.draining.is_empty()
+    }
+
+    /// The already-acked outcome of the oldest transaction still
+    /// draining its fan-out, if any — what a driver that was handed the
+    /// outcome fragments of a decided transaction (rather than seeing
+    /// the decision itself) reports once the drain empties.
+    pub fn drain_outcome(&self) -> Option<TxnOutcome> {
+        self.draining.first().map(|d| d.outcome)
+    }
+
+    /// Takes the re-probe fragments queued by wait/busy votes. The
+    /// harness should submit them **after one flush window** rather than
+    /// immediately: the shard just said the keys are contended, and an
+    /// instant resubmit arrives inside the same lock window it was
+    /// turned away from (conflict-aware scheduling; the TestNet's
+    /// round cadence and the sim's deferred retransmission both provide
+    /// the window).
+    pub fn take_deferred(&mut self) -> Vec<Fragment> {
+        std::mem::take(&mut self.deferred)
+    }
+
+    /// Whether any of `writes`' keys is in the recently-contended cache
+    /// — a hint that submitting now will likely park or be turned away,
+    /// so the harness may delay the transaction by one flush window.
+    pub fn is_hot(&self, writes: &[(u64, u64)]) -> bool {
+        writes.iter().any(|(key, _)| self.recent.contains_key(key))
+    }
+
+    /// Cumulative re-probe fragments issued after wait/busy votes (the
+    /// bench's `retries` column).
+    pub fn reprobes(&self) -> u64 {
+        self.reprobes
+    }
+
+    /// Feeds every key of `shard`'s fragment into the
+    /// recently-contended cache (bounded; oldest keys evicted).
+    fn note_contended(&mut self, shard: ShardId) {
+        let Some(writes) = self
+            .active
+            .as_ref()
+            .and_then(|a| a.fragments.get(&shard))
+            .cloned()
+        else {
+            return;
+        };
+        for &(key, _) in writes.iter() {
+            self.recent.insert(key, HOT_TTL);
+            while self.recent.len() > HOT_CAP {
+                self.recent.pop_first();
+            }
+        }
     }
 
     fn alloc_req(&mut self) -> u64 {
@@ -349,6 +522,19 @@ impl TxnCoordinator {
     /// a single [`Op::MultiPut`] when one shard owns every key (the
     /// short-circuit — no lock window, no second phase).
     ///
+    /// Fragments come back in **shard-id order** (the partition is a
+    /// `BTreeMap`), and the harness should emit them in that order:
+    /// every coordinator acquiring locks along the same global shard
+    /// order keeps lock-intent ordering consistent across the per-link
+    /// FIFO transports, which combines with the participant's wait-die
+    /// queue to make conflicting prepares serialize instead of storming.
+    /// Emission is pipelined, not serialized — the next fragment goes
+    /// out as soon as the previous one is handed to its (ordered) link,
+    /// never waiting for a vote.
+    ///
+    /// A new transaction may begin while earlier early-acked
+    /// transactions are still [`Self::draining`] their outcome fan-outs.
+    ///
     /// # Panics
     ///
     /// Panics if a transaction is already in flight or `writes` is
@@ -356,6 +542,11 @@ impl TxnCoordinator {
     pub fn begin(&mut self, writes: &[(u64, u64)]) -> Vec<Fragment> {
         assert!(self.active.is_none(), "a transaction is already in flight");
         assert!(!writes.is_empty(), "a transaction writes at least one key");
+        // Age the conflict cache: one begin is one scheduling window.
+        self.recent.retain(|_, ttl| {
+            *ttl -= 1;
+            *ttl > 0
+        });
         let by_shard = self.partition(writes);
         let txn = TxnId::new(self.client, self.next_seq);
         self.next_seq += 1;
@@ -369,6 +560,8 @@ impl TxnCoordinator {
             outstanding: BTreeMap::new(),
             votes: BTreeMap::new(),
             fragments: BTreeMap::new(),
+            waits: BTreeMap::new(),
+            busys: BTreeMap::new(),
         };
         let mut out = Vec::with_capacity(by_shard.len());
         for (shard, frag) in by_shard {
@@ -421,6 +614,8 @@ impl TxnCoordinator {
                 .into_iter()
                 .map(|(shard, frag)| (shard, frag.into()))
                 .collect(),
+            waits: BTreeMap::new(),
+            busys: BTreeMap::new(),
         });
         self.outcome_fragments(outcome)
     }
@@ -433,6 +628,12 @@ impl TxnCoordinator {
     fn outcome_fragments(&mut self, outcome: TxnOutcome) -> Vec<Fragment> {
         let a = self.active.as_mut().expect("no transaction to conclude");
         a.phase = Phase::Outcome(outcome);
+        // Unanswered prepares (and queued re-probes) are moot once the
+        // outcome is decided: drop them so their late replies read as
+        // unknown ids and the drain queue tracks outcome acks only. The
+        // outcome command itself finishes the transaction at a shard
+        // whose prepare never landed.
+        a.outstanding.clear();
         let txn = a.txn;
         let shards: Vec<(ShardId, u64)> = a
             .fragments
@@ -456,11 +657,32 @@ impl TxnCoordinator {
         out
     }
 
-    /// Builds the outcome fragments once every vote is in: commit
-    /// everywhere on unanimous yes, abort everywhere otherwise (a
-    /// no-voting shard staged nothing, but the abort still records the
-    /// txn as finished there, so a late or duplicate prepare can never
-    /// lock keys for a dead transaction).
+    /// Forces the active transaction's outcome **now**: builds the
+    /// outcome fragments, moves their acknowledgement tracking into the
+    /// drain queue, and frees the coordinator for the next transaction.
+    /// Safe because the decision is already immutable — unanimous yes
+    /// votes can only ever be driven to commit ([`recover_outcome`]'s
+    /// all-prepared rule reconstructs exactly this if we die before the
+    /// fan-out lands) and a no vote (or given-up wait) can only be
+    /// driven to abort, since this coordinator stops issuing prepares
+    /// and no shard re-votes a finished transaction.
+    fn force(&mut self, outcome: TxnOutcome) -> TxnStep {
+        let submit = self.outcome_fragments(outcome);
+        let a = self.active.take().expect("forcing without a txn");
+        // Queued re-probes are for the now-decided prepares: drop them.
+        self.deferred.clear();
+        self.draining.push(Drain {
+            outcome,
+            outstanding: a.outstanding,
+        });
+        TxnStep::Decided { outcome, submit }
+    }
+
+    /// Decides once every vote is in: commit everywhere on unanimous
+    /// yes, abort everywhere otherwise (a no-voting shard staged
+    /// nothing, but the abort still records the txn as finished there,
+    /// so a late or duplicate prepare can never lock keys for a dead
+    /// transaction).
     fn decide(&mut self) -> TxnStep {
         let a = self.active.as_ref().expect("deciding without a txn");
         let outcome = if a.votes.values().all(|&yes| yes) {
@@ -468,7 +690,20 @@ impl TxnCoordinator {
         } else {
             TxnOutcome::Aborted
         };
-        TxnStep::Submit(self.outcome_fragments(outcome))
+        self.force(outcome)
+    }
+
+    /// Queues a deferred re-probe of `shard`'s prepare under a fresh
+    /// request id (the appliers' sessions dedup by `(client, req_id)`,
+    /// so re-asking under the old id would echo the old vote instead of
+    /// re-evaluating the locks) and feeds the conflict cache.
+    fn reprobe(&mut self, shard: ShardId, op: Op) {
+        let req_id = self.alloc_req();
+        let a = self.active.as_mut().expect("re-probing without a txn");
+        a.outstanding.insert(req_id, (shard, op.clone()));
+        self.reprobes += 1;
+        self.deferred.push(Fragment { shard, req_id, op });
+        self.note_contended(shard);
     }
 
     /// Consumes one client reply. `value` is the reply's state-machine
@@ -478,8 +713,20 @@ impl TxnCoordinator {
     ///
     /// Replies for unknown request ids (stale, duplicate, or other
     /// traffic of the same client) return [`TxnStep::Pending`] and
-    /// change nothing.
+    /// change nothing. Acknowledgements of an early-acked transaction's
+    /// outcome fan-out also return [`TxnStep::Pending`] — the caller
+    /// already has that outcome.
     pub fn on_reply(&mut self, req_id: u64, value: Option<u64>) -> TxnStep {
+        // Drain acknowledgements first: they may interleave with the
+        // next transaction's prepare replies.
+        for i in 0..self.draining.len() {
+            if self.draining[i].outstanding.remove(&req_id).is_some() {
+                if self.draining[i].outstanding.is_empty() {
+                    self.draining.remove(i);
+                }
+                return TxnStep::Pending;
+            }
+        }
         let Some(a) = self.active.as_mut() else {
             return TxnStep::Pending;
         };
@@ -495,18 +742,60 @@ impl TxnCoordinator {
                 TxnStep::Done(TxnOutcome::Committed)
             }
             Phase::Preparing => {
-                let Some(vote) = value else {
+                let Some(raw) = value else {
                     return TxnStep::Pending; // vote not applied yet: retry will re-ask
                 };
-                let (shard, _) = a.outstanding.remove(&req_id).expect("checked");
-                a.votes.insert(shard, vote == TXN_VOTE_COMMIT);
-                if a.votes.len() == a.fragments.len() {
-                    self.decide()
-                } else {
-                    TxnStep::Pending
+                let (shard, op) = a.outstanding.remove(&req_id).expect("checked");
+                // Unknown encodings count as a no vote (defensive; the
+                // participant only emits the four TxnVote values).
+                match TxnVote::from_output(raw).unwrap_or(TxnVote::Abort) {
+                    TxnVote::Commit => {
+                        a.votes.insert(shard, true);
+                        if a.votes.len() == a.fragments.len() {
+                            self.decide()
+                        } else {
+                            TxnStep::Pending
+                        }
+                    }
+                    TxnVote::Abort => {
+                        // Early abort: one no vote forces the outcome;
+                        // still-unanswered prepares are moot (their
+                        // shards get the abort too).
+                        a.votes.insert(shard, false);
+                        self.note_contended(shard);
+                        self.force(TxnOutcome::Aborted)
+                    }
+                    TxnVote::Wait => {
+                        let waits = a.waits.entry(shard).or_insert(0);
+                        *waits += 1;
+                        if *waits > WAIT_PATIENCE {
+                            // The holder is stuck (dead coordinator, or
+                            // a cross-shard poll-wait cycle): give up.
+                            // The abort purges our parked queue entry.
+                            a.votes.insert(shard, false);
+                            self.force(TxnOutcome::Aborted)
+                        } else {
+                            self.reprobe(shard, op);
+                            TxnStep::Pending
+                        }
+                    }
+                    TxnVote::Busy => {
+                        let busys = a.busys.entry(shard).or_insert(0);
+                        *busys += 1;
+                        if *busys > BUSY_PATIENCE {
+                            a.votes.insert(shard, false);
+                            self.force(TxnOutcome::Aborted)
+                        } else {
+                            self.reprobe(shard, op);
+                            TxnStep::Pending
+                        }
+                    }
                 }
             }
             Phase::Outcome(outcome) => {
+                // Only recovery drives an outcome through the active
+                // slot (the live path early-acks into the drain queue):
+                // report Done once every shard acknowledged.
                 a.outstanding.remove(&req_id);
                 if a.outstanding.is_empty() {
                     self.active = None;
@@ -623,12 +912,17 @@ mod tests {
             c.on_reply(frags[1].req_id, Some(TXN_VOTE_COMMIT)),
             TxnStep::Pending
         );
-        // Third vote decides: commit everywhere.
-        let TxnStep::Submit(outcome) = c.on_reply(frags[2].req_id, Some(TXN_VOTE_COMMIT)) else {
-            panic!("expected the outcome fragments");
+        // Third vote forces the outcome: early ack, commits everywhere.
+        let TxnStep::Decided {
+            outcome: fate,
+            submit,
+        } = c.on_reply(frags[2].req_id, Some(TXN_VOTE_COMMIT))
+        else {
+            panic!("expected the forced outcome");
         };
-        assert_eq!(outcome.len(), 3);
-        for f in &outcome {
+        assert_eq!(fate, TxnOutcome::Committed);
+        assert_eq!(submit.len(), 3);
+        for f in &submit {
             match &f.op {
                 Op::TxnCommit { txn: t, key } => {
                     assert_eq!(*t, txn);
@@ -637,13 +931,14 @@ mod tests {
                 other => panic!("expected TxnCommit, got {other:?}"),
             }
         }
-        // Acks drain to Done.
-        assert_eq!(c.on_reply(outcome[0].req_id, None), TxnStep::Pending);
-        assert_eq!(c.on_reply(outcome[1].req_id, None), TxnStep::Pending);
-        assert_eq!(
-            c.on_reply(outcome[2].req_id, None),
-            TxnStep::Done(TxnOutcome::Committed)
-        );
+        // The caller already has the outcome; the fan-out drains in the
+        // background while the coordinator is free for the next txn.
+        assert!(!c.in_flight());
+        assert!(c.draining());
+        assert_eq!(c.on_reply(submit[0].req_id, None), TxnStep::Pending);
+        assert_eq!(c.on_reply(submit[1].req_id, None), TxnStep::Pending);
+        assert_eq!(c.on_reply(submit[2].req_id, None), TxnStep::Pending);
+        assert!(!c.draining());
     }
 
     #[test]
@@ -651,22 +946,30 @@ mod tests {
         let mut c = coord(4);
         let keys = spanning_keys(4, 2);
         let frags = c.begin(&[(keys[0], 1), (keys[1], 2)]);
+        // The FIRST no vote forces the outcome — no waiting for the
+        // other shard's vote (it can no longer change anything).
+        let TxnStep::Decided {
+            outcome: fate,
+            submit,
+        } = c.on_reply(frags[0].req_id, Some(TXN_VOTE_ABORT))
+        else {
+            panic!("expected the forced outcome");
+        };
+        assert_eq!(fate, TxnOutcome::Aborted);
+        // The abort reaches BOTH shards — the no-voter records the txn
+        // as finished so a late duplicate prepare cannot lock, and the
+        // other shard's stage (if its prepare landed) is discarded.
+        assert_eq!(submit.len(), 2);
+        assert!(submit.iter().all(|f| matches!(f.op, Op::TxnAbort { .. })));
+        // The second shard's late vote reply is moot: its request id was
+        // dropped when the outcome was forced.
         assert_eq!(
-            c.on_reply(frags[0].req_id, Some(TXN_VOTE_ABORT)),
+            c.on_reply(frags[1].req_id, Some(TXN_VOTE_COMMIT)),
             TxnStep::Pending
         );
-        let TxnStep::Submit(outcome) = c.on_reply(frags[1].req_id, Some(TXN_VOTE_COMMIT)) else {
-            panic!("expected the outcome fragments");
-        };
-        // The abort reaches BOTH shards — the no-voter records the txn
-        // as finished so a late duplicate prepare cannot lock.
-        assert_eq!(outcome.len(), 2);
-        assert!(outcome.iter().all(|f| matches!(f.op, Op::TxnAbort { .. })));
-        c.on_reply(outcome[0].req_id, None);
-        assert_eq!(
-            c.on_reply(outcome[1].req_id, None),
-            TxnStep::Done(TxnOutcome::Aborted)
-        );
+        c.on_reply(submit[0].req_id, None);
+        assert_eq!(c.on_reply(submit[1].req_id, None), TxnStep::Pending);
+        assert!(!c.draining(), "acks drained");
     }
 
     #[test]
@@ -683,7 +986,10 @@ mod tests {
         c.on_reply(frags[0].req_id, Some(TXN_VOTE_COMMIT));
         assert!(matches!(
             c.on_reply(frags[1].req_id, Some(TXN_VOTE_COMMIT)),
-            TxnStep::Submit(_)
+            TxnStep::Decided {
+                outcome: TxnOutcome::Committed,
+                ..
+            }
         ));
     }
 
@@ -701,7 +1007,7 @@ mod tests {
         );
         assert!(matches!(
             c.on_reply(frags[1].req_id, Some(TXN_VOTE_COMMIT)),
-            TxnStep::Submit(_)
+            TxnStep::Decided { .. }
         ));
     }
 
@@ -717,19 +1023,18 @@ mod tests {
                 last = f.req_id;
             }
             c.on_reply(frags[0].req_id, Some(TXN_VOTE_COMMIT));
-            let TxnStep::Submit(outcome) = c.on_reply(frags[1].req_id, Some(TXN_VOTE_COMMIT))
+            let TxnStep::Decided { submit, .. } =
+                c.on_reply(frags[1].req_id, Some(TXN_VOTE_COMMIT))
             else {
-                panic!("expected outcome");
+                panic!("expected the forced outcome");
             };
-            for f in &outcome {
+            for f in &submit {
                 assert!(f.req_id > last);
                 last = f.req_id;
             }
-            c.on_reply(outcome[0].req_id, None);
-            assert!(matches!(
-                c.on_reply(outcome[1].req_id, None),
-                TxnStep::Done(TxnOutcome::Committed)
-            ));
+            c.on_reply(submit[0].req_id, None);
+            assert_eq!(c.on_reply(submit[1].req_id, None), TxnStep::Pending);
+            assert!(!c.draining());
         }
     }
 
@@ -784,6 +1089,135 @@ mod tests {
             recover_outcome(&[Committed, Unknown]),
             TxnOutcome::Committed
         );
+    }
+
+    #[test]
+    fn wait_vote_defers_a_fresh_req_id_reprobe() {
+        let mut c = coord(4);
+        let keys = spanning_keys(4, 2);
+        let frags = c.begin(&[(keys[0], 1), (keys[1], 2)]);
+        // Shard 0 parks us behind a holder: Pending now, and a re-probe
+        // under a FRESH request id is queued for deferred submission
+        // (the appliers dedup by req_id, so re-asking under the old one
+        // would echo the old Wait instead of re-evaluating the locks).
+        assert_eq!(
+            c.on_reply(frags[0].req_id, Some(TxnVote::Wait.as_output())),
+            TxnStep::Pending
+        );
+        let deferred = c.take_deferred();
+        assert_eq!(deferred.len(), 1);
+        assert!(deferred[0].req_id > frags[1].req_id, "fresh req id");
+        assert_eq!(deferred[0].shard, frags[0].shard);
+        assert_eq!(deferred[0].op, frags[0].op, "same prepare, re-asked");
+        assert_eq!(
+            c.fragment(frags[0].req_id),
+            None,
+            "the old req id is dead; its late replies are ignored"
+        );
+        assert_eq!(c.reprobes(), 1);
+        // The other shard's yes plus the granted re-probe's yes commit.
+        assert_eq!(
+            c.on_reply(frags[1].req_id, Some(TXN_VOTE_COMMIT)),
+            TxnStep::Pending
+        );
+        assert!(matches!(
+            c.on_reply(deferred[0].req_id, Some(TXN_VOTE_COMMIT)),
+            TxnStep::Decided {
+                outcome: TxnOutcome::Committed,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn busy_patience_exhausts_to_an_abort() {
+        let mut c = coord(4);
+        let keys = spanning_keys(4, 2);
+        let frags = c.begin(&[(keys[0], 1), (keys[1], 2)]);
+        assert_eq!(
+            c.on_reply(frags[1].req_id, Some(TXN_VOTE_COMMIT)),
+            TxnStep::Pending
+        );
+        let mut req = frags[0].req_id;
+        for _ in 0..BUSY_PATIENCE {
+            assert_eq!(
+                c.on_reply(req, Some(TxnVote::Busy.as_output())),
+                TxnStep::Pending
+            );
+            let deferred = c.take_deferred();
+            assert_eq!(deferred.len(), 1);
+            req = deferred[0].req_id;
+        }
+        // One Busy beyond the patience budget forces the abort; the
+        // queued re-probe dies with the decision.
+        let step = c.on_reply(req, Some(TxnVote::Busy.as_output()));
+        let TxnStep::Decided {
+            outcome: TxnOutcome::Aborted,
+            submit,
+        } = step
+        else {
+            panic!("expected a forced abort, got {step:?}");
+        };
+        assert_eq!(submit.len(), 2);
+        assert!(c.take_deferred().is_empty(), "no zombie re-probes");
+    }
+
+    #[test]
+    fn early_ack_overlaps_the_next_transaction() {
+        let mut c = coord(4);
+        let keys = spanning_keys(4, 2);
+        let frags = c.begin(&[(keys[0], 1), (keys[1], 2)]);
+        c.on_reply(frags[0].req_id, Some(TXN_VOTE_COMMIT));
+        let TxnStep::Decided { submit, .. } = c.on_reply(frags[1].req_id, Some(TXN_VOTE_COMMIT))
+        else {
+            panic!("expected the forced outcome");
+        };
+        // Phase 2 of txn n overlaps phase 1 of txn n+1: begin() while
+        // the fan-out drains.
+        assert!(c.draining() && !c.in_flight());
+        let next = c.begin(&[(keys[0], 3), (keys[1], 4)]);
+        assert_eq!(next.len(), 2);
+        // Interleaved replies resolve to the right transaction.
+        assert_eq!(c.on_reply(submit[0].req_id, None), TxnStep::Pending);
+        assert_eq!(
+            c.on_reply(next[0].req_id, Some(TXN_VOTE_COMMIT)),
+            TxnStep::Pending
+        );
+        assert_eq!(c.on_reply(submit[1].req_id, None), TxnStep::Pending);
+        assert!(!c.draining());
+        assert!(matches!(
+            c.on_reply(next[1].req_id, Some(TXN_VOTE_COMMIT)),
+            TxnStep::Decided {
+                outcome: TxnOutcome::Committed,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn conflict_cache_marks_contended_keys_and_ages_out() {
+        let mut c = coord(4);
+        let keys = spanning_keys(4, 2);
+        let writes = [(keys[0], 1), (keys[1], 2)];
+        assert!(!c.is_hot(&writes));
+        let frags = c.begin(&writes);
+        // A hard no on shard 0 feeds that fragment's keys to the cache.
+        let TxnStep::Decided { submit, .. } = c.on_reply(frags[0].req_id, Some(TXN_VOTE_ABORT))
+        else {
+            panic!("expected the forced abort");
+        };
+        for f in submit {
+            c.on_reply(f.req_id, None);
+        }
+        assert!(c.is_hot(&writes), "conflicted key is hot");
+        assert!(!c.is_hot(&[(keys[1], 9)]), "other shard's key is not");
+        // The cache ages by one per begin(): after HOT_TTL begins the
+        // key is cold again.
+        for round in 0..HOT_TTL as u64 {
+            let f = c.begin(&[(keys[1], round)]);
+            c.on_reply(f[0].req_id, None);
+        }
+        assert!(!c.is_hot(&writes));
     }
 
     #[test]

@@ -210,6 +210,60 @@ impl fmt::Display for TxnId {
 /// the coordinator partitions the write set before building fragments.
 pub type TxnWrites = Arc<[(u64, u64)]>;
 
+/// A participant shard's vote on an applied [`Op::TxnPrepare`] fragment,
+/// carried as the command's state-machine output (see [`crate::txn`]).
+///
+/// Beyond the classic yes/no, two *retryable* votes implement the
+/// bounded lock-wait queue of the `KvStore` participant: instead of
+/// turning every lock conflict into an abort, a conflicting prepare may
+/// **park** behind the holder ([`TxnVote::Wait`] — wait-die: only a
+/// requester older than every conflicting holder parks, so wait edges
+/// always point old→young and can never form a cycle) or be told to
+/// retry from the coordinator's side ([`TxnVote::Busy`] — the requester
+/// is younger than a holder, or the queue is full). Both leave the
+/// shard entirely untouched: a parked prepare holds no locks and stages
+/// nothing, so recovery sees it as `Unknown` and may safely abort it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TxnVote {
+    /// No: the transaction is already finished as aborted (late or
+    /// duplicate prepare), or the coordinator decided abort.
+    Abort,
+    /// Yes: fragment staged, keys locked.
+    Commit,
+    /// Not yet: parked in the shard's lock-wait queue behind the current
+    /// holder(s); a later re-probe (fresh request id) collects the real
+    /// vote once the holder's outcome releases the locks.
+    Wait,
+    /// Not now: the requester is younger than a conflicting holder (it
+    /// must die rather than wait, or wait-die's cycle-freedom breaks) or
+    /// the wait queue is at capacity. The coordinator may re-probe after
+    /// a backoff window or give up and abort.
+    Busy,
+}
+
+impl TxnVote {
+    /// Encodes this vote as a prepare's state-machine output.
+    pub fn as_output(self) -> u64 {
+        match self {
+            TxnVote::Abort => 0,
+            TxnVote::Commit => 1,
+            TxnVote::Wait => 2,
+            TxnVote::Busy => 3,
+        }
+    }
+
+    /// Decodes a prepare's output; `None` for values no prepare produces.
+    pub fn from_output(v: u64) -> Option<TxnVote> {
+        match v {
+            0 => Some(TxnVote::Abort),
+            1 => Some(TxnVote::Commit),
+            2 => Some(TxnVote::Wait),
+            3 => Some(TxnVote::Busy),
+            _ => None,
+        }
+    }
+}
+
 /// The payload of an [`Op::Batch`]: the coalesced commands, behind an
 /// [`Arc`] so cloning a batched command (broadcasts, retries, value
 /// pinning across role switches) bumps a reference count instead of

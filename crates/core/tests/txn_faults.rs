@@ -183,6 +183,101 @@ fn recovery_status_must_be_read_through_the_log_not_a_lagging_replica() {
 }
 
 #[test]
+fn coordinator_crash_while_parked_leaves_no_zombie_waiter() {
+    // A conflicting prepare from an OLDER transaction parks in the
+    // shard's lock-wait queue instead of voting no. Parked entries
+    // stage nothing and hold no locks — so a coordinator that dies
+    // while parked must be cleaned up by ordinary recovery: the parked
+    // shard reports Unknown, the recovery abort purges the queue entry,
+    // and the dead transaction can never be granted the lock later.
+    let mut net = TestNet::sharded(3, 4, |m, me| TwoPcNode::new(cfg(m, me)));
+    let (k0, k1, router) = cross_shard_keys(4);
+    // The HOLDER: a younger coordinator (higher TxnId) whose prepare
+    // lands on k0's shard only, taking the lock — then it dies.
+    let mut holder = TxnCoordinator::new(NodeId(200), router);
+    let h_frags = holder.begin(&[(k0, 1), (k1, 2)]);
+    let h_txn = holder.current_txn().expect("multi-shard txn");
+    let landed: Vec<Fragment> = h_frags
+        .into_iter()
+        .filter(|f| f.shard == router.route_key(k0))
+        .collect();
+    net.submit_fragments(NodeId(0), holder.client(), landed);
+    net.run_to_quiescence();
+    assert_eq!(net.txn_locks(NodeId(0)), 1);
+    // The WAITER: an older coordinator (lower TxnId) conflicts on k0;
+    // wait-die parks it behind the holder. Then it dies too.
+    let mut waiter = TxnCoordinator::new(NodeId(100), router);
+    let w_frags = waiter.begin(&[(k0, 10), (k1, 20)]);
+    let w_txn = waiter.current_txn().expect("multi-shard txn");
+    net.submit_fragments(NodeId(0), waiter.client(), w_frags);
+    net.run_to_quiescence();
+    for n in 0..3u16 {
+        assert_eq!(net.txn_parked(NodeId(n)), 1, "node {n} parked queue");
+        // Parked ≠ prepared: the waiter staged nothing on k0…
+        assert_eq!(net.txn_status(NodeId(n), k0, w_txn), TxnStatus::Unknown);
+        // …though its k1 fragment prepared normally.
+        assert_eq!(net.txn_status(NodeId(n), k1, w_txn), TxnStatus::Prepared);
+    }
+    // Recovery reaches the waiter first, while it is still parked:
+    // Unknown on k0 proves no commit could have been acked.
+    let statuses = [
+        net.txn_status_agreed(NodeId(0), k0, w_txn),
+        net.txn_status_agreed(NodeId(0), k1, w_txn),
+    ];
+    assert_eq!(recover_outcome(&statuses), TxnOutcome::Aborted);
+    let mut rec_w = TxnCoordinator::new(NodeId(300), router);
+    let frags = rec_w.begin_recovery(w_txn, &[(k0, 10), (k1, 20)], TxnOutcome::Aborted);
+    assert_eq!(
+        net.drive_txn(NodeId(0), &mut rec_w, frags),
+        TxnOutcome::Aborted
+    );
+    // The abort purged the queue entry — no zombie waiter survives.
+    for n in 0..3u16 {
+        assert_eq!(net.txn_parked(NodeId(n)), 0, "zombie waiter on node {n}");
+        assert_eq!(net.txn_status(NodeId(n), k0, w_txn), TxnStatus::Aborted);
+    }
+    // Now recover the holder (partial prepare → abort). Releasing its
+    // lock must NOT hand it to the dead waiter: the entry is gone and
+    // the waiter's transaction is recorded aborted.
+    let statuses = [
+        net.txn_status_agreed(NodeId(0), k0, h_txn),
+        net.txn_status_agreed(NodeId(0), k1, h_txn),
+    ];
+    assert_eq!(recover_outcome(&statuses), TxnOutcome::Aborted);
+    let mut rec_h = TxnCoordinator::new(NodeId(301), router);
+    let frags = rec_h.begin_recovery(h_txn, &[(k0, 1), (k1, 2)], TxnOutcome::Aborted);
+    assert_eq!(
+        net.drive_txn(NodeId(0), &mut rec_h, frags),
+        TxnOutcome::Aborted
+    );
+    for n in 0..3u16 {
+        assert_eq!(net.txn_locks(NodeId(n)), 0, "node {n}");
+        assert_eq!(net.txn_parked(NodeId(n)), 0, "node {n}");
+        assert_eq!(net.kv_get(NodeId(n), k0), None);
+    }
+    // A late duplicate of the waiter's lost prepare re-parks nothing —
+    // the recorded outcome is echoed instead of a fresh wait.
+    net.client_request(
+        NodeId(0),
+        NodeId(100),
+        9_999,
+        Op::TxnPrepare {
+            txn: w_txn,
+            writes: vec![(k0, 10)].into(),
+        },
+    );
+    net.run_to_quiescence();
+    assert_eq!(net.txn_parked(NodeId(1)), 0);
+    assert_eq!(net.txn_locks(NodeId(1)), 0);
+    // The lane is clear: a fresh transaction over the same keys commits.
+    let mut fresh = TxnCoordinator::new(NodeId(400), router);
+    let outcome = net.run_txn(NodeId(0), &mut fresh, &[(k0, 77), (k1, 88)]);
+    assert_eq!(outcome, TxnOutcome::Committed);
+    assert_eq!(net.kv_get(NodeId(0), k0), Some(77));
+    net.assert_consistent();
+}
+
+#[test]
 fn participant_replica_crash_mid_prepare_cannot_lose_the_vote() {
     // The 2PC-over-Paxos payoff: the vote is a decided command in the
     // shard's replicated log, so crashing a participant replica between
@@ -216,12 +311,17 @@ fn participant_replica_crash_mid_prepare_cannot_lose_the_vote() {
         assert!(vote_logged, "vote missing from shard {shard}'s log");
     }
     // …so the coordinator finishes the transaction as if nothing
-    // happened: feed it the recorded votes and drive the outcome.
+    // happened: feed it the recorded votes (forcing the early-acked
+    // commit decision) and drive the outcome fan-out.
     let mut outcome_frags = Vec::new();
     for r in net.replies().iter().filter(|r| r.client == NodeId(100)) {
         if prepare_reqs.contains(&r.req_id) {
-            if let onepaxos::txn::TxnStep::Submit(next) = coord.on_reply(r.req_id, r.value) {
-                outcome_frags = next;
+            if let onepaxos::txn::TxnStep::Decided {
+                outcome: TxnOutcome::Committed,
+                submit,
+            } = coord.on_reply(r.req_id, r.value)
+            {
+                outcome_frags = submit;
             }
         }
     }
@@ -229,10 +329,16 @@ fn participant_replica_crash_mid_prepare_cannot_lose_the_vote() {
         !outcome_frags.is_empty(),
         "votes did not reach the coordinator"
     );
-    assert_eq!(
-        net.drive_txn(NodeId(0), &mut coord, outcome_frags),
-        TxnOutcome::Committed
-    );
+    // Fan the commit out and drain the acknowledgements.
+    let seen = net.replies().len();
+    net.submit_fragments(NodeId(0), coord.client(), outcome_frags);
+    net.run_to_quiescence();
+    for r in net.replies()[seen..].iter().copied() {
+        if r.client == coord.client() {
+            coord.on_reply(r.req_id, r.value);
+        }
+    }
+    assert!(!coord.draining(), "commit fan-out did not drain");
     // The surviving replicas hold the full write set atomically.
     for n in 0..2u16 {
         assert_eq!(net.kv_get(NodeId(n), k0), Some(7), "node {n}");

@@ -783,12 +783,45 @@ impl<M: Clone + std::fmt::Debug + Send + 'static> ClientHandle<M> {
                             req_id: r, value, ..
                         },
                     )) => match coord.on_reply(r, value) {
-                        TxnStep::Pending => {}
+                        TxnStep::Pending => {
+                            // A lock-wait vote queued a fresh-id
+                            // re-probe: send it right away — the shard
+                            // parks it behind the holder, so the
+                            // one-window pacing the sim applies buys
+                            // nothing on this blocking handle.
+                            let deferred = coord.take_deferred();
+                            if !deferred.is_empty() {
+                                to_send = deferred;
+                                attempts = phase_budget;
+                                progressed = true;
+                                break;
+                            }
+                        }
                         TxnStep::Submit(next) => {
                             to_send = next;
                             attempts = phase_budget;
                             progressed = true;
                             break;
+                        }
+                        TxnStep::Decided { outcome, submit } => {
+                            // Presumed durability: the votes recorded in
+                            // the shard logs force this outcome whether
+                            // or not we survive to deliver it, so ack
+                            // the caller NOW and fan the outcome legs
+                            // out fire-and-forget. The transport is
+                            // reliable in-process channels; a slow
+                            // participant applies the outcome from its
+                            // log whenever it catches up, and this
+                            // coordinator's stale acknowledgements are
+                            // dropped as unknown ids by the next call's
+                            // fresh coordinator.
+                            for f in &submit {
+                                self.send_fragment(f);
+                            }
+                            self.io.flush();
+                            self.next_req = coord.next_req();
+                            self.next_txn_seq = coord.next_seq();
+                            return Ok(outcome);
                         }
                         TxnStep::Done(outcome) => {
                             self.next_req = coord.next_req();

@@ -63,6 +63,11 @@ pub enum Workload {
         read_pct: u8,
         /// Key-space size.
         keys: u64,
+        /// Contention knob: percentage of operations (0–100) whose key
+        /// is drawn from the [`HOT_SET`]-sized hot set at the bottom of
+        /// the key space instead of uniformly — the YCSB-style hotspot
+        /// approximation of a zipfian access pattern. 0 is uniform.
+        hot_pct: u8,
     },
     /// Like [`Workload::ReadMix`], but reads are issued as *relaxed*
     /// reads (§7.5): the client asks the target replica for its local
@@ -93,7 +98,28 @@ pub enum Workload {
         fanout: u16,
         /// Key-space size (must comfortably exceed the shard count).
         keys: u64,
+        /// Contention knob: percentage of per-shard key draws (0–100)
+        /// taken from the hot end of the key space (see
+        /// [`Workload::ReadMix::hot_pct`]). Raising it makes write sets
+        /// collide, exercising the lock-wait queues and the
+        /// conflict-aware scheduler. 0 is uniform.
+        hot_pct: u8,
     },
+}
+
+/// Size of the hot set the `hot_pct` knobs draw from: small enough that
+/// hot draws genuinely collide, large enough that a hot transaction is
+/// not a single global lock.
+pub const HOT_SET: u64 = 8;
+
+/// Samples a key: uniform over `keys`, except `hot_pct` percent of
+/// draws come from the first [`HOT_SET`] keys.
+fn sample_key(keys: u64, hot_pct: u8, rng: &mut SimRng) -> u64 {
+    if hot_pct > 0 && (rng.below(100) as u8) < hot_pct {
+        rng.below(HOT_SET.min(keys))
+    } else {
+        rng.below(keys)
+    }
 }
 
 impl Workload {
@@ -103,7 +129,23 @@ impl Workload {
             Workload::TxnMix { .. } => {
                 unreachable!("TxnMix is driven by the client-side coordinator, not per-op")
             }
-            Workload::ReadMix { read_pct, keys } | Workload::RelaxedMix { read_pct, keys } => {
+            Workload::ReadMix {
+                read_pct,
+                keys,
+                hot_pct,
+            } => {
+                if (rng.below(100) as u8) < read_pct {
+                    Op::Get {
+                        key: sample_key(keys, hot_pct, rng),
+                    }
+                } else {
+                    Op::Put {
+                        key: sample_key(keys, hot_pct, rng),
+                        value: rng.below(1_000_000),
+                    }
+                }
+            }
+            Workload::RelaxedMix { read_pct, keys } => {
                 if (rng.below(100) as u8) < read_pct {
                     Op::Get {
                         key: rng.below(keys),
@@ -177,12 +219,33 @@ pub struct RunReport {
     /// (`Workload::TxnMix` only; the client retries with a fresh write
     /// set, so aborts never count as completions).
     pub txn_aborts: u64,
+    /// Lock-wait re-probes issued by the client coordinators
+    /// (`Workload::TxnMix` only): each is a deferred re-ask of a
+    /// prepare that parked in a shard's lock-wait queue — retries in
+    /// the conflict sense, not the message-loss sense.
+    pub txn_retries: u64,
 }
 
 impl RunReport {
     /// Mean latency in microseconds (convenience for tables).
     pub fn mean_latency_us(&self) -> f64 {
         self.latency.mean() as f64 / 1_000.0
+    }
+
+    /// Median latency in microseconds.
+    pub fn p50_latency_us(&mut self) -> f64 {
+        self.latency.p50() as f64 / 1_000.0
+    }
+
+    /// 99th-percentile latency in microseconds.
+    pub fn p99_latency_us(&mut self) -> f64 {
+        self.latency.p99() as f64 / 1_000.0
+    }
+
+    /// 99.9th-percentile latency in microseconds (`&mut` because the
+    /// percentile queries sort the samples lazily).
+    pub fn p999_latency_us(&mut self) -> f64 {
+        self.latency.p999() as f64 / 1_000.0
     }
 
     /// Batching counters folded over every replica-shard process
@@ -232,6 +295,12 @@ enum WorkItem<M> {
     SendNext,
     /// Client-loop: outstanding-request timeout check.
     RetryCheck { req_id: u64, epoch: u64 },
+    /// Client-loop: a lock-wait re-probe whose transmission the
+    /// conflict-aware scheduler held back one flush window (so the
+    /// current lock holder can finish before the shard is re-asked).
+    /// Unlike [`WorkItem::RetryCheck`] this does not rotate the target
+    /// replica: the fragment is not lost, just parked.
+    TxnDeferred { req_id: u64, epoch: u64 },
     /// Joint-mode local read waiting for the replica's 2PC lock window to
     /// close (§7.5): polls until the copy is readable again.
     LocalReadWait { req_id: u64, key: u64 },
@@ -246,6 +315,11 @@ enum Event<M> {
 
 /// Poll interval while a local/relaxed read waits out a lock window.
 const LOCAL_READ_POLL: Nanos = 2_000;
+
+/// How long the conflict-aware scheduler holds back work aimed at a
+/// contended key: one typical batch-flush window, long enough for the
+/// current lock holder's outcome to commit and release the lock.
+const DEFER_WINDOW: Nanos = 20_000;
 
 /// Heap entry ordered by (time, seq) only.
 struct Scheduled<M> {
@@ -303,6 +377,10 @@ struct ClientState {
     coord: TxnCoordinator,
     /// When the in-flight transaction began (latency measurement).
     txn_started: Option<Nanos>,
+    /// A generated write set held back one flush window by the
+    /// conflict-aware scheduler because it touched a recently-contended
+    /// key; the next `SendNext` submits it unconditionally.
+    pending_writes: Option<Vec<(u64, u64)>>,
 }
 
 /// Builder-configured simulation of one protocol deployment.
@@ -580,6 +658,7 @@ where
                     rng: SimRng::seed_from_u64(self.seed ^ (0x9E37_79B9 + j as u64)),
                     coord: TxnCoordinator::new(node, ShardRouter::new(shard_count)),
                     txn_started: None,
+                    pending_writes: None,
                 }
             })
             .collect();
@@ -647,6 +726,7 @@ where
             server_messages: 0,
             total_messages: 0,
             txn_aborts: 0,
+            txn_retries: 0,
             stopped: false,
             scratch: Vec::new(),
         };
@@ -729,6 +809,8 @@ struct ClusterSim<P: Protocol> {
     total_messages: u64,
     /// Transactions aborted by prepare-phase lock conflicts (TxnMix).
     txn_aborts: u64,
+    /// Lock-wait re-probes deferred by the conflict-aware scheduler.
+    txn_retries: u64,
     stopped: bool,
     /// Reusable effect buffer.
     scratch: Effects<P>,
@@ -943,7 +1025,12 @@ impl<P: Protocol> ClusterSim<P> {
     /// shard groups (clamped to the deployment), one key per group —
     /// the cross-shard fan-out knob of [`Workload::TxnMix`].
     fn gen_txn_writes(&mut self, j: usize) -> Vec<(u64, u64)> {
-        let Workload::TxnMix { fanout, keys } = self.workload else {
+        let Workload::TxnMix {
+            fanout,
+            keys,
+            hot_pct,
+        } = self.workload
+        else {
             unreachable!("txn write sets only exist under TxnMix");
         };
         let shards = self.shards as u16;
@@ -954,7 +1041,10 @@ impl<P: Protocol> ClusterSim<P> {
         let mut writes = Vec::with_capacity(f as usize);
         for i in 0..f {
             let target = ShardId((first_shard + i) % shards);
-            let base = c.rng.below(keys);
+            // The scan maps the sampled base to the next key owned by
+            // the target shard — so hot draws (low bases) land on each
+            // shard's lowest keys and genuinely collide across clients.
+            let base = sample_key(keys, hot_pct, &mut c.rng);
             let key = (0..keys)
                 .map(|d| (base + d) % keys)
                 .find(|&k| router.route_key(k) == target)
@@ -1015,10 +1105,34 @@ impl<P: Protocol> ClusterSim<P> {
     ) -> Nanos {
         let budget = self.requests_per_client;
         let think = self.think;
-        match self.clients[j].coord.on_reply(req_id, value) {
+        let step = self.clients[j].coord.on_reply(req_id, value);
+        // Conflict-aware defer: a Wait/Busy vote queued a fresh-id
+        // re-probe — hold its transmission back one flush window so the
+        // lock holder can finish, instead of hammering the shard.
+        let deferred = self.clients[j].coord.take_deferred();
+        if !deferred.is_empty() {
+            self.txn_retries += deferred.len() as u64;
+            let (proc, epoch) = (self.clients[j].proc, self.clients[j].epoch);
+            for f in deferred {
+                self.push_work(
+                    start + base + DEFER_WINDOW,
+                    proc,
+                    WorkItem::TxnDeferred {
+                        req_id: f.req_id,
+                        epoch,
+                    },
+                );
+            }
+        }
+        match step {
             TxnStep::Pending => base,
             TxnStep::Submit(frags) => base + self.transmit_fragments(j, &frags, start + base),
-            TxnStep::Done(outcome) => {
+            TxnStep::Decided { outcome, submit } => {
+                // Presumed durability: the recorded votes force this
+                // outcome whether or not the coordinator survives to
+                // deliver it, so the client observes completion NOW and
+                // the outcome legs drain in the background — phase 2 of
+                // this transaction overlaps phase 1 of the next.
                 let done = start + base;
                 let c = &mut self.clients[j];
                 c.epoch += 1;
@@ -1040,6 +1154,34 @@ impl<P: Protocol> ClusterSim<P> {
                         self.txn_aborts += 1;
                     }
                 }
+                let service = self.transmit_fragments(j, &submit, done);
+                let (completed, proc) = (self.clients[j].completed, self.clients[j].proc);
+                if completed < budget {
+                    self.push_work(done + service + think, proc, WorkItem::SendNext);
+                }
+                base + service
+            }
+            // Recovery coordinators finish through Done; the live loop
+            // above always decides early, so drain acknowledgements
+            // arrive as Pending.
+            TxnStep::Done(outcome) => {
+                let done = start + base;
+                let c = &mut self.clients[j];
+                c.epoch += 1;
+                let started = c.txn_started.take().unwrap_or(done);
+                match outcome {
+                    TxnOutcome::Committed => {
+                        c.completed += 1;
+                        self.timeline.record(done);
+                        if done >= self.warmup {
+                            self.latency.record(done.saturating_sub(started));
+                            self.completed_in_window += 1;
+                        }
+                    }
+                    TxnOutcome::Aborted => {
+                        self.txn_aborts += 1;
+                    }
+                }
                 let (completed, proc) = (self.clients[j].completed, self.clients[j].proc);
                 if completed < budget {
                     self.push_work(done + think, proc, WorkItem::SendNext);
@@ -1054,11 +1196,30 @@ impl<P: Protocol> ClusterSim<P> {
         let budget = self.requests_per_client;
         let think = self.think;
         if self.workload.is_txn() {
-            let c = &mut self.clients[j];
-            if c.completed >= budget || c.coord.in_flight() {
+            if self.clients[j].completed >= budget || self.clients[j].coord.in_flight() {
                 return 0;
             }
-            let writes = self.gen_txn_writes(j);
+            let writes = if let Some(w) = self.clients[j].pending_writes.take() {
+                // A write set the scheduler already held back once goes
+                // out unconditionally — one window of politeness, not a
+                // livelock.
+                w
+            } else {
+                let w = self.gen_txn_writes(j);
+                if self.clients[j].coord.is_hot(&w) {
+                    // Conflict-aware scheduling: this write set touches
+                    // a key that recently drew a conflict vote. Submit
+                    // it one flush window later so the current holder
+                    // can finish, instead of parking behind it (or
+                    // dying young) at the shard.
+                    let c = &mut self.clients[j];
+                    c.pending_writes = Some(w);
+                    let proc = c.proc;
+                    self.push_work(start + DEFER_WINDOW, proc, WorkItem::SendNext);
+                    return 0;
+                }
+                w
+            };
             let c = &mut self.clients[j];
             c.txn_started = Some(start);
             let frags = c.coord.begin(&writes);
@@ -1353,6 +1514,18 @@ impl<P: Protocol> ClusterSim<P> {
                     service
                 }
             }
+            WorkItem::TxnDeferred { req_id, epoch } => {
+                let Some(j) = self.client_on(proc) else {
+                    return 0;
+                };
+                if self.clients[j].epoch != epoch {
+                    return 0; // the transaction decided meanwhile
+                }
+                let Some(frag) = self.clients[j].coord.fragment(req_id) else {
+                    return 0; // answered meanwhile
+                };
+                self.transmit_fragments(j, &[frag], start)
+            }
             WorkItem::RetryCheck { req_id, epoch } => {
                 let Some(j) = self.client_on(proc) else {
                     return 0;
@@ -1482,6 +1655,7 @@ impl<P: Protocol> ClusterSim<P> {
             replica_digests,
             engine_stats,
             txn_aborts: self.txn_aborts,
+            txn_retries: self.txn_retries,
         }
     }
 }
@@ -1737,6 +1911,7 @@ mod tests {
             .workload(Workload::ReadMix {
                 read_pct: 75,
                 keys: 64,
+                hot_pct: 0,
             })
             .duration(100_000_000)
             .run();
@@ -1760,6 +1935,7 @@ mod tests {
             .workload(Workload::ReadMix {
                 read_pct: 20,
                 keys: 32,
+                hot_pct: 0,
             })
             .requests_per_client(100)
             .run();
@@ -1781,6 +1957,7 @@ mod tests {
                 .workload(Workload::ReadMix {
                     read_pct: 0,
                     keys: 1024,
+                    hot_pct: 0,
                 })
                 .duration(120_000_000)
                 .warmup(20_000_000)
@@ -1805,6 +1982,7 @@ mod tests {
                 .workload(Workload::ReadMix {
                     read_pct: 25,
                     keys: 64,
+                    hot_pct: 0,
                 })
                 .requests_per_client(50)
                 .seed(7)
@@ -1829,6 +2007,7 @@ mod tests {
                 .workload(Workload::ReadMix {
                     read_pct: 0,
                     keys: 1024,
+                    hot_pct: 0,
                 })
                 .duration(120_000_000)
                 .warmup(20_000_000)
@@ -1861,6 +2040,7 @@ mod tests {
         let ordered = run(Workload::ReadMix {
             read_pct: 75,
             keys: 64,
+            hot_pct: 0,
         });
         let relaxed = run(Workload::RelaxedMix {
             read_pct: 75,
@@ -1891,6 +2071,7 @@ mod tests {
             .workload(Workload::TxnMix {
                 fanout: 1,
                 keys: 256,
+                hot_pct: 0,
             })
             .requests_per_client(25)
             .run();
@@ -1909,6 +2090,7 @@ mod tests {
             .workload(Workload::TxnMix {
                 fanout: 2,
                 keys: 1024,
+                hot_pct: 0,
             })
             .requests_per_client(20)
             .run();
@@ -1929,6 +2111,7 @@ mod tests {
                 .workload(Workload::TxnMix {
                     fanout: 2,
                     keys: 512,
+                    hot_pct: 0,
                 })
                 .requests_per_client(15)
                 .seed(11)

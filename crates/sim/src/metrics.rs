@@ -68,6 +68,12 @@ impl LatencyStats {
     pub fn p99(&mut self) -> Nanos {
         self.quantile(0.99)
     }
+
+    /// 99.9th percentile latency (the tail the lock-wait queues and
+    /// retry backoffs show up in first).
+    pub fn p999(&mut self) -> Nanos {
+        self.quantile(0.999)
+    }
 }
 
 /// Commit counts per fixed-width time bucket (Fig 11 plots throughput in

@@ -76,6 +76,7 @@ fn colocated_shards_serialize_while_spread_shards_scale() {
             .workload(manycore_sim::Workload::ReadMix {
                 read_pct: 0,
                 keys: 1024,
+                hot_pct: 0,
             })
             .placement(placement)
             .duration(100_000_000)
@@ -109,6 +110,7 @@ fn relaxed_reads_outscale_linearized_reads() {
         .workload(Workload::ReadMix {
             read_pct: 90,
             keys: 64,
+            hot_pct: 0,
         })
         .duration(100_000_000)
         .warmup(15_000_000)

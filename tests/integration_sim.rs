@@ -48,6 +48,7 @@ fn replica_state_machines_converge() {
     .workload(Workload::ReadMix {
         read_pct: 25,
         keys: 64,
+        hot_pct: 0,
     })
     .requests_per_client(200)
     .run();
@@ -90,6 +91,7 @@ fn sharded_replicas_converge_across_groups_for_every_protocol() {
                 .workload(Workload::ReadMix {
                     read_pct: 20,
                     keys: 256,
+                    hot_pct: 0,
                 })
                 .requests_per_client(100)
                 .run();
@@ -168,6 +170,7 @@ fn deterministic_runs_are_bit_identical() {
         .workload(Workload::ReadMix {
             read_pct: 50,
             keys: 16,
+            hot_pct: 0,
         })
         .requests_per_client(100)
         .seed(seed)

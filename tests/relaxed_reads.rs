@@ -108,8 +108,10 @@ fn relaxed_reads_never_observe_a_partial_cross_shard_write_set() {
     for i in reply_floor..net.replies().len() {
         let r = net.replies()[i];
         if r.client == NodeId(100) {
-            if let TxnStep::Submit(next) = coord.on_reply(r.req_id, r.value) {
-                outcome = next;
+            // The final yes vote forces the commit decision (early
+            // ack) and hands back the outcome fan-out.
+            if let TxnStep::Decided { submit, .. } = coord.on_reply(r.req_id, r.value) {
+                outcome = submit;
             }
         }
     }
