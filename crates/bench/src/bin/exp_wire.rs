@@ -1,0 +1,195 @@
+//! Wire-transport experiment: the same threaded 1Paxos cluster, closed
+//! loop and client count, deployed twice — once over shared-memory
+//! qc-channel queues (`.spawn()`), once over loopback TCP sockets
+//! (`.spawn_tcp()`), where every message crosses the kernel as a
+//! length-prefixed `onepaxos::wire` frame.
+//!
+//! The gap between the two rows is the price of the codec plus the
+//! socket path (syscalls, copies, TCP_NODELAY-sized writes); the §6.1
+//! shared-memory design exists precisely to avoid paying it inside one
+//! machine. Records throughput and the client-observed latency
+//! distribution (p50/p99) per transport in `BENCH_wire.json`; the CI
+//! `wire-smoke` step runs the `--smoke` variant and gates only on both
+//! transports making progress — loopback latency on a shared CI runner
+//! is too noisy for a ratio gate.
+//!
+//! Usage: `exp_wire [--smoke] [--out PATH]`
+
+use std::time::{Duration, Instant};
+
+use consensus_bench::report::{render_json, BenchCli};
+use consensus_bench::table::{ops, us, Table};
+use manycore_sim::metrics::LatencyStats;
+use onepaxos::onepaxos::{Msg, OnePaxosNode, Timing};
+use onepaxos::{ClusterConfig, NodeId};
+use onepaxos_runtime::{ClientHandle, ClusterBuilder, Transport};
+
+/// Replicas in every deployment (the paper's f=1 triple).
+const REPLICAS: usize = 3;
+
+/// Relaxed protocol timers: CI machines oversubscribe their cores, and
+/// the TCP rows add scheduler + syscall latency on top.
+fn timing() -> Timing {
+    Timing {
+        tick: 2_000_000,
+        io_timeout: 400_000_000,
+        suspect_after: 800_000_000,
+    }
+}
+
+fn builder(
+    clients: usize,
+) -> ClusterBuilder<OnePaxosNode, impl FnMut(&[NodeId], NodeId) -> OnePaxosNode> {
+    let t = timing();
+    ClusterBuilder::new(REPLICAS, move |m: &[NodeId], me| {
+        OnePaxosNode::with_timing(ClusterConfig::new(m.to_vec(), me), t)
+    })
+    .clients(clients)
+}
+
+/// One measured deployment: every client runs the closed loop of puts
+/// until the deadline, recording per-op wall latency.
+struct Point {
+    transport: &'static str,
+    committed: u64,
+    throughput: f64,
+    mean_us: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+fn drive<T>(clients: Vec<ClientHandle<Msg, T>>, duration: Duration) -> (u64, f64, LatencyStats)
+where
+    T: Transport<Msg> + 'static,
+{
+    let started = Instant::now();
+    let deadline = started + duration;
+    let workers: Vec<_> = clients
+        .into_iter()
+        .enumerate()
+        .map(|(w, mut c)| {
+            std::thread::spawn(move || {
+                c.set_timeout(Duration::from_secs(5));
+                let mut samples = Vec::new();
+                let mut i = 0u64;
+                while Instant::now() < deadline {
+                    let t0 = Instant::now();
+                    c.put(w as u64 * 1_000 + (i % 128), i).expect("commit");
+                    samples.push(t0.elapsed().as_nanos() as u64);
+                    i += 1;
+                }
+                samples
+            })
+        })
+        .collect();
+    let mut stats = LatencyStats::new();
+    let mut committed = 0u64;
+    for w in workers {
+        let samples = w.join().expect("client thread");
+        committed += samples.len() as u64;
+        for s in samples {
+            stats.record(s);
+        }
+    }
+    let wall = started.elapsed().as_secs_f64();
+    (committed, committed as f64 / wall, stats)
+}
+
+fn point(
+    transport: &'static str,
+    (committed, throughput, mut stats): (u64, f64, LatencyStats),
+) -> Point {
+    Point {
+        transport,
+        committed,
+        throughput,
+        mean_us: stats.mean() as f64 / 1_000.0,
+        p50_us: stats.p50() as f64 / 1_000.0,
+        p99_us: stats.p99() as f64 / 1_000.0,
+    }
+}
+
+fn main() {
+    let cli = BenchCli::parse();
+    let out_path = cli.out_path("BENCH_wire.json");
+    let (clients, duration) = if cli.smoke {
+        (2usize, Duration::from_millis(500))
+    } else {
+        (4usize, Duration::from_secs(3))
+    };
+
+    println!(
+        "Wire transport — 1Paxos replicas={REPLICAS} clients={clients} \
+         duration={}ms{}\n",
+        duration.as_millis(),
+        if cli.smoke { " (smoke)" } else { "" }
+    );
+
+    let (cluster, mem_clients) = builder(clients).spawn();
+    let mem = point("mem", drive(mem_clients, duration));
+    cluster.shutdown();
+
+    let (cluster, tcp_clients) = builder(clients).spawn_tcp().expect("tcp cluster setup");
+    let tcp = point("tcp", drive(tcp_clients, duration));
+    cluster.shutdown();
+
+    let points = [mem, tcp];
+    let mut t = Table::new(&[
+        "transport",
+        "committed",
+        "op/s",
+        "mean µs",
+        "p50 µs",
+        "p99 µs",
+    ]);
+    for p in &points {
+        t.row(&[
+            p.transport.to_string(),
+            p.committed.to_string(),
+            ops(p.throughput),
+            us(p.mean_us),
+            us(p.p50_us),
+            us(p.p99_us),
+        ]);
+    }
+    print!("{}", t.render());
+    println!(
+        "\nshared-memory queues vs loopback sockets: the gap is the codec plus the\n\
+         kernel round trips the paper's in-machine deployment (§6.1) avoids."
+    );
+
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"transport\": \"{}\", \"clients\": {clients}, \"committed\": {}, \
+                 \"throughput_ops\": {:.1}, \"mean_latency_us\": {:.2}, \
+                 \"p50_us\": {:.2}, \"p99_us\": {:.2}}}",
+                p.transport, p.committed, p.throughput, p.mean_us, p.p50_us, p.p99_us,
+            )
+        })
+        .collect();
+    let json = render_json(
+        "wire_transport",
+        "1Paxos",
+        &[
+            ("replicas", REPLICAS.to_string()),
+            ("clients", clients.to_string()),
+            ("duration_ms", duration.as_millis().to_string()),
+        ],
+        cli.smoke,
+        &rows,
+    );
+    std::fs::write(out_path, &json).expect("write bench json");
+    println!("\nwrote {out_path}");
+
+    // The gate: both transports must actually replicate. Everything
+    // subtler than "the sockets work" is too noisy for shared runners.
+    for p in &points {
+        assert!(
+            p.committed > 0 && p.p99_us > 0.0,
+            "{} transport made no progress",
+            p.transport
+        );
+    }
+}

@@ -279,6 +279,72 @@ impl Default for AdaptiveBatch {
     }
 }
 
+/// The deployment knobs shared by every harness — the one config struct
+/// `TestNet::builder`, `SimBuilder` and the runtime `ClusterBuilder` all
+/// accept, so a deployment shape written for one harness moves to
+/// another unchanged.
+///
+/// # Examples
+///
+/// ```
+/// use onepaxos::{BatchConfig, EngineConfig};
+///
+/// let cfg = EngineConfig::new()
+///     .shards(4)
+///     .batching(BatchConfig::new(8, 20_000));
+/// assert_eq!(cfg.shards, 4);
+/// assert!(cfg.batching.is_some());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Independent consensus groups per node, with key-hash routing
+    /// between them (see [`crate::shard`]). Must be at least 1.
+    pub shards: u16,
+    /// Engine-level command batching, `None` for off (see
+    /// [`BatchConfig`]).
+    pub batching: Option<BatchConfig>,
+}
+
+impl EngineConfig {
+    /// The default deployment: one consensus group, batching off.
+    pub fn new() -> Self {
+        EngineConfig {
+            shards: 1,
+            batching: None,
+        }
+    }
+
+    /// Sets the number of shard groups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is zero — every deployment has at least one group.
+    pub fn shards(mut self, s: u16) -> Self {
+        assert!(s >= 1, "a deployment needs at least one shard group");
+        self.shards = s;
+        self
+    }
+
+    /// Enables engine-level command batching with `cfg`.
+    pub fn batching(mut self, cfg: BatchConfig) -> Self {
+        self.batching = Some(cfg);
+        self
+    }
+
+    /// Enables **adaptive** batching (shorthand for
+    /// `batching(BatchConfig::Adaptive(cfg))`).
+    pub fn adaptive_batching(mut self, cfg: AdaptiveBatch) -> Self {
+        self.batching = Some(BatchConfig::Adaptive(cfg));
+        self
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig::new()
+    }
+}
+
 /// What ended a batch's accumulation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum FlushTrigger {

@@ -86,10 +86,12 @@ pub mod testnet;
 pub mod twopc;
 pub mod txn;
 mod types;
+pub mod wire;
 
 pub use config::ClusterConfig;
 pub use engine::{
-    AdaptiveBatch, BatchConfig, EngineEffect, EngineEvent, EngineStats, ReplicaEngine, ReplyMode,
+    AdaptiveBatch, BatchConfig, EngineConfig, EngineEffect, EngineEvent, EngineStats,
+    ReplicaEngine, ReplyMode,
 };
 pub use outbox::{Action, Outbox, Timer};
 pub use protocol::Protocol;

@@ -7,8 +7,8 @@
 //! to model the paper's slow cores. Safety properties must hold under every
 //! schedule this harness can produce; the property tests exploit that.
 //!
-//! Each node is a [`ShardedEngine`] (one shard unless built
-//! [`sharded`](TestNet::sharded)), so `TestNet` itself is only a
+//! Each node is a [`ShardedEngine`] (one shard unless the
+//! [`builder`](TestNet::builder) asked for more), so `TestNet` itself is only a
 //! scheduler over per-link FIFOs of protocol messages: it decides *when*
 //! an [`EngineEffect`] crosses a link, while the engines own all timer,
 //! commit, apply and reply semantics — the same engines the simulator and
@@ -19,7 +19,7 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use crate::engine::{
-    AdaptiveBatch, BatchConfig, EngineEffect, EngineEvent, EngineStats, ReplicaEngine,
+    AdaptiveBatch, BatchConfig, EngineConfig, EngineEffect, EngineEvent, EngineStats, ReplicaEngine,
 };
 use crate::kv::KvStore;
 use crate::protocol::Protocol;
@@ -52,6 +52,61 @@ type Effects<P> = ShardedEffects<<P as Protocol>::Msg, Option<u64>>;
 
 /// One directed link's FIFO: shard-tagged protocol messages.
 type LinkQueue<P> = VecDeque<(ShardId, <P as Protocol>::Msg)>;
+
+/// Configures and builds a [`TestNet`] (see [`TestNet::builder`]): node
+/// count plus the harness-shared [`EngineConfig`].
+#[derive(Debug)]
+#[must_use = "a builder does nothing until build() is called"]
+pub struct TestNetBuilder<P> {
+    nodes: u16,
+    config: EngineConfig,
+    _marker: std::marker::PhantomData<fn() -> P>,
+}
+
+impl<P: Protocol> TestNetBuilder<P> {
+    /// Replaces the whole deployment config at once — the entry point
+    /// for shapes shared with the other harnesses.
+    pub fn config(mut self, cfg: EngineConfig) -> Self {
+        self.config = cfg;
+        self
+    }
+
+    /// Number of independent consensus groups per node with key-hash
+    /// routing (default 1). Client requests route to their owning group;
+    /// per-pair links multiplex all groups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is zero.
+    pub fn shards(mut self, s: u16) -> Self {
+        self.config = self.config.shards(s);
+        self
+    }
+
+    /// Enables engine-level command batching on every node (each shard
+    /// group keeps its own accumulator). Batches flush on size
+    /// immediately; deadline flushes need [`TestNet::advance`] past
+    /// `cfg.max_delay` (the flush deadline is an ordinary engine timer).
+    pub fn batching(mut self, cfg: BatchConfig) -> Self {
+        self.config = self.config.batching(cfg);
+        self
+    }
+
+    /// Enables **adaptive** command batching: the engine grows and
+    /// shrinks its flush depth within `[1, cfg.max_commands]` from
+    /// observed load (see [`BatchConfig::Adaptive`]). Observe the
+    /// learned depth via [`TestNet::engine_stats`].
+    pub fn adaptive_batching(mut self, cfg: AdaptiveBatch) -> Self {
+        self.config = self.config.adaptive_batching(cfg);
+        self
+    }
+
+    /// Builds the net: `make(members, me)` is invoked once per
+    /// `(shard, node)` and every node's `on_start` runs.
+    pub fn build(self, make: impl FnMut(&[NodeId], NodeId) -> P) -> TestNet<P> {
+        TestNet::build_with(self.nodes, self.config.shards, self.config.batching, make)
+    }
+}
 
 /// Deterministic in-process network of protocol nodes.
 ///
@@ -126,57 +181,45 @@ impl<P: Protocol> TestNet<P> {
     pub const PROBE_CLIENT: NodeId = NodeId(0x7F00);
 
     /// Builds `n` nodes with ids `0..n` using `make(members, me)` and runs
-    /// each node's `on_start`.
+    /// each node's `on_start` — the default deployment (one consensus
+    /// group, batching off). Non-default shapes go through
+    /// [`Self::builder`].
     pub fn new(n: u16, make: impl FnMut(&[NodeId], NodeId) -> P) -> Self {
-        Self::build(n, 1, None, make)
+        Self::builder(n).build(make)
     }
 
-    /// Like [`Self::new`], with engine-level command batching enabled on
-    /// every node. Batches flush on size immediately; deadline flushes
-    /// need [`Self::advance`] past `cfg.max_delay` (the flush deadline is
-    /// an ordinary engine timer).
-    pub fn with_batching(
-        n: u16,
-        cfg: BatchConfig,
-        make: impl FnMut(&[NodeId], NodeId) -> P,
-    ) -> Self {
-        Self::build(n, 1, Some(cfg), make)
+    /// Starts a builder for an `n`-node net. Every deployment knob —
+    /// shard groups, batching — arrives through the same
+    /// [`EngineConfig`] the simulator's `SimBuilder` and the runtime's
+    /// `ClusterBuilder` accept, so a deployment shape moves between
+    /// harnesses unchanged.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use onepaxos::testnet::TestNet;
+    /// use onepaxos::twopc::TwoPcNode;
+    /// use onepaxos::{BatchConfig, ClusterConfig, NodeId, Op};
+    ///
+    /// let mut net = TestNet::builder(3)
+    ///     .shards(2)
+    ///     .batching(BatchConfig::new(4, 20_000))
+    ///     .build(|m, me| TwoPcNode::new(ClusterConfig::new(m.to_vec(), me)));
+    /// net.client_request(NodeId(0), NodeId(9), 1, Op::Put { key: 1, value: 7 });
+    /// net.run_to_quiescence();
+    /// net.advance(25_000); // flush the waiting batch
+    /// net.run_to_quiescence();
+    /// assert_eq!(net.kv_get(NodeId(0), 1), Some(7));
+    /// ```
+    pub fn builder(n: u16) -> TestNetBuilder<P> {
+        TestNetBuilder {
+            nodes: n,
+            config: EngineConfig::new(),
+            _marker: std::marker::PhantomData,
+        }
     }
 
-    /// Like [`Self::new`], with **adaptive** command batching on every
-    /// node: the engine grows and shrinks its flush depth within
-    /// `[1, cfg.max_commands]` from observed load (see
-    /// [`BatchConfig::Adaptive`]). Observe the learned depth via
-    /// [`Self::engine_stats`].
-    pub fn with_adaptive_batching(
-        n: u16,
-        cfg: AdaptiveBatch,
-        make: impl FnMut(&[NodeId], NodeId) -> P,
-    ) -> Self {
-        Self::build(n, 1, Some(BatchConfig::Adaptive(cfg)), make)
-    }
-
-    /// Builds `n` nodes each hosting `shards` independent consensus
-    /// groups with key-hash routing (`make` is invoked once per
-    /// `(shard, node)`). Client requests submitted via
-    /// [`Self::client_request`] route to their owning group; per-pair
-    /// links multiplex all groups.
-    pub fn sharded(n: u16, shards: u16, make: impl FnMut(&[NodeId], NodeId) -> P) -> Self {
-        Self::build(n, shards, None, make)
-    }
-
-    /// [`Self::sharded`] with engine-level batching on every shard of
-    /// every node (each shard keeps its own accumulator).
-    pub fn sharded_with_batching(
-        n: u16,
-        shards: u16,
-        cfg: BatchConfig,
-        make: impl FnMut(&[NodeId], NodeId) -> P,
-    ) -> Self {
-        Self::build(n, shards, Some(cfg), make)
-    }
-
-    fn build(
+    fn build_with(
         n: u16,
         shards: u16,
         batching: Option<BatchConfig>,
@@ -881,9 +924,9 @@ mod tests {
     fn sharded_net_partitions_keys_across_independent_groups() {
         use crate::twopc::TwoPcNode;
         use crate::ClusterConfig;
-        let mut net = TestNet::sharded(3, 4, |m, me| {
-            TwoPcNode::new(ClusterConfig::new(m.to_vec(), me))
-        });
+        let mut net = TestNet::builder(3)
+            .shards(4)
+            .build(|m, me| TwoPcNode::new(ClusterConfig::new(m.to_vec(), me)));
         for key in 0..16u64 {
             let shard = net.client_request(
                 NodeId(0),
@@ -927,7 +970,7 @@ mod tests {
         use crate::ClusterConfig;
         let make = |m: &[NodeId], me| TwoPcNode::new(ClusterConfig::new(m.to_vec(), me));
         let mut plain = TestNet::new(3, make);
-        let mut sharded = TestNet::sharded(3, 3, make);
+        let mut sharded = TestNet::builder(3).shards(3).build(make);
         let ops = [(1u64, 10u64), (2, 20), (1, 11), (7, 70), (2, 21)];
         for (i, &(key, value)) in ops.iter().enumerate() {
             let op = Op::Put { key, value };
@@ -950,9 +993,9 @@ mod tests {
     fn adaptive_batched_net_commits_everything_and_learns_a_depth() {
         use crate::twopc::TwoPcNode;
         use crate::ClusterConfig;
-        let mut net = TestNet::with_adaptive_batching(3, AdaptiveBatch::new(8, 1_000), |m, me| {
-            TwoPcNode::new(ClusterConfig::new(m.to_vec(), me))
-        });
+        let mut net = TestNet::builder(3)
+            .adaptive_batching(AdaptiveBatch::new(8, 1_000))
+            .build(|m, me| TwoPcNode::new(ClusterConfig::new(m.to_vec(), me)));
         // A back-to-back burst at one instant: the target node's
         // controller must climb off depth 1 while the backlog knee keeps
         // it honest (nothing is delivered until quiescence).
@@ -987,9 +1030,9 @@ mod tests {
         use crate::twopc::TwoPcNode;
         use crate::txn::{TxnCoordinator, TxnOutcome};
         use crate::ClusterConfig;
-        let mut net = TestNet::sharded(3, 4, |m, me| {
-            TwoPcNode::new(ClusterConfig::new(m.to_vec(), me))
-        });
+        let mut net = TestNet::builder(3)
+            .shards(4)
+            .build(|m, me| TwoPcNode::new(ClusterConfig::new(m.to_vec(), me)));
         let router = ShardRouter::new(4);
         let mut coord = TxnCoordinator::new(NodeId(9), router);
         // Keys spanning two distinct shards.
@@ -1029,9 +1072,10 @@ mod tests {
         use crate::ClusterConfig;
         // Fragments ride the per-shard batch accumulators like any
         // client command; the driver's time advances flush the tails.
-        let mut net = TestNet::sharded_with_batching(3, 2, BatchConfig::new(4, 1_000), |m, me| {
-            TwoPcNode::new(ClusterConfig::new(m.to_vec(), me))
-        });
+        let mut net = TestNet::builder(3)
+            .shards(2)
+            .batching(BatchConfig::new(4, 1_000))
+            .build(|m, me| TwoPcNode::new(ClusterConfig::new(m.to_vec(), me)));
         let router = ShardRouter::new(2);
         let mut coord = TxnCoordinator::new(NodeId(9), router);
         let k0 = 0u64;
@@ -1051,9 +1095,10 @@ mod tests {
     fn sharded_batches_stay_within_their_group() {
         use crate::twopc::TwoPcNode;
         use crate::ClusterConfig;
-        let mut net = TestNet::sharded_with_batching(3, 2, BatchConfig::new(4, 1_000), |m, me| {
-            TwoPcNode::new(ClusterConfig::new(m.to_vec(), me))
-        });
+        let mut net = TestNet::builder(3)
+            .shards(2)
+            .batching(BatchConfig::new(4, 1_000))
+            .build(|m, me| TwoPcNode::new(ClusterConfig::new(m.to_vec(), me)));
         for key in 0..12u64 {
             net.client_request(
                 NodeId(0),

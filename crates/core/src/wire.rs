@@ -1,0 +1,1375 @@
+//! Deterministic, versioned binary wire format for every protocol
+//! message in the tree — the serialization layer that lets the same
+//! replica engines run behind a socket instead of a shared-memory queue.
+//!
+//! The in-process harnesses move messages *by value*: the `TestNet`
+//! clones them across link FIFOs, the simulator passes them through its
+//! event heap, the threaded runtime moves them through qc-channel slots.
+//! None of that survives a process boundary. This module defines the
+//! byte-level contract that does:
+//!
+//! * [`Codec`] — canonical binary encode/decode for a value. Encoding is
+//!   a pure function of the value (no padding, no pointer identity, no
+//!   platform dependence: all integers little-endian, multi-byte counts
+//!   as minimal-length LEB128 varints), so two encodes of equal values
+//!   produce identical bytes and `decode(encode(v)) == v` for every
+//!   value — the round-trip property the codec proptests pin.
+//! * [`DecodeError`] — decoding is **total**: corrupt, truncated or
+//!   trailing bytes produce a typed error, never a panic. A replica
+//!   must survive any byte sequence a broken or malicious peer sends.
+//! * [Framing](self#framing) — a length-prefixed frame header
+//!   ([`FRAME_MAGIC`], [`FRAME_VERSION`], payload length) so a stream
+//!   transport can delimit messages and reject foreign or incompatible
+//!   traffic before touching the payload.
+//!
+//! # Framing
+//!
+//! Every frame on a stream transport is:
+//!
+//! | offset | size | field                                        |
+//! |--------|------|----------------------------------------------|
+//! | 0      | 2    | magic `0xC51D` (little-endian)               |
+//! | 2      | 1    | format version (currently `1`)               |
+//! | 3      | 1    | reserved, must be `0`                        |
+//! | 4      | 4    | payload length in bytes (little-endian u32)  |
+//! | 8      | len  | payload                                      |
+//!
+//! The payload of the runtime's transport frames is a shard-group topic
+//! (`u16`) followed by one encoded `Wire` message; this module only
+//! delimits the payload. [`read_frame`] parses incrementally: it
+//! distinguishes "need more bytes" (`Ok(None)`) from "stream is garbage"
+//! (`Err`), which is what lets a receiver accumulate partial frames in a
+//! reusable buffer.
+//!
+//! # Examples
+//!
+//! ```
+//! use onepaxos::wire::{decode_exact, encode_to_vec, Codec};
+//! use onepaxos::{Command, NodeId, Op};
+//!
+//! let cmd = Command::new(NodeId(9), 7, Op::Put { key: 1, value: 2 });
+//! let bytes = encode_to_vec(&cmd);
+//! assert_eq!(decode_exact::<Command>(&bytes).unwrap(), cmd);
+//! // Truncation is an error, not a panic.
+//! assert!(decode_exact::<Command>(&bytes[..bytes.len() - 1]).is_err());
+//! ```
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::onepaxos::{AbandonRe, Msg as OnePaxosMsg, UtilityEntry, UtilityMsg};
+use crate::types::{Ballot, Command, NodeId, Op, TxnId};
+use crate::{basic_paxos, mencius, multipaxos, twopc};
+
+/// First two bytes of every frame, little-endian. Chosen to be unlikely
+/// as the start of ASCII traffic accidentally pointed at a replica port.
+pub const FRAME_MAGIC: u16 = 0xC51D;
+
+/// Current wire-format version, bumped on any incompatible change to the
+/// encodings below. A receiver refuses other versions outright
+/// ([`DecodeError::BadVersion`]) instead of guessing.
+pub const FRAME_VERSION: u8 = 1;
+
+/// Size of the frame header preceding every payload.
+pub const FRAME_HEADER: usize = 8;
+
+/// Upper bound on a frame payload (16 MiB). Far above any real message
+/// (the largest are batch commands of a few hundred entries), and small
+/// enough that a corrupt length field cannot talk a receiver into a
+/// multi-gigabyte allocation.
+pub const MAX_FRAME: usize = 16 << 20;
+
+// --------------------------------------------------------------------
+// Errors
+// --------------------------------------------------------------------
+
+/// Why a byte sequence failed to decode. Every failure mode of the codec
+/// is represented; none panics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The input ended in the middle of a value.
+    Truncated,
+    /// A frame started with bytes other than [`FRAME_MAGIC`].
+    BadMagic(u16),
+    /// A frame declared a version this build does not speak.
+    BadVersion(u8),
+    /// A frame's reserved byte was non-zero.
+    BadReserved(u8),
+    /// A frame declared a payload larger than [`MAX_FRAME`].
+    FrameTooLarge(u32),
+    /// An enum discriminant no encoder produces. `what` names the type
+    /// being decoded.
+    BadTag {
+        /// The type whose discriminant was invalid.
+        what: &'static str,
+        /// The offending tag byte.
+        tag: u8,
+    },
+    /// A varint ran past its maximum width (a u64 fits in 10 bytes).
+    VarintOverflow,
+    /// The value decoded cleanly but left unconsumed payload bytes —
+    /// a length mismatch between sender and receiver.
+    Trailing(usize),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            DecodeError::Truncated => f.write_str("input truncated mid-value"),
+            DecodeError::BadMagic(m) => write!(f, "bad frame magic {m:#06x}"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            DecodeError::BadReserved(b) => write!(f, "non-zero reserved frame byte {b:#04x}"),
+            DecodeError::FrameTooLarge(n) => {
+                write!(
+                    f,
+                    "frame payload of {n} bytes exceeds the {MAX_FRAME}-byte cap"
+                )
+            }
+            DecodeError::BadTag { what, tag } => write!(f, "invalid {what} tag {tag:#04x}"),
+            DecodeError::VarintOverflow => f.write_str("varint wider than 64 bits"),
+            DecodeError::Trailing(n) => write!(f, "{n} unconsumed payload bytes"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+// --------------------------------------------------------------------
+// Reader
+// --------------------------------------------------------------------
+
+/// A bounds-checked cursor over the bytes being decoded. All reads
+/// return [`DecodeError::Truncated`] instead of slicing out of range.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Starts a reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        let b = *self.buf.get(self.pos).ok_or(DecodeError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Reads a little-endian u16.
+    pub fn u16(&mut self) -> Result<u16, DecodeError> {
+        let end = self.pos.checked_add(2).ok_or(DecodeError::Truncated)?;
+        let bytes = self.buf.get(self.pos..end).ok_or(DecodeError::Truncated)?;
+        self.pos = end;
+        Ok(u16::from_le_bytes([bytes[0], bytes[1]]))
+    }
+
+    /// Reads an LEB128 varint of at most 64 bits.
+    pub fn varint(&mut self) -> Result<u64, DecodeError> {
+        let mut value: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.u8()?;
+            if shift == 63 && byte > 1 {
+                return Err(DecodeError::VarintOverflow);
+            }
+            value |= u64::from(byte & 0x7F) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(DecodeError::VarintOverflow);
+            }
+        }
+    }
+
+    /// Reads a length prefix (varint), bounds-checked against the bytes
+    /// actually remaining so a corrupt length cannot drive a huge
+    /// allocation before the inevitable [`DecodeError::Truncated`].
+    pub fn len_prefix(&mut self) -> Result<usize, DecodeError> {
+        let n = self.varint()?;
+        if n > self.remaining() as u64 {
+            return Err(DecodeError::Truncated);
+        }
+        Ok(n as usize)
+    }
+}
+
+/// Appends `v` as an LEB128 varint.
+pub fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+// --------------------------------------------------------------------
+// Codec trait + base impls
+// --------------------------------------------------------------------
+
+/// Canonical binary encoding of a value.
+///
+/// `encode` appends the value's bytes to `buf`; `decode` consumes exactly
+/// the bytes `encode` produced and reconstructs an equal value. Encoding
+/// is deterministic — equal values yield identical bytes — and decoding
+/// is total: any byte sequence either decodes or returns a
+/// [`DecodeError`].
+pub trait Codec: Sized {
+    /// Appends this value's canonical encoding to `buf`.
+    fn encode(&self, buf: &mut Vec<u8>);
+
+    /// Reads one value from `r`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] on truncated input or bytes no encoder
+    /// produces.
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError>;
+}
+
+/// Encodes `v` into a fresh buffer.
+pub fn encode_to_vec<T: Codec>(v: &T) -> Vec<u8> {
+    let mut buf = Vec::new();
+    v.encode(&mut buf);
+    buf
+}
+
+/// Decodes exactly one value from `bytes`, rejecting leftovers.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on malformed input or unconsumed trailing
+/// bytes.
+pub fn decode_exact<T: Codec>(bytes: &[u8]) -> Result<T, DecodeError> {
+    let mut r = Reader::new(bytes);
+    let v = T::decode(&mut r)?;
+    if !r.is_empty() {
+        return Err(DecodeError::Trailing(r.remaining()));
+    }
+    Ok(v)
+}
+
+impl Codec for u8 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(*self);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        r.u8()
+    }
+}
+
+impl Codec for u16 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.to_le_bytes());
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        r.u16()
+    }
+}
+
+impl Codec for u32 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_varint(buf, u64::from(*self));
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let v = r.varint()?;
+        u32::try_from(v).map_err(|_| DecodeError::VarintOverflow)
+    }
+}
+
+impl Codec for u64 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_varint(buf, *self);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        r.varint()
+    }
+}
+
+impl Codec for bool {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(u8::from(*self));
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(DecodeError::BadTag { what: "bool", tag }),
+        }
+    }
+}
+
+impl<T: Codec> Codec for Option<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            None => buf.push(0),
+            Some(v) => {
+                buf.push(1);
+                v.encode(buf);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            tag => Err(DecodeError::BadTag {
+                what: "Option",
+                tag,
+            }),
+        }
+    }
+}
+
+impl<T: Codec> Codec for Vec<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_varint(buf, self.len() as u64);
+        for item in self {
+            item.encode(buf);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        // Length is bounds-checked against the remaining bytes (every
+        // element costs at least one), so a corrupt count cannot drive a
+        // huge reservation.
+        let n = r.len_prefix()?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Codec> Codec for Arc<[T]> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_varint(buf, self.len() as u64);
+        for item in self.iter() {
+            item.encode(buf);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(Vec::<T>::decode(r)?.into())
+    }
+}
+
+impl<A: Codec, B: Codec> Codec for (A, B) {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+impl<A: Codec, B: Codec, C: Codec> Codec for (A, B, C) {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+        self.2.encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok((A::decode(r)?, B::decode(r)?, C::decode(r)?))
+    }
+}
+
+// --------------------------------------------------------------------
+// Core identifier / command types
+// --------------------------------------------------------------------
+
+impl Codec for NodeId {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(NodeId(r.u16()?))
+    }
+}
+
+impl Codec for Ballot {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.round.encode(buf);
+        self.node.encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(Ballot {
+            round: u32::decode(r)?,
+            node: NodeId::decode(r)?,
+        })
+    }
+}
+
+impl Codec for TxnId {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.coordinator.encode(buf);
+        self.seq.encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(TxnId {
+            coordinator: NodeId::decode(r)?,
+            seq: u64::decode(r)?,
+        })
+    }
+}
+
+/// [`Op`] discriminants on the wire. New variants append; existing tags
+/// never renumber (that is what [`FRAME_VERSION`] is for).
+mod op_tag {
+    pub const NOOP: u8 = 0;
+    pub const PUT: u8 = 1;
+    pub const GET: u8 = 2;
+    pub const BATCH: u8 = 3;
+    pub const MULTI_PUT: u8 = 4;
+    pub const TXN_PREPARE: u8 = 5;
+    pub const TXN_COMMIT: u8 = 6;
+    pub const TXN_ABORT: u8 = 7;
+    pub const TXN_STATUS: u8 = 8;
+}
+
+impl Codec for Op {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Op::Noop => buf.push(op_tag::NOOP),
+            Op::Put { key, value } => {
+                buf.push(op_tag::PUT);
+                key.encode(buf);
+                value.encode(buf);
+            }
+            Op::Get { key } => {
+                buf.push(op_tag::GET);
+                key.encode(buf);
+            }
+            Op::Batch(cmds) => {
+                buf.push(op_tag::BATCH);
+                cmds.encode(buf);
+            }
+            Op::MultiPut { writes } => {
+                buf.push(op_tag::MULTI_PUT);
+                writes.encode(buf);
+            }
+            Op::TxnPrepare { txn, writes } => {
+                buf.push(op_tag::TXN_PREPARE);
+                txn.encode(buf);
+                writes.encode(buf);
+            }
+            Op::TxnCommit { txn, key } => {
+                buf.push(op_tag::TXN_COMMIT);
+                txn.encode(buf);
+                key.encode(buf);
+            }
+            Op::TxnAbort { txn, key } => {
+                buf.push(op_tag::TXN_ABORT);
+                txn.encode(buf);
+                key.encode(buf);
+            }
+            Op::TxnStatus { txn, key } => {
+                buf.push(op_tag::TXN_STATUS);
+                txn.encode(buf);
+                key.encode(buf);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(match r.u8()? {
+            op_tag::NOOP => Op::Noop,
+            op_tag::PUT => Op::Put {
+                key: u64::decode(r)?,
+                value: u64::decode(r)?,
+            },
+            op_tag::GET => Op::Get {
+                key: u64::decode(r)?,
+            },
+            op_tag::BATCH => Op::Batch(Codec::decode(r)?),
+            op_tag::MULTI_PUT => Op::MultiPut {
+                writes: Codec::decode(r)?,
+            },
+            op_tag::TXN_PREPARE => Op::TxnPrepare {
+                txn: TxnId::decode(r)?,
+                writes: Codec::decode(r)?,
+            },
+            op_tag::TXN_COMMIT => Op::TxnCommit {
+                txn: TxnId::decode(r)?,
+                key: u64::decode(r)?,
+            },
+            op_tag::TXN_ABORT => Op::TxnAbort {
+                txn: TxnId::decode(r)?,
+                key: u64::decode(r)?,
+            },
+            op_tag::TXN_STATUS => Op::TxnStatus {
+                txn: TxnId::decode(r)?,
+                key: u64::decode(r)?,
+            },
+            tag => return Err(DecodeError::BadTag { what: "Op", tag }),
+        })
+    }
+}
+
+impl Codec for Command {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.client.encode(buf);
+        self.req_id.encode(buf);
+        self.op.encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(Command {
+            client: NodeId::decode(r)?,
+            req_id: u64::decode(r)?,
+            op: Op::decode(r)?,
+        })
+    }
+}
+
+// --------------------------------------------------------------------
+// 1Paxos messages (incl. the embedded PaxosUtility)
+// --------------------------------------------------------------------
+
+impl Codec for UtilityEntry {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            UtilityEntry::LeaderChange { leader, acceptor } => {
+                buf.push(0);
+                leader.encode(buf);
+                acceptor.encode(buf);
+            }
+            UtilityEntry::AcceptorChange {
+                by,
+                acceptor,
+                uncommitted,
+            } => {
+                buf.push(1);
+                by.encode(buf);
+                acceptor.encode(buf);
+                uncommitted.encode(buf);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(match r.u8()? {
+            0 => UtilityEntry::LeaderChange {
+                leader: NodeId::decode(r)?,
+                acceptor: NodeId::decode(r)?,
+            },
+            1 => UtilityEntry::AcceptorChange {
+                by: NodeId::decode(r)?,
+                acceptor: NodeId::decode(r)?,
+                uncommitted: Vec::decode(r)?,
+            },
+            tag => {
+                return Err(DecodeError::BadTag {
+                    what: "UtilityEntry",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+impl Codec for UtilityMsg {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            UtilityMsg::Prepare { uinst, bal } => {
+                buf.push(0);
+                uinst.encode(buf);
+                bal.encode(buf);
+            }
+            UtilityMsg::Promise {
+                uinst,
+                bal,
+                accepted,
+            } => {
+                buf.push(1);
+                uinst.encode(buf);
+                bal.encode(buf);
+                accepted.encode(buf);
+            }
+            UtilityMsg::PrepareNack { uinst, promised } => {
+                buf.push(2);
+                uinst.encode(buf);
+                promised.encode(buf);
+            }
+            UtilityMsg::Accept { uinst, bal, entry } => {
+                buf.push(3);
+                uinst.encode(buf);
+                bal.encode(buf);
+                entry.encode(buf);
+            }
+            UtilityMsg::AcceptNack { uinst, promised } => {
+                buf.push(4);
+                uinst.encode(buf);
+                promised.encode(buf);
+            }
+            UtilityMsg::Learn { uinst, bal, entry } => {
+                buf.push(5);
+                uinst.encode(buf);
+                bal.encode(buf);
+                entry.encode(buf);
+            }
+            UtilityMsg::Query { qid, have } => {
+                buf.push(6);
+                qid.encode(buf);
+                have.encode(buf);
+            }
+            UtilityMsg::QueryResp { qid, entries } => {
+                buf.push(7);
+                qid.encode(buf);
+                entries.encode(buf);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(match r.u8()? {
+            0 => UtilityMsg::Prepare {
+                uinst: u64::decode(r)?,
+                bal: Ballot::decode(r)?,
+            },
+            1 => UtilityMsg::Promise {
+                uinst: u64::decode(r)?,
+                bal: Ballot::decode(r)?,
+                accepted: Option::decode(r)?,
+            },
+            2 => UtilityMsg::PrepareNack {
+                uinst: u64::decode(r)?,
+                promised: Ballot::decode(r)?,
+            },
+            3 => UtilityMsg::Accept {
+                uinst: u64::decode(r)?,
+                bal: Ballot::decode(r)?,
+                entry: UtilityEntry::decode(r)?,
+            },
+            4 => UtilityMsg::AcceptNack {
+                uinst: u64::decode(r)?,
+                promised: Ballot::decode(r)?,
+            },
+            5 => UtilityMsg::Learn {
+                uinst: u64::decode(r)?,
+                bal: Ballot::decode(r)?,
+                entry: UtilityEntry::decode(r)?,
+            },
+            6 => UtilityMsg::Query {
+                qid: u64::decode(r)?,
+                have: u64::decode(r)?,
+            },
+            7 => UtilityMsg::QueryResp {
+                qid: u64::decode(r)?,
+                entries: Vec::decode(r)?,
+            },
+            tag => {
+                return Err(DecodeError::BadTag {
+                    what: "UtilityMsg",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+impl Codec for AbandonRe {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(match self {
+            AbandonRe::Prepare => 0,
+            AbandonRe::Accept => 1,
+        });
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(match r.u8()? {
+            0 => AbandonRe::Prepare,
+            1 => AbandonRe::Accept,
+            tag => {
+                return Err(DecodeError::BadTag {
+                    what: "AbandonRe",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+impl Codec for OnePaxosMsg {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            OnePaxosMsg::Forward { cmd } => {
+                buf.push(0);
+                cmd.encode(buf);
+            }
+            OnePaxosMsg::PrepareReq { pn, expect_fresh } => {
+                buf.push(1);
+                pn.encode(buf);
+                expect_fresh.encode(buf);
+            }
+            OnePaxosMsg::PrepareResp { pn, accepted } => {
+                buf.push(2);
+                pn.encode(buf);
+                accepted.encode(buf);
+            }
+            OnePaxosMsg::AcceptReq { inst, pn, cmd } => {
+                buf.push(3);
+                inst.encode(buf);
+                pn.encode(buf);
+                cmd.encode(buf);
+            }
+            OnePaxosMsg::Abandon { hpn, fresh, re } => {
+                buf.push(4);
+                hpn.encode(buf);
+                fresh.encode(buf);
+                re.encode(buf);
+            }
+            OnePaxosMsg::Learn { inst, pn, cmd } => {
+                buf.push(5);
+                inst.encode(buf);
+                pn.encode(buf);
+                cmd.encode(buf);
+            }
+            OnePaxosMsg::Utility(u) => {
+                buf.push(6);
+                u.encode(buf);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(match r.u8()? {
+            0 => OnePaxosMsg::Forward {
+                cmd: Command::decode(r)?,
+            },
+            1 => OnePaxosMsg::PrepareReq {
+                pn: Ballot::decode(r)?,
+                expect_fresh: bool::decode(r)?,
+            },
+            2 => OnePaxosMsg::PrepareResp {
+                pn: Ballot::decode(r)?,
+                accepted: Vec::decode(r)?,
+            },
+            3 => OnePaxosMsg::AcceptReq {
+                inst: u64::decode(r)?,
+                pn: Ballot::decode(r)?,
+                cmd: Command::decode(r)?,
+            },
+            4 => OnePaxosMsg::Abandon {
+                hpn: Ballot::decode(r)?,
+                fresh: bool::decode(r)?,
+                re: AbandonRe::decode(r)?,
+            },
+            5 => OnePaxosMsg::Learn {
+                inst: u64::decode(r)?,
+                pn: Ballot::decode(r)?,
+                cmd: Command::decode(r)?,
+            },
+            6 => OnePaxosMsg::Utility(UtilityMsg::decode(r)?),
+            tag => return Err(DecodeError::BadTag { what: "Msg", tag }),
+        })
+    }
+}
+
+// --------------------------------------------------------------------
+// Baseline protocol messages
+// --------------------------------------------------------------------
+
+impl Codec for multipaxos::Msg {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        use multipaxos::Msg;
+        match self {
+            Msg::Forward { cmd } => {
+                buf.push(0);
+                cmd.encode(buf);
+            }
+            Msg::Prepare { bal, from_inst } => {
+                buf.push(1);
+                bal.encode(buf);
+                from_inst.encode(buf);
+            }
+            Msg::Promise { bal, accepted } => {
+                buf.push(2);
+                bal.encode(buf);
+                accepted.encode(buf);
+            }
+            Msg::PrepareNack { promised } => {
+                buf.push(3);
+                promised.encode(buf);
+            }
+            Msg::Accept { bal, inst, cmd } => {
+                buf.push(4);
+                bal.encode(buf);
+                inst.encode(buf);
+                cmd.encode(buf);
+            }
+            Msg::AcceptNack { promised } => {
+                buf.push(5);
+                promised.encode(buf);
+            }
+            Msg::Learn { inst, bal, cmd } => {
+                buf.push(6);
+                inst.encode(buf);
+                bal.encode(buf);
+                cmd.encode(buf);
+            }
+            Msg::Heartbeat { bal } => {
+                buf.push(7);
+                bal.encode(buf);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        use multipaxos::Msg;
+        Ok(match r.u8()? {
+            0 => Msg::Forward {
+                cmd: Command::decode(r)?,
+            },
+            1 => Msg::Prepare {
+                bal: Ballot::decode(r)?,
+                from_inst: u64::decode(r)?,
+            },
+            2 => Msg::Promise {
+                bal: Ballot::decode(r)?,
+                accepted: Vec::decode(r)?,
+            },
+            3 => Msg::PrepareNack {
+                promised: Ballot::decode(r)?,
+            },
+            4 => Msg::Accept {
+                bal: Ballot::decode(r)?,
+                inst: u64::decode(r)?,
+                cmd: Command::decode(r)?,
+            },
+            5 => Msg::AcceptNack {
+                promised: Ballot::decode(r)?,
+            },
+            6 => Msg::Learn {
+                inst: u64::decode(r)?,
+                bal: Ballot::decode(r)?,
+                cmd: Command::decode(r)?,
+            },
+            7 => Msg::Heartbeat {
+                bal: Ballot::decode(r)?,
+            },
+            tag => {
+                return Err(DecodeError::BadTag {
+                    what: "multipaxos::Msg",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+impl Codec for twopc::Msg {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        use twopc::Msg;
+        match self {
+            Msg::Forward { cmd } => {
+                buf.push(0);
+                cmd.encode(buf);
+            }
+            Msg::Prepare { round, cmd } => {
+                buf.push(1);
+                round.encode(buf);
+                cmd.encode(buf);
+            }
+            Msg::Ack { round } => {
+                buf.push(2);
+                round.encode(buf);
+            }
+            Msg::Nack { round } => {
+                buf.push(3);
+                round.encode(buf);
+            }
+            Msg::Commit { round, cmd } => {
+                buf.push(4);
+                round.encode(buf);
+                cmd.encode(buf);
+            }
+            Msg::CommitAck { round } => {
+                buf.push(5);
+                round.encode(buf);
+            }
+            Msg::Rollback { round } => {
+                buf.push(6);
+                round.encode(buf);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        use twopc::Msg;
+        Ok(match r.u8()? {
+            0 => Msg::Forward {
+                cmd: Command::decode(r)?,
+            },
+            1 => Msg::Prepare {
+                round: u64::decode(r)?,
+                cmd: Command::decode(r)?,
+            },
+            2 => Msg::Ack {
+                round: u64::decode(r)?,
+            },
+            3 => Msg::Nack {
+                round: u64::decode(r)?,
+            },
+            4 => Msg::Commit {
+                round: u64::decode(r)?,
+                cmd: Command::decode(r)?,
+            },
+            5 => Msg::CommitAck {
+                round: u64::decode(r)?,
+            },
+            6 => Msg::Rollback {
+                round: u64::decode(r)?,
+            },
+            tag => {
+                return Err(DecodeError::BadTag {
+                    what: "twopc::Msg",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+impl Codec for mencius::Msg {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        use mencius::Msg;
+        match self {
+            Msg::Accept { inst, cmd } => {
+                buf.push(0);
+                inst.encode(buf);
+                cmd.encode(buf);
+            }
+            Msg::Learn { inst, cmd } => {
+                buf.push(1);
+                inst.encode(buf);
+                cmd.encode(buf);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        use mencius::Msg;
+        Ok(match r.u8()? {
+            0 => Msg::Accept {
+                inst: u64::decode(r)?,
+                cmd: Command::decode(r)?,
+            },
+            1 => Msg::Learn {
+                inst: u64::decode(r)?,
+                cmd: Command::decode(r)?,
+            },
+            tag => {
+                return Err(DecodeError::BadTag {
+                    what: "mencius::Msg",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+impl Codec for basic_paxos::Msg {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        use basic_paxos::Msg;
+        match self {
+            Msg::Forward { cmd } => {
+                buf.push(0);
+                cmd.encode(buf);
+            }
+            Msg::Prepare { inst, bal } => {
+                buf.push(1);
+                inst.encode(buf);
+                bal.encode(buf);
+            }
+            Msg::Promise {
+                inst,
+                bal,
+                accepted,
+            } => {
+                buf.push(2);
+                inst.encode(buf);
+                bal.encode(buf);
+                accepted.encode(buf);
+            }
+            Msg::PrepareNack { inst, promised } => {
+                buf.push(3);
+                inst.encode(buf);
+                promised.encode(buf);
+            }
+            Msg::Accept { inst, bal, cmd } => {
+                buf.push(4);
+                inst.encode(buf);
+                bal.encode(buf);
+                cmd.encode(buf);
+            }
+            Msg::AcceptNack { inst, promised } => {
+                buf.push(5);
+                inst.encode(buf);
+                promised.encode(buf);
+            }
+            Msg::Learn { inst, bal, cmd } => {
+                buf.push(6);
+                inst.encode(buf);
+                bal.encode(buf);
+                cmd.encode(buf);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        use basic_paxos::Msg;
+        Ok(match r.u8()? {
+            0 => Msg::Forward {
+                cmd: Command::decode(r)?,
+            },
+            1 => Msg::Prepare {
+                inst: u64::decode(r)?,
+                bal: Ballot::decode(r)?,
+            },
+            2 => Msg::Promise {
+                inst: u64::decode(r)?,
+                bal: Ballot::decode(r)?,
+                accepted: Option::decode(r)?,
+            },
+            3 => Msg::PrepareNack {
+                inst: u64::decode(r)?,
+                promised: Ballot::decode(r)?,
+            },
+            4 => Msg::Accept {
+                inst: u64::decode(r)?,
+                bal: Ballot::decode(r)?,
+                cmd: Command::decode(r)?,
+            },
+            5 => Msg::AcceptNack {
+                inst: u64::decode(r)?,
+                promised: Ballot::decode(r)?,
+            },
+            6 => Msg::Learn {
+                inst: u64::decode(r)?,
+                bal: Ballot::decode(r)?,
+                cmd: Command::decode(r)?,
+            },
+            tag => {
+                return Err(DecodeError::BadTag {
+                    what: "basic_paxos::Msg",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+// --------------------------------------------------------------------
+// Framing
+// --------------------------------------------------------------------
+
+/// Appends one complete frame — header plus `payload` — to `out`.
+///
+/// # Panics
+///
+/// Panics if `payload` exceeds [`MAX_FRAME`]; no message in the tree
+/// comes within orders of magnitude of the cap, so an oversized payload
+/// is a logic error at the call site, not a runtime condition.
+pub fn write_frame(out: &mut Vec<u8>, payload: &[u8]) {
+    assert!(
+        payload.len() <= MAX_FRAME,
+        "frame payload of {} bytes exceeds MAX_FRAME",
+        payload.len()
+    );
+    out.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+    out.push(FRAME_VERSION);
+    out.push(0); // reserved
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Encodes `msg` directly into `out` as one frame, patching the length
+/// field after the payload is written — the zero-copy path transports
+/// use (no intermediate payload buffer).
+pub fn write_frame_with(out: &mut Vec<u8>, write_payload: impl FnOnce(&mut Vec<u8>)) {
+    out.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+    out.push(FRAME_VERSION);
+    out.push(0); // reserved
+    let len_at = out.len();
+    out.extend_from_slice(&[0; 4]);
+    write_payload(out);
+    let len = out.len() - len_at - 4;
+    assert!(
+        len <= MAX_FRAME,
+        "frame payload of {len} bytes exceeds MAX_FRAME"
+    );
+    out[len_at..len_at + 4].copy_from_slice(&(len as u32).to_le_bytes());
+}
+
+/// Attempts to parse one frame from the start of `buf`.
+///
+/// Returns `Ok(None)` when `buf` holds only a partial frame (read more
+/// bytes and retry), or `Ok(Some((payload, consumed)))` where `consumed`
+/// covers the header and payload.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] when the bytes can never become a valid
+/// frame: wrong magic, unsupported version, non-zero reserved byte, or a
+/// length above [`MAX_FRAME`]. A stream receiver should drop the
+/// connection — there is no way to resynchronise a corrupt framed
+/// stream.
+pub fn read_frame(buf: &[u8]) -> Result<Option<(&[u8], usize)>, DecodeError> {
+    if buf.len() < FRAME_HEADER {
+        return Ok(None);
+    }
+    let magic = u16::from_le_bytes([buf[0], buf[1]]);
+    if magic != FRAME_MAGIC {
+        return Err(DecodeError::BadMagic(magic));
+    }
+    if buf[2] != FRAME_VERSION {
+        return Err(DecodeError::BadVersion(buf[2]));
+    }
+    if buf[3] != 0 {
+        return Err(DecodeError::BadReserved(buf[3]));
+    }
+    let len = u32::from_le_bytes([buf[4], buf[5], buf[6], buf[7]]);
+    if len as usize > MAX_FRAME {
+        return Err(DecodeError::FrameTooLarge(len));
+    }
+    let total = FRAME_HEADER + len as usize;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    Ok(Some((&buf[FRAME_HEADER..total], total)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Codec + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = encode_to_vec(&v);
+        assert_eq!(decode_exact::<T>(&bytes).unwrap(), v, "bytes {bytes:?}");
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        for v in [0u64, 1, 127, 128, 300, u64::MAX] {
+            round_trip(v);
+        }
+        round_trip(NodeId(0xFFFF));
+        round_trip(Ballot::new(u32::MAX, NodeId(3)));
+        round_trip(TxnId::new(NodeId(9), u64::MAX));
+        round_trip(Some(42u64));
+        round_trip(Option::<u64>::None);
+        round_trip(vec![1u64, 2, 3]);
+        round_trip(true);
+        round_trip(false);
+    }
+
+    #[test]
+    fn varint_is_minimal_and_compact() {
+        // Values below 128 take one byte — the common case (small keys,
+        // request ids, instances) stays compact on the wire.
+        assert_eq!(encode_to_vec(&5u64).len(), 1);
+        assert_eq!(encode_to_vec(&127u64).len(), 1);
+        assert_eq!(encode_to_vec(&128u64).len(), 2);
+        assert_eq!(encode_to_vec(&u64::MAX).len(), 10);
+    }
+
+    #[test]
+    fn every_op_variant_round_trips() {
+        let ops = [
+            Op::Noop,
+            Op::Put { key: 1, value: 2 },
+            Op::Get { key: u64::MAX },
+            Op::Batch(
+                vec![
+                    Command::noop(NodeId(3), 1),
+                    Command::new(NodeId(4), 9, Op::Put { key: 8, value: 9 }),
+                ]
+                .into(),
+            ),
+            Op::MultiPut {
+                writes: vec![(1, 2), (3, 4)].into(),
+            },
+            Op::TxnPrepare {
+                txn: TxnId::new(NodeId(7), 3),
+                writes: vec![(5, 6)].into(),
+            },
+            Op::TxnCommit {
+                txn: TxnId::new(NodeId(7), 3),
+                key: 5,
+            },
+            Op::TxnAbort {
+                txn: TxnId::new(NodeId(7), 4),
+                key: 6,
+            },
+            Op::TxnStatus {
+                txn: TxnId::new(NodeId(7), 5),
+                key: 7,
+            },
+        ];
+        for op in ops {
+            round_trip(op);
+        }
+    }
+
+    #[test]
+    fn onepaxos_messages_round_trip() {
+        let msgs = [
+            OnePaxosMsg::Forward {
+                cmd: Command::noop(NodeId(9), 1),
+            },
+            OnePaxosMsg::PrepareReq {
+                pn: Ballot::new(3, NodeId(1)),
+                expect_fresh: true,
+            },
+            OnePaxosMsg::PrepareResp {
+                pn: Ballot::new(3, NodeId(1)),
+                accepted: vec![(7, Ballot::new(2, NodeId(0)), Command::noop(NodeId(8), 2))],
+            },
+            OnePaxosMsg::AcceptReq {
+                inst: 12,
+                pn: Ballot::new(3, NodeId(1)),
+                cmd: Command::new(NodeId(8), 3, Op::Put { key: 1, value: 2 }),
+            },
+            OnePaxosMsg::Abandon {
+                hpn: Ballot::new(9, NodeId(2)),
+                fresh: false,
+                re: AbandonRe::Accept,
+            },
+            OnePaxosMsg::Learn {
+                inst: 12,
+                pn: Ballot::new(3, NodeId(1)),
+                cmd: Command::noop(NodeId(8), 3),
+            },
+            OnePaxosMsg::Utility(UtilityMsg::QueryResp {
+                qid: 77,
+                entries: vec![(
+                    1,
+                    UtilityEntry::AcceptorChange {
+                        by: NodeId(0),
+                        acceptor: NodeId(2),
+                        uncommitted: vec![(3, Command::noop(NodeId(9), 1))],
+                    },
+                )],
+            }),
+        ];
+        for m in msgs {
+            round_trip(m);
+        }
+    }
+
+    #[test]
+    fn truncation_errors_cleanly_at_every_length() {
+        let msg = OnePaxosMsg::AcceptReq {
+            inst: 300,
+            pn: Ballot::new(2, NodeId(1)),
+            cmd: Command::new(
+                NodeId(8),
+                3,
+                Op::Batch(vec![Command::noop(NodeId(9), 500)].into()),
+            ),
+        };
+        let bytes = encode_to_vec(&msg);
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_exact::<OnePaxosMsg>(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = encode_to_vec(&Op::Noop);
+        bytes.push(0xAB);
+        assert_eq!(decode_exact::<Op>(&bytes), Err(DecodeError::Trailing(1)));
+    }
+
+    #[test]
+    fn frame_round_trip_and_partials() {
+        let mut out = Vec::new();
+        write_frame(&mut out, b"hello");
+        // Partial header, partial payload: need more bytes, not an error.
+        for cut in 0..out.len() {
+            assert_eq!(read_frame(&out[..cut]).unwrap(), None, "cut {cut}");
+        }
+        let (payload, consumed) = read_frame(&out).unwrap().unwrap();
+        assert_eq!(payload, b"hello");
+        assert_eq!(consumed, out.len());
+        // Two frames back to back parse one at a time.
+        write_frame(&mut out, b"world");
+        let (p1, c1) = read_frame(&out).unwrap().unwrap();
+        assert_eq!(p1, b"hello");
+        let (p2, c2) = read_frame(&out[c1..]).unwrap().unwrap();
+        assert_eq!(p2, b"world");
+        assert_eq!(c1 + c2, out.len());
+    }
+
+    #[test]
+    fn frame_rejects_foreign_traffic() {
+        assert_eq!(
+            read_frame(b"GET / HTTP/1.1\r\n"),
+            Err(DecodeError::BadMagic(u16::from_le_bytes([b'G', b'E'])))
+        );
+        let mut bad_version = Vec::new();
+        write_frame(&mut bad_version, b"x");
+        bad_version[2] = 99;
+        assert_eq!(read_frame(&bad_version), Err(DecodeError::BadVersion(99)));
+        let mut bad_reserved = Vec::new();
+        write_frame(&mut bad_reserved, b"x");
+        bad_reserved[3] = 1;
+        assert_eq!(read_frame(&bad_reserved), Err(DecodeError::BadReserved(1)));
+        let mut huge = Vec::new();
+        write_frame(&mut huge, b"x");
+        huge[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(read_frame(&huge), Err(DecodeError::FrameTooLarge(u32::MAX)));
+    }
+
+    #[test]
+    fn write_frame_with_patches_length_in_place() {
+        let mut out = Vec::new();
+        write_frame_with(&mut out, |buf| {
+            Command::noop(NodeId(1), 2).encode(buf);
+        });
+        let (payload, consumed) = read_frame(&out).unwrap().unwrap();
+        assert_eq!(consumed, out.len());
+        assert_eq!(
+            decode_exact::<Command>(payload).unwrap(),
+            Command::noop(NodeId(1), 2)
+        );
+    }
+
+    #[test]
+    fn corrupt_length_cannot_over_allocate() {
+        // A Vec length prefix claiming more elements than bytes remain
+        // must fail before allocating.
+        let mut bytes = Vec::new();
+        put_varint(&mut bytes, u64::MAX);
+        assert_eq!(
+            decode_exact::<Vec<u64>>(&bytes),
+            Err(DecodeError::Truncated)
+        );
+    }
+
+    #[test]
+    fn decode_error_display_is_informative() {
+        let e: Box<dyn std::error::Error> = Box::new(DecodeError::BadVersion(9));
+        assert!(e.to_string().contains("version 9"));
+        assert!(DecodeError::BadTag {
+            what: "Op",
+            tag: 0xFF
+        }
+        .to_string()
+        .contains("Op"));
+    }
+}

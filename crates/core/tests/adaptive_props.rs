@@ -39,12 +39,10 @@ proptest! {
         shards in 1u16..4,
     ) {
         const DELAY: u64 = 1_000;
-        let mut net = TestNet::sharded_with_batching(
-            3,
-            shards,
-            onepaxos::BatchConfig::adaptive(AdaptiveBatch::new(cap, DELAY)),
-            make,
-        );
+        let mut net = TestNet::builder(3)
+            .shards(shards)
+            .batching(onepaxos::BatchConfig::adaptive(AdaptiveBatch::new(cap, DELAY)))
+            .build(make);
         let mut req = 0u64;
         for &(target, burst, advance, settle) in &steps {
             for b in 0..burst {
@@ -96,7 +94,7 @@ proptest! {
         cfg.idle_after = u64::MAX; // rounds must never read as idle
         // A single-node group decides every agreement synchronously, so
         // the only dynamics left are the controller's.
-        let mut net = TestNet::with_adaptive_batching(1, cfg, make);
+        let mut net = TestNet::builder(1).adaptive_batching(cfg).build(make);
         let mut depths = Vec::new();
         for round in 0..30u64 {
             for c in 0..burst {
@@ -135,8 +133,9 @@ proptest! {
     ) {
         const DELAY: u64 = 1_000;
         let mut plain = TestNet::new(3, make);
-        let mut adaptive =
-            TestNet::with_adaptive_batching(3, AdaptiveBatch::new(cap, DELAY), make);
+        let mut adaptive = TestNet::builder(3)
+            .adaptive_batching(AdaptiveBatch::new(cap, DELAY))
+            .build(make);
         for (i, &(client, key, value, is_put)) in seq.iter().enumerate() {
             let op = if is_put {
                 Op::Put { key, value }

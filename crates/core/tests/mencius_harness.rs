@@ -15,9 +15,9 @@ fn net(n: u16) -> TestNet<MenciusNode> {
 }
 
 fn batched_net(n: u16, cfg: BatchConfig) -> TestNet<MenciusNode> {
-    TestNet::with_batching(n, cfg, |m, me| {
-        MenciusNode::new(ClusterConfig::new(m.to_vec(), me))
-    })
+    TestNet::builder(n)
+        .batching(cfg)
+        .build(|m, me| MenciusNode::new(ClusterConfig::new(m.to_vec(), me)))
 }
 
 #[test]
@@ -227,9 +227,9 @@ fn mencius_batched_multi_leader_agreement_matches_unbatched_state() {
 
 #[test]
 fn onepaxos_batched_agreement_including_the_forwarding_path() {
-    let mut net = TestNet::with_batching(3, BatchConfig::new(3, 400_000), |m, me| {
-        OnePaxosNode::new(ClusterConfig::new(m.to_vec(), me))
-    });
+    let mut net = TestNet::builder(3)
+        .batching(BatchConfig::new(3, 400_000))
+        .build(|m, me| OnePaxosNode::new(ClusterConfig::new(m.to_vec(), me)));
     net.run_to_quiescence(); // initial leader adoption
                              // Three requests land on the leader (full batch, size flush), two on
                              // a follower (deadline flush, forwarded to the leader as one batch).
@@ -267,9 +267,9 @@ fn rebooted_node_batches_again_under_fresh_identities() {
     // batch sequence must land in a fresh epoch: recycling a decided
     // (batch_source, seq) identity would make surviving peers drop the
     // new batch as an already-decided duplicate, stranding its clients.
-    let mut net = TestNet::with_batching(3, BatchConfig::new(2, 400_000), |m, me| {
-        OnePaxosNode::new(ClusterConfig::new(m.to_vec(), me))
-    });
+    let mut net = TestNet::builder(3)
+        .batching(BatchConfig::new(2, 400_000))
+        .build(|m, me| OnePaxosNode::new(ClusterConfig::new(m.to_vec(), me)));
     net.run_to_quiescence(); // leader adoption
     net.client_request(NodeId(1), NodeId(100), 1, Op::Put { key: 1, value: 1 });
     net.client_request(NodeId(1), NodeId(101), 1, Op::Put { key: 2, value: 1 });

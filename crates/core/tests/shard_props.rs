@@ -74,7 +74,7 @@ proptest! {
     ) {
         let make = |m: &[NodeId], me: NodeId| TwoPcNode::new(ClusterConfig::new(m.to_vec(), me));
         let mut plain = TestNet::new(nodes, make);
-        let mut sharded = TestNet::sharded(nodes, shards, make);
+        let mut sharded = TestNet::builder(nodes).shards(shards).build(make);
         for (i, &(client, key, value, is_put)) in seq.iter().enumerate() {
             let op = if is_put {
                 Op::Put { key, value }
@@ -130,7 +130,7 @@ proptest! {
         shards in 2u16..6,
     ) {
         let make = |m: &[NodeId], me: NodeId| TwoPcNode::new(ClusterConfig::new(m.to_vec(), me));
-        let mut net = TestNet::sharded(3, shards, make);
+        let mut net = TestNet::builder(3).shards(shards).build(make);
         for (i, &(client, key, value, _)) in seq.iter().enumerate() {
             net.client_request(
                 NodeId(0),

@@ -33,7 +33,9 @@ fn coordinator_crash_after_partial_prepare_recovers_to_abort() {
     // the touched shards: the prepared shard holds locks (its replicas
     // refuse relaxed reads of the staged keys), and recovery must abort
     // — the missing vote proves no commit was ever sent.
-    let mut net = TestNet::sharded(3, 4, |m, me| TwoPcNode::new(cfg(m, me)));
+    let mut net = TestNet::builder(3)
+        .shards(4)
+        .build(|m, me| TwoPcNode::new(cfg(m, me)));
     let (k0, k1, router) = cross_shard_keys(4);
     let mut doomed = TxnCoordinator::new(NodeId(150), router);
     let frags = doomed.begin(&[(k0, 10), (k1, 20)]);
@@ -105,7 +107,9 @@ fn coordinator_crash_after_full_prepare_recovers_to_commit() {
     // Every shard voted yes before the coordinator died: the unanimous
     // votes are in the logs, so recovery commits — the dead coordinator
     // could only ever have decided commit.
-    let mut net = TestNet::sharded(3, 4, |m, me| TwoPcNode::new(cfg(m, me)));
+    let mut net = TestNet::builder(3)
+        .shards(4)
+        .build(|m, me| TwoPcNode::new(cfg(m, me)));
     let (k0, k1, router) = cross_shard_keys(4);
     let mut doomed = TxnCoordinator::new(NodeId(150), router);
     let frags = doomed.begin(&[(k0, 10), (k1, 20)]);
@@ -145,7 +149,9 @@ fn recovery_status_must_be_read_through_the_log_not_a_lagging_replica() {
     // shards whose sibling already applied its fragment, breaking
     // atomicity. The agreed probe is ordered through each shard's log,
     // so it cannot under-report no matter which replica lags.
-    let mut net = TestNet::sharded(3, 2, |m, me| OnePaxosNode::new(cfg(m, me)));
+    let mut net = TestNet::builder(3)
+        .shards(2)
+        .build(|m, me| OnePaxosNode::new(cfg(m, me)));
     net.run_to_quiescence(); // leader adoption in both groups
     let (k0, k1, router) = cross_shard_keys(2);
     net.block(NodeId(2)); // the slow core misses everything from here on
@@ -190,7 +196,9 @@ fn coordinator_crash_while_parked_leaves_no_zombie_waiter() {
     // while parked must be cleaned up by ordinary recovery: the parked
     // shard reports Unknown, the recovery abort purges the queue entry,
     // and the dead transaction can never be granted the lock later.
-    let mut net = TestNet::sharded(3, 4, |m, me| TwoPcNode::new(cfg(m, me)));
+    let mut net = TestNet::builder(3)
+        .shards(4)
+        .build(|m, me| TwoPcNode::new(cfg(m, me)));
     let (k0, k1, router) = cross_shard_keys(4);
     // The HOLDER: a younger coordinator (higher TxnId) whose prepare
     // lands on k0's shard only, taking the lock — then it dies.
@@ -284,7 +292,9 @@ fn participant_replica_crash_mid_prepare_cannot_lose_the_vote() {
     // prepare and outcome loses nothing — the surviving quorum carries
     // both the vote and the outcome. (In plain 2PC, per §2.2, this
     // crash would block every update forever.)
-    let mut net = TestNet::sharded(3, 2, |m, me| OnePaxosNode::new(cfg(m, me)));
+    let mut net = TestNet::builder(3)
+        .shards(2)
+        .build(|m, me| OnePaxosNode::new(cfg(m, me)));
     net.run_to_quiescence(); // leader adoption in both groups
     let (k0, k1, router) = cross_shard_keys(2);
     let mut coord = TxnCoordinator::new(NodeId(100), router);

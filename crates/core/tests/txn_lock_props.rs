@@ -121,7 +121,7 @@ proptest! {
         ),
         shards in 2u16..5,
     ) {
-        let mut net = TestNet::sharded(3, shards, make);
+        let mut net = TestNet::builder(3).shards(shards).build(make);
         let router = ShardRouter::new(shards);
         // Unique values everywhere: value = 100*driver + key slot, so
         // any byte of an aborted transaction surviving in the store is
@@ -215,7 +215,7 @@ proptest! {
         hot in 0u64..1,
     ) {
         let shards = 4u16;
-        let mut net = TestNet::sharded(3, shards, make);
+        let mut net = TestNet::builder(3).shards(shards).build(make);
         let router = ShardRouter::new(shards);
         let mut drivers: Vec<Driver> = Vec::new();
         let mut writes_of: Vec<Vec<(u64, u64)>> = Vec::new();

@@ -58,7 +58,7 @@ proptest! {
         schedule in steps(10),
         shards in 2u16..5,
     ) {
-        let mut net = TestNet::sharded(3, shards, make);
+        let mut net = TestNet::builder(3).shards(shards).build(make);
         let router = ShardRouter::new(shards);
         // Serial reference: plain puts and committed transactions apply,
         // aborted transactions never happened.
@@ -195,7 +195,7 @@ proptest! {
         // live transaction overlapping those keys must abort without
         // leaving any fragment, and succeed once recovery releases the
         // locks — lock conflicts compose with all-or-nothing.
-        let mut net = TestNet::sharded(3, shards, make);
+        let mut net = TestNet::builder(3).shards(shards).build(make);
         let router = ShardRouter::new(shards);
         // Two keys on distinct shards, the first derived from seed_key.
         let k0 = seed_key;

@@ -1,39 +1,50 @@
-//! Threaded deployment: one OS thread per replica, qc-channel queues
-//! between every pair of processes, optional core pinning — the runtime
-//! equivalent of the paper's testbed (§6, §7.1), where replicas were
-//! assigned to cores with `taskset`.
+//! Threaded deployment: one OS thread per replica, a pluggable
+//! [`Transport`] between every pair of processes, optional core pinning
+//! — the runtime equivalent of the paper's testbed (§6, §7.1), where
+//! replicas were assigned to cores with `taskset`.
 //!
 //! A replica thread owns a [`ShardedEngine`] (one consensus group unless
 //! [`ClusterBuilder::shards`] raises it) and does nothing but IO: poll
-//! the qc-channel mailbox, feed events to the engines, push
-//! [`EngineEffect`]s back onto the wire (with overflow backlogs so a full
-//! 7-slot queue never blocks the loop). Timers, commits, replies and the
-//! state machines all live in the engines — the same engines the
-//! simulator and `TestNet` deploy.
+//! its transport, feed events to the engines, push [`EngineEffect`]s
+//! back onto the wire (transports buffer instead of blocking, so a busy
+//! link never wedges the loop). Timers, commits, replies and the state
+//! machines all live in the engines — the same engines the simulator and
+//! `TestNet` deploy.
+//!
+//! The transport is chosen at spawn time and nothing else changes:
+//! [`ClusterBuilder::spawn`] wires the processes over qc-channel shared
+//! memory ([`MemTransport`], §6.1's pairwise SPSC queues), while
+//! [`ClusterBuilder::spawn_tcp`] puts the identical loop on loopback TCP
+//! sockets ([`TcpTransport`]) with every message in the
+//! `onepaxos::wire` framed binary format.
 //!
 //! Sharding keeps **one OS thread per core**: each replica thread hosts
 //! every shard group's member for its slot, and each group gets its own
-//! qc-channel *topic* — a dedicated SPSC queue per direction per pair —
-//! so group traffic never interleaves inside a queue and the per-shard
-//! FIFO order matches the other harnesses. Clients route their requests
-//! by key hash ([`ShardRouter`]) with a per-shard target replica, so
+//! transport *topic* — a dedicated SPSC queue per direction per pair in
+//! shared memory, a tag inside the frame on TCP — so per-shard FIFO
+//! order matches the other harnesses. Clients route their requests by
+//! key hash ([`ShardRouter`]) with a per-shard target replica, so
 //! callers of [`ClientHandle::put`]/[`ClientHandle::get`] stay
 //! shard-oblivious.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use onepaxos::engine::{BatchConfig, EngineEffect, EngineStats, ReplicaEngine, ReplyMode};
+use onepaxos::engine::{
+    BatchConfig, EngineConfig, EngineEffect, EngineStats, ReplicaEngine, ReplyMode,
+};
 use onepaxos::kv::KvStore;
 use onepaxos::shard::{ShardId, ShardRouter, ShardedEffects, ShardedEngine};
 use onepaxos::txn::{Fragment, TxnCoordinator, TxnStep};
+use onepaxos::wire::Codec;
 use onepaxos::{EngineEvent, Nanos, NodeId, Op, Protocol, TxnOutcome};
-use qc_channel::{spsc, Mailbox, Receiver, Sender};
+use qc_channel::{spsc, Receiver, Sender};
 
 use crate::affinity;
+use crate::transport::{self, MemTransport, Peer, TcpTransport, Transport};
 use crate::wire::Wire;
 
 /// Queue slots per direction between each pair of processes; the paper's
@@ -41,15 +52,13 @@ use crate::wire::Wire;
 /// queues cannot deadlock the node loops.
 pub const QUEUE_SLOTS: usize = qc_channel::DEFAULT_SLOTS;
 
-/// The qc-channel topic carrying client↔replica traffic (client links
+/// The transport topic carrying client↔replica traffic (client links
 /// need no per-shard split: requests are routed by the replica engines,
 /// replies carry no shard identity).
 const CLIENT_TOPIC: u16 = 0;
 
-/// A peer address on the wire: who, on which shard-group topic.
-type Peer = (NodeId, u16);
-
-/// The receive sides a process polls: one queue per peer per topic.
+/// The receive sides of one shared-memory process: one queue per peer
+/// per topic.
 type PeerReceivers<M> = Vec<(Peer, Receiver<Wire<M>>)>;
 
 /// The tagged effect stream of one runtime replica's engines.
@@ -75,58 +84,6 @@ pub struct NodeMetrics {
     /// under adaptive batching, the static `max_commands` under a fixed
     /// config, 1 with batching off.
     pub batch_depth: AtomicU64,
-}
-
-/// Outbound side of one process: senders to every peer/topic plus
-/// overflow backlogs so a full 7-slot queue never blocks the event loop.
-struct NodeIo<M> {
-    senders: BTreeMap<Peer, Sender<Wire<M>>>,
-    backlog: BTreeMap<Peer, VecDeque<Wire<M>>>,
-    sent: u64,
-}
-
-impl<M> NodeIo<M> {
-    fn new(senders: BTreeMap<Peer, Sender<Wire<M>>>) -> Self {
-        NodeIo {
-            senders,
-            backlog: BTreeMap::new(),
-            sent: 0,
-        }
-    }
-
-    fn send(&mut self, to: NodeId, topic: u16, msg: Wire<M>) {
-        self.sent += 1;
-        let Some(tx) = self.senders.get(&(to, topic)) else {
-            return; // unknown peer: drop (e.g. client already gone)
-        };
-        let back = self.backlog.entry((to, topic)).or_default();
-        if back.is_empty() {
-            if let Err(qc_channel::Full(m)) = tx.try_send(msg) {
-                back.push_back(m);
-            }
-        } else {
-            back.push_back(msg);
-        }
-    }
-
-    /// Retries backlogged sends; returns whether any backlog remains.
-    fn flush(&mut self) -> bool {
-        let mut pending = false;
-        for (addr, q) in self.backlog.iter_mut() {
-            let Some(tx) = self.senders.get(addr) else {
-                q.clear();
-                continue;
-            };
-            while let Some(m) = q.pop_front() {
-                if let Err(qc_channel::Full(m)) = tx.try_send(m) {
-                    q.push_front(m);
-                    pending = true;
-                    break;
-                }
-            }
-        }
-        pending
-    }
 }
 
 /// Builder for a threaded cluster.
@@ -179,7 +136,7 @@ where
 
     /// Number of independent consensus groups with key-hash routing
     /// (default 1). `factory` is invoked once per `(shard, replica)`;
-    /// each group gets its own qc-channel topic between every replica
+    /// each group gets its own transport topic between every replica
     /// pair while the thread count stays one per replica slot.
     ///
     /// # Panics
@@ -187,6 +144,16 @@ where
     /// `spawn` panics if `s` is zero.
     pub fn shards(mut self, s: u16) -> Self {
         self.shards = s;
+        self
+    }
+
+    /// Applies a shared [`EngineConfig`] — the same shard-count/batching
+    /// shape accepted by `TestNet::builder` and the simulator's
+    /// `SimBuilder`, so one config value can describe a deployment
+    /// across all three harnesses.
+    pub fn config(mut self, cfg: EngineConfig) -> Self {
+        self.shards = cfg.shards;
+        self.batching = cfg.batching;
         self
     }
 
@@ -209,19 +176,23 @@ where
         self
     }
 
-    /// Spawns the replica threads and returns the cluster handle plus one
-    /// [`ClientHandle`] per requested client.
+    /// Spawns the replica threads over qc-channel shared memory and
+    /// returns the cluster handle plus one [`ClientHandle`] per
+    /// requested client.
     pub fn spawn(mut self) -> (Cluster, Vec<ClientHandle<P::Msg>>) {
         let r = self.replicas;
         let c = self.clients;
         let shards = self.shards;
         assert!(shards >= 1, "need at least one shard");
-        let total = r + c;
+        // Endpoints: r replicas, c clients, plus one control endpoint
+        // (the cluster handle itself) that exists only to fan out
+        // shutdown — which is what lets `Cluster` stay non-generic.
+        let total = r + c + 1;
         let members: Vec<NodeId> = (0..r as u16).map(NodeId).collect();
 
         // Full mesh of SPSC queues: senders[i][(j, t)] sends i → j on
         // shard-group topic t. Replica pairs get one topic per group;
-        // client links use the single CLIENT_TOPIC.
+        // client and control links use the single CLIENT_TOPIC.
         let mut senders: Vec<BTreeMap<Peer, Sender<Wire<P::Msg>>>> =
             (0..total).map(|_| BTreeMap::new()).collect();
         let mut receivers: Vec<PeerReceivers<P::Msg>> = (0..total).map(|_| Vec::new()).collect();
@@ -231,7 +202,7 @@ where
                 if i == j {
                     continue;
                 }
-                // Client↔client links are never used; skip them.
+                // Client↔client (and control) links are never used.
                 if i >= r && j >= r {
                     continue;
                 }
@@ -258,14 +229,15 @@ where
         for _ in 0..r {
             node_receivers.push(receivers_iter.next().expect("replica slot"));
         }
-        let client_receivers: Vec<PeerReceivers<P::Msg>> = receivers_iter.collect();
+        let mut endpoint_receivers: Vec<PeerReceivers<P::Msg>> = receivers_iter.collect();
+        let control_receivers = endpoint_receivers.pop().expect("control slot");
 
         for (i, rxs) in node_receivers.into_iter().enumerate() {
             let me = members[i];
             // One protocol instance per shard group, all hosted on this
             // slot's single OS thread.
             let nodes: Vec<P> = (0..shards).map(|_| (self.factory)(&members, me)).collect();
-            let io = NodeIo::new(std::mem::take(&mut senders[i]));
+            let io = MemTransport::new(std::mem::take(&mut senders[i]), rxs);
             let m = Arc::clone(&metrics[i]);
             let core = core_ids.get(i % core_ids.len().max(1)).copied();
             let batching = self.batching;
@@ -275,68 +247,174 @@ where
                     if let Some(core) = core {
                         let _ = affinity::set_for_current(core);
                     }
-                    replica_loop(nodes, rxs, io, m, batching);
+                    replica_loop(nodes, io, m, batching);
                 })
                 .expect("spawn replica thread");
             threads.push(handle);
         }
 
-        let clients = client_receivers
+        let clients = endpoint_receivers
             .into_iter()
             .enumerate()
             .map(|(j, rxs)| {
-                let me = NodeId((r + j) as u16);
-                let mut mailbox = Mailbox::new();
-                for (peer, rx) in rxs {
-                    mailbox.add_peer(peer, rx);
-                }
-                ClientHandle {
-                    me,
-                    replicas: members.clone(),
-                    io: NodeIo::new(std::mem::take(&mut senders[r + j])),
-                    mailbox,
-                    next_req: 1,
-                    next_txn_seq: 1,
-                    router: ShardRouter::new(shards),
-                    // Per-shard preferred replica: a slow group leader
-                    // only re-targets its own group's requests.
-                    targets: vec![0; shards as usize],
-                    timeout: Duration::from_millis(100),
-                }
+                ClientHandle::with_transport(
+                    NodeId((r + j) as u16),
+                    members.clone(),
+                    MemTransport::new(std::mem::take(&mut senders[r + j]), rxs),
+                    shards,
+                )
             })
             .collect();
 
+        let control = MemTransport::new(std::mem::take(&mut senders[r + c]), control_receivers);
         (
             Cluster {
                 threads,
                 metrics,
-                shutdown: ShutdownFan {
-                    members: members.clone(),
-                },
+                fan_shutdown: shutdown_fan(control, members),
             },
             clients,
         )
     }
+
+    /// Spawns the replica threads over loopback TCP sockets — the same
+    /// engines, the same loop, but every message now crosses a real
+    /// socket as a length-prefixed `onepaxos::wire` frame. Requires the
+    /// protocol's message type to implement [`Codec`].
+    ///
+    /// Connection layout: each replica binds one listener; replica `i`
+    /// dials every lower-numbered replica (so each pair shares exactly
+    /// one connection), clients and the control endpoint dial every
+    /// replica. Shard-group topics are multiplexed over the pair's
+    /// single connection, tagged inside each frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns any socket-setup error (bind/connect/accept); once setup
+    /// succeeds, runtime socket failures degrade to dropped peers, which
+    /// the protocols absorb through their timeout paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    #[allow(clippy::type_complexity)]
+    pub fn spawn_tcp(
+        mut self,
+    ) -> std::io::Result<(Cluster, Vec<ClientHandle<P::Msg, TcpTransport<P::Msg>>>)>
+    where
+        P::Msg: Codec,
+    {
+        let r = self.replicas;
+        let c = self.clients;
+        let shards = self.shards;
+        assert!(shards >= 1, "need at least one shard");
+        let members: Vec<NodeId> = (0..r as u16).map(NodeId).collect();
+
+        let (listeners, addrs) = transport::bind_replicas(r)?;
+        let replica_addrs: Vec<(NodeId, std::net::SocketAddr)> = members
+            .iter()
+            .zip(addrs.iter())
+            .map(|(&m, &a)| (m, a))
+            .collect();
+
+        let metrics: Vec<Arc<NodeMetrics>> =
+            (0..r).map(|_| Arc::new(NodeMetrics::default())).collect();
+        let core_ids = if self.pin_cores {
+            affinity::get_core_ids().unwrap_or_default()
+        } else {
+            Vec::new()
+        };
+
+        let mut threads = Vec::new();
+        for (i, listener) in listeners.into_iter().enumerate() {
+            let me = members[i];
+            let nodes: Vec<P> = (0..shards).map(|_| (self.factory)(&members, me)).collect();
+            let lower: Vec<(NodeId, std::net::SocketAddr)> = replica_addrs[..i].to_vec();
+            // Inbound: every higher replica, every client, and control.
+            let expect_accepts = (r - 1 - i) + c + 1;
+            let m = Arc::clone(&metrics[i]);
+            let core = core_ids.get(i % core_ids.len().max(1)).copied();
+            let batching = self.batching;
+            let handle = std::thread::Builder::new()
+                .name(format!("replica-{}", me))
+                .spawn(move || {
+                    if let Some(core) = core {
+                        let _ = affinity::set_for_current(core);
+                    }
+                    let io = transport::replica_transport::<P::Msg>(
+                        me,
+                        &listener,
+                        &lower,
+                        expect_accepts,
+                    )
+                    .expect("tcp replica setup");
+                    replica_loop(nodes, io, m, batching);
+                })
+                .expect("spawn replica thread");
+            threads.push(handle);
+        }
+
+        let mut clients = Vec::with_capacity(c);
+        for j in 0..c {
+            let me = NodeId((r + j) as u16);
+            let io = transport::client_transport::<P::Msg>(me, &replica_addrs)?;
+            clients.push(ClientHandle::with_transport(
+                me,
+                members.clone(),
+                io,
+                shards,
+            ));
+        }
+
+        let control =
+            transport::client_transport::<P::Msg>(NodeId((r + c) as u16), &replica_addrs)?;
+        Ok((
+            Cluster {
+                threads,
+                metrics,
+                fan_shutdown: shutdown_fan(control, members),
+            },
+            clients,
+        ))
+    }
 }
 
-struct ShutdownFan {
-    members: Vec<NodeId>,
+/// Type-erases a transport into the closure [`Cluster::shutdown`] runs:
+/// fan [`Wire::Shutdown`] out to every replica, then drain the send
+/// buffers (bounded, in case a replica was already stopped and its
+/// queue never drains).
+fn shutdown_fan<M, T>(control: T, members: Vec<NodeId>) -> Box<dyn FnOnce() + Send>
+where
+    M: Send + 'static,
+    T: Transport<M> + 'static,
+{
+    Box::new(move || {
+        let mut control = control;
+        for &m in &members {
+            control.send(m, CLIENT_TOPIC, Wire::Shutdown);
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while control.flush() && Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+    })
 }
 
 /// A running cluster of replica threads.
-#[derive(Debug)]
 pub struct Cluster {
     threads: Vec<JoinHandle<()>>,
     metrics: Vec<Arc<NodeMetrics>>,
-    #[allow(dead_code)]
-    shutdown: ShutdownFan,
+    /// The control endpoint's shutdown fan-out, type-erased so `Cluster`
+    /// needs no message-type parameter and callers simply write
+    /// `cluster.shutdown()`.
+    fan_shutdown: Box<dyn FnOnce() + Send>,
 }
 
-impl std::fmt::Debug for ShutdownFan {
+impl std::fmt::Debug for Cluster {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ShutdownFan")
-            .field("members", &self.members)
-            .finish()
+        f.debug_struct("Cluster")
+            .field("replicas", &self.threads.len())
+            .finish_non_exhaustive()
     }
 }
 
@@ -356,18 +434,10 @@ impl Cluster {
         self.threads.is_empty()
     }
 
-    /// Requests shutdown via a client handle and joins all replica
-    /// threads.
-    pub fn shutdown<M: Clone + std::fmt::Debug + Send + 'static>(
-        self,
-        client: &mut ClientHandle<M>,
-    ) {
-        for &m in client.replicas.clone().iter() {
-            client.io.send(m, CLIENT_TOPIC, Wire::Shutdown);
-        }
-        while client.io.flush() {
-            std::thread::yield_now();
-        }
+    /// Asks every replica to shut down (over the cluster's own control
+    /// link — no client handle needed) and joins the replica threads.
+    pub fn shutdown(self) {
+        (self.fan_shutdown)();
         for t in self.threads {
             let _ = t.join();
         }
@@ -379,9 +449,9 @@ impl Cluster {
 /// carry their state-machine output: the engines run in
 /// [`ReplyMode::AfterApply`], so an acknowledgement is only released once
 /// the command is applied.
-fn dispatch_effects<P: Protocol>(
+fn dispatch_effects<P: Protocol, T: Transport<P::Msg>>(
     effects: &mut Effects<P>,
-    io: &mut NodeIo<P::Msg>,
+    io: &mut T,
     metrics: &NodeMetrics,
 ) {
     for (shard, effect) in effects.drain(..) {
@@ -429,24 +499,18 @@ fn publish_batch_stats(stats: &EngineStats, metrics: &NodeMetrics) {
         .store(stats.depth as u64, Ordering::Relaxed);
 }
 
-fn replica_loop<P: Protocol>(
+fn replica_loop<P: Protocol, T: Transport<P::Msg>>(
     nodes: Vec<P>,
-    rxs: PeerReceivers<P::Msg>,
-    mut io: NodeIo<P::Msg>,
+    mut io: T,
     metrics: Arc<NodeMetrics>,
     batching: Option<BatchConfig>,
 ) {
     let start = Instant::now();
     let now_ns = || start.elapsed().as_nanos() as Nanos;
-    let mut mailbox = Mailbox::new();
-    for (peer, rx) in rxs {
-        mailbox.add_peer(peer, rx);
-    }
     // The engines own timers, commits, the KV replicas and reply
-    // records; this loop owns only the qc-channel IO and its overflow
-    // backlog. History off: a live cluster serves traffic indefinitely
-    // and must not grow per-command records (metrics carry the counters
-    // instead).
+    // records; this loop owns only the transport IO. History off: a
+    // live cluster serves traffic indefinitely and must not grow
+    // per-command records (metrics carry the counters instead).
     let mut nodes = nodes.into_iter();
     let shard_count = nodes.len() as u16;
     let mut engine = ShardedEngine::new(shard_count, |shard| {
@@ -466,19 +530,19 @@ fn replica_loop<P: Protocol>(
     let mut pending_reads: Vec<(NodeId, u64, u64)> = Vec::new();
 
     engine.start(now_ns(), &mut effects);
-    dispatch_effects::<P>(&mut effects, &mut io, &metrics);
+    dispatch_effects::<P, T>(&mut effects, &mut io, &metrics);
     publish_batch_stats(&engine.merged_stats(), &metrics);
 
     loop {
         let mut progressed = io.flush();
         // Fire due timers across every shard group.
         if engine.fire_due(now_ns(), &mut effects) > 0 {
-            dispatch_effects::<P>(&mut effects, &mut io, &metrics);
+            dispatch_effects::<P, T>(&mut effects, &mut io, &metrics);
             progressed = true;
         }
         // Drain a bounded batch of inbound messages.
         for _ in 0..64 {
-            let Some(((from, topic), wire)) = mailbox.poll() else {
+            let Some(((from, topic), wire)) = io.recv() else {
                 break;
             };
             metrics.received.fetch_add(1, Ordering::Relaxed);
@@ -525,7 +589,7 @@ fn replica_loop<P: Protocol>(
                 Wire::Reply { .. } | Wire::ReadValue { .. } => {} // replicas ignore replies
                 Wire::Shutdown => return,
             }
-            dispatch_effects::<P>(&mut effects, &mut io, &metrics);
+            dispatch_effects::<P, T>(&mut effects, &mut io, &metrics);
         }
         // Retry relaxed reads whose lock window may have closed.
         if !pending_reads.is_empty() {
@@ -571,7 +635,7 @@ fn replica_loop<P: Protocol>(
 ///     clients[0].set_timeout(std::time::Duration::from_secs(5));
 ///     clients[0].put(1, 2)?; // SubmitTimeout converts into Box<dyn Error>
 ///     assert_eq!(clients[0].get(1)?, Some(2));
-///     cluster.shutdown(&mut clients[0]);
+///     cluster.shutdown();
 ///     Ok(())
 /// }
 /// demo().unwrap();
@@ -592,11 +656,15 @@ impl std::error::Error for SubmitTimeout {}
 /// closed loop the paper's load generators run (§7.1, §7.6). On a sharded
 /// cluster the handle routes each operation to its owning group's
 /// preferred replica by key hash; callers stay shard-oblivious.
-pub struct ClientHandle<M> {
+///
+/// Generic over its [`Transport`]: [`ClusterBuilder::spawn`] hands out
+/// shared-memory handles (the default parameter), and
+/// [`ClusterBuilder::spawn_tcp`] hands out socket-backed ones — same
+/// API, same closed loop.
+pub struct ClientHandle<M, T = MemTransport<M>> {
     me: NodeId,
     replicas: Vec<NodeId>,
-    io: NodeIo<M>,
-    mailbox: Mailbox<Peer, Wire<M>>,
+    io: T,
     next_req: u64,
     /// Next transaction sequence number (see `TxnCoordinator`): TxnIds
     /// must stay unique for the handle's lifetime, so the counter lives
@@ -609,18 +677,10 @@ pub struct ClientHandle<M> {
     /// slow group leader re-targets only its own group's traffic.
     targets: Vec<usize>,
     timeout: Duration,
+    _marker: std::marker::PhantomData<fn() -> M>,
 }
 
-impl<M> std::fmt::Debug for NodeIo<M> {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("NodeIo")
-            .field("peers", &self.senders.len())
-            .field("sent", &self.sent)
-            .finish()
-    }
-}
-
-impl<M> std::fmt::Debug for ClientHandle<M> {
+impl<M, T> std::fmt::Debug for ClientHandle<M, T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ClientHandle")
             .field("me", &self.me)
@@ -631,7 +691,27 @@ impl<M> std::fmt::Debug for ClientHandle<M> {
     }
 }
 
-impl<M: Clone + std::fmt::Debug + Send + 'static> ClientHandle<M> {
+impl<M, T> ClientHandle<M, T>
+where
+    M: Clone + std::fmt::Debug + Send + 'static,
+    T: Transport<M>,
+{
+    fn with_transport(me: NodeId, replicas: Vec<NodeId>, io: T, shards: u16) -> Self {
+        ClientHandle {
+            me,
+            replicas,
+            io,
+            next_req: 1,
+            next_txn_seq: 1,
+            router: ShardRouter::new(shards),
+            // Per-shard preferred replica: a slow group leader only
+            // re-targets its own group's requests.
+            targets: vec![0; shards as usize],
+            timeout: Duration::from_millis(100),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
     /// This client's node id.
     pub fn id(&self) -> NodeId {
         self.me
@@ -674,19 +754,12 @@ impl<M: Clone + std::fmt::Debug + Send + 'static> ClientHandle<M> {
                 },
             );
             let deadline = Instant::now() + self.timeout;
-            while Instant::now() < deadline {
-                self.io.flush();
-                match self.mailbox.poll() {
-                    Some((
-                        _,
-                        Wire::Reply {
-                            req_id: r, value, ..
-                        },
-                    )) if r == req_id => {
-                        return Ok(value);
-                    }
-                    Some(_) => {} // stale reply for an older request
-                    None => std::thread::yield_now(),
+            while let Some((_, wire)) = self.io.recv_deadline(deadline) {
+                match wire {
+                    Wire::Reply {
+                        req_id: r, value, ..
+                    } if r == req_id => return Ok(value),
+                    _ => {} // stale reply for an older request
                 }
             }
             // "Once the clients detect the slow leader, they send their
@@ -774,63 +847,56 @@ impl<M: Clone + std::fmt::Debug + Send + 'static> ClientHandle<M> {
             }
             let deadline = Instant::now() + self.timeout;
             let mut progressed = false;
-            while Instant::now() < deadline {
-                self.io.flush();
-                match self.mailbox.poll() {
-                    Some((
-                        _,
-                        Wire::Reply {
-                            req_id: r, value, ..
-                        },
-                    )) => match coord.on_reply(r, value) {
-                        TxnStep::Pending => {
-                            // A lock-wait vote queued a fresh-id
-                            // re-probe: send it right away — the shard
-                            // parks it behind the holder, so the
-                            // one-window pacing the sim applies buys
-                            // nothing on this blocking handle.
-                            let deferred = coord.take_deferred();
-                            if !deferred.is_empty() {
-                                to_send = deferred;
-                                attempts = phase_budget;
-                                progressed = true;
-                                break;
-                            }
-                        }
-                        TxnStep::Submit(next) => {
-                            to_send = next;
+            while let Some((_, wire)) = self.io.recv_deadline(deadline) {
+                let Wire::Reply {
+                    req_id: r, value, ..
+                } = wire
+                else {
+                    continue; // stale read values etc.
+                };
+                match coord.on_reply(r, value) {
+                    TxnStep::Pending => {
+                        // A lock-wait vote queued a fresh-id re-probe:
+                        // send it right away — the shard parks it behind
+                        // the holder, so the one-window pacing the sim
+                        // applies buys nothing on this blocking handle.
+                        let deferred = coord.take_deferred();
+                        if !deferred.is_empty() {
+                            to_send = deferred;
                             attempts = phase_budget;
                             progressed = true;
                             break;
                         }
-                        TxnStep::Decided { outcome, submit } => {
-                            // Presumed durability: the votes recorded in
-                            // the shard logs force this outcome whether
-                            // or not we survive to deliver it, so ack
-                            // the caller NOW and fan the outcome legs
-                            // out fire-and-forget. The transport is
-                            // reliable in-process channels; a slow
-                            // participant applies the outcome from its
-                            // log whenever it catches up, and this
-                            // coordinator's stale acknowledgements are
-                            // dropped as unknown ids by the next call's
-                            // fresh coordinator.
-                            for f in &submit {
-                                self.send_fragment(f);
-                            }
-                            self.io.flush();
-                            self.next_req = coord.next_req();
-                            self.next_txn_seq = coord.next_seq();
-                            return Ok(outcome);
+                    }
+                    TxnStep::Submit(next) => {
+                        to_send = next;
+                        attempts = phase_budget;
+                        progressed = true;
+                        break;
+                    }
+                    TxnStep::Decided { outcome, submit } => {
+                        // Presumed durability: the votes recorded in the
+                        // shard logs force this outcome whether or not
+                        // we survive to deliver it, so ack the caller
+                        // NOW and fan the outcome legs out
+                        // fire-and-forget. A slow participant applies
+                        // the outcome from its log whenever it catches
+                        // up, and this coordinator's stale
+                        // acknowledgements are dropped as unknown ids by
+                        // the next call's fresh coordinator.
+                        for f in &submit {
+                            self.send_fragment(f);
                         }
-                        TxnStep::Done(outcome) => {
-                            self.next_req = coord.next_req();
-                            self.next_txn_seq = coord.next_seq();
-                            return Ok(outcome);
-                        }
-                    },
-                    Some(_) => {} // stale read values etc.
-                    None => std::thread::yield_now(),
+                        self.io.flush();
+                        self.next_req = coord.next_req();
+                        self.next_txn_seq = coord.next_seq();
+                        return Ok(outcome);
+                    }
+                    TxnStep::Done(outcome) => {
+                        self.next_req = coord.next_req();
+                        self.next_txn_seq = coord.next_seq();
+                        return Ok(outcome);
+                    }
                 }
             }
             if !progressed {
@@ -882,22 +948,13 @@ impl<M: Clone + std::fmt::Debug + Send + 'static> ClientHandle<M> {
             },
         );
         let deadline = Instant::now() + self.timeout;
-        while Instant::now() < deadline {
-            self.io.flush();
-            match self.mailbox.poll() {
-                Some((_, Wire::ReadValue { req_id: r, value })) if r == req_id => {
-                    return Ok(value);
-                }
-                Some((
-                    _,
-                    Wire::Reply {
-                        req_id: r, value, ..
-                    },
-                )) if r == req_id => {
-                    return Ok(value); // served through consensus instead
-                }
-                Some(_) => {} // stale reply for an older request
-                None => std::thread::yield_now(),
+        while let Some((_, wire)) = self.io.recv_deadline(deadline) {
+            match wire {
+                Wire::ReadValue { req_id: r, value } if r == req_id => return Ok(value),
+                Wire::Reply {
+                    req_id: r, value, ..
+                } if r == req_id => return Ok(value), // served through consensus instead
+                _ => {} // stale reply for an older request
             }
         }
         Err(SubmitTimeout)
@@ -908,7 +965,8 @@ impl<M: Clone + std::fmt::Debug + Send + 'static> ClientHandle<M> {
     /// thread is the limit case).
     pub fn stop_replica(&mut self, node: NodeId) {
         self.io.send(node, CLIENT_TOPIC, Wire::Shutdown);
-        while self.io.flush() {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while self.io.flush() && Instant::now() < deadline {
             std::thread::yield_now();
         }
     }

@@ -23,8 +23,12 @@
 //! let c = &mut clients[0];
 //! assert_eq!(c.put(7, 42).unwrap(), None);
 //! assert_eq!(c.get(7).unwrap(), Some(42));
-//! cluster.shutdown(&mut clients[0]);
+//! cluster.shutdown();
 //! ```
+//!
+//! Swap `.spawn()` for `.spawn_tcp()` and the same replicas, engines and
+//! client loop run over loopback TCP sockets instead, every message a
+//! length-prefixed [`onepaxos::wire`] frame — see [`Transport`].
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -32,7 +36,9 @@
 
 pub mod affinity;
 mod cluster;
+mod transport;
 mod wire;
 
 pub use cluster::{ClientHandle, Cluster, ClusterBuilder, NodeMetrics, SubmitTimeout, QUEUE_SLOTS};
+pub use transport::{MemTransport, Peer, TcpTransport, Transport};
 pub use wire::Wire;

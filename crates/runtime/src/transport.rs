@@ -1,0 +1,464 @@
+//! Pluggable IO boundary for the threaded runtime: the replica loop and
+//! the client handles speak to a [`Transport`], never to a queue or a
+//! socket directly, so the *same* engine loop runs behind shared memory
+//! ([`MemTransport`], qc-channel SPSC queues) or real sockets
+//! ([`TcpTransport`], loopback TCP with the `onepaxos::wire` framed
+//! binary codec).
+//!
+//! # Addressing
+//!
+//! A destination is a [`Peer`] — `(NodeId, topic)`. The topic is the
+//! shard-group channel: the shared-memory transport maps each topic to
+//! its own SPSC queue pair (preserving the one-queue-per-group layout of
+//! §6.1), while TCP multiplexes all topics over one connection per
+//! process pair and carries the topic inside each frame.
+//!
+//! # TCP frame layout
+//!
+//! Every TCP message is one `onepaxos::wire` frame (magic `0xC51D`,
+//! version, length — see [`onepaxos::wire::write_frame`]) whose payload
+//! is the destination topic (`u16` LE) followed by the
+//! [`Codec`]-encoded [`Wire`] message. The first frame on every
+//! connection is a *hello* whose payload is the dialing process's
+//! [`NodeId`], which is how the accepting side learns who is talking.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::Instant;
+
+use onepaxos::wire::{self, Codec, DecodeError, Reader};
+use onepaxos::NodeId;
+use qc_channel::{Mailbox, Receiver, Sender};
+
+use crate::wire::Wire;
+
+/// A peer address on the wire: who, on which shard-group topic.
+pub type Peer = (NodeId, u16);
+
+/// The IO boundary the replica loop and client handles are written
+/// against.
+///
+/// # Delivery contract
+///
+/// The engines assume exactly what the paper's in-machine channels give
+/// them, no more:
+///
+/// * **Per-peer FIFO order** — messages from one process to another on
+///   one topic arrive in send order. Order across topics or across
+///   senders is unspecified.
+/// * **At-most-once delivery** — a transport never duplicates a
+///   message. It may *drop* messages (a full queue whose sender exits, a
+///   closed socket): every protocol in the tree already tolerates loss
+///   through retransmission timers, but none tolerates duplication of
+///   its client requests without the engines' dedup records.
+/// * **Non-blocking** — [`send`](Transport::send) buffers instead of
+///   blocking when the link is busy ([`flush`](Transport::flush)
+///   retries), and [`recv`](Transport::recv) returns `None` instead of
+///   waiting, so one slow peer can never wedge a replica's event loop.
+pub trait Transport<M>: Send {
+    /// Queues `msg` for `(to, topic)`. Never blocks: if the link is
+    /// full the message is buffered and retried by [`flush`]
+    /// (Transport::flush). Messages to unknown peers are dropped.
+    fn send(&mut self, to: NodeId, topic: u16, msg: Wire<M>);
+
+    /// Retries buffered sends. Returns `true` while anything remains
+    /// buffered.
+    fn flush(&mut self) -> bool;
+
+    /// Non-blocking receive: the next inbound message and its sender,
+    /// or `None` if nothing is waiting.
+    fn recv(&mut self) -> Option<(Peer, Wire<M>)>;
+
+    /// Blocking receive with a deadline: flushes and polls until a
+    /// message arrives or `deadline` passes.
+    fn recv_deadline(&mut self, deadline: Instant) -> Option<(Peer, Wire<M>)> {
+        loop {
+            self.flush();
+            if let Some(m) = self.recv() {
+                return Some(m);
+            }
+            if Instant::now() >= deadline {
+                return None;
+            }
+            std::thread::yield_now();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shared memory
+// ---------------------------------------------------------------------
+
+/// The qc-channel transport: one lock-free SPSC queue per direction per
+/// `(peer, topic)` link — exactly the runtime's original IO layer, now
+/// behind the trait. Overflow on a full 7-slot queue is buffered at the
+/// sender so the event loop never blocks.
+pub struct MemTransport<M> {
+    senders: BTreeMap<Peer, Sender<Wire<M>>>,
+    backlog: BTreeMap<Peer, VecDeque<Wire<M>>>,
+    mailbox: Mailbox<Peer, Wire<M>>,
+}
+
+impl<M> MemTransport<M> {
+    /// Builds the transport from one process's half of the mesh.
+    pub(crate) fn new(
+        senders: BTreeMap<Peer, Sender<Wire<M>>>,
+        receivers: Vec<(Peer, Receiver<Wire<M>>)>,
+    ) -> Self {
+        let mut mailbox = Mailbox::new();
+        for (peer, rx) in receivers {
+            mailbox.add_peer(peer, rx);
+        }
+        MemTransport {
+            senders,
+            backlog: BTreeMap::new(),
+            mailbox,
+        }
+    }
+}
+
+impl<M> std::fmt::Debug for MemTransport<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemTransport")
+            .field("peers", &self.senders.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<M: Send> Transport<M> for MemTransport<M> {
+    fn send(&mut self, to: NodeId, topic: u16, msg: Wire<M>) {
+        let Some(tx) = self.senders.get(&(to, topic)) else {
+            return; // unknown peer: drop (e.g. client already gone)
+        };
+        let back = self.backlog.entry((to, topic)).or_default();
+        if back.is_empty() {
+            if let Err(qc_channel::Full(m)) = tx.try_send(msg) {
+                back.push_back(m);
+            }
+        } else {
+            back.push_back(msg);
+        }
+    }
+
+    fn flush(&mut self) -> bool {
+        let mut pending = false;
+        for (addr, q) in self.backlog.iter_mut() {
+            let Some(tx) = self.senders.get(addr) else {
+                q.clear();
+                continue;
+            };
+            while let Some(m) = q.pop_front() {
+                if let Err(qc_channel::Full(m)) = tx.try_send(m) {
+                    q.push_front(m);
+                    pending = true;
+                    break;
+                }
+            }
+        }
+        pending
+    }
+
+    fn recv(&mut self) -> Option<(Peer, Wire<M>)> {
+        self.mailbox.poll()
+    }
+}
+
+// ---------------------------------------------------------------------
+// TCP
+// ---------------------------------------------------------------------
+
+/// Read chunk size for the socket receive path. Each connection keeps a
+/// single growable receive buffer that is reused across reads; frames
+/// are decoded in place from it, so steady-state receiving allocates
+/// nothing.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// One nonblocking loopback connection to a peer process.
+struct TcpConn {
+    peer: NodeId,
+    stream: TcpStream,
+    /// Reusable receive buffer: bytes `rpos..rbuf.len()` are unparsed.
+    rbuf: Vec<u8>,
+    rpos: usize,
+    /// Pending outbound bytes: `wpos..wbuf.len()` are unsent.
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// Set on EOF, IO error, or a corrupt frame; the connection is then
+    /// skipped (its peer is gone or speaking garbage).
+    dead: bool,
+}
+
+impl TcpConn {
+    fn new(peer: NodeId, stream: TcpStream) -> std::io::Result<Self> {
+        stream.set_nonblocking(true)?;
+        stream.set_nodelay(true)?;
+        Ok(TcpConn {
+            peer,
+            stream,
+            rbuf: Vec::new(),
+            rpos: 0,
+            wbuf: Vec::new(),
+            wpos: 0,
+            dead: false,
+        })
+    }
+
+    /// Tries to push pending outbound bytes; returns whether any remain.
+    fn try_write(&mut self) -> bool {
+        while self.wpos < self.wbuf.len() {
+            match self.stream.write(&self.wbuf[self.wpos..]) {
+                Ok(0) => {
+                    self.dead = true;
+                    break;
+                }
+                Ok(n) => self.wpos += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    break;
+                }
+            }
+        }
+        if self.wpos == self.wbuf.len() || self.dead {
+            self.wbuf.clear();
+            self.wpos = 0;
+        }
+        !self.wbuf.is_empty()
+    }
+
+    /// Reads every available byte into the receive buffer.
+    fn fill(&mut self, scratch: &mut [u8]) {
+        loop {
+            match self.stream.read(scratch) {
+                Ok(0) => {
+                    self.dead = true; // peer closed
+                    return;
+                }
+                Ok(n) => self.rbuf.extend_from_slice(&scratch[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Pops the next complete frame's payload range, if one is buffered.
+    fn next_frame(&mut self) -> Result<Option<(usize, usize)>, DecodeError> {
+        match wire::read_frame(&self.rbuf[self.rpos..])? {
+            Some((payload, consumed)) => {
+                let start = self.rpos + (consumed - payload.len());
+                let end = self.rpos + consumed;
+                self.rpos += consumed;
+                Ok(Some((start, end)))
+            }
+            None => {
+                // Partial frame: reclaim the consumed prefix so the
+                // buffer never grows past one frame plus one read chunk.
+                if self.rpos > 0 {
+                    self.rbuf.drain(..self.rpos);
+                    self.rpos = 0;
+                }
+                Ok(None)
+            }
+        }
+    }
+}
+
+/// The socket transport: one loopback TCP connection per peer process,
+/// all shard-group topics multiplexed over it, every message a
+/// length-prefixed `onepaxos::wire` frame. Receive buffers are reused
+/// across reads; encode goes straight into the connection's write
+/// buffer.
+pub struct TcpTransport<M> {
+    conns: Vec<TcpConn>,
+    inbox: VecDeque<(Peer, Wire<M>)>,
+    scratch: Box<[u8]>,
+    next_read: usize,
+}
+
+impl<M> std::fmt::Debug for TcpTransport<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpTransport")
+            .field("peers", &self.conns.len())
+            .field("inbox", &self.inbox.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<M: Codec> TcpTransport<M> {
+    fn new(conns: Vec<TcpConn>) -> Self {
+        TcpTransport {
+            conns,
+            inbox: VecDeque::new(),
+            scratch: vec![0u8; READ_CHUNK].into_boxed_slice(),
+            next_read: 0,
+        }
+    }
+
+    /// Dials `addr` and sends the hello frame identifying `me`.
+    fn dial(me: NodeId, peer: NodeId, addr: SocketAddr) -> std::io::Result<TcpConn> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut hello = Vec::with_capacity(wire::FRAME_HEADER + 2);
+        wire::write_frame_with(&mut hello, |buf| me.encode(buf));
+        stream.write_all(&hello)?;
+        TcpConn::new(peer, stream)
+    }
+
+    /// Accepts one connection from `listener` and reads its hello frame
+    /// to learn the dialer's identity. Blocking (setup phase only).
+    fn accept(listener: &TcpListener) -> std::io::Result<TcpConn> {
+        let (mut stream, _) = listener.accept()?;
+        let mut header = [0u8; wire::FRAME_HEADER + 2];
+        stream.read_exact(&mut header)?;
+        let peer = match wire::read_frame(&header) {
+            Ok(Some((payload, _))) => {
+                let mut r = Reader::new(payload);
+                NodeId::decode(&mut r)
+                    .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?
+            }
+            _ => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "bad hello frame",
+                ))
+            }
+        };
+        TcpConn::new(peer, stream)
+    }
+
+    /// One read pass over every connection, decoding all complete frames
+    /// into the inbox. Round-robins the starting connection so a chatty
+    /// peer cannot starve the others.
+    fn read_pass(&mut self) {
+        let n = self.conns.len();
+        for step in 0..n {
+            let i = (self.next_read + step) % n;
+            let conn = &mut self.conns[i];
+            if conn.dead {
+                continue;
+            }
+            conn.fill(&mut self.scratch);
+            loop {
+                match conn.next_frame() {
+                    Ok(Some((start, end))) => {
+                        let mut r = Reader::new(&conn.rbuf[start..end]);
+                        match decode_payload::<M>(&mut r) {
+                            Ok((topic, msg)) => self.inbox.push_back(((conn.peer, topic), msg)),
+                            Err(_) => {
+                                // Corrupt payload: the peer is speaking a
+                                // different dialect; cut it off rather
+                                // than guess at framing.
+                                conn.dead = true;
+                                break;
+                            }
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(_) => {
+                        conn.dead = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if n > 0 {
+            self.next_read = (self.next_read + 1) % n;
+        }
+    }
+}
+
+/// Decodes one frame payload: destination topic, then the message.
+fn decode_payload<M: Codec>(r: &mut Reader<'_>) -> Result<(u16, Wire<M>), DecodeError> {
+    let topic = u16::decode(r)?;
+    let msg = Wire::<M>::decode(r)?;
+    if !r.is_empty() {
+        return Err(DecodeError::Trailing(r.remaining()));
+    }
+    Ok((topic, msg))
+}
+
+impl<M: Codec + Send> Transport<M> for TcpTransport<M> {
+    fn send(&mut self, to: NodeId, topic: u16, msg: Wire<M>) {
+        let Some(conn) = self.conns.iter_mut().find(|c| c.peer == to && !c.dead) else {
+            return; // unknown or departed peer: drop
+        };
+        wire::write_frame_with(&mut conn.wbuf, |buf| {
+            topic.encode(buf);
+            msg.encode(buf);
+        });
+        conn.try_write();
+    }
+
+    fn flush(&mut self) -> bool {
+        let mut pending = false;
+        for conn in &mut self.conns {
+            if !conn.dead && conn.try_write() {
+                pending = true;
+            }
+        }
+        pending
+    }
+
+    fn recv(&mut self) -> Option<(Peer, Wire<M>)> {
+        if self.inbox.is_empty() {
+            self.read_pass();
+        }
+        self.inbox.pop_front()
+    }
+}
+
+// ---------------------------------------------------------------------
+// TCP cluster wiring
+// ---------------------------------------------------------------------
+
+/// Binds one loopback listener per replica; returns listeners and their
+/// addresses.
+pub(crate) fn bind_replicas(r: usize) -> std::io::Result<(Vec<TcpListener>, Vec<SocketAddr>)> {
+    let mut listeners = Vec::with_capacity(r);
+    let mut addrs = Vec::with_capacity(r);
+    for _ in 0..r {
+        let l = TcpListener::bind(("127.0.0.1", 0))?;
+        addrs.push(l.local_addr()?);
+        listeners.push(l);
+    }
+    Ok((listeners, addrs))
+}
+
+/// Builds replica `i`'s transport: dial every lower-numbered replica
+/// (deterministic initiator rule — exactly one connection per pair),
+/// then accept the expected number of inbound connections (higher
+/// replicas, clients, and the control endpoint).
+pub(crate) fn replica_transport<M: Codec>(
+    me: NodeId,
+    listener: &TcpListener,
+    lower: &[(NodeId, SocketAddr)],
+    expect_accepts: usize,
+) -> std::io::Result<TcpTransport<M>> {
+    let mut conns = Vec::with_capacity(lower.len() + expect_accepts);
+    for &(peer, addr) in lower {
+        conns.push(TcpTransport::<M>::dial(me, peer, addr)?);
+    }
+    for _ in 0..expect_accepts {
+        conns.push(TcpTransport::<M>::accept(listener)?);
+    }
+    Ok(TcpTransport::new(conns))
+}
+
+/// Builds a client-side transport (clients and the control endpoint):
+/// dial every replica.
+pub(crate) fn client_transport<M: Codec>(
+    me: NodeId,
+    replicas: &[(NodeId, SocketAddr)],
+) -> std::io::Result<TcpTransport<M>> {
+    let mut conns = Vec::with_capacity(replicas.len());
+    for &(peer, addr) in replicas {
+        conns.push(TcpTransport::<M>::dial(me, peer, addr)?);
+    }
+    Ok(TcpTransport::new(conns))
+}

@@ -1,10 +1,11 @@
 //! Wire format between processes: protocol messages plus the client
 //! request/reply traffic that the paper treats as ordinary messages.
 
+use onepaxos::wire::{Codec, DecodeError, Reader};
 use onepaxos::{Instance, NodeId, Op};
 
 /// A message travelling over a qc-channel queue between two processes.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Wire<M> {
     /// A protocol message between replicas.
     Peer(M),
@@ -50,4 +51,89 @@ pub enum Wire<M> {
     },
     /// Orderly shutdown of the receiving process.
     Shutdown,
+}
+
+/// Tag bytes for the [`Wire`] arms on the binary wire.
+mod tag {
+    pub const PEER: u8 = 0;
+    pub const REQUEST: u8 = 1;
+    pub const READ_RELAXED: u8 = 2;
+    pub const REPLY: u8 = 3;
+    pub const READ_VALUE: u8 = 4;
+    pub const SHUTDOWN: u8 = 5;
+}
+
+impl<M: Codec> Codec for Wire<M> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Wire::Peer(msg) => {
+                buf.push(tag::PEER);
+                msg.encode(buf);
+            }
+            Wire::Request { client, req_id, op } => {
+                buf.push(tag::REQUEST);
+                client.encode(buf);
+                req_id.encode(buf);
+                op.encode(buf);
+            }
+            Wire::ReadRelaxed {
+                client,
+                req_id,
+                key,
+            } => {
+                buf.push(tag::READ_RELAXED);
+                client.encode(buf);
+                req_id.encode(buf);
+                key.encode(buf);
+            }
+            Wire::Reply {
+                req_id,
+                instance,
+                value,
+            } => {
+                buf.push(tag::REPLY);
+                req_id.encode(buf);
+                instance.encode(buf);
+                value.encode(buf);
+            }
+            Wire::ReadValue { req_id, value } => {
+                buf.push(tag::READ_VALUE);
+                req_id.encode(buf);
+                value.encode(buf);
+            }
+            Wire::Shutdown => buf.push(tag::SHUTDOWN),
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(match r.u8()? {
+            tag::PEER => Wire::Peer(M::decode(r)?),
+            tag::REQUEST => Wire::Request {
+                client: NodeId::decode(r)?,
+                req_id: u64::decode(r)?,
+                op: Op::decode(r)?,
+            },
+            tag::READ_RELAXED => Wire::ReadRelaxed {
+                client: NodeId::decode(r)?,
+                req_id: u64::decode(r)?,
+                key: u64::decode(r)?,
+            },
+            tag::REPLY => Wire::Reply {
+                req_id: u64::decode(r)?,
+                instance: Instance::decode(r)?,
+                value: Option::<u64>::decode(r)?,
+            },
+            tag::READ_VALUE => Wire::ReadValue {
+                req_id: u64::decode(r)?,
+                value: Option::<u64>::decode(r)?,
+            },
+            tag::SHUTDOWN => Wire::Shutdown,
+            t => {
+                return Err(DecodeError::BadTag {
+                    what: "Wire",
+                    tag: t,
+                })
+            }
+        })
+    }
 }

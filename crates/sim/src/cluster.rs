@@ -36,7 +36,9 @@
 use std::cmp::Ordering as CmpOrdering;
 use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 
-use onepaxos::engine::{BatchConfig, EngineEffect, EngineEvent, EngineStats, ReplicaEngine};
+use onepaxos::engine::{
+    BatchConfig, EngineConfig, EngineEffect, EngineEvent, EngineStats, ReplicaEngine,
+};
 use onepaxos::kv::KvStore;
 use onepaxos::shard::{ShardId, ShardRouter, ShardedEngine};
 use onepaxos::txn::{Fragment, TxnCoordinator, TxnOutcome, TxnStep};
@@ -465,6 +467,15 @@ where
             batching: None,
             _marker: std::marker::PhantomData,
         }
+    }
+
+    /// Applies a shared [`EngineConfig`] — the same shard-count/batching
+    /// shape accepted by `TestNet::builder` and `ClusterBuilder`, so one
+    /// config value can describe a deployment across all three harnesses.
+    pub fn config(mut self, cfg: EngineConfig) -> Self {
+        self.shards = cfg.shards;
+        self.batching = cfg.batching;
+        self
     }
 
     /// Enables engine-level command batching on every replica: requests

@@ -77,6 +77,6 @@ fn main() {
         println!("  cap {cap:>2} -> {rights:?}");
     }
 
-    cluster.shutdown(&mut clients[0]);
+    cluster.shutdown();
     println!("done: {} capabilities replicated consistently.", CAP_SPACE);
 }

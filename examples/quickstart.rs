@@ -56,6 +56,6 @@ fn main() {
         );
     }
 
-    cluster.shutdown(&mut clients[0]);
+    cluster.shutdown();
     println!("done.");
 }

@@ -43,7 +43,7 @@ fn onepaxos_kv_over_threads() {
     assert_eq!(c.put(1, 12).expect("commit"), Some(11));
     assert_eq!(c.get(1).expect("commit"), Some(12));
     assert_eq!(c.get(99).expect("commit"), None);
-    cluster.shutdown(&mut clients[0]);
+    cluster.shutdown();
 }
 
 #[test]
@@ -58,7 +58,7 @@ fn multipaxos_kv_over_threads() {
     c.set_timeout(Duration::from_secs(2));
     assert_eq!(c.put(5, 50).expect("commit"), None);
     assert_eq!(c.get(5).expect("commit"), Some(50));
-    cluster.shutdown(&mut clients[0]);
+    cluster.shutdown();
 }
 
 #[test]
@@ -71,7 +71,7 @@ fn twopc_kv_over_threads() {
     c.set_timeout(Duration::from_secs(2));
     assert_eq!(c.put(3, 33).expect("commit"), None);
     assert_eq!(c.get(3).expect("commit"), Some(33));
-    cluster.shutdown(&mut clients[0]);
+    cluster.shutdown();
 }
 
 #[test]
@@ -97,7 +97,7 @@ fn concurrent_clients_make_consistent_progress() {
             })
         })
         .collect();
-    let mut clients: Vec<_> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+    let _clients: Vec<_> = workers.into_iter().map(|w| w.join().unwrap()).collect();
     // All commands decided on every replica (deltas may lag commits by a
     // poll loop; the ordered read above already synchronised).
     let committed: Vec<u64> = cluster
@@ -109,7 +109,7 @@ fn concurrent_clients_make_consistent_progress() {
         committed.iter().all(|&c| c >= 90),
         "every replica must commit all 90+ commands: {committed:?}"
     );
-    cluster.shutdown(&mut clients[0]);
+    cluster.shutdown();
 }
 
 #[test]
@@ -140,8 +140,8 @@ fn batched_cluster_serves_concurrent_clients_consistently() {
             })
         })
         .collect();
-    let mut clients: Vec<_> = workers.into_iter().map(|w| w.join().unwrap()).collect();
-    cluster.shutdown(&mut clients[0]);
+    let _clients: Vec<_> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+    cluster.shutdown();
 }
 
 #[test]
@@ -170,7 +170,7 @@ fn adaptive_batched_cluster_serves_clients_and_publishes_depth() {
             })
         })
         .collect();
-    let mut clients: Vec<_> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+    let _clients: Vec<_> = workers.into_iter().map(|w| w.join().unwrap()).collect();
     // The leader's loop published a live depth within the bounds; with
     // three synchronous clients it may or may not have grown, but it can
     // never be 0 or above the cap.
@@ -185,7 +185,7 @@ fn adaptive_batched_cluster_serves_clients_and_publishes_depth() {
             > 0,
         "leader must have flushed batches"
     );
-    cluster.shutdown(&mut clients[0]);
+    cluster.shutdown();
 }
 
 #[test]
@@ -213,7 +213,7 @@ fn sharded_cluster_partitions_keys_and_serves_every_client() {
     // Cross-group read-your-writes held above; relaxed reads degrade to
     // ordered reads per group and still answer.
     assert_eq!(c.get_relaxed(NodeId(0), 3).expect("read"), Some(21));
-    cluster.shutdown(&mut clients[0]);
+    cluster.shutdown();
 }
 
 #[test]
@@ -242,8 +242,8 @@ fn sharded_batched_cluster_serves_concurrent_clients() {
             })
         })
         .collect();
-    let mut clients: Vec<_> = workers.into_iter().map(|w| w.join().unwrap()).collect();
-    cluster.shutdown(&mut clients[0]);
+    let _clients: Vec<_> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+    cluster.shutdown();
 }
 
 #[test]
@@ -268,7 +268,7 @@ fn sharded_twopc_serves_relaxed_reads_from_the_owning_group() {
             );
         }
     }
-    cluster.shutdown(&mut clients[0]);
+    cluster.shutdown();
 }
 
 #[test]
@@ -283,7 +283,7 @@ fn submit_noop_commits() {
     c.set_timeout(Duration::from_secs(2));
     // The paper's benchmark op: no payload.
     assert_eq!(c.submit(Op::Noop).expect("commit"), None);
-    cluster.shutdown(&mut clients[0]);
+    cluster.shutdown();
 }
 
 #[test]
@@ -306,7 +306,7 @@ fn onepaxos_survives_stopped_backup() {
         c.put(i, i).expect("commit with stopped backup");
     }
     assert_eq!(c.get(5).expect("read"), Some(5));
-    cluster.shutdown(&mut clients[0]);
+    cluster.shutdown();
 }
 
 #[test]
@@ -334,7 +334,7 @@ fn onepaxos_fails_over_after_stopped_leader() {
     c.put(2, 20).expect("commit after leader failover");
     assert_eq!(c.get(2).expect("read"), Some(20));
     assert_eq!(c.get(1).expect("read"), Some(10), "history preserved");
-    cluster.shutdown(&mut clients[0]);
+    cluster.shutdown();
 }
 
 #[test]
@@ -368,7 +368,7 @@ fn metrics_reflect_message_flow() {
     // replies; the acceptor (replica 1) sends the learn broadcasts.
     assert!(m[0].sent.load(std::sync::atomic::Ordering::Relaxed) >= 20);
     assert!(m[1].sent.load(std::sync::atomic::Ordering::Relaxed) >= 20);
-    cluster.shutdown(&mut clients[0]);
+    cluster.shutdown();
 }
 
 #[test]
@@ -384,7 +384,7 @@ fn pinned_cluster_works_when_cores_exist() {
     let c = &mut clients[0];
     c.set_timeout(Duration::from_secs(2));
     assert_eq!(c.put(1, 2).expect("commit"), None);
-    cluster.shutdown(&mut clients[0]);
+    cluster.shutdown();
 }
 
 #[test]
@@ -437,7 +437,7 @@ fn txn_put_commits_atomically_across_shard_groups() {
     // Plain traffic keeps working on the same handle afterwards (the
     // request-id counter was resynced through the coordinator).
     assert_eq!(c.put(k1, 21).expect("commit"), Some(40));
-    cluster.shutdown(&mut clients[0]);
+    cluster.shutdown();
 }
 
 #[test]
@@ -467,5 +467,5 @@ fn txn_put_relaxed_reads_wait_out_the_lock_window() {
         assert_eq!(c.get_relaxed(NodeId(n), k0).expect("read"), Some(1));
         assert_eq!(c.get_relaxed(NodeId(n), k1).expect("read"), Some(2));
     }
-    cluster.shutdown(&mut clients[0]);
+    cluster.shutdown();
 }

@@ -79,7 +79,9 @@ fn relaxed_reads_never_observe_a_partial_cross_shard_write_set() {
     use consensus_inside::onepaxos::shard::ShardRouter;
     use consensus_inside::onepaxos::testnet::TestNet;
     use consensus_inside::onepaxos::txn::{TxnCoordinator, TxnOutcome, TxnStep};
-    let mut net = TestNet::sharded(3, 4, |m, me| TwoPcNode::new(cfg(m, me)));
+    let mut net = TestNet::builder(3)
+        .shards(4)
+        .build(|m, me| TwoPcNode::new(cfg(m, me)));
     let router = ShardRouter::new(4);
     let k_a = 0u64;
     let k_b = (1u64..)
@@ -157,7 +159,7 @@ fn runtime_relaxed_reads_bypass_consensus_for_twopc() {
         assert_eq!(c.get_relaxed(NodeId(n), 7).expect("read"), Some(70));
         assert_eq!(c.get_relaxed(NodeId(n), 8).expect("read"), None);
     }
-    cluster.shutdown(&mut clients[0]);
+    cluster.shutdown();
 }
 
 #[test]
@@ -178,5 +180,5 @@ fn runtime_relaxed_reads_degrade_to_ordered_for_paxos() {
     // 1Paxos cannot serve the read locally; the replica orders it
     // through consensus and the client still gets an answer.
     assert_eq!(c.get_relaxed(NodeId(0), 3).expect("read"), Some(33));
-    cluster.shutdown(&mut clients[0]);
+    cluster.shutdown();
 }
