@@ -1,0 +1,91 @@
+//! Criterion microbenches of the wire codec hot path: frame encode into
+//! a pooled [`SendQueue`] segment, chunked decode out of a [`RecvBuf`],
+//! and the full encode→frame→decode round trip for the op shapes the
+//! transports actually carry. These are the per-frame costs that bound
+//! `exp_wire`'s tcp row once the syscalls themselves are paid.
+//!
+//! Like the sibling benches, this file needs the `criterion` crate and
+//! is kept out of the offline build by `autobenches = false`; the CI
+//! `codec-bench` job adds criterion as a dev-dependency and runs it
+//! non-gating.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::io::IoSlice;
+use std::sync::Arc;
+
+use onepaxos::wire::{decode_exact, encode_to_vec, Codec, RecvBuf, SendQueue};
+use onepaxos::{Command, NodeId, Op};
+
+/// The op shapes worth separate data points: the keyless noop the paper
+/// benchmarks with, a plain put, and a payload-bearing batch where the
+/// zero-copy decode path matters most.
+fn shapes() -> Vec<(&'static str, Op)> {
+    let batch: Arc<[Command]> = (0..16u64)
+        .map(|i| Command::new(NodeId(0), i, Op::Put { key: i, value: i }))
+        .collect();
+    vec![
+        ("noop", Op::Noop),
+        ("put", Op::Put { key: 7, value: 42 }),
+        ("batch16", Op::Batch(batch)),
+    ]
+}
+
+fn encode_into_sendqueue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("frame_encode");
+    for (name, op) in shapes() {
+        g.throughput(Throughput::Elements(1));
+        g.bench_with_input(BenchmarkId::from_parameter(name), &op, |b, op| {
+            let mut q = SendQueue::new();
+            b.iter(|| {
+                q.push_frame(|out| op.encode(out));
+                // Consume what was queued so the pooled segment is
+                // recycled instead of growing without bound.
+                let n = q.queued_bytes();
+                q.consume(n);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn decode_from_recvbuf(c: &mut Criterion) {
+    let mut g = c.benchmark_group("frame_decode");
+    for (name, op) in shapes() {
+        // One pre-framed wire image, replayed into the chunked reader.
+        let mut q = SendQueue::new();
+        q.push_frame(|out| op.encode(out));
+        let mut bufs = [IoSlice::new(&[]); 8];
+        let n = q.slices(&mut bufs);
+        let image: Vec<u8> = bufs[..n].iter().flat_map(|s| s.to_vec()).collect();
+
+        g.throughput(Throughput::Bytes(image.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(name), &image, |b, image| {
+            let mut rb = RecvBuf::new();
+            b.iter(|| {
+                rb.writable()[..image.len()].copy_from_slice(image);
+                rb.commit(image.len());
+                let frame = rb.next_frame().expect("well-formed").expect("complete");
+                black_box(decode_exact::<Op>(frame.as_slice()).expect("decodes"));
+            })
+        });
+    }
+    g.finish();
+}
+
+fn round_trip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec_round_trip");
+    for (name, op) in shapes() {
+        g.throughput(Throughput::Elements(1));
+        g.bench_with_input(BenchmarkId::from_parameter(name), &op, |b, op| {
+            b.iter(|| {
+                let bytes = encode_to_vec(black_box(op));
+                black_box(decode_exact::<Op>(&bytes).expect("round trip"))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, encode_into_sendqueue, decode_from_recvbuf, round_trip);
+criterion_main!(benches);

@@ -61,6 +61,10 @@ use crate::onepaxos::{AbandonRe, Msg as OnePaxosMsg, UtilityEntry, UtilityMsg};
 use crate::types::{Ballot, Command, NodeId, Op, TxnId};
 use crate::{basic_paxos, mencius, multipaxos, twopc};
 
+pub mod chunk;
+
+pub use chunk::{Chunk, RecvBuf, SendQueue};
+
 /// First two bytes of every frame, little-endian. Chosen to be unlikely
 /// as the start of ASCII traffic accidentally pointed at a replica port.
 pub const FRAME_MAGIC: u16 = 0xC51D;
@@ -360,7 +364,41 @@ impl<T: Codec> Codec for Vec<T> {
     }
 }
 
-impl<T: Codec> Codec for Arc<[T]> {
+/// Throwaway element values for the single-allocation `Arc<[T]>` decode.
+///
+/// `Arc<[T]>` cannot be built incrementally the way a `Vec` can: the
+/// only safe single-allocation construction is collecting an iterator of
+/// **exactly** the promised length (std's `FromIterator` specialization
+/// for exact-size iterators allocates the slice once). When an element
+/// mid-slice fails to decode, the iterator still owes the remaining
+/// elements before the error can surface; [`DecodeFill::filler`] supplies
+/// those placeholders. They exist only inside the aborted decode — the
+/// `Arc` is dropped and the caller sees the original [`DecodeError`] —
+/// so any cheaply constructed value works.
+pub trait DecodeFill {
+    /// A cheap placeholder completing an aborted slice decode.
+    fn filler() -> Self;
+}
+
+impl DecodeFill for u64 {
+    fn filler() -> Self {
+        0
+    }
+}
+
+impl<A: DecodeFill, B: DecodeFill> DecodeFill for (A, B) {
+    fn filler() -> Self {
+        (A::filler(), B::filler())
+    }
+}
+
+impl DecodeFill for Command {
+    fn filler() -> Self {
+        Command::noop(NodeId(0), 0)
+    }
+}
+
+impl<T: Codec + DecodeFill> Codec for Arc<[T]> {
     fn encode(&self, buf: &mut Vec<u8>) {
         put_varint(buf, self.len() as u64);
         for item in self.iter() {
@@ -368,7 +406,31 @@ impl<T: Codec> Codec for Arc<[T]> {
         }
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
-        Ok(Vec::<T>::decode(r)?.into())
+        // Decode straight into the Arc's slice allocation: a
+        // known-length iterator collects into `Arc<[T]>` with exactly
+        // one allocation, where the old `Vec -> Arc` path paid a second
+        // allocation plus an element-by-element move for every Batch /
+        // MultiPut / TxnWrites payload crossing the wire.
+        let n = r.len_prefix()?;
+        let mut err = None;
+        let out: Arc<[T]> = (0..n)
+            .map(|_| {
+                if err.is_some() {
+                    return T::filler();
+                }
+                match T::decode(r) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        err = Some(e);
+                        T::filler()
+                    }
+                }
+            })
+            .collect();
+        match err {
+            None => Ok(out),
+            Some(e) => Err(e),
+        }
     }
 }
 

@@ -180,6 +180,7 @@ where
     /// returns the cluster handle plus one [`ClientHandle`] per
     /// requested client.
     pub fn spawn(mut self) -> (Cluster, Vec<ClientHandle<P::Msg>>) {
+        transport::tighten_timer_slack();
         let r = self.replicas;
         let c = self.clients;
         let shards = self.shards;
@@ -304,6 +305,7 @@ where
     where
         P::Msg: Codec,
     {
+        transport::tighten_timer_slack();
         let r = self.replicas;
         let c = self.clients;
         let shards = self.shards;
@@ -533,6 +535,8 @@ fn replica_loop<P: Protocol, T: Transport<P::Msg>>(
     dispatch_effects::<P, T>(&mut effects, &mut io, &metrics);
     publish_batch_stats(&engine.merged_stats(), &metrics);
 
+    let mut idle_spins: u32 = 0;
+    let mut idle_nap = transport::IDLE_NAP_FLOOR;
     loop {
         let mut progressed = io.flush();
         // Fire due timers across every shard group.
@@ -540,9 +544,11 @@ fn replica_loop<P: Protocol, T: Transport<P::Msg>>(
             dispatch_effects::<P, T>(&mut effects, &mut io, &metrics);
             progressed = true;
         }
-        // Drain a bounded batch of inbound messages.
+        // One syscall sweep over every connection, then drain a bounded
+        // batch of the decoded messages without further IO.
+        io.pump();
         for _ in 0..64 {
-            let Some(((from, topic), wire)) = io.recv() else {
+            let Some(((from, topic), wire)) = io.recv_ready() else {
                 break;
             };
             metrics.received.fetch_add(1, Ordering::Relaxed);
@@ -607,11 +613,32 @@ fn replica_loop<P: Protocol, T: Transport<P::Msg>>(
             pending_reads = still;
         }
         if progressed {
+            idle_spins = 0;
+            idle_nap = transport::IDLE_NAP_FLOOR;
             publish_batch_stats(&engine.merged_stats(), &metrics);
-        } else {
-            // Idle: be polite on shared machines (the dev box has far
-            // fewer cores than the paper's testbed).
+        } else if idle_spins < transport::IDLE_SPINS {
+            // Recently busy: stay hot for a few polls — inbound frames
+            // on loopback usually land within microseconds.
+            idle_spins += 1;
             std::thread::yield_now();
+        } else {
+            // Idle: deschedule instead of burning the core polling (the
+            // dev box has far fewer cores than the paper's testbed, so a
+            // spinning idle replica steals cycles from the busy ones).
+            // The nap escalates from microseconds — a replica dozing
+            // between two requests wakes almost instantly — and is
+            // bounded by the next protocol timer so retrans / heartbeat
+            // deadlines still fire on time.
+            let cap = match engine.next_deadline() {
+                Some(due) => {
+                    Duration::from_nanos(due.saturating_sub(now_ns())).min(transport::IDLE_NAP_CEIL)
+                }
+                None => transport::IDLE_NAP_CEIL,
+            };
+            if cap > Duration::ZERO {
+                std::thread::sleep(idle_nap.min(cap));
+                idle_nap = (idle_nap * 2).min(transport::IDLE_NAP_CEIL);
+            }
         }
     }
 }
@@ -754,7 +781,10 @@ where
                 },
             );
             let deadline = Instant::now() + self.timeout;
-            while let Some((_, wire)) = self.io.recv_deadline(deadline) {
+            // The reply comes from the replica the request went to (the
+            // advocate), so a socket transport can park on that
+            // connection instead of polling.
+            while let Some((_, wire)) = self.io.recv_from_deadline(target, deadline) {
                 match wire {
                     Wire::Reply {
                         req_id: r, value, ..

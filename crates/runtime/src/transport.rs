@@ -23,11 +23,11 @@
 //! [`NodeId`], which is how the accepting side learns who is talking.
 
 use std::collections::{BTreeMap, VecDeque};
-use std::io::{Read as _, Write as _};
+use std::io::{IoSlice, Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use onepaxos::wire::{self, Codec, DecodeError, Reader};
+use onepaxos::wire::{self, Codec, DecodeError, Reader, RecvBuf, SendQueue};
 use onepaxos::NodeId;
 use qc_channel::{Mailbox, Receiver, Sender};
 
@@ -70,21 +70,93 @@ pub trait Transport<M>: Send {
     /// or `None` if nothing is waiting.
     fn recv(&mut self) -> Option<(Peer, Wire<M>)>;
 
+    /// Sweeps ready inbound traffic into the transport's local inbox in
+    /// one pass, for transports whose `recv` otherwise pays IO per call.
+    /// An event loop calls this once per iteration and then drains with
+    /// [`recv_ready`](Transport::recv_ready) — on TCP that is one
+    /// `read(2)` sweep per iteration instead of one per message miss.
+    /// Default: no-op (queue transports have nothing to sweep).
+    fn pump(&mut self) {}
+
+    /// Pops a message already swept in by [`pump`](Transport::pump)
+    /// without doing IO. Default: plain [`recv`](Transport::recv), which
+    /// is correct for transports where receiving never syscalls.
+    fn recv_ready(&mut self) -> Option<(Peer, Wire<M>)> {
+        self.recv()
+    }
+
     /// Blocking receive with a deadline: flushes and polls until a
     /// message arrives or `deadline` passes.
+    ///
+    /// The default implementation spins briefly (a message in flight on
+    /// loopback arrives within microseconds) and then backs off into
+    /// escalating sleeps, so a caller parked on a long deadline
+    /// deschedules instead of burning its core polling — on a machine
+    /// with fewer cores than threads, a spinning waiter would steal the
+    /// very cycles the replica needs to produce the awaited reply.
     fn recv_deadline(&mut self, deadline: Instant) -> Option<(Peer, Wire<M>)> {
+        let mut spins = 0u32;
+        let mut nap = IDLE_NAP_FLOOR;
         loop {
             self.flush();
             if let Some(m) = self.recv() {
                 return Some(m);
             }
-            if Instant::now() >= deadline {
+            let now = Instant::now();
+            if now >= deadline {
                 return None;
             }
-            std::thread::yield_now();
+            if spins < IDLE_SPINS {
+                spins += 1;
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(nap.min(deadline - now));
+                nap = (nap * 2).min(IDLE_NAP_CEIL);
+            }
         }
     }
+
+    /// [`recv_deadline`](Transport::recv_deadline) with a sender hint:
+    /// the caller has just issued a request to `from` and expects the
+    /// answer from there (a synchronous client awaiting its reply). A
+    /// socket transport parks in a blocking read on that peer's
+    /// connection — the kernel wakes it the moment the reply's bytes
+    /// arrive, with zero empty polls — instead of spinning. Messages
+    /// from other peers are still delivered (the hint is an
+    /// optimisation, not a filter). Default: ignore the hint.
+    fn recv_from_deadline(&mut self, _from: NodeId, deadline: Instant) -> Option<(Peer, Wire<M>)> {
+        self.recv_deadline(deadline)
+    }
 }
+
+/// Polls before the first sleep in [`Transport::recv_deadline`]. Covers
+/// the common case — a reply already crossing loopback — without ever
+/// descheduling.
+pub const IDLE_SPINS: u32 = 64;
+
+/// Narrows this thread's kernel timer slack to 1 µs, best-effort.
+///
+/// Linux pads every `nanosleep` by the thread's timer slack — 50 µs by
+/// default — to coalesce wakeups. The idle backoffs here sleep in the
+/// 5–250 µs range, and a 50 µs pad on a 5 µs nap turns the backoff into
+/// a latency cliff (most visible when replicas and clients timeshare a
+/// core and wake each other constantly). Threads inherit the value from
+/// their spawner, so the cluster builders call this once on the spawning
+/// thread before starting replica threads. Failure (procfs unavailable,
+/// old kernel) is ignored: the backoff still works, just coarser.
+pub(crate) fn tighten_timer_slack() {
+    if std::fs::write("/proc/thread-self/timerslack_ns", "1000").is_err() {
+        let _ = std::fs::write("/proc/self/timerslack_ns", "1000");
+    }
+}
+
+/// First sleep once the spin budget is exhausted.
+pub const IDLE_NAP_FLOOR: Duration = Duration::from_micros(5);
+
+/// Ceiling on the escalating idle sleep: long enough to drop idle CPU to
+/// noise, short enough that no protocol timer (hundreds of µs and up)
+/// misses its beat by more than this.
+pub const IDLE_NAP_CEIL: Duration = Duration::from_micros(250);
 
 // ---------------------------------------------------------------------
 // Shared memory
@@ -168,22 +240,65 @@ impl<M: Send> Transport<M> for MemTransport<M> {
 // TCP
 // ---------------------------------------------------------------------
 
-/// Read chunk size for the socket receive path. Each connection keeps a
-/// single growable receive buffer that is reused across reads; frames
-/// are decoded in place from it, so steady-state receiving allocates
-/// nothing.
-const READ_CHUNK: usize = 64 * 1024;
+/// Most [`IoSlice`]s handed to one `write_vectored` call. Linux caps a
+/// vectored write at `IOV_MAX` (1024); 64 covers every realistic flush
+/// window (segments are 32 KiB soft-capped, so 64 slices is ~2 MiB) from
+/// a stack array.
+const MAX_IOV: usize = 64;
+
+/// Unsent-byte threshold above which `send` sheds to the socket inline
+/// instead of waiting for the next `flush` — backpressure for a peer
+/// that has stopped reading.
+const SEND_HIGH_WATER: usize = 256 * 1024;
+
+/// Longest single blocking park in
+/// [`Transport::recv_from_deadline`]: bounds how stale the nonblocking
+/// sweep of the *other* connections can get while parked on the hinted
+/// one.
+const PARK_SLICE: Duration = Duration::from_millis(1);
+
+/// Write timeout armed on every connection at creation. Nonblocking
+/// sockets ignore it; it only bites for writes made while a connection
+/// is parked in blocking mode, turning a peer that has stopped reading
+/// into a retryable timeout instead of a hang.
+const WRITE_STALL: Duration = Duration::from_secs(1);
+
+/// Empty read sweeps before a connection counts as cold. Cold
+/// connections are probed only every [`COLD_EVERY`]th sweep: an idle
+/// replica's spin loop stops paying an empty `read(2)` per connection
+/// per iteration, and an acceptor stops sweeping client connections
+/// that never talk to it.
+const COLD_AFTER: u32 = 2;
+
+/// Sweep period for cold connections. Bounds the discovery delay for a
+/// peer that starts talking again to [`COLD_EVERY`] event-loop
+/// iterations — yields or naps, so microseconds when traffic resumes.
+const COLD_EVERY: u32 = 4;
 
 /// One nonblocking loopback connection to a peer process.
+///
+/// Receive side: the socket reads **directly into** the [`RecvBuf`]'s
+/// segment tail and complete frames slice out as `Chunk`s — a frame's
+/// bytes are touched once between the kernel and the codec (the old
+/// scratch-buffer copy and `rbuf.drain(..rpos)` compaction are gone).
+/// Send side: frames encode into the [`SendQueue`]'s pooled segments
+/// and drain through vectored writes, so one syscall carries a whole
+/// flush window. Both sides recycle their buffers: steady-state IO
+/// allocates nothing.
 struct TcpConn {
     peer: NodeId,
     stream: TcpStream,
-    /// Reusable receive buffer: bytes `rpos..rbuf.len()` are unparsed.
-    rbuf: Vec<u8>,
-    rpos: usize,
-    /// Pending outbound bytes: `wpos..wbuf.len()` are unsent.
-    wbuf: Vec<u8>,
-    wpos: usize,
+    recv: RecvBuf,
+    send: SendQueue,
+    /// Socket is in blocking mode with a [`PARK_SLICE`] read timeout —
+    /// the client-side wait state. Cached so steady-state parking costs
+    /// zero `setsockopt` calls; any generic sweep restores nonblocking
+    /// mode lazily through [`TcpConn::unpark`].
+    parked: bool,
+    /// Consecutive read sweeps that produced no frames; at
+    /// [`COLD_AFTER`] the connection drops out of the per-iteration
+    /// sweep and is probed every [`COLD_EVERY`]th pass instead.
+    cold: u32,
     /// Set on EOF, IO error, or a corrupt frame; the connection is then
     /// skipped (its peer is gone or speaking garbage).
     dead: bool,
@@ -193,26 +308,32 @@ impl TcpConn {
     fn new(peer: NodeId, stream: TcpStream) -> std::io::Result<Self> {
         stream.set_nonblocking(true)?;
         stream.set_nodelay(true)?;
+        // Inert while nonblocking; bounds writes made while parked, so a
+        // stalled peer surfaces as a timed-out write instead of a hang.
+        stream.set_write_timeout(Some(WRITE_STALL))?;
         Ok(TcpConn {
             peer,
             stream,
-            rbuf: Vec::new(),
-            rpos: 0,
-            wbuf: Vec::new(),
-            wpos: 0,
+            recv: RecvBuf::new(),
+            send: SendQueue::new(),
+            parked: false,
+            cold: 0,
             dead: false,
         })
     }
 
-    /// Tries to push pending outbound bytes; returns whether any remain.
+    /// Tries to push queued outbound bytes with vectored writes; returns
+    /// whether any remain.
     fn try_write(&mut self) -> bool {
-        while self.wpos < self.wbuf.len() {
-            match self.stream.write(&self.wbuf[self.wpos..]) {
+        while !self.send.is_empty() {
+            let mut iov = [IoSlice::new(&[]); MAX_IOV];
+            let n = self.send.slices(&mut iov);
+            match self.stream.write_vectored(&iov[..n]) {
                 Ok(0) => {
                     self.dead = true;
                     break;
                 }
-                Ok(n) => self.wpos += n,
+                Ok(written) => self.send.consume(written),
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
                 Err(_) => {
@@ -221,22 +342,116 @@ impl TcpConn {
                 }
             }
         }
-        if self.wpos == self.wbuf.len() || self.dead {
-            self.wbuf.clear();
-            self.wpos = 0;
+        if self.dead {
+            self.send.clear();
         }
-        !self.wbuf.is_empty()
+        !self.send.is_empty()
     }
 
-    /// Reads every available byte into the receive buffer.
-    fn fill(&mut self, scratch: &mut [u8]) {
+    /// Decodes every complete buffered frame into `inbox`. The chunk a
+    /// frame slices out as aliases the receive segment — the codec reads
+    /// the socket's bytes in place, and the chunk drops as soon as the
+    /// typed message is built, freeing the segment for the next fill. A
+    /// corrupt frame or payload kills the connection: the peer is
+    /// speaking a different dialect, and a framed stream cannot be
+    /// resynchronised by guessing.
+    fn drain_frames<M: Codec>(&mut self, inbox: &mut VecDeque<(Peer, Wire<M>)>) {
         loop {
-            match self.stream.read(scratch) {
+            match self.recv.next_frame() {
+                Ok(Some(frame)) => {
+                    let mut r = Reader::new(&frame);
+                    match decode_payload::<M>(&mut r) {
+                        Ok((topic, msg)) => inbox.push_back(((self.peer, topic), msg)),
+                        Err(_) => {
+                            self.dead = true;
+                            return;
+                        }
+                    }
+                }
+                Ok(None) => return,
+                Err(_) => {
+                    self.dead = true;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Parks in a blocking read for up to [`PARK_SLICE`], delivering any
+    /// bytes into the receive buffer. Returns whether any arrived. The
+    /// thread leaves the run queue entirely — on a shared core this is
+    /// what hands the CPU to the peer that must produce the awaited
+    /// bytes — and the kernel wakes it the instant data lands. The
+    /// blocking-with-timeout mode *sticks* between calls (steady-state
+    /// parking makes no `setsockopt` calls at all); the next generic
+    /// sweep restores nonblocking mode through [`TcpConn::unpark`].
+    fn park_fill(&mut self) -> bool {
+        if !self.parked {
+            if self.stream.set_read_timeout(Some(PARK_SLICE)).is_err()
+                || self.stream.set_nonblocking(false).is_err()
+            {
+                return false;
+            }
+            self.parked = true;
+        }
+        let tail = self.recv.writable();
+        match self.stream.read(tail) {
+            Ok(0) => {
+                self.dead = true;
+                false
+            }
+            Ok(n) => {
+                self.recv.commit(n);
+                true
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) =>
+            {
+                false
+            }
+            Err(_) => {
+                self.dead = true;
+                false
+            }
+        }
+    }
+
+    /// Restores nonblocking mode if a previous [`TcpConn::park_fill`]
+    /// left the socket blocking. Cached: the common case is a no-op.
+    fn unpark(&mut self) {
+        if self.parked {
+            if self.stream.set_nonblocking(true).is_err() {
+                self.dead = true;
+            }
+            self.parked = false;
+        }
+    }
+
+    /// Reads available bytes straight into the receive buffer's segment
+    /// tail — no intermediate scratch copy.
+    fn fill(&mut self) {
+        self.unpark();
+        loop {
+            let tail = self.recv.writable();
+            let cap = tail.len();
+            match self.stream.read(tail) {
                 Ok(0) => {
                     self.dead = true; // peer closed
                     return;
                 }
-                Ok(n) => self.rbuf.extend_from_slice(&scratch[..n]),
+                Ok(n) => {
+                    self.recv.commit(n);
+                    if n < cap {
+                        // Short read: the socket buffer is drained;
+                        // skip the WouldBlock confirmation syscall.
+                        return;
+                    }
+                }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
                 Err(_) => {
@@ -246,39 +461,20 @@ impl TcpConn {
             }
         }
     }
-
-    /// Pops the next complete frame's payload range, if one is buffered.
-    fn next_frame(&mut self) -> Result<Option<(usize, usize)>, DecodeError> {
-        match wire::read_frame(&self.rbuf[self.rpos..])? {
-            Some((payload, consumed)) => {
-                let start = self.rpos + (consumed - payload.len());
-                let end = self.rpos + consumed;
-                self.rpos += consumed;
-                Ok(Some((start, end)))
-            }
-            None => {
-                // Partial frame: reclaim the consumed prefix so the
-                // buffer never grows past one frame plus one read chunk.
-                if self.rpos > 0 {
-                    self.rbuf.drain(..self.rpos);
-                    self.rpos = 0;
-                }
-                Ok(None)
-            }
-        }
-    }
 }
 
 /// The socket transport: one loopback TCP connection per peer process,
 /// all shard-group topics multiplexed over it, every message a
-/// length-prefixed `onepaxos::wire` frame. Receive buffers are reused
-/// across reads; encode goes straight into the connection's write
-/// buffer.
+/// length-prefixed `onepaxos::wire` frame. `send` coalesces frames into
+/// per-connection segment queues drained by vectored writes; the receive
+/// path decodes frames in place from `Arc`-backed segments.
 pub struct TcpTransport<M> {
     conns: Vec<TcpConn>,
     inbox: VecDeque<(Peer, Wire<M>)>,
-    scratch: Box<[u8]>,
     next_read: usize,
+    /// Read-sweep sequence number; cold connections are probed on every
+    /// [`COLD_EVERY`]th tick of this counter.
+    sweep_seq: u32,
 }
 
 impl<M> std::fmt::Debug for TcpTransport<M> {
@@ -295,9 +491,20 @@ impl<M: Codec> TcpTransport<M> {
         TcpTransport {
             conns,
             inbox: VecDeque::new(),
-            scratch: vec![0u8; READ_CHUNK].into_boxed_slice(),
             next_read: 0,
+            sweep_seq: 0,
         }
+    }
+
+    /// A connected pair of single-peer transports over loopback — the
+    /// harness the allocation tests and codec microbenches drive the
+    /// real socket path through without standing up a cluster.
+    pub fn pair(a: NodeId, b: NodeId) -> std::io::Result<(Self, Self)> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let dialed = Self::dial(a, b, addr)?;
+        let accepted = Self::accept(&listener)?;
+        Ok((Self::new(vec![dialed]), Self::new(vec![accepted])))
     }
 
     /// Dials `addr` and sends the hello frame identifying `me`.
@@ -332,43 +539,36 @@ impl<M: Codec> TcpTransport<M> {
         TcpConn::new(peer, stream)
     }
 
-    /// One read pass over every connection, decoding all complete frames
-    /// into the inbox. Round-robins the starting connection so a chatty
-    /// peer cannot starve the others.
-    fn read_pass(&mut self) {
+    /// One read pass over the connections, decoding complete frames into
+    /// the inbox. Starts at the connection that last produced traffic
+    /// (for a client awaiting one reply, that makes the common poll a
+    /// single `read(2)`); with `stop_on_frame`, the sweep ends at the
+    /// first connection that yields frames instead of reading the rest.
+    /// [`pump`](Transport::pump) always sweeps every connection, so no
+    /// peer starves as long as the event loop keeps iterating.
+    fn read_pass(&mut self, stop_on_frame: bool) {
+        self.sweep_seq = self.sweep_seq.wrapping_add(1);
+        let probe_cold = self.sweep_seq.is_multiple_of(COLD_EVERY);
         let n = self.conns.len();
         for step in 0..n {
             let i = (self.next_read + step) % n;
             let conn = &mut self.conns[i];
-            if conn.dead {
+            if conn.dead || (conn.cold >= COLD_AFTER && !probe_cold) {
                 continue;
             }
-            conn.fill(&mut self.scratch);
-            loop {
-                match conn.next_frame() {
-                    Ok(Some((start, end))) => {
-                        let mut r = Reader::new(&conn.rbuf[start..end]);
-                        match decode_payload::<M>(&mut r) {
-                            Ok((topic, msg)) => self.inbox.push_back(((conn.peer, topic), msg)),
-                            Err(_) => {
-                                // Corrupt payload: the peer is speaking a
-                                // different dialect; cut it off rather
-                                // than guess at framing.
-                                conn.dead = true;
-                                break;
-                            }
-                        }
-                    }
-                    Ok(None) => break,
-                    Err(_) => {
-                        conn.dead = true;
-                        break;
-                    }
+            let before = self.inbox.len();
+            conn.fill();
+            conn.drain_frames(&mut self.inbox);
+            if self.inbox.len() > before {
+                conn.cold = 0;
+                // Bias the next sweep toward the talkative connection.
+                self.next_read = i;
+                if stop_on_frame {
+                    return;
                 }
+            } else {
+                conn.cold = conn.cold.saturating_add(1);
             }
-        }
-        if n > 0 {
-            self.next_read = (self.next_read + 1) % n;
         }
     }
 }
@@ -388,11 +588,17 @@ impl<M: Codec + Send> Transport<M> for TcpTransport<M> {
         let Some(conn) = self.conns.iter_mut().find(|c| c.peer == to && !c.dead) else {
             return; // unknown or departed peer: drop
         };
-        wire::write_frame_with(&mut conn.wbuf, |buf| {
+        conn.send.push_frame(|buf| {
             topic.encode(buf);
             msg.encode(buf);
         });
-        conn.try_write();
+        // Coalesce: the bytes ride the next `flush` (every event loop
+        // iterates send → flush), so back-to-back sends share one
+        // vectored syscall. Only shed inline when a peer has stopped
+        // reading and the queue is growing without bound.
+        if conn.send.queued_bytes() >= SEND_HIGH_WATER {
+            conn.try_write();
+        }
     }
 
     fn flush(&mut self) -> bool {
@@ -407,9 +613,86 @@ impl<M: Codec + Send> Transport<M> for TcpTransport<M> {
 
     fn recv(&mut self) -> Option<(Peer, Wire<M>)> {
         if self.inbox.is_empty() {
-            self.read_pass();
+            self.read_pass(true);
         }
         self.inbox.pop_front()
+    }
+
+    fn pump(&mut self) {
+        self.read_pass(false);
+    }
+
+    fn recv_ready(&mut self) -> Option<(Peer, Wire<M>)> {
+        self.inbox.pop_front()
+    }
+
+    /// Socket-aware wait: same spin-then-sleep shape as the default, but
+    /// each empty poll here costs a `read(2)` per connection, so the
+    /// spin phase yields the core several times between polls. On a
+    /// machine where replicas and clients timeshare cores, those yields
+    /// are what let the replica produce the awaited reply at all —
+    /// polling back-to-back would spend the shared core on empty
+    /// syscalls instead.
+    fn recv_deadline(&mut self, deadline: Instant) -> Option<(Peer, Wire<M>)> {
+        const YIELDS_PER_POLL: u32 = 1;
+        let mut spins = 0u32;
+        let mut nap = IDLE_NAP_FLOOR;
+        loop {
+            self.flush();
+            if let Some(m) = self.recv() {
+                return Some(m);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            if spins < IDLE_SPINS {
+                spins += 1;
+                for _ in 0..YIELDS_PER_POLL {
+                    std::thread::yield_now();
+                }
+            } else {
+                std::thread::sleep(nap.min(deadline - now));
+                nap = (nap * 2).min(IDLE_NAP_CEIL);
+            }
+        }
+    }
+
+    /// Parks in a blocking read on `from`'s connection: zero polls, and
+    /// the kernel delivers the wakeup the moment the reply's bytes land.
+    /// The blocking mode persists across calls (the steady-state request
+    /// → reply cycle makes exactly one write and one read syscall on the
+    /// transport), and each park is a bounded [`PARK_SLICE`]; on an
+    /// empty slice the other connections get a nonblocking sweep, so a
+    /// message arriving from an unexpected peer is still delivered. May
+    /// overshoot `deadline` by up to one slice.
+    fn recv_from_deadline(&mut self, from: NodeId, deadline: Instant) -> Option<(Peer, Wire<M>)> {
+        loop {
+            self.flush();
+            if let Some(m) = self.inbox.pop_front() {
+                return Some(m);
+            }
+            if Instant::now() >= deadline {
+                return None;
+            }
+            let Some(i) = self.conns.iter().position(|c| c.peer == from && !c.dead) else {
+                // Hinted peer gone: fall back to the polling wait.
+                return self.recv_deadline(deadline);
+            };
+            if self.conns[i].park_fill() {
+                self.conns[i].drain_frames(&mut self.inbox);
+                self.next_read = i;
+            } else {
+                // Empty slice: sweep the other connections so traffic
+                // from unexpected peers is not starved while parked.
+                for j in 0..self.conns.len() {
+                    if j != i && !self.conns[j].dead {
+                        self.conns[j].fill();
+                        self.conns[j].drain_frames(&mut self.inbox);
+                    }
+                }
+            }
+        }
     }
 }
 

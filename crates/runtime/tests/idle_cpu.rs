@@ -1,0 +1,59 @@
+//! An idle `recv_deadline` must not burn its core.
+//!
+//! The original socket wait loop spun `flush()` + poll with no backoff,
+//! pinning a CPU at 100% while waiting for traffic that wasn't coming.
+//! The wait now spins only a bounded budget of yields and then backs
+//! off into escalating sleeps, so a replica or client parked on a quiet
+//! connection consumes a small fraction of the wall time it waits.
+//!
+//! The measurement uses `/proc/self/schedstat` (on-CPU nanoseconds as
+//! scheduled, the first field), which charges exactly this process —
+//! kept in its own integration-test binary so no sibling test's threads
+//! pollute the reading.
+
+use std::time::{Duration, Instant};
+
+use onepaxos::NodeId;
+use onepaxos_runtime::{TcpTransport, Transport};
+
+/// On-CPU nanoseconds this process has been scheduled for, or `None`
+/// where `/proc` is unavailable (the test then passes vacuously rather
+/// than inventing numbers).
+fn on_cpu_ns() -> Option<u64> {
+    let stat = std::fs::read_to_string("/proc/self/schedstat").ok()?;
+    stat.split_whitespace().next()?.parse().ok()
+}
+
+#[test]
+fn idle_recv_deadline_sleeps_instead_of_spinning() {
+    let (mut a, _b) = TcpTransport::<u64>::pair(NodeId(0), NodeId(1)).expect("loopback pair");
+
+    // Warm-up out of the measurement: thread start, page faults, the
+    // socket setup above.
+    let _ = a.recv_deadline(Instant::now() + Duration::from_millis(20));
+
+    let Some(cpu_before) = on_cpu_ns() else {
+        eprintln!("no /proc/self/schedstat on this platform; skipping");
+        return;
+    };
+    let wall_start = Instant::now();
+    let got = a.recv_deadline(wall_start + Duration::from_millis(400));
+    let wall = wall_start.elapsed();
+    let cpu = on_cpu_ns().expect("schedstat disappeared mid-test") - cpu_before;
+
+    assert!(got.is_none(), "nothing was sent, yet something arrived");
+    assert!(
+        wall >= Duration::from_millis(380),
+        "deadline returned early: {wall:?}"
+    );
+    // A spinning waiter sits at ~100% of wall. The backoff should land
+    // far below half even on a noisy, oversubscribed CI core.
+    let budget = wall.as_nanos() as u64 / 2;
+    assert!(
+        cpu < budget,
+        "idle recv_deadline burned {} ms of CPU over {} ms of wall \
+         (backoff missing?)",
+        cpu / 1_000_000,
+        wall.as_millis()
+    );
+}
