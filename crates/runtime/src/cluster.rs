@@ -29,7 +29,7 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -44,7 +44,10 @@ use onepaxos::{EngineEvent, Nanos, NodeId, Op, Protocol, TxnOutcome};
 use qc_channel::{spsc, Receiver, Sender};
 
 use crate::affinity;
-use crate::transport::{self, MemTransport, Peer, TcpTransport, Transport};
+use crate::fault::{FaultPlan, FaultTransport};
+use crate::transport::{
+    self, splitmix64, MemTransport, Peer, TcpTransport, Transport, TransportStats,
+};
 use crate::wire::Wire;
 
 /// Queue slots per direction between each pair of processes; the paper's
@@ -84,6 +87,15 @@ pub struct NodeMetrics {
     /// under adaptive batching, the static `max_commands` under a fixed
     /// config, 1 with batching off.
     pub batch_depth: AtomicU64,
+    /// Connections this replica's transport re-established after a
+    /// failure — redials it performed plus replacement accepts it
+    /// installed (zero on queue transports, which cannot lose links).
+    pub reconnects: AtomicU64,
+    /// Connections this replica's transport tore down (EOF, IO error,
+    /// corrupt frame, injected kill).
+    pub conn_kills: AtomicU64,
+    /// The subset of `conn_kills` caused by an undecodable frame.
+    pub corrupt_frames: AtomicU64,
 }
 
 /// Builder for a threaded cluster.
@@ -94,6 +106,7 @@ pub struct ClusterBuilder<P, F> {
     factory: F,
     pin_cores: bool,
     batching: Option<BatchConfig>,
+    faults: Option<FaultPlan>,
     _marker: std::marker::PhantomData<fn() -> P>,
 }
 
@@ -123,6 +136,7 @@ where
             factory,
             pin_cores: false,
             batching: None,
+            faults: None,
             _marker: std::marker::PhantomData,
         }
     }
@@ -161,6 +175,18 @@ where
     /// when the machine has enough cores. Best-effort. Default off.
     pub fn pin_cores(mut self, pin: bool) -> Self {
         self.pin_cores = pin;
+        self
+    }
+
+    /// Wraps every replica's transport in a [`FaultTransport`] driven
+    /// by `plan`, with a per-node decorrelated seed
+    /// ([`FaultPlan::for_node`]) — seeded drops, FIFO-preserving
+    /// delays, partition windows, and (over TCP) connection kills that
+    /// exercise the reconnect lifecycle. Every injected fault stays
+    /// inside the [`Transport`] delivery contract, so a cluster that
+    /// misbehaves under faults has a real bug. Default: no faults.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
         self
     }
 
@@ -242,16 +268,25 @@ where
             let m = Arc::clone(&metrics[i]);
             let core = core_ids.get(i % core_ids.len().max(1)).copied();
             let batching = self.batching;
+            let faults = self.faults.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("replica-{}", me))
                 .spawn(move || {
                     if let Some(core) = core {
                         let _ = affinity::set_for_current(core);
                     }
-                    replica_loop(nodes, io, m, batching);
+                    match faults {
+                        Some(plan) => replica_loop(
+                            nodes,
+                            FaultTransport::new(io, plan.for_node(me)),
+                            m,
+                            batching,
+                        ),
+                        None => replica_loop(nodes, io, m, batching),
+                    }
                 })
                 .expect("spawn replica thread");
-            threads.push(handle);
+            threads.push(Some(handle));
         }
 
         let clients = endpoint_receivers
@@ -273,6 +308,7 @@ where
                 threads,
                 metrics,
                 fan_shutdown: shutdown_fan(control, members),
+                respawn: None,
             },
             clients,
         )
@@ -300,10 +336,11 @@ where
     /// Panics if `shards` is zero.
     #[allow(clippy::type_complexity)]
     pub fn spawn_tcp(
-        mut self,
+        self,
     ) -> std::io::Result<(Cluster, Vec<ClientHandle<P::Msg, TcpTransport<P::Msg>>>)>
     where
         P::Msg: Codec,
+        F: Send + 'static,
     {
         transport::tighten_timer_slack();
         let r = self.replicas;
@@ -327,33 +364,68 @@ where
             Vec::new()
         };
 
-        let mut threads = Vec::new();
+        // One spawner serves both the initial boot (a pre-bound
+        // listener plus a deterministic blocking handshake) and a
+        // restart (`Cluster::restart_replica`: rebind the same address,
+        // rejoin lazily through the reconnect lifecycle). The factory
+        // moves behind a mutex so restarts can mint fresh engines long
+        // after this builder is gone.
+        let factory = Arc::new(Mutex::new(self.factory));
+        let batching = self.batching;
+        let faults = self.faults;
+        let spawn_replica = {
+            let members = members.clone();
+            let replica_addrs = replica_addrs.clone();
+            let metrics = metrics.clone();
+            let core_ids = core_ids.clone();
+            move |i: usize, listener: Option<(std::net::TcpListener, usize)>| -> JoinHandle<()> {
+                let me = members[i];
+                let nodes: Vec<P> = {
+                    let mut make = factory.lock().expect("factory mutex");
+                    (0..shards).map(|_| make(&members, me)).collect()
+                };
+                let lower: Vec<(NodeId, std::net::SocketAddr)> = replica_addrs[..i].to_vec();
+                let my_addr = replica_addrs[i].1;
+                let m = Arc::clone(&metrics[i]);
+                let core = core_ids.get(i % core_ids.len().max(1)).copied();
+                let faults = faults.clone();
+                std::thread::Builder::new()
+                    .name(format!("replica-{}", me))
+                    .spawn(move || {
+                        if let Some(core) = core {
+                            let _ = affinity::set_for_current(core);
+                        }
+                        let io = match listener {
+                            Some((l, expect_accepts)) => transport::replica_transport::<P::Msg>(
+                                me,
+                                l,
+                                &lower,
+                                expect_accepts,
+                            ),
+                            None => {
+                                transport::rejoin_replica_transport::<P::Msg>(me, my_addr, &lower)
+                            }
+                        }
+                        .expect("tcp replica setup");
+                        match faults {
+                            Some(plan) => replica_loop(
+                                nodes,
+                                FaultTransport::new(io, plan.for_node(me)),
+                                m,
+                                batching,
+                            ),
+                            None => replica_loop(nodes, io, m, batching),
+                        }
+                    })
+                    .expect("spawn replica thread")
+            }
+        };
+
+        let mut threads = Vec::with_capacity(r);
         for (i, listener) in listeners.into_iter().enumerate() {
-            let me = members[i];
-            let nodes: Vec<P> = (0..shards).map(|_| (self.factory)(&members, me)).collect();
-            let lower: Vec<(NodeId, std::net::SocketAddr)> = replica_addrs[..i].to_vec();
             // Inbound: every higher replica, every client, and control.
             let expect_accepts = (r - 1 - i) + c + 1;
-            let m = Arc::clone(&metrics[i]);
-            let core = core_ids.get(i % core_ids.len().max(1)).copied();
-            let batching = self.batching;
-            let handle = std::thread::Builder::new()
-                .name(format!("replica-{}", me))
-                .spawn(move || {
-                    if let Some(core) = core {
-                        let _ = affinity::set_for_current(core);
-                    }
-                    let io = transport::replica_transport::<P::Msg>(
-                        me,
-                        &listener,
-                        &lower,
-                        expect_accepts,
-                    )
-                    .expect("tcp replica setup");
-                    replica_loop(nodes, io, m, batching);
-                })
-                .expect("spawn replica thread");
-            threads.push(handle);
+            threads.push(Some(spawn_replica(i, Some((listener, expect_accepts)))));
         }
 
         let mut clients = Vec::with_capacity(c);
@@ -375,27 +447,35 @@ where
                 threads,
                 metrics,
                 fan_shutdown: shutdown_fan(control, members),
+                respawn: Some(Box::new(move |i| spawn_replica(i, None))),
             },
             clients,
         ))
     }
 }
 
-/// Type-erases a transport into the closure [`Cluster::shutdown`] runs:
-/// fan [`Wire::Shutdown`] out to every replica, then drain the send
-/// buffers (bounded, in case a replica was already stopped and its
-/// queue never drains).
-fn shutdown_fan<M, T>(control: T, members: Vec<NodeId>) -> Box<dyn FnOnce() + Send>
+/// Type-erases a transport into the closure [`Cluster::shutdown`]
+/// drives: one round fans [`Wire::Shutdown`] out to every replica and
+/// briefly drains the send buffers. The round is re-run until every
+/// replica thread is observably gone, because over TCP a shutdown frame
+/// is droppable like any other — the canonical case being a control
+/// link that went stale-dead across a replica restart, where the first
+/// send is lost with the reaped connection and the *retry* rides the
+/// redial to the live replica.
+fn shutdown_fan<M, T>(control: T, members: Vec<NodeId>) -> Box<dyn FnMut() + Send>
 where
     M: Send + 'static,
     T: Transport<M> + 'static,
 {
+    let mut control = control;
     Box::new(move || {
-        let mut control = control;
         for &m in &members {
             control.send(m, CLIENT_TOPIC, Wire::Shutdown);
         }
-        let deadline = Instant::now() + Duration::from_secs(5);
+        // Bounded drain: push redials along and flush what can flush —
+        // a permanently-gone peer keeps its backoff entry pending, so
+        // "still busy" must not hold a round open forever.
+        let deadline = Instant::now() + Duration::from_millis(100);
         while control.flush() && Instant::now() < deadline {
             std::thread::yield_now();
         }
@@ -404,12 +484,17 @@ where
 
 /// A running cluster of replica threads.
 pub struct Cluster {
-    threads: Vec<JoinHandle<()>>,
+    threads: Vec<Option<JoinHandle<()>>>,
     metrics: Vec<Arc<NodeMetrics>>,
     /// The control endpoint's shutdown fan-out, type-erased so `Cluster`
     /// needs no message-type parameter and callers simply write
-    /// `cluster.shutdown()`.
-    fan_shutdown: Box<dyn FnOnce() + Send>,
+    /// `cluster.shutdown()`. Each call runs one send-and-drain round.
+    fan_shutdown: Box<dyn FnMut() + Send>,
+    /// Re-spawns replica slot `i` after it stopped (TCP deployments
+    /// only): rebinds the slot's listener address and rejoins through
+    /// the reconnect lifecycle. `None` on shared-memory clusters, whose
+    /// SPSC queue endpoints are consumed at spawn.
+    respawn: Option<Box<dyn FnMut(usize) -> JoinHandle<()> + Send>>,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -436,11 +521,63 @@ impl Cluster {
         self.threads.is_empty()
     }
 
+    /// Whether replica slot `i`'s thread has exited (true after a
+    /// processed [`ClientHandle::stop_replica`], and trivially true for
+    /// a slot already taken by a restart in progress). A shutdown
+    /// request travels the wire and may be dropped across a reconnect
+    /// gap like any other frame, so callers re-send the stop until this
+    /// reports true before calling [`Cluster::restart_replica`] —
+    /// joining a live thread blocks forever.
+    pub fn replica_finished(&self, i: usize) -> bool {
+        self.threads[i].as_ref().is_none_or(|h| h.is_finished())
+    }
+
+    /// Restarts replica slot `i` with a fresh protocol instance after
+    /// its thread stopped (e.g. [`ClientHandle::stop_replica`]): joins
+    /// the old thread, rebinds the slot's listener address and rejoins
+    /// the cluster lazily through the reconnect lifecycle — peers'
+    /// backoff redials and the restarted listener's accept sweep
+    /// re-knit the mesh without a coordinated handshake.
+    ///
+    /// The restarted replica comes back **amnesiac** (a fresh engine on
+    /// an empty store), so only restart replicas whose state the
+    /// protocol can tolerate losing — e.g. the OnePaxos backup, which
+    /// holds no acknowledged state the leader cannot re-supply.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shared-memory clusters ([`ClusterBuilder::spawn`]),
+    /// whose queue endpoints cannot be rebuilt, or if `i` is out of
+    /// range. Call only after the slot's thread has actually exited —
+    /// joining a live thread blocks forever.
+    pub fn restart_replica(&mut self, i: usize) {
+        let respawn = self
+            .respawn
+            .as_mut()
+            .expect("restart_replica requires a TCP cluster");
+        if let Some(old) = self.threads[i].take() {
+            let _ = old.join();
+        }
+        self.threads[i] = Some(respawn(i));
+    }
+
     /// Asks every replica to shut down (over the cluster's own control
     /// link — no client handle needed) and joins the replica threads.
-    pub fn shutdown(self) {
-        (self.fan_shutdown)();
-        for t in self.threads {
+    /// The shutdown fan-out is re-sent until every thread is observably
+    /// gone (bounded at ten seconds): over TCP the request is a frame
+    /// like any other and may be lost across a reconnect gap, so a
+    /// single round is not enough once replicas have been restarted.
+    pub fn shutdown(mut self) {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            (self.fan_shutdown)();
+            let all_done = (0..self.threads.len()).all(|i| self.replica_finished(i));
+            if all_done || Instant::now() >= deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        for t in self.threads.into_iter().flatten() {
             let _ = t.join();
         }
     }
@@ -501,6 +638,21 @@ fn publish_batch_stats(stats: &EngineStats, metrics: &NodeMetrics) {
         .store(stats.depth as u64, Ordering::Relaxed);
 }
 
+/// Republishes a replica transport's failure counters into its shared
+/// metrics block, so the chaos harness (and operators) can assert that
+/// links actually died and actually healed.
+fn publish_transport_stats(stats: &TransportStats, metrics: &NodeMetrics) {
+    metrics
+        .reconnects
+        .store(stats.reconnects, Ordering::Relaxed);
+    metrics
+        .conn_kills
+        .store(stats.conn_kills, Ordering::Relaxed);
+    metrics
+        .corrupt_frames
+        .store(stats.corrupt_frames, Ordering::Relaxed);
+}
+
 fn replica_loop<P: Protocol, T: Transport<P::Msg>>(
     nodes: Vec<P>,
     mut io: T,
@@ -537,8 +689,18 @@ fn replica_loop<P: Protocol, T: Transport<P::Msg>>(
 
     let mut idle_spins: u32 = 0;
     let mut idle_nap = transport::IDLE_NAP_FLOOR;
+    let mut last_io = io.stats();
     loop {
         let mut progressed = io.flush();
+        // Failure counters move outside the request path (a link dying
+        // or healing is not "progress"), so compare-and-republish every
+        // iteration; `TransportStats` is `Copy` and the comparison is
+        // three integer equality checks.
+        let io_stats = io.stats();
+        if io_stats != last_io {
+            publish_transport_stats(&io_stats, &metrics);
+            last_io = io_stats;
+        }
         // Fire due timers across every shard group.
         if engine.fire_due(now_ns(), &mut effects) > 0 {
             dispatch_effects::<P, T>(&mut effects, &mut io, &metrics);
@@ -668,15 +830,85 @@ fn replica_loop<P: Protocol, T: Transport<P::Msg>>(
 /// demo().unwrap();
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct SubmitTimeout;
+pub struct SubmitTimeout {
+    /// How many send-and-wait attempts the client made before giving
+    /// up — the [`RetryPolicy::max_attempts`] in force at the time.
+    pub attempts: u32,
+}
 
 impl std::fmt::Display for SubmitTimeout {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str("request timed out before the cluster replied")
+        write!(
+            f,
+            "request timed out after {} attempts without a reply",
+            self.attempts
+        )
     }
 }
 
 impl std::error::Error for SubmitTimeout {}
+
+/// The client-side retry schedule: capped exponential backoff with
+/// jitter, shared by every blocking [`ClientHandle`] operation
+/// (`submit`/`put`/`get`/`txn_put`/`get_relaxed`).
+///
+/// Attempt `n` (zero-based) waits `min(base << n, cap)` plus a random
+/// jitter of up to `jitter_permille`‰ of that value before re-sending —
+/// to the next replica of the shard group for routed commands, to the
+/// same replica for relaxed reads. After `max_attempts` unanswered
+/// attempts the operation returns [`SubmitTimeout`] carrying that count.
+///
+/// The default policy starts at 100 ms (generous because dev machines
+/// oversubscribe their cores), doubles to a cap of 800 ms, jitters by up
+/// to 25%, and gives up after six attempts —
+/// [`ClusterBuilder`]-constructed handles override `max_attempts` to
+/// `2 × replicas`, preserving the old every-replica-twice sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// First attempt's patience.
+    pub base: Duration,
+    /// Upper bound the doubling saturates at.
+    pub cap: Duration,
+    /// Jitter magnitude in permille of the capped backoff (0–1000);
+    /// the actual jitter is drawn uniformly from `[0, magnitude)`.
+    pub jitter_permille: u32,
+    /// Attempts before giving up (at least 1 is always made).
+    pub max_attempts: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            base: Duration::from_millis(100),
+            cap: Duration::from_millis(800),
+            jitter_permille: 250,
+            max_attempts: 6,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A flat schedule: every attempt waits exactly `timeout`, no
+    /// jitter — what [`ClientHandle::set_timeout`] installs, and the
+    /// right shape for tests that assert timing.
+    pub fn fixed(timeout: Duration, max_attempts: u32) -> Self {
+        RetryPolicy {
+            base: timeout,
+            cap: timeout,
+            jitter_permille: 0,
+            max_attempts,
+        }
+    }
+
+    /// The patience for zero-based `attempt`, jittered from `rng`.
+    fn timeout_for(&self, attempt: u32, rng: &mut u64) -> Duration {
+        let backed = self.base.saturating_mul(1u32 << attempt.min(8));
+        let capped = backed.min(self.cap);
+        let magnitude = f64::from(self.jitter_permille.min(1000)) / 1000.0;
+        let draw = (splitmix64(rng) % 1024) as f64 / 1024.0;
+        capped + capped.mul_f64(magnitude * draw)
+    }
+}
 
 /// A synchronous client: submits one command at a time and waits for its
 /// commit acknowledgement, re-targeting replicas on timeout — exactly the
@@ -703,7 +935,9 @@ pub struct ClientHandle<M, T = MemTransport<M>> {
     /// Preferred replica index per shard group, bumped on timeout so a
     /// slow group leader re-targets only its own group's traffic.
     targets: Vec<usize>,
-    timeout: Duration,
+    policy: RetryPolicy,
+    /// SplitMix64 state for retry jitter.
+    rng: u64,
     _marker: std::marker::PhantomData<fn() -> M>,
 }
 
@@ -724,6 +958,12 @@ where
     T: Transport<M>,
 {
     fn with_transport(me: NodeId, replicas: Vec<NodeId>, io: T, shards: u16) -> Self {
+        let policy = RetryPolicy {
+            // Every replica gets its two chances, as the fixed rotate
+            // loop always gave it.
+            max_attempts: (replicas.len().max(1) * 2) as u32,
+            ..RetryPolicy::default()
+        };
         ClientHandle {
             me,
             replicas,
@@ -734,7 +974,8 @@ where
             // Per-shard preferred replica: a slow group leader only
             // re-targets its own group's requests.
             targets: vec![0; shards as usize],
-            timeout: Duration::from_millis(100),
+            policy,
+            rng: 0xC11E_57A7 ^ ((me.0 as u64) << 21),
             _marker: std::marker::PhantomData,
         }
     }
@@ -744,11 +985,39 @@ where
         self.me
     }
 
-    /// Sets the per-attempt patience before re-sending to the next
-    /// replica (default 100 ms — generous because the dev machine may
-    /// heavily oversubscribe its cores).
+    /// Sets a flat per-attempt patience before re-sending to the next
+    /// replica: shorthand for installing
+    /// [`RetryPolicy::fixed`]`(t, current max_attempts)`. The default
+    /// policy instead backs off exponentially from 100 ms — see
+    /// [`RetryPolicy`].
     pub fn set_timeout(&mut self, t: Duration) {
-        self.timeout = t;
+        self.policy = RetryPolicy::fixed(t, self.policy.max_attempts);
+    }
+
+    /// Installs a full retry schedule (backoff base/cap, jitter,
+    /// attempt budget) shared by every blocking operation on this
+    /// handle.
+    pub fn set_retry_policy(&mut self, p: RetryPolicy) {
+        self.policy = p;
+    }
+
+    /// The retry schedule currently in force.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.policy
+    }
+
+    /// Severs this client's transport link to `node` (a real socket
+    /// shutdown over TCP, a no-op on queue transports) — fault
+    /// injection for chaos tests: the next operation must ride the
+    /// reconnect lifecycle instead of a healthy socket.
+    pub fn kill_connection(&mut self, node: NodeId) {
+        self.io.kill_peer_link(node);
+    }
+
+    /// Failure counters of this client's own transport (kills it
+    /// suffered or injected, reconnects it performed).
+    pub fn transport_stats(&self) -> TransportStats {
+        self.io.stats()
     }
 
     /// The shard group that operations on `key` route to.
@@ -757,19 +1026,20 @@ where
     }
 
     /// Submits `op` and blocks until it commits, retrying other replicas
-    /// on timeout. Returns the state-machine output (previous value for
-    /// `Put`, current value for `Get`).
+    /// on the [`RetryPolicy`]'s backoff schedule. Returns the
+    /// state-machine output (previous value for `Put`, current value for
+    /// `Get`).
     ///
     /// # Errors
     ///
-    /// Returns [`SubmitTimeout`] after trying every replica twice without
-    /// an acknowledgement.
+    /// Returns [`SubmitTimeout`] after [`RetryPolicy::max_attempts`]
+    /// unanswered attempts.
     pub fn submit(&mut self, op: Op) -> Result<Option<u64>, SubmitTimeout> {
         let req_id = self.next_req;
         self.next_req += 1;
         let shard = self.router.route(self.me, &op).index();
-        let attempts = self.replicas.len() * 2;
-        for _ in 0..attempts {
+        let attempts = self.policy.max_attempts.max(1);
+        for attempt in 0..attempts {
             let target = self.replicas[self.targets[shard] % self.replicas.len()];
             self.io.send(
                 target,
@@ -780,7 +1050,7 @@ where
                     op: op.clone(),
                 },
             );
-            let deadline = Instant::now() + self.timeout;
+            let deadline = Instant::now() + self.policy.timeout_for(attempt, &mut self.rng);
             // The reply comes from the replica the request went to (the
             // advocate), so a socket transport can park on that
             // connection instead of polling.
@@ -797,7 +1067,7 @@ where
             // slow group does not un-target the healthy ones.
             self.targets[shard] += 1;
         }
-        Err(SubmitTimeout)
+        Err(SubmitTimeout { attempts })
     }
 
     /// Convenience: replicated write (routed to `key`'s shard group).
@@ -866,16 +1136,18 @@ where
             .with_first_seq(self.next_txn_seq);
         let mut to_send = coord.begin(writes);
         // The same patience budget as `submit`, refilled at each phase
-        // transition: every replica of a group gets its two chances per
-        // phase — a slow prepare must not starve the outcome phase of
-        // retries once the decision is already in the logs.
-        let phase_budget = self.replicas.len() * 2;
+        // transition — a slow prepare must not starve the outcome phase
+        // of retries once the decision is already in the logs. The
+        // backoff schedule restarts with each phase too: consecutive
+        // unanswered waits within a phase escalate the patience.
+        let phase_budget = self.policy.max_attempts.max(1);
         let mut attempts = phase_budget;
         loop {
             for f in to_send.drain(..) {
                 self.send_fragment(&f);
             }
-            let deadline = Instant::now() + self.timeout;
+            let waited = phase_budget - attempts;
+            let deadline = Instant::now() + self.policy.timeout_for(waited, &mut self.rng);
             let mut progressed = false;
             while let Some((_, wire)) = self.io.recv_deadline(deadline) {
                 let Wire::Reply {
@@ -937,7 +1209,9 @@ where
                     // some shards; burning its sequence number keeps any
                     // later txn_put from colliding with it.
                     self.next_txn_seq = coord.next_seq();
-                    return Err(SubmitTimeout);
+                    return Err(SubmitTimeout {
+                        attempts: phase_budget,
+                    });
                 }
                 // Re-target each stalled fragment's own group (§7.6,
                 // per shard) and re-send; the appliers dedup, the
@@ -968,26 +1242,34 @@ where
     pub fn get_relaxed(&mut self, replica: NodeId, key: u64) -> Result<Option<u64>, SubmitTimeout> {
         let req_id = self.next_req;
         self.next_req += 1;
-        self.io.send(
-            replica,
-            CLIENT_TOPIC,
-            Wire::ReadRelaxed {
-                client: self.me,
-                req_id,
-                key,
-            },
-        );
-        let deadline = Instant::now() + self.timeout;
-        while let Some((_, wire)) = self.io.recv_deadline(deadline) {
-            match wire {
-                Wire::ReadValue { req_id: r, value } if r == req_id => return Ok(value),
-                Wire::Reply {
-                    req_id: r, value, ..
-                } if r == req_id => return Ok(value), // served through consensus instead
-                _ => {} // stale reply for an older request
+        // Re-send to the *same* replica on each attempt — a relaxed read
+        // targets that replica's local copy by definition, so there is
+        // no rotation; the retries ride out a dropped frame or a
+        // reconnect window. Reads are idempotent and the replica keeps
+        // at most one pending read per client, so re-sending is safe.
+        let attempts = self.policy.max_attempts.max(1);
+        for attempt in 0..attempts {
+            self.io.send(
+                replica,
+                CLIENT_TOPIC,
+                Wire::ReadRelaxed {
+                    client: self.me,
+                    req_id,
+                    key,
+                },
+            );
+            let deadline = Instant::now() + self.policy.timeout_for(attempt, &mut self.rng);
+            while let Some((_, wire)) = self.io.recv_deadline(deadline) {
+                match wire {
+                    Wire::ReadValue { req_id: r, value } if r == req_id => return Ok(value),
+                    Wire::Reply {
+                        req_id: r, value, ..
+                    } if r == req_id => return Ok(value), // served through consensus instead
+                    _ => {} // stale reply for an older request
+                }
             }
         }
-        Err(SubmitTimeout)
+        Err(SubmitTimeout { attempts })
     }
 
     /// Asks one replica to shut down — fault injection for tests and

@@ -36,9 +36,13 @@
 
 pub mod affinity;
 mod cluster;
+mod fault;
 mod transport;
 mod wire;
 
-pub use cluster::{ClientHandle, Cluster, ClusterBuilder, NodeMetrics, SubmitTimeout, QUEUE_SLOTS};
-pub use transport::{MemTransport, Peer, TcpTransport, Transport};
+pub use cluster::{
+    ClientHandle, Cluster, ClusterBuilder, NodeMetrics, RetryPolicy, SubmitTimeout, QUEUE_SLOTS,
+};
+pub use fault::{FaultPlan, FaultStats, FaultTransport, Partition};
+pub use transport::{MemTransport, Peer, TcpTransport, Transport, TransportStats};
 pub use wire::Wire;

@@ -36,6 +36,23 @@ use crate::wire::Wire;
 /// A peer address on the wire: who, on which shard-group topic.
 pub type Peer = (NodeId, u16);
 
+/// Counters a transport keeps about its own connection lifecycle,
+/// surfaced so deployments can observe failure handling (the replica
+/// loop republishes them into [`crate::NodeMetrics`]).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Connections re-established after a failure: successful redials
+    /// on the dialer side, replacement accepts on the listener side.
+    pub reconnects: u64,
+    /// Connections torn down for any reason — EOF, IO error, corrupt
+    /// frame, or injected kill.
+    pub conn_kills: u64,
+    /// The subset of `conn_kills` caused by an undecodable frame or
+    /// payload (a framed stream cannot be resynchronised by guessing,
+    /// so the connection is cut and redialed from scratch).
+    pub corrupt_frames: u64,
+}
+
 /// The IO boundary the replica loop and client handles are written
 /// against.
 ///
@@ -56,6 +73,16 @@ pub type Peer = (NodeId, u16);
 ///   blocking when the link is busy ([`flush`](Transport::flush)
 ///   retries), and [`recv`](Transport::recv) returns `None` instead of
 ///   waiting, so one slow peer can never wedge a replica's event loop.
+/// * **Failures are transient** — a broken link (EOF, IO error, corrupt
+///   frame) is a *blip*, never a permanent partition: the transport
+///   repairs it in the background (redial with capped exponential
+///   backoff on the dialer side, replacement accepts on the listener
+///   side) while the frames in flight across the gap are simply lost —
+///   which the may-drop/at-most-once contract above already allows, so
+///   reconnection is invisible to the protocols beyond a retransmission
+///   timeout. This mirrors the paper's failure model: "crash" models
+///   *slow* cores and suspicion is never permanent (§1 fn. 3, the
+///   `onepaxos::failure::FailureDetector` contract).
 pub trait Transport<M>: Send {
     /// Queues `msg` for `(to, topic)`. Never blocks: if the link is
     /// full the message is buffered and retried by [`flush`]
@@ -127,6 +154,30 @@ pub trait Transport<M>: Send {
     fn recv_from_deadline(&mut self, _from: NodeId, deadline: Instant) -> Option<(Peer, Wire<M>)> {
         self.recv_deadline(deadline)
     }
+
+    /// The transport's connection-lifecycle counters. Queue transports
+    /// have no connections to lose; the default is all-zero.
+    fn stats(&self) -> TransportStats {
+        TransportStats::default()
+    }
+
+    /// Fault injection: violently severs the link to `peer` as if the
+    /// connection died, exercising the transport's own repair path
+    /// (redial with backoff, or a replacement accept from the peer).
+    /// Frames in flight are lost — exactly what the delivery contract
+    /// already permits. Default: no-op (queue links cannot break).
+    fn kill_peer_link(&mut self, _peer: NodeId) {}
+}
+
+/// SplitMix64 step — the deterministic PRNG behind reconnect/retry
+/// jitter and the seeded fault schedules (same generator as the shard
+/// router's key hash).
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// Polls before the first sleep in [`Transport::recv_deadline`]. Covers
@@ -173,6 +224,26 @@ pub struct MemTransport<M> {
 }
 
 impl<M> MemTransport<M> {
+    /// A connected pair of single-peer shared-memory transports with
+    /// `topics` queue pairs per direction — the deterministic harness
+    /// the seeded fault-injection tests drive without standing up a
+    /// cluster (the queue analogue of [`TcpTransport::pair`]).
+    pub fn pair(a: NodeId, b: NodeId, topics: u16) -> (Self, Self) {
+        let mut a_send = BTreeMap::new();
+        let mut b_send = BTreeMap::new();
+        let mut a_recv = Vec::new();
+        let mut b_recv = Vec::new();
+        for t in 0..topics {
+            let (tx, rx) = qc_channel::spsc::channel(qc_channel::DEFAULT_SLOTS);
+            a_send.insert((b, t), tx);
+            b_recv.push(((a, t), rx));
+            let (tx, rx) = qc_channel::spsc::channel(qc_channel::DEFAULT_SLOTS);
+            b_send.insert((a, t), tx);
+            a_recv.push(((b, t), rx));
+        }
+        (Self::new(a_send, a_recv), Self::new(b_send, b_recv))
+    }
+
     /// Builds the transport from one process's half of the mesh.
     pub(crate) fn new(
         senders: BTreeMap<Peer, Sender<Wire<M>>>,
@@ -275,6 +346,30 @@ const COLD_AFTER: u32 = 2;
 /// iterations — yields or naps, so microseconds when traffic resumes.
 const COLD_EVERY: u32 = 4;
 
+/// First redial delay after a connection dies. Loopback connects are
+/// microseconds, so the first attempt is nearly immediate; the delay
+/// exists to stop a hard-down peer from turning the event loop into a
+/// connect-storm.
+const RECONNECT_BASE: Duration = Duration::from_micros(500);
+
+/// Ceiling on the exponential redial backoff: a peer that stays down
+/// costs one refused `connect(2)` per this interval, and a peer coming
+/// back is discovered within it.
+const RECONNECT_CAP: Duration = Duration::from_millis(64);
+
+/// Messages buffered per reconnecting peer while its link is being
+/// repaired; they ride the fresh connection the moment the redial
+/// lands. Overflow drops the oldest — a legal drop under the delivery
+/// contract, and the newest traffic (retransmissions, shutdown fan-out)
+/// is what matters after a gap.
+const RECONNECT_PENDING_CAP: usize = 64;
+
+/// Patience for the hello frame on a runtime-accepted connection. The
+/// dialer writes its hello before the connect is even observable here,
+/// so on loopback this never waits; the bound protects the event loop
+/// from a rogue dialer that connects and says nothing.
+const HELLO_TIMEOUT: Duration = Duration::from_millis(250);
+
 /// One nonblocking loopback connection to a peer process.
 ///
 /// Receive side: the socket reads **directly into** the [`RecvBuf`]'s
@@ -299,9 +394,15 @@ struct TcpConn {
     /// [`COLD_AFTER`] the connection drops out of the per-iteration
     /// sweep and is probed every [`COLD_EVERY`]th pass instead.
     cold: u32,
-    /// Set on EOF, IO error, or a corrupt frame; the connection is then
-    /// skipped (its peer is gone or speaking garbage).
+    /// Set on EOF, IO error, or a corrupt frame. A dead connection is
+    /// *terminal for the socket, not for the peer pair*: the next
+    /// [`TcpTransport::maintain`] pass reaps the slot and either
+    /// schedules a redial (dialer side) or waits for the peer to redial
+    /// through the listener (acceptor side).
     dead: bool,
+    /// The death was an undecodable frame rather than an IO failure —
+    /// counted separately in [`TransportStats::corrupt_frames`].
+    corrupt: bool,
 }
 
 impl TcpConn {
@@ -319,6 +420,7 @@ impl TcpConn {
             parked: false,
             cold: 0,
             dead: false,
+            corrupt: false,
         })
     }
 
@@ -352,9 +454,10 @@ impl TcpConn {
     /// frame slices out as aliases the receive segment — the codec reads
     /// the socket's bytes in place, and the chunk drops as soon as the
     /// typed message is built, freeing the segment for the next fill. A
-    /// corrupt frame or payload kills the connection: the peer is
-    /// speaking a different dialect, and a framed stream cannot be
-    /// resynchronised by guessing.
+    /// corrupt frame or payload kills the connection (a framed stream
+    /// cannot be resynchronised by guessing); the reconnect lifecycle
+    /// then re-establishes the peer pair from a clean stream, so one
+    /// garbled frame costs a retransmission window, not the peer.
     fn drain_frames<M: Codec>(&mut self, inbox: &mut VecDeque<(Peer, Wire<M>)>) {
         loop {
             match self.recv.next_frame() {
@@ -364,6 +467,7 @@ impl TcpConn {
                         Ok((topic, msg)) => inbox.push_back(((self.peer, topic), msg)),
                         Err(_) => {
                             self.dead = true;
+                            self.corrupt = true;
                             return;
                         }
                     }
@@ -371,6 +475,7 @@ impl TcpConn {
                 Ok(None) => return,
                 Err(_) => {
                     self.dead = true;
+                    self.corrupt = true;
                     return;
                 }
             }
@@ -463,48 +568,144 @@ impl TcpConn {
     }
 }
 
+/// Dialer-side reconnect state for one peer whose connection died:
+/// capped exponential backoff between redial attempts, plus a bounded
+/// buffer of frames sent across the gap that will ride the fresh
+/// connection (anything beyond the cap is dropped, as the delivery
+/// contract allows).
+struct Redial<M> {
+    peer: NodeId,
+    addr: SocketAddr,
+    next_attempt: Instant,
+    attempt: u32,
+    pending: VecDeque<(u16, Wire<M>)>,
+}
+
 /// The socket transport: one loopback TCP connection per peer process,
 /// all shard-group topics multiplexed over it, every message a
 /// length-prefixed `onepaxos::wire` frame. `send` coalesces frames into
 /// per-connection segment queues drained by vectored writes; the receive
 /// path decodes frames in place from `Arc`-backed segments.
+///
+/// # Connection lifecycle
+///
+/// A connection is **live** until EOF, an IO error, a corrupt frame, or
+/// an injected [`Transport::kill_peer_link`] marks it dead; the next
+/// maintenance pass (every [`Transport::flush`]/[`Transport::pump`])
+/// reaps the slot — the conn table never accumulates a graveyard. What
+/// happens next depends on which side of the original handshake this
+/// endpoint was:
+///
+/// * **Dialer** (this endpoint connected): the peer moves to a
+///   **backoff** state and is redialed with capped exponential backoff
+///   plus jitter ([`RECONNECT_BASE`] → [`RECONNECT_CAP`]), re-running
+///   the hello-frame handshake. Frames sent meanwhile are buffered (up
+///   to [`RECONNECT_PENDING_CAP`]) and ride the fresh connection.
+/// * **Acceptor** (the peer connected): the slot is simply purged; the
+///   peer redials through this endpoint's listener, and the accept
+///   sweep installs the replacement — superseding any stale slot for
+///   that peer.
+///
+/// Frames lost across the gap are covered by the trait's may-drop
+/// contract; the protocols' retransmission timers absorb the blip.
 pub struct TcpTransport<M> {
+    /// This endpoint's identity, sent in the hello frame on every
+    /// (re)dial.
+    me: NodeId,
     conns: Vec<TcpConn>,
     inbox: VecDeque<(Peer, Wire<M>)>,
     next_read: usize,
     /// Read-sweep sequence number; cold connections are probed on every
     /// [`COLD_EVERY`]th tick of this counter.
     sweep_seq: u32,
+    /// Peers this endpoint dialed and therefore owns reconnection for.
+    dial_addrs: BTreeMap<NodeId, SocketAddr>,
+    /// Peers currently between connections, waiting on a redial.
+    backoff: Vec<Redial<M>>,
+    /// Accept side of the reconnect lifecycle: present on replica
+    /// transports, polled nonblockingly by the maintenance pass so a
+    /// peer (or a restarted replica's clients) can re-establish at any
+    /// time — not just during setup.
+    listener: Option<TcpListener>,
+    stats: TransportStats,
+    /// Jitter state for redial backoff (seeded from `me`, so the
+    /// schedule is deterministic per node).
+    rng: u64,
 }
 
 impl<M> std::fmt::Debug for TcpTransport<M> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TcpTransport")
+            .field("me", &self.me)
             .field("peers", &self.conns.len())
+            .field("backoff", &self.backoff.len())
             .field("inbox", &self.inbox.len())
             .finish_non_exhaustive()
     }
 }
 
 impl<M: Codec> TcpTransport<M> {
-    fn new(conns: Vec<TcpConn>) -> Self {
-        TcpTransport {
+    fn new(
+        me: NodeId,
+        conns: Vec<TcpConn>,
+        dial_addrs: BTreeMap<NodeId, SocketAddr>,
+        listener: Option<TcpListener>,
+    ) -> Self {
+        if let Some(l) = &listener {
+            // The blocking setup phase is over; from here on the accept
+            // sweep must never stall the event loop.
+            let _ = l.set_nonblocking(true);
+        }
+        let mut t = TcpTransport {
+            me,
             conns,
             inbox: VecDeque::new(),
             next_read: 0,
             sweep_seq: 0,
+            dial_addrs,
+            backoff: Vec::new(),
+            listener,
+            stats: TransportStats::default(),
+            rng: 0x5EED ^ ((me.0 as u64) << 17),
+        };
+        // Dial-owned peers without a live connection start in backoff,
+        // due immediately — how a restarted replica rejoins its mesh.
+        let now = Instant::now();
+        let missing: Vec<(NodeId, SocketAddr)> = t
+            .dial_addrs
+            .iter()
+            .filter(|(p, _)| !t.conns.iter().any(|c| c.peer == **p))
+            .map(|(&p, &a)| (p, a))
+            .collect();
+        for (peer, addr) in missing {
+            t.backoff.push(Redial {
+                peer,
+                addr,
+                next_attempt: now,
+                attempt: 0,
+                pending: VecDeque::new(),
+            });
         }
+        t
     }
 
     /// A connected pair of single-peer transports over loopback — the
-    /// harness the allocation tests and codec microbenches drive the
-    /// real socket path through without standing up a cluster.
+    /// harness the allocation, reconnect and fault tests drive the real
+    /// socket path through without standing up a cluster. The first
+    /// transport is the dialer (it owns redial for the pair), the
+    /// second the acceptor (it keeps the listener, so the pair heals
+    /// after either side's connection dies).
     pub fn pair(a: NodeId, b: NodeId) -> std::io::Result<(Self, Self)> {
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;
         let dialed = Self::dial(a, b, addr)?;
         let accepted = Self::accept(&listener)?;
-        Ok((Self::new(vec![dialed]), Self::new(vec![accepted])))
+        let mut dial_addrs = BTreeMap::new();
+        dial_addrs.insert(b, addr);
+        Ok((
+            Self::new(a, vec![dialed], dial_addrs, None),
+            Self::new(b, vec![accepted], BTreeMap::new(), Some(listener)),
+        ))
     }
 
     /// Dials `addr` and sends the hello frame identifying `me`.
@@ -518,9 +719,13 @@ impl<M: Codec> TcpTransport<M> {
     }
 
     /// Accepts one connection from `listener` and reads its hello frame
-    /// to learn the dialer's identity. Blocking (setup phase only).
+    /// to learn the dialer's identity. Blocks for at most
+    /// [`HELLO_TIMEOUT`] on the hello read — during setup the dialer's
+    /// hello is already in flight, and at runtime (a reconnecting peer)
+    /// it was written before the connect was observable here.
     fn accept(listener: &TcpListener) -> std::io::Result<TcpConn> {
         let (mut stream, _) = listener.accept()?;
+        stream.set_read_timeout(Some(HELLO_TIMEOUT))?;
         let mut header = [0u8; wire::FRAME_HEADER + 2];
         stream.read_exact(&mut header)?;
         let peer = match wire::read_frame(&header) {
@@ -571,6 +776,135 @@ impl<M: Codec> TcpTransport<M> {
             }
         }
     }
+
+    /// The connection-lifecycle maintenance pass, run from every
+    /// [`flush`](Transport::flush) and [`pump`](Transport::pump):
+    /// reaps dead connection slots, fires due redials, and sweeps the
+    /// listener for inbound (re)connections. With nothing broken this
+    /// is a scan of the (tiny) conn table plus one nonblocking
+    /// `accept(2)` on listener-owning transports — no allocation, no
+    /// time syscalls beyond the ones the event loop already makes.
+    fn maintain(&mut self) {
+        // Reap: a dead slot either moves its peer to backoff (we dialed
+        // it) or is simply dropped (the peer will redial our listener).
+        if self.conns.iter().any(|c| c.dead) {
+            let now = Instant::now();
+            let mut i = 0;
+            while i < self.conns.len() {
+                if !self.conns[i].dead {
+                    i += 1;
+                    continue;
+                }
+                let conn = self.conns.swap_remove(i);
+                self.stats.conn_kills += 1;
+                if conn.corrupt {
+                    self.stats.corrupt_frames += 1;
+                }
+                if let Some(&addr) = self.dial_addrs.get(&conn.peer) {
+                    if !self.backoff.iter().any(|r| r.peer == conn.peer) {
+                        self.backoff.push(Redial {
+                            peer: conn.peer,
+                            addr,
+                            next_attempt: now,
+                            attempt: 0,
+                            pending: VecDeque::new(),
+                        });
+                    }
+                }
+            }
+            self.next_read = 0;
+        }
+        // Redial: each due entry gets one connect attempt per pass.
+        if !self.backoff.is_empty() {
+            let now = Instant::now();
+            let me = self.me;
+            let mut i = 0;
+            while i < self.backoff.len() {
+                if self.backoff[i].next_attempt > now {
+                    i += 1;
+                    continue;
+                }
+                let (peer, addr) = (self.backoff[i].peer, self.backoff[i].addr);
+                match Self::dial(me, peer, addr) {
+                    Ok(mut conn) => {
+                        let mut r = self.backoff.swap_remove(i);
+                        for (topic, msg) in r.pending.drain(..) {
+                            conn.send.push_frame(|buf| {
+                                topic.encode(buf);
+                                msg.encode(buf);
+                            });
+                        }
+                        self.conns.push(conn);
+                        self.stats.reconnects += 1;
+                    }
+                    Err(_) => {
+                        let attempt = self.backoff[i].attempt.saturating_add(1);
+                        let delay = self.redial_delay(attempt);
+                        let r = &mut self.backoff[i];
+                        r.attempt = attempt;
+                        r.next_attempt = now + delay;
+                        i += 1;
+                    }
+                }
+            }
+        }
+        // Accept: install inbound (re)connections, superseding any
+        // stale slot for the same peer.
+        if let Some(listener) = &self.listener {
+            loop {
+                match Self::accept(listener) {
+                    Ok(conn) => {
+                        if let Some(stale) = self.conns.iter().position(|c| c.peer == conn.peer) {
+                            self.conns.swap_remove(stale);
+                            self.next_read = 0;
+                        }
+                        // A redialing peer supersedes our own backoff
+                        // entry for it too (both sides may dial in a
+                        // symmetric pair harness).
+                        self.backoff.retain(|r| r.peer != conn.peer);
+                        self.conns.push(conn);
+                        self.stats.reconnects += 1;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    // A dialer that connected and hung up (or spoke a
+                    // bad hello): ignore it and keep sweeping.
+                    Err(_) => break,
+                }
+            }
+        }
+    }
+
+    /// Capped exponential backoff with deterministic jitter: attempt
+    /// `n` waits `BASE << n` (capped), plus up to 25% more so a mesh of
+    /// dialers does not thunder back in lockstep.
+    fn redial_delay(&mut self, attempt: u32) -> Duration {
+        let exp = RECONNECT_BASE.saturating_mul(1u32 << attempt.min(8).saturating_sub(1));
+        let capped = exp.min(RECONNECT_CAP);
+        let jitter = capped.mul_f64((splitmix64(&mut self.rng) % 256) as f64 / 1024.0);
+        capped + jitter
+    }
+
+    /// Live connection count — the reconnect lifecycle's invariant is
+    /// that this stays bounded by the peer count no matter how many
+    /// times links die (no graveyard of terminal slots).
+    pub fn conn_count(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Peers currently between connections, waiting on a redial.
+    pub fn backoff_count(&self) -> usize {
+        self.backoff.len()
+    }
+
+    /// Test hook: queues a syntactically valid frame whose payload does
+    /// not decode, so the receiving end exercises its corrupt-frame
+    /// kill-and-reconnect path.
+    #[doc(hidden)]
+    pub fn inject_corrupt_frame(&mut self, to: NodeId) {
+        if let Some(conn) = self.conns.iter_mut().find(|c| c.peer == to && !c.dead) {
+            conn.send.push_frame(|buf| buf.push(0xFF));
+        }
+    }
 }
 
 /// Decodes one frame payload: destination topic, then the message.
@@ -586,7 +920,17 @@ fn decode_payload<M: Codec>(r: &mut Reader<'_>) -> Result<(u16, Wire<M>), Decode
 impl<M: Codec + Send> Transport<M> for TcpTransport<M> {
     fn send(&mut self, to: NodeId, topic: u16, msg: Wire<M>) {
         let Some(conn) = self.conns.iter_mut().find(|c| c.peer == to && !c.dead) else {
-            return; // unknown or departed peer: drop
+            // Between connections: buffer a bounded window of traffic to
+            // ride the redial. Anything else (unknown peer, acceptor
+            // side waiting on the peer to redial) is dropped, as the
+            // delivery contract allows.
+            if let Some(r) = self.backoff.iter_mut().find(|r| r.peer == to) {
+                r.pending.push_back((topic, msg));
+                if r.pending.len() > RECONNECT_PENDING_CAP {
+                    r.pending.pop_front();
+                }
+            }
+            return;
         };
         conn.send.push_frame(|buf| {
             topic.encode(buf);
@@ -602,13 +946,17 @@ impl<M: Codec + Send> Transport<M> for TcpTransport<M> {
     }
 
     fn flush(&mut self) -> bool {
+        self.maintain();
         let mut pending = false;
         for conn in &mut self.conns {
             if !conn.dead && conn.try_write() {
                 pending = true;
             }
         }
-        pending
+        // Messages parked behind a redial still count as unflushed work,
+        // so bounded drain loops (shutdown fan-out) keep driving the
+        // reconnect instead of declaring the queue empty.
+        pending || self.backoff.iter().any(|r| !r.pending.is_empty())
     }
 
     fn recv(&mut self) -> Option<(Peer, Wire<M>)> {
@@ -619,11 +967,27 @@ impl<M: Codec + Send> Transport<M> for TcpTransport<M> {
     }
 
     fn pump(&mut self) {
+        self.maintain();
         self.read_pass(false);
     }
 
     fn recv_ready(&mut self) -> Option<(Peer, Wire<M>)> {
         self.inbox.pop_front()
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.stats
+    }
+
+    /// Severs the connection to `peer` at the socket (both directions,
+    /// so the peer sees EOF immediately too) and lets the maintenance
+    /// pass drive the repair — redial from whichever side dialed.
+    fn kill_peer_link(&mut self, peer: NodeId) {
+        if let Some(conn) = self.conns.iter_mut().find(|c| c.peer == peer && !c.dead) {
+            let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+            conn.dead = true;
+        }
+        self.maintain();
     }
 
     /// Socket-aware wait: same spin-then-sleep shape as the default, but
@@ -666,18 +1030,32 @@ impl<M: Codec + Send> Transport<M> for TcpTransport<M> {
     /// empty slice the other connections get a nonblocking sweep, so a
     /// message arriving from an unexpected peer is still delivered. May
     /// overshoot `deadline` by up to one slice.
+    ///
+    /// If the hinted connection dies mid-park (EOF wakes the blocking
+    /// read immediately), the park degrades to bounded polling slices —
+    /// each of which drives the maintenance pass, so the redial happens
+    /// *under* this wait — and re-parks the moment the fresh connection
+    /// is up. The caller never sees the gap except as latency.
     fn recv_from_deadline(&mut self, from: NodeId, deadline: Instant) -> Option<(Peer, Wire<M>)> {
         loop {
             self.flush();
             if let Some(m) = self.inbox.pop_front() {
                 return Some(m);
             }
-            if Instant::now() >= deadline {
+            let now = Instant::now();
+            if now >= deadline {
                 return None;
             }
             let Some(i) = self.conns.iter().position(|c| c.peer == from && !c.dead) else {
-                // Hinted peer gone: fall back to the polling wait.
-                return self.recv_deadline(deadline);
+                // Hinted peer between connections: wait one bounded
+                // slice with the polling strategy (whose flush calls
+                // drive the redial), then re-check for the repaired
+                // connection and re-park on it.
+                let slice = (deadline - now).min(PARK_SLICE);
+                if let Some(m) = self.recv_deadline(now + slice) {
+                    return Some(m);
+                }
+                continue;
             };
             if self.conns[i].park_fill() {
                 self.conns[i].drain_frames(&mut self.inbox);
@@ -716,10 +1094,12 @@ pub(crate) fn bind_replicas(r: usize) -> std::io::Result<(Vec<TcpListener>, Vec<
 /// Builds replica `i`'s transport: dial every lower-numbered replica
 /// (deterministic initiator rule — exactly one connection per pair),
 /// then accept the expected number of inbound connections (higher
-/// replicas, clients, and the control endpoint).
+/// replicas, clients, and the control endpoint). The listener stays
+/// with the transport afterwards, nonblocking, so peers can reconnect
+/// at runtime.
 pub(crate) fn replica_transport<M: Codec>(
     me: NodeId,
-    listener: &TcpListener,
+    listener: TcpListener,
     lower: &[(NodeId, SocketAddr)],
     expect_accepts: usize,
 ) -> std::io::Result<TcpTransport<M>> {
@@ -728,13 +1108,43 @@ pub(crate) fn replica_transport<M: Codec>(
         conns.push(TcpTransport::<M>::dial(me, peer, addr)?);
     }
     for _ in 0..expect_accepts {
-        conns.push(TcpTransport::<M>::accept(listener)?);
+        conns.push(TcpTransport::<M>::accept(&listener)?);
     }
-    Ok(TcpTransport::new(conns))
+    let dial_addrs: BTreeMap<NodeId, SocketAddr> = lower.iter().copied().collect();
+    Ok(TcpTransport::new(me, conns, dial_addrs, Some(listener)))
+}
+
+/// Builds the transport of a replica *rejoining* a running cluster
+/// (restart after a crash): rebind the replica's original address, and
+/// connect nothing up front — lower-numbered peers start in backoff
+/// (redialed by the maintenance pass), higher-numbered peers and
+/// clients redial this listener when their own dead-link backoff fires.
+/// The bind itself is retried briefly: the dying instance's listener
+/// may take a moment to release the port.
+pub(crate) fn rejoin_replica_transport<M: Codec>(
+    me: NodeId,
+    addr: SocketAddr,
+    lower: &[(NodeId, SocketAddr)],
+) -> std::io::Result<TcpTransport<M>> {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let listener = loop {
+        match TcpListener::bind(addr) {
+            Ok(l) => break l,
+            Err(e) if Instant::now() >= deadline => return Err(e),
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    };
+    let dial_addrs: BTreeMap<NodeId, SocketAddr> = lower.iter().copied().collect();
+    Ok(TcpTransport::new(
+        me,
+        Vec::new(),
+        dial_addrs,
+        Some(listener),
+    ))
 }
 
 /// Builds a client-side transport (clients and the control endpoint):
-/// dial every replica.
+/// dial every replica. Clients own redial for all their links.
 pub(crate) fn client_transport<M: Codec>(
     me: NodeId,
     replicas: &[(NodeId, SocketAddr)],
@@ -743,5 +1153,6 @@ pub(crate) fn client_transport<M: Codec>(
     for &(peer, addr) in replicas {
         conns.push(TcpTransport::<M>::dial(me, peer, addr)?);
     }
-    Ok(TcpTransport::new(conns))
+    let dial_addrs: BTreeMap<NodeId, SocketAddr> = replicas.iter().copied().collect();
+    Ok(TcpTransport::new(me, conns, dial_addrs, None))
 }
