@@ -157,6 +157,15 @@ impl<V: Clone + PartialEq + std::fmt::Debug> QuorumLearner<V> {
         }
         n
     }
+
+    /// Drops chosen values and pending votes below `floor` (agreed
+    /// truncation: everything below is decided, applied and covered by a
+    /// snapshot). Callers must stop feeding below-floor votes afterwards,
+    /// or a truncated instance could gather a quorum a second time.
+    pub fn truncate(&mut self, floor: Instance) {
+        self.votes = self.votes.split_off(&floor);
+        self.chosen = self.chosen.split_off(&floor);
+    }
 }
 
 impl<V: Clone + PartialEq + std::fmt::Debug> Default for QuorumLearner<V> {
@@ -263,6 +272,11 @@ pub struct BasicPaxosNode {
     queue: VecDeque<Command>,
     acceptors: BTreeMap<Instance, InstanceAcceptor<Command>>,
     learner: QuorumLearner<Command>,
+    /// Agreed-truncation floor: per-instance state below it is dropped
+    /// and below-floor prepares/accepts/learns are ignored (the single
+    /// fixed proposer never revisits an instance it has seen decided, so
+    /// silent refusal cannot lose a value).
+    trunc_floor: Instance,
     /// Requests this node received directly from clients, for reply
     /// routing.
     my_clients: BTreeSet<(NodeId, u64)>,
@@ -285,6 +299,7 @@ impl BasicPaxosNode {
             queue: VecDeque::new(),
             acceptors: BTreeMap::new(),
             learner: QuorumLearner::new(),
+            trunc_floor: 0,
             my_clients: BTreeSet::new(),
             tick_period: Self::DEFAULT_TICK,
         }
@@ -402,6 +417,11 @@ impl BasicPaxosNode {
         cmd: Command,
         out: &mut Outbox<Msg>,
     ) {
+        if inst < self.trunc_floor {
+            // The instance is already applied and snapshotted; counting a
+            // stale vote could re-choose it.
+            return;
+        }
         let quorum = self.cfg.majority();
         if let Some(chosen) = self.learner.on_learn(inst, from, bal, cmd, quorum) {
             let id = chosen.id();
@@ -457,6 +477,11 @@ impl Protocol for BasicPaxosNode {
                 }
             }
             Msg::Prepare { inst, bal } => {
+                if inst < self.trunc_floor {
+                    // A delayed phase 1 for a truncated (hence decided
+                    // and applied) instance.
+                    return;
+                }
                 let acc = self
                     .acceptors
                     .entry(inst)
@@ -490,6 +515,10 @@ impl Protocol for BasicPaxosNode {
                 }
             }
             Msg::Accept { inst, bal, cmd } => {
+                if inst < self.trunc_floor {
+                    // A delayed phase 2 for a truncated instance.
+                    return;
+                }
                 let acc = self
                     .acceptors
                     .entry(inst)
@@ -560,6 +589,23 @@ impl Protocol for BasicPaxosNode {
 
     fn leader_hint(&self) -> Option<NodeId> {
         Some(self.proposer_node)
+    }
+
+    fn truncate(&mut self, watermark: Instance) {
+        if watermark <= self.trunc_floor {
+            return;
+        }
+        self.trunc_floor = watermark;
+        // By the time a Truncate at `watermark` applies here, every
+        // instance below it is decided, so the proposer bookkeeping for
+        // those instances is already gone (removed on learn). Re-advocate
+        // defensively if any survives; the RSM session layer deduplicates.
+        let keep = self.proposing.split_off(&watermark);
+        let orphans = std::mem::replace(&mut self.proposing, keep);
+        self.queue.extend(orphans.into_values().map(|p| p.cmd));
+        self.acceptors = self.acceptors.split_off(&watermark);
+        self.learner.truncate(watermark);
+        self.next_instance = self.next_instance.max(watermark);
     }
 }
 

@@ -394,6 +394,18 @@ pub struct EngineStats {
     pub txn_vote_aborts: u64,
     /// High-water mark of the lock-wait queue depth.
     pub txn_wait_depth: usize,
+    /// Decided-but-unappliable commands buffered above an apply gap
+    /// (see [`Applier::gap_backlog`]). A persistently non-zero backlog
+    /// means this replica is missing a prefix — after an agreed
+    /// truncation it can only catch up via snapshot install.
+    pub gap_backlog: usize,
+    /// Retained applied-log suffix length (since the last truncation).
+    pub applied_log_len: usize,
+    /// Cached at-most-once outputs (bounded at one per live client).
+    pub outputs_len: usize,
+    /// Finished-transaction outcomes retained by the state machine
+    /// (bounded per coordinator by [`crate::kv::FINISHED_WINDOW`]).
+    pub finished_len: usize,
 }
 
 impl EngineStats {
@@ -424,6 +436,12 @@ impl EngineStats {
         self.txn_busy_rejects += other.txn_busy_rejects;
         self.txn_vote_aborts += other.txn_vote_aborts;
         self.txn_wait_depth = self.txn_wait_depth.max(other.txn_wait_depth);
+        // Shards hold disjoint logs, gap buffers and outcome tables, so
+        // the aggregate sizes are the sums.
+        self.gap_backlog += other.gap_backlog;
+        self.applied_log_len += other.applied_log_len;
+        self.outputs_len += other.outputs_len;
+        self.finished_len += other.finished_len;
     }
 }
 
@@ -918,6 +936,10 @@ impl<P: Protocol, S: StateMachine> ReplicaEngine<P, S> {
         s.txn_busy_rejects = t.busy_rejects;
         s.txn_vote_aborts = t.vote_aborts;
         s.txn_wait_depth = t.wait_depth;
+        s.finished_len = t.finished_len;
+        s.gap_backlog = self.applier.gap_backlog();
+        s.applied_log_len = self.applier.applied_log().len();
+        s.outputs_len = self.applier.outputs_len();
         s
     }
 
@@ -1189,7 +1211,17 @@ impl<P: Protocol, S: StateMachine> ReplicaEngine<P, S> {
                     // The applier independently rejects a re-decided
                     // instance with a different command, so safety
                     // checking does not depend on the history log.
+                    let base_before = self.applier.log_base();
                     self.applier.on_decided(instance, cmd.clone());
+                    let base_after = self.applier.log_base();
+                    if base_after > base_before {
+                        // An agreed Op::Truncate (possibly inside a
+                        // batch) applied: drop protocol learner/acceptor
+                        // state and the engine's own commit history below
+                        // the new base.
+                        self.node.truncate(base_after);
+                        self.commits = self.commits.split_off(&base_after);
+                    }
                     // A committed batch that *this* engine advocated fans
                     // back out into per-client replies, exactly once (a
                     // re-decided batch finds its inflight entry gone).
@@ -1300,6 +1332,34 @@ impl<P: Protocol, S: StateMachine> ReplicaEngine<P, S> {
     /// Whether this replica is currently blocked.
     pub fn is_blocked(&self) -> bool {
         self.blocked
+    }
+
+    // ----------------------------------------------------------------
+    // Snapshots & catch-up (see `Applier::snapshot`).
+    // ----------------------------------------------------------------
+
+    /// Captures this replica's applied prefix as an installable snapshot
+    /// (state machine + session table at the current apply watermark).
+    pub fn snapshot(&self) -> crate::rsm::ApplierSnapshot<S> {
+        self.applier.snapshot()
+    }
+
+    /// Installs a peer's snapshot, fast-forwarding the applier *and* the
+    /// protocol past its watermark. Returns `false` (and changes
+    /// nothing) if the snapshot is at or below what this replica already
+    /// applied.
+    pub fn install_snapshot(&mut self, snap: crate::rsm::ApplierSnapshot<S>) -> bool {
+        let watermark = snap.watermark;
+        if !self.applier.install_snapshot(snap) {
+            return false;
+        }
+        self.node.truncate(watermark);
+        self.commits = self.commits.split_off(&watermark);
+        // Drop replies parked for instances the snapshot covers: their
+        // clients re-send, and the retry is answered from the installed
+        // session table (at-most-once) instead of re-applying.
+        self.deferred.retain(|&(_, _, inst)| inst >= watermark);
+        true
     }
 
     // ----------------------------------------------------------------

@@ -9,7 +9,7 @@ use std::collections::BTreeMap;
 
 use crate::rsm::{StateMachine, TxnStats};
 use crate::txn::TxnStatus;
-use crate::types::{Op, TxnId, TxnVote, TxnWrites};
+use crate::types::{NodeId, Op, TxnId, TxnVote, TxnWrites};
 
 /// Capacity of the per-shard lock-wait queue: a conflicting prepare
 /// beyond this parks nowhere and is turned away with [`TxnVote::Busy`].
@@ -17,6 +17,15 @@ use crate::types::{Op, TxnId, TxnVote, TxnWrites};
 /// state in the replicated store (every entry pins its write set until
 /// granted or finished).
 pub const MAX_PARKED: usize = 32;
+
+/// How many finished-transaction outcomes the store retains per
+/// coordinator before GC'ing the oldest. A coordinator runs its
+/// transactions sequentially (seq n+1 starts only after n's outcome),
+/// so by the time seq n finishes, no correct participant or recovery
+/// can still be asking about seqs ≤ n − `FINISHED_WINDOW`; those
+/// entries only served to keep stale duplicates idempotent, which the
+/// per-coordinator floor now does in O(1) space.
+pub const FINISHED_WINDOW: u64 = 64;
 
 /// Deterministic in-memory key/value store.
 ///
@@ -68,12 +77,46 @@ pub struct KvStore {
     parked: Vec<(TxnId, TxnWrites)>,
     /// Finished transactions (`true` = committed), so late or duplicate
     /// phase commands stay idempotent and recovery can query the
-    /// outcome. Grows with the transaction count — acceptable for this
-    /// reproduction's bounded runs; a production store would checkpoint
-    /// it.
+    /// outcome. Bounded: outcomes older than [`FINISHED_WINDOW`] seqs
+    /// behind their coordinator's newest are GC'd, with
+    /// [`Self::finished_floor`] preserving the "a finished transaction
+    /// can never re-lock" invariant for the dropped prefix.
     finished: BTreeMap<TxnId, bool>,
+    /// Per-coordinator GC floor over `finished`: every seq **below**
+    /// the recorded value is known finished but its outcome has been
+    /// dropped. Prepares below the floor are refused with a hard no
+    /// (they can never re-lock); outcome replays below it echo without
+    /// re-recording. O(coordinators), never GC'd itself.
+    finished_floor: BTreeMap<NodeId, u64>,
     /// Prepare-traffic counters (see [`TxnStats`]).
     txn_stats: TxnStats,
+}
+
+/// Serializable image of a [`KvStore`] (see [`StateMachine::Snapshot`]):
+/// the map **plus** the in-flight 2PC participant state — staged
+/// fragments (locks are rebuilt from them on install), parked waiters,
+/// the retained finished-outcome window and its GC floors — so a replica
+/// that catches up by snapshot can still vote, grant and recover
+/// transactions whose lock window straddles the snapshot boundary.
+/// Observability counters ride along so an installed replica reports
+/// sensible totals; `TxnStats` stays local (it meters this node's own
+/// prepare traffic, not replicated state).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct KvSnapshot {
+    /// The key/value entries, in key order.
+    pub map: Vec<(u64, u64)>,
+    /// Applied-write counter at the watermark.
+    pub writes: u64,
+    /// Applied-read counter at the watermark.
+    pub reads: u64,
+    /// Prepared transactions: fragment staged, outcome pending.
+    pub staged: Vec<(TxnId, TxnWrites)>,
+    /// The lock-wait queue, in arrival order.
+    pub parked: Vec<(TxnId, TxnWrites)>,
+    /// Retained finished-transaction outcomes (`true` = committed).
+    pub finished: Vec<(TxnId, bool)>,
+    /// Per-coordinator finished-outcome GC floors (exclusive).
+    pub finished_floor: Vec<(NodeId, u64)>,
 }
 
 impl KvStore {
@@ -138,6 +181,12 @@ impl KvStore {
     /// answers through this same method but only *after* the log has
     /// ordered the probe behind every earlier decision (see
     /// [`crate::txn::recover_outcome`]'s freshness contract).
+    ///
+    /// A transaction whose outcome was GC'd (below the per-coordinator
+    /// [`FINISHED_WINDOW`] floor) reports `Unknown`: its coordinator ran
+    /// ≥ `FINISHED_WINDOW` later transactions since, so no recovery can
+    /// still be pending for it — and even a stale probe's abort decision
+    /// is harmless, because prepares below the floor can never re-lock.
     pub fn txn_status(&self, txn: TxnId) -> TxnStatus {
         if self.staged.contains_key(&txn) {
             TxnStatus::Prepared
@@ -157,6 +206,14 @@ impl KvStore {
     /// it away retryably otherwise ([`TxnVote::Busy`]). A hard no
     /// ([`TxnVote::Abort`]) only ever echoes an already-recorded abort.
     fn prepare(&mut self, txn: TxnId, writes: &TxnWrites) -> u64 {
+        // Below the GC floor the transaction is certainly finished but
+        // its outcome is gone: still never re-lock — answer a hard no,
+        // which takes no locks and stages nothing. Only a hopelessly
+        // stale duplicate (≥ FINISHED_WINDOW transactions behind its
+        // own coordinator) can land here.
+        if txn.seq < self.floor_of(txn.coordinator) {
+            return TxnVote::Abort.as_output();
+        }
         // A finished transaction can never re-enter its lock window: a
         // late or re-decided prepare echoes the recorded outcome.
         if let Some(&committed) = self.finished.get(&txn) {
@@ -208,6 +265,17 @@ impl KvStore {
     /// prepare whose keys are now free, in arrival order — the granted
     /// coordinator collects its yes vote on the next re-probe.
     fn finish(&mut self, txn: TxnId, commit: bool) -> u64 {
+        // A replay below the GC floor: the outcome was recorded and
+        // dropped. Echo the requested direction (the coordinator only
+        // ever resends the outcome it decided) without resurrecting a
+        // map entry below the floor.
+        if txn.seq < self.floor_of(txn.coordinator) {
+            return if commit {
+                TxnVote::Commit.as_output()
+            } else {
+                TxnVote::Abort.as_output()
+            };
+        }
         // An outcome reaching a transaction still parked (its
         // coordinator gave up waiting, or crashed and was recovered to
         // abort) must purge the queue entry: a later grant would re-lock
@@ -224,10 +292,44 @@ impl KvStore {
             self.grant_parked();
         }
         let recorded = *self.finished.entry(txn).or_insert(commit);
+        self.gc_finished(txn.coordinator);
         if recorded {
             TxnVote::Commit.as_output()
         } else {
             TxnVote::Abort.as_output()
+        }
+    }
+
+    /// The exclusive finished-outcome GC floor for `coordinator`: seqs
+    /// below it are finished with their outcome dropped.
+    fn floor_of(&self, coordinator: NodeId) -> u64 {
+        self.finished_floor.get(&coordinator).copied().unwrap_or(0)
+    }
+
+    /// Advances `coordinator`'s GC floor so at most [`FINISHED_WINDOW`]
+    /// outcomes stay recorded for it, and drops the entries below. The
+    /// floor chases the coordinator's *newest* finished seq, so one
+    /// sequential coordinator holds a sliding window regardless of how
+    /// many transactions it has ever run.
+    fn gc_finished(&mut self, coordinator: NodeId) {
+        let newest = self
+            .finished
+            .range(TxnId::new(coordinator, 0)..=TxnId::new(coordinator, u64::MAX))
+            .next_back()
+            .map(|(t, _)| t.seq);
+        let Some(newest) = newest else { return };
+        let floor = (newest + 1).saturating_sub(FINISHED_WINDOW);
+        if floor <= self.floor_of(coordinator) {
+            return;
+        }
+        self.finished_floor.insert(coordinator, floor);
+        let stale: Vec<TxnId> = self
+            .finished
+            .range(TxnId::new(coordinator, 0)..TxnId::new(coordinator, floor))
+            .map(|(&t, _)| t)
+            .collect();
+        for t in stale {
+            self.finished.remove(&t);
         }
     }
 
@@ -268,6 +370,12 @@ impl KvStore {
         self.parked.len()
     }
 
+    /// Number of retained finished-transaction outcomes (RSS proxy:
+    /// bounded by coordinators × [`FINISHED_WINDOW`] under GC).
+    pub fn finished_len(&self) -> usize {
+        self.finished.len()
+    }
+
     /// A digest of the full contents, for cheap cross-replica equality
     /// checks in tests (FNV-1a over the sorted entries).
     pub fn digest(&self) -> u64 {
@@ -293,8 +401,42 @@ impl StateMachine for KvStore {
     /// status ([`TxnStatus::as_output`]).
     type Output = Option<u64>;
 
+    type Snapshot = KvSnapshot;
+
     fn txn_stats(&self) -> TxnStats {
-        self.txn_stats
+        TxnStats {
+            finished_len: self.finished.len(),
+            ..self.txn_stats
+        }
+    }
+
+    fn snapshot(&self) -> KvSnapshot {
+        KvSnapshot {
+            map: self.map.iter().map(|(&k, &v)| (k, v)).collect(),
+            writes: self.writes,
+            reads: self.reads,
+            staged: self.staged.iter().map(|(&t, w)| (t, w.clone())).collect(),
+            parked: self.parked.clone(),
+            finished: self.finished.iter().map(|(&t, &c)| (t, c)).collect(),
+            finished_floor: self.finished_floor.iter().map(|(&c, &f)| (c, f)).collect(),
+        }
+    }
+
+    fn install(&mut self, snap: KvSnapshot) {
+        self.map = snap.map.into_iter().collect();
+        self.writes = snap.writes;
+        self.reads = snap.reads;
+        self.staged = snap.staged.into_iter().collect();
+        // Locks are exactly the keys of staged fragments — rebuild
+        // rather than ship them.
+        self.locks = self
+            .staged
+            .iter()
+            .flat_map(|(&txn, writes)| writes.iter().map(move |&(key, _)| (key, txn)))
+            .collect();
+        self.parked = snap.parked;
+        self.finished = snap.finished.into_iter().collect();
+        self.finished_floor = snap.finished_floor.into_iter().collect();
     }
 
     fn apply(&mut self, op: Op) -> Self::Output {
@@ -328,6 +470,10 @@ impl StateMachine for KvStore {
                 self.reads += 1;
                 Some(self.txn_status(txn).as_output())
             }
+            // Truncation is log bookkeeping: the Applier drops its
+            // retained prefix when this applies; the store itself has
+            // nothing to do.
+            Op::Truncate { .. } => None,
             // The RSM layer unpacks batches into per-command applications
             // before they reach any state machine.
             Op::Batch(_) => unreachable!("Op::Batch must be unpacked by the Applier"),

@@ -83,6 +83,11 @@ pub struct MenciusNode {
     accepted: BTreeMap<Instance, Command>,
     learner: QuorumLearner<Command>,
     watermark: Instance,
+    /// Agreed-truncation floor: per-slot state below it is dropped and
+    /// below-floor accepts/learns are ignored (each slot has a unique
+    /// owner that never re-proposes it, so silent refusal cannot lose a
+    /// value).
+    trunc_floor: Instance,
     my_clients: BTreeSet<(NodeId, u64)>,
     decided_ids: BTreeMap<(NodeId, u64), Instance>,
     /// Skips this node has proposed (for tests/metrics).
@@ -107,6 +112,7 @@ impl MenciusNode {
             accepted: BTreeMap::new(),
             learner: QuorumLearner::new(),
             watermark: 0,
+            trunc_floor: 0,
             my_clients: BTreeSet::new(),
             decided_ids: BTreeMap::new(),
             skips_proposed: 0,
@@ -171,6 +177,11 @@ impl MenciusNode {
     }
 
     fn on_learn_vote(&mut self, from: NodeId, inst: Instance, cmd: Command, out: &mut Outbox<Msg>) {
+        if inst < self.trunc_floor {
+            // The slot is already applied and snapshotted; counting a
+            // stale vote could re-choose it.
+            return;
+        }
         let quorum = self.cfg.majority();
         let bal = self.slot_ballot(inst);
         if let Some(chosen) = self.learner.on_learn(inst, from, bal, cmd, quorum) {
@@ -216,6 +227,11 @@ impl Protocol for MenciusNode {
                 if from != self.owner(inst) {
                     return;
                 }
+                if inst < self.trunc_floor {
+                    // A delayed proposal for a truncated (hence decided
+                    // and applied) slot.
+                    return;
+                }
                 self.max_seen = self.max_seen.max(inst);
                 self.accept_locally(inst, cmd, out);
             }
@@ -259,6 +275,27 @@ impl Protocol for MenciusNode {
 
     fn leader_hint(&self) -> Option<NodeId> {
         Some(self.me())
+    }
+
+    fn truncate(&mut self, watermark: Instance) {
+        if watermark <= self.trunc_floor {
+            return;
+        }
+        self.trunc_floor = watermark;
+        self.accepted = self.accepted.split_off(&watermark);
+        self.learner.truncate(watermark);
+        self.decided_ids.retain(|_, &mut inst| inst >= watermark);
+        self.watermark = self.watermark.max(watermark);
+        while self.learner.chosen(self.watermark).is_some() {
+            self.watermark += 1;
+        }
+        self.max_seen = self.max_seen.max(watermark);
+        // Keep `next_own` on this node's slot residue while jumping past
+        // the floor (all own slots below it are decided, hence proposed).
+        let n = self.cfg.len() as Instance;
+        while self.next_own < watermark {
+            self.next_own += n;
+        }
     }
 }
 

@@ -81,6 +81,15 @@ pub enum Msg {
         /// The leader's ballot.
         bal: Ballot,
     },
+    /// Refusal of a `Prepare`/`Accept` that reaches below the acceptor's
+    /// agreed-truncation floor: everything below `floor` is decided,
+    /// applied and covered by a snapshot, so the acceptor no longer holds
+    /// (or re-decides) per-instance state there. The stale sender
+    /// fast-forwards and relies on snapshot install for the gap.
+    Truncated {
+        /// The acceptor's truncation floor.
+        floor: Instance,
+    },
 }
 
 /// Timing knobs (tick period and leader-suspicion timeout).
@@ -143,6 +152,12 @@ pub struct MultiPaxosNode {
     decided_ids: BTreeMap<(NodeId, u64), Instance>,
     /// Contiguous chosen prefix (next instance expected to be decided).
     watermark: Instance,
+    /// Agreed-truncation floor: per-instance state below it is dropped
+    /// and the acceptor refuses prepares/accepts reaching below it. This
+    /// keeps a lagging candidate whose prepare quorum is entirely
+    /// truncated acceptors from re-filling an already-decided (and
+    /// already-applied) slot with a no-op.
+    trunc_floor: Instance,
     /// Proposer.
     leading: bool,
     leader: Option<NodeId>,
@@ -178,6 +193,7 @@ impl MultiPaxosNode {
             learner: QuorumLearner::new(),
             decided_ids: BTreeMap::new(),
             watermark: 0,
+            trunc_floor: 0,
             leading,
             leader: Some(leader),
             next_instance: 0,
@@ -259,6 +275,11 @@ impl MultiPaxosNode {
         cmd: Command,
         out: &mut Outbox<Msg>,
     ) {
+        if inst < self.trunc_floor {
+            // Stale vote for a slot that is already applied and
+            // snapshotted; counting it could re-choose the slot.
+            return;
+        }
         let quorum = self.cfg.majority();
         if let Some(chosen) = self.learner.on_learn(inst, from, bal, cmd, quorum) {
             let id = chosen.id();
@@ -393,6 +414,35 @@ impl MultiPaxosNode {
             None => true,
         }
     }
+
+    /// Drops all per-instance state below `watermark` and fast-forwards
+    /// past it. Reached when the engine applies an [`Op::Truncate`]
+    /// locally, or when a peer acceptor reports its floor
+    /// ([`Msg::Truncated`]) to this stale proposer. Proposals pinned below
+    /// the floor that are not known decided are re-advocated in fresh
+    /// instances; the RSM session layer deduplicates.
+    fn apply_truncate(&mut self, watermark: Instance) {
+        if watermark <= self.trunc_floor {
+            return;
+        }
+        self.trunc_floor = watermark;
+        // Re-advocate pinned-but-undecided proposals from truncated slots
+        // *before* pruning the dedup map that filters them.
+        let keep = self.proposed.split_off(&watermark);
+        let orphans: Vec<Command> = std::mem::replace(&mut self.proposed, keep)
+            .into_values()
+            .filter(|c| !self.decided_ids.contains_key(&c.id()))
+            .collect();
+        self.queue.extend(orphans);
+        self.accepted = self.accepted.split_off(&watermark);
+        self.learner.truncate(watermark);
+        self.decided_ids.retain(|_, &mut inst| inst >= watermark);
+        self.watermark = self.watermark.max(watermark);
+        while self.learner.chosen(self.watermark).is_some() {
+            self.watermark += 1;
+        }
+        self.next_instance = self.next_instance.max(watermark);
+    }
 }
 
 impl Protocol for MultiPaxosNode {
@@ -424,6 +474,20 @@ impl Protocol for MultiPaxosNode {
                 }
             }
             Msg::Prepare { bal, from_inst } => {
+                if from_inst < self.trunc_floor {
+                    // Our accepted suffix no longer covers [from_inst,
+                    // floor): promising would hide possibly-decided values
+                    // from the candidate, letting it fill those slots with
+                    // no-ops. Refuse; the candidate fast-forwards and
+                    // retries from the floor.
+                    out.send(
+                        from,
+                        Msg::Truncated {
+                            floor: self.trunc_floor,
+                        },
+                    );
+                    return;
+                }
                 if bal > self.promised {
                     self.promised = bal;
                     if self.leading || self.electing.is_some() {
@@ -450,6 +514,17 @@ impl Protocol for MultiPaxosNode {
                 }
             }
             Msg::Accept { bal, inst, cmd } => {
+                if inst < self.trunc_floor {
+                    // The slot is decided, applied and snapshotted;
+                    // accepting could let a stale leader re-decide it.
+                    out.send(
+                        from,
+                        Msg::Truncated {
+                            floor: self.trunc_floor,
+                        },
+                    );
+                    return;
+                }
                 if bal >= self.promised {
                     if self.leading && from != self.me() {
                         self.step_down(bal);
@@ -476,6 +551,23 @@ impl Protocol for MultiPaxosNode {
                     }
                     self.promised = bal;
                     self.leader = Some(from);
+                }
+            }
+            Msg::Truncated { floor } => {
+                // We reached below a peer's truncation floor: we are
+                // behind an agreed truncation. Fast-forward; the engine's
+                // gap-backlog trigger fetches a snapshot for the gap.
+                self.apply_truncate(floor);
+                if self.electing.is_some() {
+                    // The election was anchored below the floor; abandon
+                    // it and let the tick restart from the new watermark.
+                    self.electing = None;
+                } else if self.leading {
+                    // Orphaned proposals were re-queued; re-advocate them
+                    // in fresh instances above the floor.
+                    for cmd in std::mem::take(&mut self.queue) {
+                        self.propose(cmd, out);
+                    }
                 }
             }
         }
@@ -562,6 +654,10 @@ impl Protocol for MultiPaxosNode {
 
     fn leader_hint(&self) -> Option<NodeId> {
         self.leader
+    }
+
+    fn truncate(&mut self, watermark: Instance) {
+        self.apply_truncate(watermark);
     }
 }
 

@@ -2,7 +2,7 @@
 //! in this crate (1Paxos, Multi-Paxos, Basic-Paxos, 2PC).
 
 use crate::outbox::{Outbox, Timer};
-use crate::types::{Nanos, NodeId, Op};
+use crate::types::{Instance, Nanos, NodeId, Op};
 
 /// A deterministic, event-driven agreement protocol node.
 ///
@@ -69,6 +69,15 @@ pub trait Protocol {
         let _ = key;
         false
     }
+
+    /// An agreed truncation ([`Op::Truncate`]) applied at this node:
+    /// every instance below `watermark` is decided, applied and covered
+    /// by the replica's snapshot, so per-instance protocol state below
+    /// it (learned values, acceptor votes, proposer bookkeeping) may be
+    /// dropped. Protocols without per-instance history ignore it.
+    fn truncate(&mut self, watermark: Instance) {
+        let _ = watermark;
+    }
 }
 
 /// Convenience: a boxed protocol is also a protocol (enables heterogeneous
@@ -123,5 +132,9 @@ impl<P: Protocol + ?Sized> Protocol for Box<P> {
 
     fn can_read_locally(&self, key: u64) -> bool {
         (**self).can_read_locally(key)
+    }
+
+    fn truncate(&mut self, watermark: Instance) {
+        (**self).truncate(watermark)
     }
 }

@@ -27,8 +27,24 @@ pub trait StateMachine {
     /// Output of applying one operation (e.g. the value read).
     type Output: Clone + std::fmt::Debug;
 
+    /// Serializable image of the full state at an instance watermark,
+    /// sufficient to rebuild an equivalent machine on another replica
+    /// ([`Self::install`]). For a 2PC participant this must cover the
+    /// in-flight transaction state too (staged fragments, locks, parked
+    /// waiters, recorded outcomes), or recovery breaks across a
+    /// snapshot boundary.
+    type Snapshot: Clone + std::fmt::Debug;
+
     /// Applies `op` and returns its output. Must be deterministic.
     fn apply(&mut self, op: Op) -> Self::Output;
+
+    /// Captures the current state as a snapshot.
+    fn snapshot(&self) -> Self::Snapshot;
+
+    /// Replaces the current state with `snap`. After installing the
+    /// snapshot a peer took at watermark `w`, applying the decided log
+    /// from `w` onward must yield the same state the peer reaches.
+    fn install(&mut self, snap: Self::Snapshot);
 
     /// Transaction-participant counters, for engine stats attribution
     /// (see [`TxnStats`]). State machines that are not 2PC participants
@@ -60,6 +76,10 @@ pub struct TxnStats {
     pub vote_aborts: u64,
     /// High-water mark of the lock-wait queue depth.
     pub wait_depth: usize,
+    /// Current size of the finished-transaction outcome table — an
+    /// RSS proxy: with per-coordinator GC it must stay O(coordinators ×
+    /// window) instead of growing with the transaction count.
+    pub finished_len: usize,
 }
 
 impl TxnStats {
@@ -72,6 +92,9 @@ impl TxnStats {
         self.busy_rejects += other.busy_rejects;
         self.vote_aborts += other.vote_aborts;
         self.wait_depth = self.wait_depth.max(other.wait_depth);
+        // Shards hold disjoint outcome tables, so the aggregate size is
+        // the sum.
+        self.finished_len += other.finished_len;
     }
 }
 
@@ -98,15 +121,49 @@ pub struct Applier<S: StateMachine> {
     state: S,
     /// Next instance to apply; everything below has been applied.
     next: Instance,
+    /// First instance still retained in `applied_log`: everything below
+    /// it was dropped by an agreed [`Op::Truncate`] (or never replayed
+    /// here because a snapshot at this watermark was installed).
+    log_base: Instance,
     /// Decided but not yet applicable (gap before them).
     pending: BTreeMap<Instance, Command>,
     /// Highest applied req_id per client plus its output, for dedup and
     /// reply re-delivery.
     sessions: BTreeMap<NodeId, (u64, S::Output)>,
-    /// Output of every applied (client, req_id), retained for reply lookup.
+    /// Output of the **latest** applied request per client, keyed by
+    /// `(client, req_id)` for reply lookup. Bounded to one entry per
+    /// client: the at-most-once session protocol means a client never
+    /// asks about a request older than its newest, so retaining every
+    /// reply ever produced was a pure leak.
     outputs: BTreeMap<(NodeId, u64), S::Output>,
-    /// Full applied log, for cross-replica consistency checking in tests.
+    /// Applied command log from `log_base` up (cross-replica
+    /// consistency checks, duplicate-decision verification).
     applied_log: Vec<Command>,
+}
+
+/// Everything a replica needs to adopt a peer's applied prefix without
+/// replaying it: the state-machine image plus the at-most-once session
+/// table, both taken at `watermark` (see [`Applier::snapshot`]).
+#[derive(Debug)]
+pub struct ApplierSnapshot<S: StateMachine> {
+    /// First instance NOT covered: the installer resumes applying here.
+    pub watermark: Instance,
+    /// The state machine's own image.
+    pub state: S::Snapshot,
+    /// The session table: highest applied req_id and its output per
+    /// client. Without it an installer would re-apply client retries
+    /// the snapshotting replica already executed.
+    pub sessions: Vec<(NodeId, (u64, S::Output))>,
+}
+
+impl<S: StateMachine> Clone for ApplierSnapshot<S> {
+    fn clone(&self) -> Self {
+        ApplierSnapshot {
+            watermark: self.watermark,
+            state: self.state.clone(),
+            sessions: self.sessions.clone(),
+        }
+    }
 }
 
 impl<S: StateMachine> Applier<S> {
@@ -115,6 +172,7 @@ impl<S: StateMachine> Applier<S> {
         Applier {
             state,
             next: 0,
+            log_base: 0,
             pending: BTreeMap::new(),
             sessions: BTreeMap::new(),
             outputs: BTreeMap::new(),
@@ -128,17 +186,23 @@ impl<S: StateMachine> Applier<S> {
     /// Deciding the same instance twice with the same command is idempotent;
     /// with a *different* command it panics, because that is precisely the
     /// consistency violation the protocols must rule out (Appendix B).
+    /// Below the truncation watermark the retained log is gone, so a
+    /// re-decision there is accepted idempotently without the equality
+    /// check (harness-level oracles still verify those).
     ///
     /// # Panics
     ///
-    /// Panics if `instance` was already decided with a different command.
+    /// Panics if `instance` was already decided with a different command
+    /// and is still above the truncation watermark.
     pub fn on_decided(&mut self, instance: Instance, cmd: Command) -> usize {
         if instance < self.next {
-            let prior = &self.applied_log[instance as usize];
-            assert_eq!(
-                *prior, cmd,
-                "consistency violation: instance {instance} decided twice with different commands"
-            );
+            if instance >= self.log_base {
+                let prior = &self.applied_log[(instance - self.log_base) as usize];
+                assert_eq!(
+                    *prior, cmd,
+                    "consistency violation: instance {instance} decided twice with different commands"
+                );
+            }
             return 0;
         }
         if let Some(prior) = self.pending.get(&instance) {
@@ -182,9 +246,68 @@ impl<S: StateMachine> Applier<S> {
             .is_some_and(|&(last, _)| cmd.req_id <= last);
         if !dup {
             let out = self.state.apply(cmd.op.clone());
+            // One retained reply per client: the session protocol makes
+            // req_ids monotone per client, so the previous entry can no
+            // longer be asked for.
+            if let Some(&(prev, _)) = self.sessions.get(&cmd.client) {
+                self.outputs.remove(&(cmd.client, prev));
+            }
             self.sessions.insert(cmd.client, (cmd.req_id, out.clone()));
             self.outputs.insert(cmd.id(), out);
+            // An agreed truncation point: every replica of this shard
+            // applies it at the same instance, so dropping the prefix
+            // here keeps replicas byte-identical.
+            if let Op::Truncate { watermark } = cmd.op {
+                self.truncate(watermark);
+            }
         }
+    }
+
+    /// Drops the retained log below `watermark` (clamped to the applied
+    /// prefix). Invoked by an applied [`Op::Truncate`]; harnesses may
+    /// also call it directly in tests. Returns the new log base.
+    pub fn truncate(&mut self, watermark: Instance) -> Instance {
+        let to = watermark.min(self.next).max(self.log_base);
+        self.applied_log.drain(..(to - self.log_base) as usize);
+        self.log_base = to;
+        to
+    }
+
+    /// Captures the applied prefix `[0, watermark)` as an installable
+    /// snapshot: state-machine image + session table, with
+    /// `watermark = ` the next instance this replica would apply.
+    pub fn snapshot(&self) -> ApplierSnapshot<S> {
+        ApplierSnapshot {
+            watermark: self.next,
+            state: self.state.snapshot(),
+            sessions: self.sessions.iter().map(|(&c, s)| (c, s.clone())).collect(),
+        }
+    }
+
+    /// Adopts a peer's snapshot, replacing local state wholesale, and
+    /// resumes applying at `snap.watermark`. Decided-but-buffered
+    /// commands the snapshot already covers are discarded; later ones
+    /// are kept and applied as the live log catches up past them.
+    ///
+    /// A snapshot at or below what this replica already applied is
+    /// ignored (returns `false`): installing it would rewind the
+    /// session table and re-apply commands.
+    pub fn install_snapshot(&mut self, snap: ApplierSnapshot<S>) -> bool {
+        if snap.watermark <= self.next {
+            return false;
+        }
+        self.state.install(snap.state);
+        self.sessions.clear();
+        self.outputs.clear();
+        for (client, (req_id, out)) in snap.sessions {
+            self.outputs.insert((client, req_id), out.clone());
+            self.sessions.insert(client, (req_id, out));
+        }
+        self.next = snap.watermark;
+        self.log_base = snap.watermark;
+        self.applied_log.clear();
+        self.pending = self.pending.split_off(&snap.watermark);
+        true
     }
 
     /// The wrapped state machine.
@@ -197,15 +320,27 @@ impl<S: StateMachine> Applier<S> {
         self.next.checked_sub(1)
     }
 
-    /// Output recorded for `(client, req_id)`, if that command has been
-    /// applied (first occurrence only).
+    /// Output recorded for `(client, req_id)`, if it is the client's
+    /// latest applied request (older replies are dropped).
     pub fn output_of(&self, client: NodeId, req_id: u64) -> Option<&S::Output> {
         self.outputs.get(&(client, req_id))
     }
 
-    /// The applied command log (for cross-replica consistency checks).
+    /// The retained applied command log, starting at [`Self::log_base`]
+    /// (for cross-replica consistency checks).
     pub fn applied_log(&self) -> &[Command] {
         &self.applied_log
+    }
+
+    /// First instance still present in [`Self::applied_log`].
+    pub fn log_base(&self) -> Instance {
+        self.log_base
+    }
+
+    /// Number of retained reply outputs (RSS proxy; O(clients) by
+    /// construction).
+    pub fn outputs_len(&self) -> usize {
+        self.outputs.len()
     }
 
     /// Number of decided-but-unappliable commands (log gaps ahead of them).
@@ -325,6 +460,34 @@ mod tests {
         assert_eq!(a.output_of(NodeId(2), 1), Some(&Some(30)));
         assert_eq!(a.output_of(NodeId(1), 1), Some(&None));
         assert_eq!(a.output_of(NodeId(3), 1), None);
+    }
+
+    #[test]
+    fn outputs_stay_bounded_by_client_count() {
+        // The unbounded-outputs regression: 10 000 requests from one
+        // client must retain exactly one reply output — the latest per
+        // client — so the map is O(clients), not O(requests).
+        let mut a = Applier::new(KvStore::new());
+        for i in 0..10_000u64 {
+            a.on_decided(
+                i,
+                cmd(
+                    1,
+                    i + 1,
+                    Op::Put {
+                        key: i % 7,
+                        value: i,
+                    },
+                ),
+            );
+        }
+        assert_eq!(a.outputs_len(), 1);
+        // The newest request is still answerable; its predecessor is not.
+        assert!(a.output_of(NodeId(1), 10_000).is_some());
+        assert_eq!(a.output_of(NodeId(1), 9_999), None);
+        // A second client adds exactly one more retained output.
+        a.on_decided(10_000, cmd(2, 1, Op::Get { key: 0 }));
+        assert_eq!(a.outputs_len(), 2);
     }
 
     #[test]

@@ -74,8 +74,8 @@ use crate::engine::{
     BatchConfig, EngineEffect, EngineEvent, EngineStats, LocalRead, ReplicaEngine,
 };
 use crate::protocol::Protocol;
-use crate::rsm::StateMachine;
-use crate::types::{Nanos, NodeId, Op};
+use crate::rsm::{ApplierSnapshot, StateMachine};
+use crate::types::{Instance, Nanos, NodeId, Op};
 
 /// Identifier of one consensus group (shard) inside a sharded deployment.
 ///
@@ -370,6 +370,48 @@ impl<P: Protocol, S: StateMachine> ShardedEngine<P, S> {
         for e in &mut self.shards {
             e.set_batch_seq_floor(floor);
         }
+    }
+
+    /// Proposes an agreed truncation of shard `s` at this replica's
+    /// applied watermark, as an ordinary client command through the
+    /// shard's own log (the same shape as the `Op::TxnStatus` probe).
+    /// Returns the proposed watermark. `client`/`req_id` must follow the
+    /// session rules of any other client (monotone ids per client).
+    pub fn propose_truncate(
+        &mut self,
+        s: ShardId,
+        client: NodeId,
+        req_id: u64,
+        now: Nanos,
+        effects: &mut ShardedEffects<P::Msg, S::Output>,
+    ) -> Instance {
+        let watermark = self.shards[s.index()]
+            .applier()
+            .applied_up_to()
+            .map_or(0, |i| i + 1);
+        self.handle(
+            s,
+            EngineEvent::ClientRequest {
+                client,
+                req_id,
+                op: Op::Truncate { watermark },
+            },
+            now,
+            effects,
+        );
+        watermark
+    }
+
+    /// Captures shard `s`'s applied prefix as an installable snapshot.
+    pub fn snapshot_shard(&self, s: ShardId) -> ApplierSnapshot<S> {
+        self.shards[s.index()].snapshot()
+    }
+
+    /// Installs a peer's snapshot into shard `s` (see
+    /// [`ReplicaEngine::install_snapshot`]). Returns `false` if the
+    /// snapshot is at or below what the shard already applied.
+    pub fn install_shard_snapshot(&mut self, s: ShardId, snap: ApplierSnapshot<S>) -> bool {
+        self.shards[s.index()].install_snapshot(snap)
     }
 
     /// Whether the deployed protocol ever serves reads locally (uniform:

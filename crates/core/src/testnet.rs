@@ -359,6 +359,49 @@ impl<P: Protocol> TestNet<P> {
         self.scratch = effects;
     }
 
+    /// Reboots `id` like [`Self::reset_node`], then immediately installs
+    /// into every shard group a state snapshot taken from the live peer
+    /// `donor` — the snapshot-install catch-up path. The fresh engines
+    /// resume applying from the donor's applied watermark instead of
+    /// replaying (possibly truncated, hence unreplayable) history from
+    /// instance 0, and their protocol nodes fast-forward their truncation
+    /// floors to the same watermark. A donor shard that has applied
+    /// nothing yet contributes nothing (its watermark-0 snapshot is
+    /// rejected by the installer), which leaves that group cold — exactly
+    /// the plain reset behaviour.
+    pub fn reset_node_warm(&mut self, id: NodeId, donor: NodeId, fresh: impl FnMut() -> P) {
+        self.reset_node(id, fresh);
+        for s in 0..self.shards {
+            let snap = self.engines[donor.index()].snapshot_shard(ShardId(s));
+            self.engines[id.index()].install_shard_snapshot(ShardId(s), snap);
+        }
+    }
+
+    /// Proposes an **agreed truncation** through shard `shard`'s own log
+    /// at `target`: an [`Op::Truncate`] at the serving replica's applied
+    /// watermark, submitted as an ordinary client command under
+    /// [`Self::PROBE_CLIENT`]. Once decided and applied, every replica of
+    /// the group drops its applied log, retired outputs and learner state
+    /// below the watermark. Returns the watermark proposed; the caller
+    /// drives delivery ([`Self::run_to_quiescence`] /
+    /// [`Self::advance_and_settle`]) like any other request.
+    pub fn propose_truncate(&mut self, target: NodeId, shard: ShardId) -> Instance {
+        self.probe_reqs += 1;
+        let req_id = self.probe_reqs;
+        let now = self.now;
+        let mut effects = std::mem::take(&mut self.scratch);
+        let watermark = self.engines[target.index()].propose_truncate(
+            shard,
+            Self::PROBE_CLIENT,
+            req_id,
+            now,
+            &mut effects,
+        );
+        self.absorb(target, &mut effects);
+        self.scratch = effects;
+        watermark
+    }
+
     /// Blocks a node: it stops processing messages and timers (a slow
     /// core). Messages addressed to it queue up.
     pub fn block(&mut self, id: NodeId) {

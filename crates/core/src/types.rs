@@ -356,6 +356,20 @@ pub enum Op {
         /// Routing key (any key of this shard's fragment).
         key: u64,
     },
+    /// Log-ordered truncation point for one shard's replicas (the
+    /// "agree on everything" move, like [`Op::TxnStatus`]): once this
+    /// command applies, every replica of the shard has applied the full
+    /// prefix below `watermark` and may drop it — the `Applier`'s
+    /// retained log, stale reply outputs, and the protocol learner's
+    /// per-instance state. Keyless: truncation is per shard group, so
+    /// the submitter addresses the shard directly rather than routing
+    /// by key. The watermark is a *floor* a replica proposes from its
+    /// own applied prefix; because the command is ordered through the
+    /// shard's log, it can only apply after every instance below it.
+    Truncate {
+        /// Drop everything below this instance (exclusive).
+        watermark: Instance,
+    },
 }
 
 impl Op {
@@ -380,7 +394,7 @@ impl Op {
             Op::MultiPut { ref writes } | Op::TxnPrepare { ref writes, .. } => {
                 writes.first().map(|&(key, _)| key)
             }
-            Op::Noop | Op::Batch(_) => None,
+            Op::Noop | Op::Batch(_) | Op::Truncate { .. } => None,
         }
     }
 }

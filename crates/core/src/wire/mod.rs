@@ -57,7 +57,9 @@
 use std::fmt;
 use std::sync::Arc;
 
+use crate::kv::KvSnapshot;
 use crate::onepaxos::{AbandonRe, Msg as OnePaxosMsg, UtilityEntry, UtilityMsg};
+use crate::rsm::{ApplierSnapshot, StateMachine};
 use crate::types::{Ballot, Command, NodeId, Op, TxnId};
 use crate::{basic_paxos, mencius, multipaxos, twopc};
 
@@ -506,6 +508,7 @@ mod op_tag {
     pub const TXN_COMMIT: u8 = 6;
     pub const TXN_ABORT: u8 = 7;
     pub const TXN_STATUS: u8 = 8;
+    pub const TRUNCATE: u8 = 9;
 }
 
 impl Codec for Op {
@@ -549,6 +552,10 @@ impl Codec for Op {
                 txn.encode(buf);
                 key.encode(buf);
             }
+            Op::Truncate { watermark } => {
+                buf.push(op_tag::TRUNCATE);
+                watermark.encode(buf);
+            }
         }
     }
 
@@ -582,6 +589,9 @@ impl Codec for Op {
                 txn: TxnId::decode(r)?,
                 key: u64::decode(r)?,
             },
+            op_tag::TRUNCATE => Op::Truncate {
+                watermark: u64::decode(r)?,
+            },
             tag => return Err(DecodeError::BadTag { what: "Op", tag }),
         })
     }
@@ -598,6 +608,52 @@ impl Codec for Command {
             client: NodeId::decode(r)?,
             req_id: u64::decode(r)?,
             op: Op::decode(r)?,
+        })
+    }
+}
+
+// --------------------------------------------------------------------
+// Snapshots (catch-up transfer)
+// --------------------------------------------------------------------
+
+impl Codec for KvSnapshot {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.map.encode(buf);
+        self.writes.encode(buf);
+        self.reads.encode(buf);
+        self.staged.encode(buf);
+        self.parked.encode(buf);
+        self.finished.encode(buf);
+        self.finished_floor.encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(KvSnapshot {
+            map: Vec::decode(r)?,
+            writes: u64::decode(r)?,
+            reads: u64::decode(r)?,
+            staged: Vec::decode(r)?,
+            parked: Vec::decode(r)?,
+            finished: Vec::decode(r)?,
+            finished_floor: Vec::decode(r)?,
+        })
+    }
+}
+
+impl<S: StateMachine> Codec for ApplierSnapshot<S>
+where
+    S::Snapshot: Codec,
+    S::Output: Codec,
+{
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.watermark.encode(buf);
+        self.state.encode(buf);
+        self.sessions.encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(ApplierSnapshot {
+            watermark: u64::decode(r)?,
+            state: Codec::decode(r)?,
+            sessions: Vec::decode(r)?,
         })
     }
 }
@@ -806,6 +862,10 @@ impl Codec for OnePaxosMsg {
                 buf.push(6);
                 u.encode(buf);
             }
+            OnePaxosMsg::Truncated { floor } => {
+                buf.push(7);
+                floor.encode(buf);
+            }
         }
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
@@ -837,6 +897,9 @@ impl Codec for OnePaxosMsg {
                 cmd: Command::decode(r)?,
             },
             6 => OnePaxosMsg::Utility(UtilityMsg::decode(r)?),
+            7 => OnePaxosMsg::Truncated {
+                floor: u64::decode(r)?,
+            },
             tag => return Err(DecodeError::BadTag { what: "Msg", tag }),
         })
     }
@@ -888,6 +951,10 @@ impl Codec for multipaxos::Msg {
                 buf.push(7);
                 bal.encode(buf);
             }
+            Msg::Truncated { floor } => {
+                buf.push(8);
+                floor.encode(buf);
+            }
         }
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
@@ -922,6 +989,9 @@ impl Codec for multipaxos::Msg {
             },
             7 => Msg::Heartbeat {
                 bal: Ballot::decode(r)?,
+            },
+            8 => Msg::Truncated {
+                floor: u64::decode(r)?,
             },
             tag => {
                 return Err(DecodeError::BadTag {
@@ -1278,6 +1348,9 @@ mod tests {
                 txn: TxnId::new(NodeId(7), 5),
                 key: 7,
             },
+            Op::Truncate {
+                watermark: u64::MAX,
+            },
         ];
         for op in ops {
             round_trip(op);
@@ -1324,6 +1397,7 @@ mod tests {
                     },
                 )],
             }),
+            OnePaxosMsg::Truncated { floor: 4096 },
         ];
         for m in msgs {
             round_trip(m);

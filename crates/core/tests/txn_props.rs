@@ -17,6 +17,10 @@ use proptest::prelude::*;
 
 const KEYSPACE: u64 = 24;
 
+/// A finished transaction as the GC proptest remembers it:
+/// `(id, writes, committed)`.
+type FinishedTxn = (onepaxos::TxnId, Vec<(u64, u64)>, bool);
+
 fn make(m: &[NodeId], me: NodeId) -> TwoPcNode {
     TwoPcNode::new(ClusterConfig::new(m.to_vec(), me))
 }
@@ -238,5 +242,107 @@ proptest! {
             prop_assert_eq!(net.txn_locks(NodeId(n)), 0);
         }
         net.assert_consistent();
+    }
+
+    // ----------------------------------------------------------------
+    // Finished-outcome GC (the bounded `finished` map): under arbitrary
+    // schedules of transactions and replayed prepares — including
+    // prepares of transactions whose outcome has already been GC'd
+    // below the per-coordinator floor — a finished transaction never
+    // re-enters its lock window, and the retained outcome map stays
+    // bounded by coordinators × FINISHED_WINDOW instead of growing with
+    // transaction count.
+    // ----------------------------------------------------------------
+    #[test]
+    fn finished_transactions_never_relock_and_the_outcome_map_stays_bounded(
+        schedule in prop::collection::vec(
+            (any::<bool>(), any::<bool>(), any::<prop::sample::Index>(), any::<bool>()),
+            1..300,
+        ),
+    ) {
+        use onepaxos::kv::{KvStore, FINISHED_WINDOW};
+        use onepaxos::rsm::StateMachine;
+        use onepaxos::{TxnId, TxnVote};
+
+        let coords = [NodeId(50), NodeId(51)];
+        let mut kv = KvStore::new();
+        let mut next_seq = [1u64, 1u64];
+        // Every transaction this schedule finished: (txn, writes, committed).
+        let mut done: Vec<FinishedTxn> = Vec::new();
+
+        for (which, commit, attack, attack_first) in schedule {
+            let c = usize::from(which);
+            let run_attack = |kv: &mut KvStore, done: &[FinishedTxn]| {
+                let Some(&(txn, ref writes, _committed)) = (!done.is_empty())
+                    .then(|| &done[attack.index(done.len())])
+                else {
+                    return Ok(());
+                };
+                // Replayed prepare of a finished transaction (possibly
+                // below the GC floor): must echo an outcome, never park,
+                // never stage, never take a lock.
+                let vote = kv
+                    .apply(Op::TxnPrepare { txn, writes: writes.clone().into() })
+                    .and_then(TxnVote::from_output);
+                prop_assert!(
+                    matches!(vote, Some(TxnVote::Commit) | Some(TxnVote::Abort)),
+                    "replayed prepare of finished {txn:?} answered {vote:?}"
+                );
+                prop_assert!(
+                    kv.txn_status(txn) != TxnStatus::Prepared,
+                    "finished transaction re-entered its lock window"
+                );
+                Ok(())
+            };
+
+            if attack_first {
+                run_attack(&mut kv, &done)?;
+            }
+            // A fresh transaction: prepare, then immediately finish, so
+            // no locks outlive a schedule step (every later lock
+            // observation isolates the replay's effect).
+            let txn = TxnId::new(coords[c], next_seq[c]);
+            next_seq[c] += 1;
+            let writes = vec![(txn.seq % 8, txn.seq * 10 + c as u64)];
+            let vote = kv
+                .apply(Op::TxnPrepare { txn, writes: writes.clone().into() })
+                .and_then(TxnVote::from_output);
+            prop_assert_eq!(vote, Some(TxnVote::Commit), "uncontended prepare");
+            let key = writes[0].0;
+            let op = if commit {
+                Op::TxnCommit { txn, key }
+            } else {
+                Op::TxnAbort { txn, key }
+            };
+            kv.apply(op);
+            done.push((txn, writes, commit));
+            if !attack_first {
+                run_attack(&mut kv, &done)?;
+            }
+
+            // Invariants after every step: no lock survives its
+            // transaction, and the outcome map is bounded by the
+            // per-coordinator retention window.
+            prop_assert_eq!(kv.txn_locks(), 0, "a lock leaked");
+            prop_assert!(
+                kv.finished_len() <= coords.len() * FINISHED_WINDOW as usize,
+                "finished map grew to {} for {} coordinators",
+                kv.finished_len(),
+                coords.len()
+            );
+        }
+
+        // Replayed prepares only echoed outcomes — they never re-staged
+        // or re-applied writes — so each key holds exactly the last
+        // committed write in application order.
+        let mut expect = std::collections::HashMap::new();
+        for (_txn, writes, committed) in &done {
+            if *committed {
+                expect.insert(writes[0].0, writes[0].1);
+            }
+        }
+        for (k, v) in expect {
+            prop_assert_eq!(kv.get(k), Some(v), "key {}", k);
+        }
     }
 }

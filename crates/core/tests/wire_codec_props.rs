@@ -61,7 +61,7 @@ fn arb_cmd() -> BoxedStrategy<Command> {
         .boxed()
 }
 
-/// All nine [`Op`] variants. Batches hold simple ops only — the engine
+/// All ten [`Op`] variants. Batches hold simple ops only — the engine
 /// never nests a batch inside a batch, so neither does the generator.
 fn arb_op() -> BoxedStrategy<Op> {
     prop_oneof![
@@ -71,6 +71,7 @@ fn arb_op() -> BoxedStrategy<Op> {
         (arb_txn_id(), any::<u64>()).prop_map(|(txn, key)| Op::TxnCommit { txn, key }),
         (arb_txn_id(), any::<u64>()).prop_map(|(txn, key)| Op::TxnAbort { txn, key }),
         (arb_txn_id(), any::<u64>()).prop_map(|(txn, key)| Op::TxnStatus { txn, key }),
+        any::<u64>().prop_map(|watermark| Op::Truncate { watermark }),
     ]
     .boxed()
 }
@@ -154,6 +155,7 @@ fn arb_onepaxos_msg() -> BoxedStrategy<Msg> {
             cmd
         }),
         arb_umsg().prop_map(Msg::Utility),
+        any::<u64>().prop_map(|floor| Msg::Truncated { floor }),
     ]
     .boxed()
 }
@@ -181,6 +183,7 @@ fn arb_multipaxos_msg() -> BoxedStrategy<multipaxos::Msg> {
             cmd
         }),
         arb_ballot().prop_map(|bal| Msg::Heartbeat { bal }),
+        any::<u64>().prop_map(|floor| Msg::Truncated { floor }),
     ]
     .boxed()
 }

@@ -37,10 +37,11 @@ use onepaxos::engine::{
     BatchConfig, EngineConfig, EngineEffect, EngineStats, ReplicaEngine, ReplyMode,
 };
 use onepaxos::kv::KvStore;
+use onepaxos::rsm::ApplierSnapshot;
 use onepaxos::shard::{ShardId, ShardRouter, ShardedEffects, ShardedEngine};
 use onepaxos::txn::{Fragment, TxnCoordinator, TxnStep};
-use onepaxos::wire::Codec;
-use onepaxos::{EngineEvent, Nanos, NodeId, Op, Protocol, TxnOutcome};
+use onepaxos::wire::{decode_exact, encode_to_vec, Codec};
+use onepaxos::{EngineEvent, Instance, Nanos, NodeId, Op, Protocol, TxnOutcome};
 use qc_channel::{spsc, Receiver, Sender};
 
 use crate::affinity;
@@ -96,6 +97,29 @@ pub struct NodeMetrics {
     pub conn_kills: AtomicU64,
     /// The subset of `conn_kills` caused by an undecodable frame.
     pub corrupt_frames: AtomicU64,
+    /// State snapshots this replica served to catching-up peers.
+    pub snapshots_served: AtomicU64,
+    /// State snapshots this replica installed — each one a catch-up
+    /// fast-forward past log entries agreed truncation made
+    /// unreplayable.
+    pub snapshots_installed: AtomicU64,
+    /// Agreed truncations this replica applied, observed as log-base
+    /// advances (snapshot installs count too: installing implies
+    /// truncating below the watermark).
+    pub truncations: AtomicU64,
+    /// Decided commands parked above an apply gap, summed over shard
+    /// groups — the signal that this replica is missing a decided
+    /// prefix and may need a snapshot transfer to make progress.
+    pub gap_backlog: AtomicU64,
+    /// Applied-log entries retained, summed over shard groups. Flat
+    /// under periodic truncation — the memory-soak gate watches this.
+    pub applied_log_len: AtomicU64,
+    /// Retired per-client outputs retained, summed over shard groups
+    /// (bounded by the live client count, not by request volume).
+    pub outputs_len: AtomicU64,
+    /// Finished-transaction records retained, summed over shard groups
+    /// (bounded by the per-coordinator GC window).
+    pub finished_len: AtomicU64,
 }
 
 /// Builder for a threaded cluster.
@@ -106,6 +130,7 @@ pub struct ClusterBuilder<P, F> {
     factory: F,
     pin_cores: bool,
     batching: Option<BatchConfig>,
+    truncate_every: Option<u64>,
     faults: Option<FaultPlan>,
     _marker: std::marker::PhantomData<fn() -> P>,
 }
@@ -136,6 +161,7 @@ where
             factory,
             pin_cores: false,
             batching: None,
+            truncate_every: None,
             faults: None,
             _marker: std::marker::PhantomData,
         }
@@ -199,6 +225,22 @@ where
     /// flush deadline runs on the replica loop's wall clock. Default off.
     pub fn batching(mut self, cfg: BatchConfig) -> Self {
         self.batching = Some(cfg);
+        self
+    }
+
+    /// Enables **periodic agreed truncation**: whenever a shard group's
+    /// leader sees `every` or more commands applied above the group's
+    /// log base, it orders an [`Op::Truncate`] at its applied watermark
+    /// through the group's own log. Every replica applies the same
+    /// truncation at the same point in the command sequence, dropping
+    /// its applied log, retired outputs and learner state below the
+    /// watermark — which is what keeps a long-running replica's memory
+    /// bounded (watch [`NodeMetrics::applied_log_len`] stay flat). A
+    /// replica that falls behind a truncation catches up by snapshot
+    /// install instead of replay (see [`NodeMetrics::snapshots_installed`]).
+    /// Default off: nothing is ever dropped.
+    pub fn truncate_every(mut self, every: u64) -> Self {
+        self.truncate_every = Some(every.max(1));
         self
     }
 
@@ -267,7 +309,11 @@ where
             let io = MemTransport::new(std::mem::take(&mut senders[i]), rxs);
             let m = Arc::clone(&metrics[i]);
             let core = core_ids.get(i % core_ids.len().max(1)).copied();
-            let batching = self.batching;
+            let opts = LoopOpts {
+                batching: self.batching,
+                truncate_every: self.truncate_every,
+                members: members.clone(),
+            };
             let faults = self.faults.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("replica-{}", me))
@@ -276,13 +322,10 @@ where
                         let _ = affinity::set_for_current(core);
                     }
                     match faults {
-                        Some(plan) => replica_loop(
-                            nodes,
-                            FaultTransport::new(io, plan.for_node(me)),
-                            m,
-                            batching,
-                        ),
-                        None => replica_loop(nodes, io, m, batching),
+                        Some(plan) => {
+                            replica_loop(nodes, FaultTransport::new(io, plan.for_node(me)), m, opts)
+                        }
+                        None => replica_loop(nodes, io, m, opts),
                     }
                 })
                 .expect("spawn replica thread");
@@ -372,6 +415,7 @@ where
         // after this builder is gone.
         let factory = Arc::new(Mutex::new(self.factory));
         let batching = self.batching;
+        let truncate_every = self.truncate_every;
         let faults = self.faults;
         let spawn_replica = {
             let members = members.clone();
@@ -386,6 +430,11 @@ where
                 };
                 let lower: Vec<(NodeId, std::net::SocketAddr)> = replica_addrs[..i].to_vec();
                 let my_addr = replica_addrs[i].1;
+                let opts = LoopOpts {
+                    batching,
+                    truncate_every,
+                    members: members.clone(),
+                };
                 let m = Arc::clone(&metrics[i]);
                 let core = core_ids.get(i % core_ids.len().max(1)).copied();
                 let faults = faults.clone();
@@ -412,9 +461,9 @@ where
                                 nodes,
                                 FaultTransport::new(io, plan.for_node(me)),
                                 m,
-                                batching,
+                                opts,
                             ),
-                            None => replica_loop(nodes, io, m, batching),
+                            None => replica_loop(nodes, io, m, opts),
                         }
                     })
                     .expect("spawn replica thread")
@@ -539,10 +588,16 @@ impl Cluster {
     /// backoff redials and the restarted listener's accept sweep
     /// re-knit the mesh without a coordinated handshake.
     ///
-    /// The restarted replica comes back **amnesiac** (a fresh engine on
-    /// an empty store), so only restart replicas whose state the
-    /// protocol can tolerate losing — e.g. the OnePaxos backup, which
-    /// holds no acknowledged state the leader cannot re-supply.
+    /// The restarted replica boots on a fresh engine and an empty
+    /// store, then rejoins **warm**: its loop probes a peer for a state
+    /// snapshot at boot and again whenever an apply gap persists, and
+    /// installs the `(snapshot, watermark)` it gets back — so it
+    /// resumes applying from the donor's watermark instead of needing
+    /// the (possibly truncated, hence unreplayable) log prefix. What it
+    /// still loses is its *acceptor* state — promises and accepted
+    /// values — so only restart replicas whose protocol can tolerate
+    /// that, e.g. the OnePaxos backup, which holds no acknowledged
+    /// state the leader cannot re-supply.
     ///
     /// # Panics
     ///
@@ -623,10 +678,12 @@ fn dispatch_effects<P: Protocol, T: Transport<P::Msg>>(
     }
 }
 
-/// Republishes a replica's folded batching counters into its shared
+/// Republishes a replica's folded engine counters into its shared
 /// metrics block, so callers outside the replica thread can watch the
-/// adaptive depth move.
-fn publish_batch_stats(stats: &EngineStats, metrics: &NodeMetrics) {
+/// adaptive batch depth move — and, for the bounded-memory gates, the
+/// retained-state gauges (applied log, retired outputs, finished-txn
+/// records, gap backlog) that must stay flat under periodic truncation.
+fn publish_engine_stats(stats: &EngineStats, metrics: &NodeMetrics) {
     metrics
         .batch_flushes
         .store(stats.flushes, Ordering::Relaxed);
@@ -636,6 +693,18 @@ fn publish_batch_stats(stats: &EngineStats, metrics: &NodeMetrics) {
     metrics
         .batch_depth
         .store(stats.depth as u64, Ordering::Relaxed);
+    metrics
+        .gap_backlog
+        .store(stats.gap_backlog as u64, Ordering::Relaxed);
+    metrics
+        .applied_log_len
+        .store(stats.applied_log_len as u64, Ordering::Relaxed);
+    metrics
+        .outputs_len
+        .store(stats.outputs_len as u64, Ordering::Relaxed);
+    metrics
+        .finished_len
+        .store(stats.finished_len as u64, Ordering::Relaxed);
 }
 
 /// Republishes a replica transport's failure counters into its shared
@@ -653,14 +722,41 @@ fn publish_transport_stats(stats: &TransportStats, metrics: &NodeMetrics) {
         .store(stats.corrupt_frames, Ordering::Relaxed);
 }
 
+/// Deployment knobs a replica loop needs beyond its engines, bundled so
+/// both transports' spawn paths (and TCP restarts) hand them over in
+/// one piece.
+#[derive(Clone)]
+struct LoopOpts {
+    batching: Option<BatchConfig>,
+    /// Leader-driven periodic agreed truncation
+    /// ([`ClusterBuilder::truncate_every`]); `None` never truncates.
+    truncate_every: Option<u64>,
+    /// The full replica membership — the snapshot donor pool.
+    members: Vec<NodeId>,
+}
+
+/// Cadence of the replica loop's background duties (snapshot catch-up
+/// probing, periodic truncation proposals, truncation accounting), so
+/// the hot path stays message-driven.
+const MAINT_INTERVAL: Duration = Duration::from_millis(5);
+
+/// How long an apply gap must persist before the loop treats it as
+/// unfillable by replay (the missing prefix may be truncated everywhere)
+/// and requests a snapshot transfer. Transient reorder gaps close well
+/// inside this window; the patience also paces re-requests while a
+/// transfer is in flight.
+const GAP_PATIENCE: Duration = Duration::from_millis(15);
+
 fn replica_loop<P: Protocol, T: Transport<P::Msg>>(
     nodes: Vec<P>,
     mut io: T,
     metrics: Arc<NodeMetrics>,
-    batching: Option<BatchConfig>,
+    opts: LoopOpts,
 ) {
     let start = Instant::now();
     let now_ns = || start.elapsed().as_nanos() as Nanos;
+    let me = nodes.first().expect("at least one shard").node_id();
+    let peers: Vec<NodeId> = opts.members.iter().copied().filter(|&p| p != me).collect();
     // The engines own timers, commits, the KV replicas and reply
     // records; this loop owns only the transport IO. History off: a
     // live cluster serves traffic indefinitely and must not grow
@@ -676,7 +772,7 @@ fn replica_loop<P: Protocol, T: Transport<P::Msg>>(
         .with_history(false)
         .with_shard(shard)
     });
-    engine.set_batching(batching);
+    engine.set_batching(opts.batching);
     let mut effects: Effects<P> = Vec::new();
     // Relaxed reads caught inside a 2PC lock window, waiting it out
     // ("a read arriving inside the gap waits for the lock window to
@@ -685,7 +781,28 @@ fn replica_loop<P: Protocol, T: Transport<P::Msg>>(
 
     engine.start(now_ns(), &mut effects);
     dispatch_effects::<P, T>(&mut effects, &mut io, &metrics);
-    publish_batch_stats(&engine.merged_stats(), &metrics);
+    publish_engine_stats(&engine.merged_stats(), &metrics);
+
+    // Boot-time catch-up probe: a replica (re)joining a cluster that has
+    // been running asks one peer per shard group for a snapshot outright,
+    // so a restarted slot rejoins warm even when no client traffic is
+    // flowing. On a genuinely fresh cluster every donor refuses (it has
+    // nothing newer than watermark 0) and the probes are the end of it.
+    for s in 0..shard_count {
+        if let Some(&donor) = peers.get((me.0 as usize + s as usize) % peers.len().max(1)) {
+            io.send(donor, s, Wire::SnapshotRequest { shard: s, have: 0 });
+            metrics.sent.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    // Per-shard maintenance state: when the current apply gap was first
+    // seen (None while there is none), the last observed log base (for
+    // the truncation counter), and a rotating donor cursor staggered by
+    // node id so concurrent catch-ups spread over the cluster.
+    let mut gap_since: Vec<Option<Instant>> = vec![None; shard_count as usize];
+    let mut last_base: Vec<Instance> = vec![0; shard_count as usize];
+    let mut donor_rr = me.0 as usize;
+    let mut last_maint = Instant::now();
 
     let mut idle_spins: u32 = 0;
     let mut idle_nap = transport::IDLE_NAP_FLOOR;
@@ -755,6 +872,53 @@ fn replica_loop<P: Protocol, T: Transport<P::Msg>>(
                     }
                 }
                 Wire::Reply { .. } | Wire::ReadValue { .. } => {} // replicas ignore replies
+                Wire::SnapshotRequest { shard, have } => {
+                    // Serve a catching-up peer — but only a snapshot
+                    // strictly past what it already has, so stale or
+                    // boot-time probes against an empty group go
+                    // unanswered instead of bouncing watermark-0 state.
+                    if shard < shard_count {
+                        let snap = engine.snapshot_shard(ShardId(shard));
+                        if snap.watermark > have {
+                            let watermark = snap.watermark;
+                            let bytes = encode_to_vec(&snap);
+                            io.send(
+                                from,
+                                shard,
+                                Wire::Snapshot {
+                                    shard,
+                                    watermark,
+                                    bytes,
+                                },
+                            );
+                            metrics.snapshots_served.fetch_add(1, Ordering::Relaxed);
+                            metrics.sent.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                Wire::Snapshot {
+                    shard,
+                    watermark,
+                    bytes,
+                } => {
+                    // Install iff the payload decodes, matches its
+                    // advertised watermark, and is newer than the local
+                    // apply frontier (the installer enforces the last
+                    // part). The install fast-forwards the applier,
+                    // truncates the protocol node's learner state below
+                    // the watermark and drops parked out-of-gap commands
+                    // the snapshot already covers.
+                    if shard < shard_count {
+                        if let Ok(snap) = decode_exact::<ApplierSnapshot<KvStore>>(&bytes) {
+                            if snap.watermark == watermark
+                                && engine.install_shard_snapshot(ShardId(shard), snap)
+                            {
+                                metrics.snapshots_installed.fetch_add(1, Ordering::Relaxed);
+                                gap_since[shard as usize] = None;
+                            }
+                        }
+                    }
+                }
                 Wire::Shutdown => return,
             }
             dispatch_effects::<P, T>(&mut effects, &mut io, &metrics);
@@ -774,10 +938,82 @@ fn replica_loop<P: Protocol, T: Transport<P::Msg>>(
             }
             pending_reads = still;
         }
+        // Low-frequency maintenance: snapshot catch-up and the leader's
+        // periodic truncation proposals run off a coarse clock so the
+        // per-message path above never scans the shard groups.
+        if last_maint.elapsed() >= MAINT_INTERVAL {
+            last_maint = Instant::now();
+            for s in 0..shard_count {
+                let shard = ShardId(s);
+                let (backlog, next, base, leading) = {
+                    let e = engine.shard(shard);
+                    let a = e.applier();
+                    (
+                        a.gap_backlog(),
+                        a.applied_up_to().map_or(0, |i| i + 1),
+                        a.log_base(),
+                        e.node().is_leader(),
+                    )
+                };
+                if base > last_base[s as usize] {
+                    metrics.truncations.fetch_add(1, Ordering::Relaxed);
+                    last_base[s as usize] = base;
+                }
+                // An apply gap that outlives the patience window cannot
+                // be assumed replay-fillable — the missing prefix may be
+                // truncated on every peer — so fetch a snapshot. The
+                // re-arm paces retries and rotates donors until the gap
+                // closes (by install or by late-arriving instances).
+                if backlog > 0 {
+                    let since = *gap_since[s as usize].get_or_insert_with(Instant::now);
+                    if since.elapsed() >= GAP_PATIENCE && !peers.is_empty() {
+                        let donor = peers[donor_rr % peers.len()];
+                        donor_rr += 1;
+                        io.send(
+                            donor,
+                            s,
+                            Wire::SnapshotRequest {
+                                shard: s,
+                                have: next,
+                            },
+                        );
+                        metrics.sent.fetch_add(1, Ordering::Relaxed);
+                        gap_since[s as usize] = Some(Instant::now());
+                        progressed = true;
+                    }
+                } else {
+                    gap_since[s as usize] = None;
+                }
+                // Leader-driven agreed truncation: once `every` commands
+                // sit applied above the log base, order a Truncate at the
+                // applied watermark through the group's own log. Proposed
+                // as client `me` (the transport drops the self-addressed
+                // reply); req_id = watermark keeps the ids monotone for
+                // the applier's session dedup even across restarts of
+                // this slot, and makes re-proposals of the same watermark
+                // idempotent.
+                if let Some(every) = opts.truncate_every {
+                    if leading && next.saturating_sub(base) >= every {
+                        engine.handle(
+                            shard,
+                            EngineEvent::ClientRequest {
+                                client: me,
+                                req_id: next,
+                                op: Op::Truncate { watermark: next },
+                            },
+                            now_ns(),
+                            &mut effects,
+                        );
+                        dispatch_effects::<P, T>(&mut effects, &mut io, &metrics);
+                        progressed = true;
+                    }
+                }
+            }
+        }
         if progressed {
             idle_spins = 0;
             idle_nap = transport::IDLE_NAP_FLOOR;
-            publish_batch_stats(&engine.merged_stats(), &metrics);
+            publish_engine_stats(&engine.merged_stats(), &metrics);
         } else if idle_spins < transport::IDLE_SPINS {
             // Recently busy: stay hot for a few polls — inbound frames
             // on loopback usually land within microseconds.

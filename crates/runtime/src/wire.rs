@@ -51,9 +51,36 @@ pub enum Wire<M> {
     },
     /// Orderly shutdown of the receiving process.
     Shutdown,
+    /// A lagging replica asking a peer for a state snapshot of one shard
+    /// group — the catch-up path once agreed truncation has dropped the
+    /// log entries replay would need. `have` is the requester's applied
+    /// watermark; the peer answers with a [`Wire::Snapshot`] only when
+    /// it can offer a strictly newer one.
+    SnapshotRequest {
+        /// The shard group to snapshot.
+        shard: u16,
+        /// The requester's applied watermark (instances below it are
+        /// already applied there).
+        have: Instance,
+    },
+    /// A state snapshot of one shard group, answering a
+    /// [`Wire::SnapshotRequest`]: the `onepaxos::wire` encoding of an
+    /// `ApplierSnapshot` at `watermark`, carried opaquely so the wire
+    /// enum stays independent of the state-machine type.
+    Snapshot {
+        /// The shard group the snapshot belongs to.
+        shard: u16,
+        /// The instance watermark the snapshot covers up to
+        /// (exclusive); duplicated from the payload so a receiver can
+        /// discard stale offers without decoding them.
+        watermark: Instance,
+        /// The encoded `ApplierSnapshot`.
+        bytes: Vec<u8>,
+    },
 }
 
-/// Tag bytes for the [`Wire`] arms on the binary wire.
+/// Tag bytes for the [`Wire`] arms on the binary wire (append-only:
+/// released tags never change meaning).
 mod tag {
     pub const PEER: u8 = 0;
     pub const REQUEST: u8 = 1;
@@ -61,6 +88,8 @@ mod tag {
     pub const REPLY: u8 = 3;
     pub const READ_VALUE: u8 = 4;
     pub const SHUTDOWN: u8 = 5;
+    pub const SNAPSHOT_REQUEST: u8 = 6;
+    pub const SNAPSHOT: u8 = 7;
 }
 
 impl<M: Codec> Codec for Wire<M> {
@@ -102,6 +131,21 @@ impl<M: Codec> Codec for Wire<M> {
                 value.encode(buf);
             }
             Wire::Shutdown => buf.push(tag::SHUTDOWN),
+            Wire::SnapshotRequest { shard, have } => {
+                buf.push(tag::SNAPSHOT_REQUEST);
+                shard.encode(buf);
+                have.encode(buf);
+            }
+            Wire::Snapshot {
+                shard,
+                watermark,
+                bytes,
+            } => {
+                buf.push(tag::SNAPSHOT);
+                shard.encode(buf);
+                watermark.encode(buf);
+                bytes.encode(buf);
+            }
         }
     }
 
@@ -128,6 +172,15 @@ impl<M: Codec> Codec for Wire<M> {
                 value: Option::<u64>::decode(r)?,
             },
             tag::SHUTDOWN => Wire::Shutdown,
+            tag::SNAPSHOT_REQUEST => Wire::SnapshotRequest {
+                shard: u16::decode(r)?,
+                have: Instance::decode(r)?,
+            },
+            tag::SNAPSHOT => Wire::Snapshot {
+                shard: u16::decode(r)?,
+                watermark: Instance::decode(r)?,
+                bytes: Vec::<u8>::decode(r)?,
+            },
             t => {
                 return Err(DecodeError::BadTag {
                     what: "Wire",

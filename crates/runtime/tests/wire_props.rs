@@ -66,6 +66,18 @@ fn arb_wire() -> BoxedStrategy<Wire<multipaxos::Msg>> {
         }),
         (any::<u64>(), arb_value()).prop_map(|(req_id, value)| Wire::ReadValue { req_id, value }),
         Just(Wire::Shutdown),
+        (any::<u16>(), any::<u64>())
+            .prop_map(|(shard, have)| Wire::SnapshotRequest { shard, have }),
+        (
+            any::<u16>(),
+            any::<u64>(),
+            prop::collection::vec(any::<u8>(), 0..64)
+        )
+            .prop_map(|(shard, watermark, bytes)| Wire::Snapshot {
+                shard,
+                watermark,
+                bytes,
+            }),
     ]
     .boxed()
 }

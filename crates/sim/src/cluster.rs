@@ -40,6 +40,7 @@ use onepaxos::engine::{
     BatchConfig, EngineConfig, EngineEffect, EngineEvent, EngineStats, ReplicaEngine,
 };
 use onepaxos::kv::KvStore;
+use onepaxos::rsm::ApplierSnapshot;
 use onepaxos::shard::{ShardId, ShardRouter, ShardedEngine};
 use onepaxos::txn::{Fragment, TxnCoordinator, TxnOutcome, TxnStep};
 use onepaxos::{Command, Instance, Nanos, NodeId, Op, Protocol};
@@ -226,6 +227,15 @@ pub struct RunReport {
     /// prepare that parked in a shard's lock-wait queue — retries in
     /// the conflict sense, not the message-loss sense.
     pub txn_retries: u64,
+    /// Agreed truncations observed by the maintenance loop, summed over
+    /// replica-shard processes (each replica counts its own log-base
+    /// advances, so one agreed truncation of a 3-replica group counts up
+    /// to 3 here). Zero unless [`SimBuilder::truncate_every`] is set.
+    pub truncations: u64,
+    /// State snapshots installed by lagging replicas during
+    /// snapshot-install catch-up. Zero unless
+    /// [`SimBuilder::truncate_every`] is set.
+    pub snapshots_installed: u64,
 }
 
 impl RunReport {
@@ -306,17 +316,60 @@ enum WorkItem<M> {
     /// Joint-mode local read waiting for the replica's 2PC lock window to
     /// close (§7.5): polls until the copy is readable again.
     LocalReadWait { req_id: u64, key: u64 },
+    /// Periodic bounded-memory maintenance tick on a replica-shard
+    /// process — scheduled only when [`SimBuilder::truncate_every`] is
+    /// set, so default runs replay byte-identically. The shard's leader
+    /// proposes an agreed [`Op::Truncate`] once enough commands sit
+    /// applied above the log base, and a replica that has fallen behind
+    /// the group asks a peer for a state snapshot.
+    MaintCheck,
+    /// A snapshot request arriving at a donor replica-shard process:
+    /// `for_proc` is the lagging requester, `have` its applied
+    /// watermark. The donor serializes and transmits its snapshot
+    /// (`snapshot + marshal + tx` of CPU) only when strictly newer.
+    SnapshotServe { for_proc: usize, have: Instance },
+    /// A state snapshot arriving at a lagging replica-shard process;
+    /// installing costs `rx + snapshot` of CPU.
+    SnapshotInstall { snap: ApplierSnapshot<KvStore> },
 }
 
 enum Event<M> {
-    Work { proc: usize, item: WorkItem<M> },
-    CoreRun { core: usize },
-    SetSpeed { core: usize, slowdown: f64 },
+    Work {
+        proc: usize,
+        item: WorkItem<M>,
+    },
+    CoreRun {
+        core: usize,
+    },
+    SetSpeed {
+        core: usize,
+        slowdown: f64,
+    },
+    /// Crash-restart of a whole replica slot with amnesia: its engines
+    /// are swapped for fresh ones (`idx` names the pre-built spare).
+    /// Messages already in flight or queued still arrive afterwards —
+    /// what is lost is *state*, exactly the runtime's `restart_replica`.
+    ResetReplica {
+        replica: usize,
+        idx: usize,
+    },
     Stop,
 }
 
 /// Poll interval while a local/relaxed read waits out a lock window.
 const LOCAL_READ_POLL: Nanos = 2_000;
+
+/// Interval between [`WorkItem::MaintCheck`] ticks — the sim analogue of
+/// the runtime's coarse maintenance clock. Coarse on purpose: truncation
+/// and catch-up are background work and must not dominate the priced CPU.
+const MAINT_TICK: Nanos = 500_000;
+
+/// Client id under which the maintenance loop proposes agreed
+/// truncations. No process owns it, so the commit's reply is dropped at
+/// the effect layer — the sim equivalent of the runtime transports
+/// dropping self-addressed truncation replies. `req_id` = proposed
+/// watermark keeps ids monotone for the applier's session dedup.
+const TRUNC_CLIENT: NodeId = NodeId(0x7F00);
 
 /// How long the conflict-aware scheduler holds back work aimed at a
 /// contended key: one typical batch-flush window, long enough for the
@@ -419,10 +472,12 @@ pub struct SimBuilder<P, F> {
     warmup: Nanos,
     timeline_bucket: Nanos,
     faults: Vec<Fault>,
+    resets: Vec<(Nanos, usize)>,
     seed: u64,
     spread_clients: bool,
     placement: Option<Vec<usize>>,
     batching: Option<BatchConfig>,
+    truncate_every: Option<u64>,
     _marker: std::marker::PhantomData<fn() -> P>,
 }
 
@@ -461,10 +516,12 @@ where
             warmup: 0,
             timeline_bucket: 10_000_000,
             faults: Vec::new(),
+            resets: Vec::new(),
             seed: 0xC0FFEE,
             spread_clients: false,
             placement: None,
             batching: None,
+            truncate_every: None,
             _marker: std::marker::PhantomData,
         }
     }
@@ -573,6 +630,36 @@ where
         self
     }
 
+    /// Schedules a crash-restart of replica slot `replica` at virtual
+    /// time `at`: every shard engine of the slot is replaced by a fresh
+    /// one (protocol state, applied log and KV copy all lost), after
+    /// which the slot rejoins the group from nothing. Messages in flight
+    /// toward it still arrive. Once agreed truncation
+    /// ([`Self::truncate_every`]) has dropped the committed prefix, the
+    /// restarted slot can only recover through the snapshot-install
+    /// catch-up path, priced by the profile's `snapshot` cost. Like the
+    /// runtime's `restart_replica`, only restart slots whose protocol
+    /// tolerates acceptor amnesia (e.g. a 1Paxos backup).
+    pub fn reset_replica(mut self, at: Nanos, replica: usize) -> Self {
+        self.resets.push((at, replica));
+        self
+    }
+
+    /// Enables periodic agreed log truncation (and with it the
+    /// snapshot-install catch-up path): each shard's leader orders an
+    /// `Op::Truncate` through the group's own log whenever `every` or
+    /// more commands sit applied above the log base, so replica memory
+    /// stays bounded over duration-mode runs. A replica that falls an
+    /// `every` behind the group (or sits on a persistent apply gap)
+    /// fetches a peer snapshot, priced by the profile's `snapshot` cost
+    /// on both sides of the transfer. Default off — and when off, no
+    /// maintenance event is ever scheduled, so existing seeded runs
+    /// replay unchanged.
+    pub fn truncate_every(mut self, every: u64) -> Self {
+        self.truncate_every = Some(every.max(1));
+        self
+    }
+
     /// RNG seed (jitter and workload); same seed → same run.
     pub fn seed(mut self, s: u64) -> Self {
         self.seed = s;
@@ -647,6 +734,23 @@ where
                 });
                 e.set_batching(batching);
                 e
+            })
+            .collect();
+        // One pre-built fresh engine per scheduled reset, constructed up
+        // front because the factory is consumed before the sim runs.
+        let spare_engines: Vec<Option<ShardedEngine<P, KvStore>>> = self
+            .resets
+            .iter()
+            .map(|&(_, r)| {
+                assert!(r < self.replicas, "reset of nonexistent replica {r}");
+                let me = members[r];
+                let mut e = ShardedEngine::new(shard_count, |shard| {
+                    ReplicaEngine::new(factory(&members, me), KvStore::new())
+                        .with_history(false)
+                        .with_shard(shard)
+                });
+                e.set_batching(batching);
+                Some(e)
             })
             .collect();
         let n_replicas = self.replicas;
@@ -738,6 +842,13 @@ where
             total_messages: 0,
             txn_aborts: 0,
             txn_retries: 0,
+            truncate_every: self.truncate_every,
+            gap_seen: vec![false; n_replica_procs],
+            last_base: vec![0; n_replica_procs],
+            truncations: 0,
+            snapshots_installed: 0,
+            spare_engines,
+            reset_epochs: vec![0; n_replicas],
             stopped: false,
             scratch: Vec::new(),
         };
@@ -761,6 +872,13 @@ where
             let proc = sim.clients[j].proc;
             sim.push_work(0, proc, WorkItem::SendNext);
         }
+        // Maintenance ticks only exist when truncation is enabled, so
+        // default runs keep their exact event schedule (seed-stable).
+        if sim.truncate_every.is_some() {
+            for proc in 0..sim.n_replica_procs() {
+                sim.push_work(MAINT_TICK, proc, WorkItem::MaintCheck);
+            }
+        }
         for f in &self.faults {
             sim.push(
                 f.at,
@@ -769,6 +887,9 @@ where
                     slowdown: f.slowdown,
                 },
             );
+        }
+        for (idx, &(at, replica)) in self.resets.iter().enumerate() {
+            sim.push(at, Event::ResetReplica { replica, idx });
         }
         if let Some(d) = self.duration {
             sim.push(d, Event::Stop);
@@ -822,6 +943,24 @@ struct ClusterSim<P: Protocol> {
     txn_aborts: u64,
     /// Lock-wait re-probes deferred by the conflict-aware scheduler.
     txn_retries: u64,
+    /// Truncation threshold; `None` disables all maintenance events.
+    truncate_every: Option<u64>,
+    /// Per-replica-shard process: whether the previous MaintCheck already
+    /// saw it lagging — a snapshot is requested only on the second
+    /// consecutive sighting (the runtime's gap-patience, in tick units).
+    gap_seen: Vec<bool>,
+    /// Per-replica-shard process: last observed log base, to count
+    /// truncations as base advances.
+    last_base: Vec<Instance>,
+    /// Log-base advances observed across replica-shard processes.
+    truncations: u64,
+    /// Peer snapshots installed by lagging replicas.
+    snapshots_installed: u64,
+    /// Fresh engines awaiting their scheduled [`Event::ResetReplica`].
+    spare_engines: Vec<Option<ShardedEngine<P, KvStore>>>,
+    /// Times each replica slot has been reset (spaces the batch-sequence
+    /// id ranges of successive incarnations apart, as `TestNet` does).
+    reset_epochs: Vec<u64>,
     stopped: bool,
     /// Reusable effect buffer.
     scratch: Effects<P>,
@@ -907,6 +1046,34 @@ impl<P: Protocol> ClusterSim<P> {
         self.push_work(at, to_proc, item);
     }
 
+    /// Crash-restarts replica slot `r` with amnesia: swaps in the
+    /// pre-built fresh engine, spaces its batch-sequence range away from
+    /// the dead incarnation's, and re-runs the protocol bootstrap. Work
+    /// already queued or in flight toward the slot's processes still
+    /// arrives — the fresh engine sees it as a new replica would: decided
+    /// instances above the truncated prefix defer behind the gap until a
+    /// peer snapshot fills it.
+    fn reset_replica(&mut self, r: usize, idx: usize, at: Nanos) {
+        let fresh = self.spare_engines[idx].take().expect("one spare per reset");
+        self.engines[r] = fresh;
+        self.reset_epochs[r] += 1;
+        self.engines[r]
+            .set_batch_seq_floor(self.reset_epochs[r] * ReplicaEngine::<P, KvStore>::BATCH_EPOCH);
+        for s in 0..self.shards {
+            let shard = ShardId(s as u16);
+            let proc = self.proc_of(r, shard);
+            self.timer_wake[proc] = None;
+            self.gap_seen[proc] = false;
+            self.last_base[proc] = 0;
+            let mut effects = std::mem::take(&mut self.scratch);
+            self.engines[r]
+                .shard_mut(shard)
+                .handle(EngineEvent::Start, at, &mut effects);
+            self.apply_effects(proc, at, 0, &mut effects);
+            self.scratch = effects;
+        }
+    }
+
     /// Schedules a TimerCheck for a replica-shard engine's earliest
     /// deadline, unless an earlier check is already pending.
     fn schedule_timer_check(&mut self, proc: usize) {
@@ -971,6 +1138,12 @@ impl<P: Protocol> ClusterSim<P> {
                     value,
                     ..
                 } => {
+                    if client == TRUNC_CLIENT {
+                        // Maintenance-proposed truncation: nobody waits
+                        // for this reply (the runtime's transports drop
+                        // it the same way).
+                        continue;
+                    }
                     let to_proc = client.index();
                     let value = value.flatten();
                     if to_proc == proc {
@@ -1395,6 +1568,9 @@ impl<P: Protocol> ClusterSim<P> {
                 Event::SetSpeed { core, slowdown } => {
                     self.cores[core].slowdown = slowdown;
                 }
+                Event::ResetReplica { replica, idx } => {
+                    self.reset_replica(replica, idx, at);
+                }
                 Event::Stop => {
                     self.stopped = true;
                     break;
@@ -1574,6 +1750,115 @@ impl<P: Protocol> ClusterSim<P> {
                     .expect("checked");
                 self.client_transmit(j, req_id, op, start, epoch)
             }
+            WorkItem::MaintCheck => {
+                debug_assert!(self.is_replica_proc(proc));
+                let Some(every) = self.truncate_every else {
+                    return 0;
+                };
+                // Re-arm first: maintenance outlives any one tick.
+                self.push_work(start + MAINT_TICK, proc, WorkItem::MaintCheck);
+                let (r, s) = self.replica_of(proc);
+                let (backlog, next, base) = {
+                    let a = self.engines[r].shard(s).applier();
+                    (
+                        a.gap_backlog(),
+                        a.applied_up_to().map_or(0, |i| i + 1),
+                        a.log_base(),
+                    )
+                };
+                let mut service = scaled(self.profile.timer_cost);
+                if base > self.last_base[proc] {
+                    self.truncations += 1;
+                    self.last_base[proc] = base;
+                }
+                // Catch-up trigger: a persistent apply gap, or trailing
+                // the group by a full truncation threshold (a slow core
+                // whose queue backed up). Two consecutive sightings
+                // before asking — the runtime's gap-patience in tick
+                // units — and the donor is the group's most advanced
+                // peer (the sim is omniscient where the runtime
+                // round-robins).
+                let (donor, group_max) = (0..self.engines.len())
+                    .filter(|&rr| rr != r)
+                    .map(|rr| {
+                        let a = self.engines[rr].shard(s).applier();
+                        (rr, a.applied_up_to().map_or(0, |i| i + 1))
+                    })
+                    .max_by_key(|&(_, n)| n)
+                    .map_or((r, next), |(rr, n)| (rr, n));
+                let lagging = backlog > 0 || next + every < group_max;
+                if lagging && donor != r {
+                    if self.gap_seen[proc] {
+                        // Pace retries: one request every other tick.
+                        self.gap_seen[proc] = false;
+                        service +=
+                            ((self.profile.tx + self.profile.marshal) as f64 * slowdown) as Nanos;
+                        self.server_messages += 1;
+                        self.total_messages += 1;
+                        let donor_proc = self.proc_of(donor, s);
+                        self.deliver(
+                            proc,
+                            donor_proc,
+                            start + service,
+                            WorkItem::SnapshotServe {
+                                for_proc: proc,
+                                have: next,
+                            },
+                        );
+                    } else {
+                        self.gap_seen[proc] = true;
+                    }
+                } else {
+                    self.gap_seen[proc] = false;
+                }
+                // Leader-driven agreed truncation at the applied
+                // watermark, ordered through the group's own log like
+                // any client command.
+                if self.engines[r].shard(s).node().is_leader() && next.saturating_sub(base) >= every
+                {
+                    service += self.engine_step(
+                        proc,
+                        EngineEvent::ClientRequest {
+                            client: TRUNC_CLIENT,
+                            req_id: next,
+                            op: Op::Truncate { watermark: next },
+                        },
+                        start,
+                        scaled(self.profile.handle),
+                    );
+                }
+                service
+            }
+            WorkItem::SnapshotServe { for_proc, have } => {
+                debug_assert!(self.is_replica_proc(proc));
+                let (r, s) = self.replica_of(proc);
+                let base = scaled(self.profile.rx);
+                let snap = self.engines[r].snapshot_shard(s);
+                if snap.watermark <= have {
+                    return base; // nothing newer to offer
+                }
+                let service =
+                    base + scaled(self.profile.snapshot + self.profile.marshal + self.profile.tx);
+                self.server_messages += 1;
+                self.total_messages += 1;
+                self.deliver(
+                    proc,
+                    for_proc,
+                    start + service,
+                    WorkItem::SnapshotInstall { snap },
+                );
+                service
+            }
+            WorkItem::SnapshotInstall { snap } => {
+                debug_assert!(self.is_replica_proc(proc));
+                let (r, s) = self.replica_of(proc);
+                let service = scaled(self.profile.rx + self.profile.snapshot);
+                if self.engines[r].install_shard_snapshot(s, snap) {
+                    self.snapshots_installed += 1;
+                    self.gap_seen[proc] = false;
+                }
+                service
+            }
         }
     }
 
@@ -1667,6 +1952,8 @@ impl<P: Protocol> ClusterSim<P> {
             engine_stats,
             txn_aborts: self.txn_aborts,
             txn_retries: self.txn_retries,
+            truncations: self.truncations,
+            snapshots_installed: self.snapshots_installed,
         }
     }
 }
@@ -2151,5 +2438,79 @@ mod tests {
             .requests_per_client(50)
             .run();
         assert_eq!(r.completed, 200);
+    }
+
+    #[test]
+    fn agreed_truncation_bounds_the_applied_log() {
+        // The unbounded-memory bug, measured: without truncation every
+        // replica's applied log grows with the commit count; with
+        // periodic agreed truncation it stays near the threshold, at the
+        // same completed work, with the safety oracle checking every
+        // commit throughout.
+        let run = |every: Option<u64>| {
+            let mut b =
+                SimBuilder::new(Profile::opteron48(), |m, me| OnePaxosNode::new(cfg(m, me)))
+                    .clients(4)
+                    .requests_per_client(2_000);
+            if let Some(e) = every {
+                b = b.truncate_every(e);
+            }
+            b.run()
+        };
+        let unbounded = run(None);
+        let bounded = run(Some(500));
+        assert_eq!(unbounded.completed, 8_000);
+        assert_eq!(bounded.completed, 8_000);
+        assert!(bounded.truncations > 0, "no truncation ever committed");
+        let max_log = |r: &RunReport| r.engine_stats.iter().map(|s| s.applied_log_len).max();
+        let grown = max_log(&unbounded).unwrap();
+        let flat = max_log(&bounded).unwrap();
+        assert!(grown >= 8_000, "untruncated log must hold every commit");
+        // Between truncations the log regrows toward the threshold plus
+        // whatever is in flight; well under the total committed work.
+        assert!(
+            flat < 2_000,
+            "truncated log should stay near the 500 threshold, got {flat}"
+        );
+    }
+
+    #[test]
+    fn truncation_maintenance_is_deterministic_given_a_seed() {
+        let run = || {
+            SimBuilder::new(Profile::opteron48(), |m, me| OnePaxosNode::new(cfg(m, me)))
+                .clients(4)
+                .requests_per_client(500)
+                .truncate_every(100)
+                .seed(7)
+                .run()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.ended_at, b.ended_at);
+        assert_eq!(a.total_messages, b.total_messages);
+        assert_eq!(a.truncations, b.truncations);
+        assert_eq!(a.replica_digests, b.replica_digests);
+    }
+
+    #[test]
+    fn restarted_replica_catches_up_by_snapshot_install() {
+        // A backup crash-restarts with amnesia after agreed truncation
+        // has dropped the committed prefix: replay can never fill the
+        // hole below its gap (nobody retransmits truncated instances),
+        // so the maintenance loop must fetch a peer snapshot — priced by
+        // the profile's `snapshot` cost — install it, and consume the
+        // live log from the watermark, with the safety oracle checking
+        // every re-learned commit.
+        let r = SimBuilder::new(Profile::opteron8(), |m, me| OnePaxosNode::new(cfg(m, me)))
+            .clients(5)
+            .duration(300_000_000)
+            .truncate_every(300)
+            .reset_replica(100_000_000, 2)
+            .run();
+        assert!(r.completed > 0);
+        assert!(r.truncations > 0, "leader never truncated");
+        assert!(
+            r.snapshots_installed > 0,
+            "restarted replica never installed a snapshot"
+        );
     }
 }

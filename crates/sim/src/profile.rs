@@ -49,6 +49,12 @@ pub struct Profile {
     /// transaction pays `2·F·txn_leg` of client CPU (see
     /// `Workload::TxnMix`).
     pub txn_leg: Nanos,
+    /// CPU time to serialize (donor side) or install (receiver side) one
+    /// state snapshot during snapshot-install catch-up, on top of the
+    /// ordinary per-message costs of the transfer. Snapshots move whole
+    /// state machines, not single commands, so their CPU cost sits well
+    /// above `marshal`.
+    pub snapshot: Nanos,
     /// Maximum uniform jitter added to propagation delays.
     pub jitter: Nanos,
 }
@@ -72,6 +78,7 @@ impl Profile {
             prop_remote: 650,
             timer_cost: 100,
             txn_leg: 300,
+            snapshot: 5_000,
             jitter: 60,
         }
     }
@@ -103,6 +110,7 @@ impl Profile {
             prop_remote: 135_000,
             timer_cost: 100,
             txn_leg: 300,
+            snapshot: 5_000,
             jitter: 4_000,
         }
     }
@@ -139,6 +147,7 @@ impl Profile {
             prop_remote: 500,
             timer_cost: 100,
             txn_leg: 300,
+            snapshot: 5_000,
             jitter: 60,
         }
     }

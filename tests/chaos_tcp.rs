@@ -21,9 +21,19 @@
 //! the worker stops touching those keys (coordinator recovery is out of
 //! scope for the blocking client handle).
 //!
-//! The nemesis restarts only replica 2 — the OnePaxos backup, which
-//! holds no state the leader cannot re-supply — so the restarted
-//! process's amnesia (fresh engine, empty store) is safe by protocol.
+//! The nemesis restarts only replica 2 — the OnePaxos backup, whose
+//! lost *acceptor* state the leader can re-supply. Its applied state is
+//! a different matter: the soak runs with periodic agreed truncation
+//! (`truncate_every`), so by the time the backup reboots the log prefix
+//! below the watermark is gone and replay can never refill it. The
+//! restarted loop closes the hole through snapshot-install catch-up —
+//! it probes a peer for a `(snapshot, watermark)` pair at boot and
+//! whenever an apply gap persists — and the test asserts it actually
+//! *converged*: its local copy of every worker key matches the
+//! linearized value once the dust settles. A second, time-capped soak
+//! (`mem_soak_*`) restarts the backup continuously and gates on the
+//! RSS-proxy gauges (applied log, reply outputs, finished-txn outcomes)
+//! staying flat, writing its stats next to `CHAOS_soak.json`.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -194,11 +204,17 @@ fn cross_shard_pair(shards: u16, base: u64) -> (u64, u64) {
 fn chaos_soak_over_tcp_with_nemesis() {
     let t = one_timing();
     let shards = 2u16;
+    // Relaxed reads stay off for the workers (their `get`s are the
+    // linearized safety probes); they exist so the convergence check can
+    // ask each replica for its *local* copy afterwards. Truncation makes
+    // the restarts honest: the rebooted backup cannot replay the dropped
+    // prefix, so rejoining at all proves the snapshot path works.
     let (mut cluster, mut clients) = ClusterBuilder::new(3, move |m: &[NodeId], me| {
-        OnePaxosNode::with_timing(cfg(m, me), t)
+        OnePaxosNode::with_timing(cfg(m, me), t).with_relaxed_reads()
     })
     .clients(3)
     .shards(shards)
+    .truncate_every(512)
     .spawn_tcp()
     .expect("tcp setup");
 
@@ -278,6 +294,49 @@ fn chaos_soak_over_tcp_with_nemesis() {
         "nemesis ran but no replica recorded a killed connection"
     );
 
+    // The restarted backup rejoined *warm*: agreed truncation ran (the
+    // prefix it missed is unreplayable), and it installed at least one
+    // peer snapshot to get back in.
+    let truncations: u64 = metrics
+        .iter()
+        .map(|m| m.truncations.load(Ordering::Relaxed))
+        .sum();
+    let snapshots_served: u64 = metrics
+        .iter()
+        .map(|m| m.snapshots_served.load(Ordering::Relaxed))
+        .sum();
+    let snapshots_installed = metrics[2].snapshots_installed.load(Ordering::Relaxed);
+    assert!(truncations > 0, "agreed truncation never ran");
+    assert!(
+        snapshots_installed > 0,
+        "restarted replica 2 never installed a snapshot (served {snapshots_served})"
+    );
+
+    // Convergence: the restarted replica's *local* applied state agrees
+    // with the linearized value of every worker key at the quiesced
+    // watermark — not just "it answers", but "it caught up". Local
+    // copies may trail the commit front briefly, so poll under a
+    // deadline.
+    for key in [10u64, 20] {
+        let expect = nemesis_client.get(key).expect("linearized read");
+        let deadline = Instant::now() + Duration::from_secs(30);
+        for r in 0..3u16 {
+            loop {
+                match nemesis_client.get_relaxed(NodeId(r), key) {
+                    Ok(v) if v == expect => break,
+                    got => {
+                        assert!(
+                            Instant::now() < deadline,
+                            "replica {r} never converged on key {key}: \
+                             local {got:?} vs linearized {expect:?}"
+                        );
+                        std::thread::sleep(Duration::from_millis(50));
+                    }
+                }
+            }
+        }
+    }
+
     // Nemesis/recovery stats artifact for the CI chaos-smoke job.
     let total_chaos_ops: u64 = reports.iter().map(|r| r.ops_during_chaos).sum();
     let total_recovery_ops: u64 = reports.iter().map(|r| r.ops_after_chaos).sum();
@@ -286,7 +345,7 @@ fn chaos_soak_over_tcp_with_nemesis() {
     let total_kills_injected: u64 = reports.iter().map(|r| r.kills_injected).sum();
     let txns: u64 = reports.iter().map(|r| r.txns_committed).sum();
     let json = format!(
-        "{{\n  \"replica_restarts\": {restarts},\n  \"client_kills_injected\": {total_kills_injected},\n  \"replica_conn_kills\": {conn_kills},\n  \"replica_reconnects\": {reconnects},\n  \"ops_during_chaos\": {total_chaos_ops},\n  \"timeouts_during_chaos\": {total_timeouts},\n  \"txns_committed\": {txns},\n  \"ops_after_recovery\": {total_recovery_ops},\n  \"safety_checks_passed\": {total_checks}\n}}\n"
+        "{{\n  \"replica_restarts\": {restarts},\n  \"client_kills_injected\": {total_kills_injected},\n  \"replica_conn_kills\": {conn_kills},\n  \"replica_reconnects\": {reconnects},\n  \"truncations\": {truncations},\n  \"snapshots_served\": {snapshots_served},\n  \"snapshots_installed\": {snapshots_installed},\n  \"ops_during_chaos\": {total_chaos_ops},\n  \"timeouts_during_chaos\": {total_timeouts},\n  \"txns_committed\": {txns},\n  \"ops_after_recovery\": {total_recovery_ops},\n  \"safety_checks_passed\": {total_checks}\n}}\n"
     );
     let _ = std::fs::create_dir_all("target/chaos");
     let _ = std::fs::write("target/chaos/CHAOS_soak.json", json);
@@ -344,5 +403,133 @@ fn chaos_soak_in_process_with_seeded_faults() {
         assert!(r.ops_after_chaos >= 26, "worker {w} did not recover: {r:?}");
         assert!(r.safety_checks > 0);
     }
+    cluster.shutdown();
+}
+
+/// The bounded-memory soak: a time-capped run under periodic agreed
+/// truncation with the backup replica stopped and restarted
+/// *continuously*, gating on the RSS-proxy gauges staying flat. Without
+/// truncation every one of these counters grows linearly with committed
+/// commands (the unbounded-memory bug family); with it, the applied log
+/// stays near the truncation period, reply outputs stay O(clients), and
+/// finished-txn outcomes stay within the per-coordinator window — no
+/// matter how long the soak runs or how often the backup reboots. The
+/// stats land in `target/chaos/MEM_soak.json` next to the chaos soak's
+/// artifact, where the CI mem-smoke job picks them up.
+#[test]
+fn mem_soak_flat_gauges_under_truncation_and_continuous_restarts() {
+    const TRUNCATE_EVERY: u64 = 256;
+    let t = one_timing();
+    let shards = 2u16;
+    let (mut cluster, mut clients) = ClusterBuilder::new(3, move |m: &[NodeId], me| {
+        OnePaxosNode::with_timing(cfg(m, me), t)
+    })
+    .clients(2)
+    .shards(shards)
+    .truncate_every(TRUNCATE_EVERY)
+    .spawn_tcp()
+    .expect("tcp setup");
+
+    let mut nemesis_client = clients.pop().expect("nemesis client");
+    nemesis_client.set_timeout(Duration::from_secs(2));
+    let chaos = Arc::new(AtomicBool::new(true));
+    // One worker hammering puts + linearized reads, with cross-shard
+    // transactions riding along so the finished-outcome gauge is
+    // exercised too. The restarts are the whole nemesis — no socket
+    // kills.
+    let worker = {
+        let chaos = Arc::clone(&chaos);
+        let c = clients.pop().expect("worker client");
+        let txn_keys = Some(cross_shard_pair(shards, 3_000));
+        std::thread::spawn(move || run_worker(c, 10, txn_keys, chaos, false))
+    };
+
+    // Time-capped soak: sample the gauges a few times between restart
+    // cycles, then bounce the backup again.
+    let soak_deadline = Instant::now() + Duration::from_secs(6);
+    let mut restarts = 0u64;
+    let mut max_applied_log = 0u64;
+    let mut max_outputs = 0u64;
+    let mut max_finished = 0u64;
+    while Instant::now() < soak_deadline {
+        for _ in 0..3 {
+            std::thread::sleep(Duration::from_millis(150));
+            for m in cluster.metrics() {
+                max_applied_log = max_applied_log.max(m.applied_log_len.load(Ordering::Relaxed));
+                max_outputs = max_outputs.max(m.outputs_len.load(Ordering::Relaxed));
+                max_finished = max_finished.max(m.finished_len.load(Ordering::Relaxed));
+            }
+        }
+        let stop_deadline = Instant::now() + Duration::from_secs(30);
+        while !cluster.replica_finished(2) {
+            nemesis_client.stop_replica(NodeId(2));
+            assert!(
+                Instant::now() < stop_deadline,
+                "mem soak: replica 2 never processed stop {restarts}"
+            );
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        cluster.restart_replica(2);
+        restarts += 1;
+    }
+    chaos.store(false, Ordering::Relaxed);
+    let report = worker.join().unwrap();
+
+    // Liveness through the restart storm and full recovery after it.
+    assert!(restarts >= 2, "soak too short to exercise restarts");
+    assert!(
+        report.ops_during_chaos > 0,
+        "no progress during the restart storm: {report:?}"
+    );
+    assert!(
+        report.ops_after_chaos >= 26,
+        "worker did not recover: {report:?}"
+    );
+
+    // The mechanisms that bound memory actually ran.
+    let metrics = cluster.metrics();
+    let truncations: u64 = metrics
+        .iter()
+        .map(|m| m.truncations.load(Ordering::Relaxed))
+        .sum();
+    let snapshots_installed = metrics[2].snapshots_installed.load(Ordering::Relaxed);
+    let committed: u64 = metrics
+        .iter()
+        .map(|m| m.committed.load(Ordering::Relaxed))
+        .sum();
+    assert!(truncations > 0, "agreed truncation never ran");
+    assert!(
+        snapshots_installed > 0,
+        "the restarted backup never installed a snapshot"
+    );
+
+    // The flatness gates. Each gauge sums over both shard groups of a
+    // replica, so the bounds carry a factor of `shards` plus generous
+    // in-flight slack — what matters is that none of them scales with
+    // the committed-command count.
+    assert!(
+        max_applied_log < 16 * TRUNCATE_EVERY,
+        "applied log grew to {max_applied_log} — truncation is not bounding memory"
+    );
+    assert!(
+        max_outputs <= 16,
+        "reply outputs grew to {max_outputs} for 2 clients"
+    );
+    assert!(
+        max_finished <= 256,
+        "finished-txn outcomes grew to {max_finished} — GC floor not engaging"
+    );
+
+    let reconnects: u64 = metrics
+        .iter()
+        .map(|m| m.reconnects.load(Ordering::Relaxed))
+        .sum();
+    let json = format!(
+        "{{\n  \"replica_restarts\": {restarts},\n  \"truncations\": {truncations},\n  \"snapshots_installed\": {snapshots_installed},\n  \"replica_reconnects\": {reconnects},\n  \"committed_commands\": {committed},\n  \"ops_during_soak\": {},\n  \"ops_after_recovery\": {},\n  \"txns_committed\": {},\n  \"max_applied_log_len\": {max_applied_log},\n  \"max_outputs_len\": {max_outputs},\n  \"max_finished_len\": {max_finished}\n}}\n",
+        report.ops_during_chaos, report.ops_after_chaos, report.txns_committed
+    );
+    let _ = std::fs::create_dir_all("target/chaos");
+    let _ = std::fs::write("target/chaos/MEM_soak.json", json);
+
     cluster.shutdown();
 }
